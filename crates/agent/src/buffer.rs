@@ -1,0 +1,297 @@
+//! Bounded result buffering with retry-then-discard upload semantics.
+//!
+//! "Once a timer times out or the size of the measurement results exceeds
+//! a threshold, the Pingmesh Agent uploads the results to Cosmos. ... If a
+//! server cannot upload its latency data, it will retry several times.
+//! After that it will stop trying and discard the in-memory data. This is
+//! to ensure the Pingmesh Agent uses bounded memory resource. The
+//! Pingmesh Agent also writes the latency data to local disk as log
+//! files. The size of log files is limited to a configurable size."
+//! (§3.4.2)
+
+use crate::config::AgentConfig;
+use pingmesh_types::{ProbeRecord, SimTime};
+use std::collections::VecDeque;
+
+/// A batch handed to the uploader, with retry bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PendingUpload {
+    /// The records in the batch.
+    pub records: Vec<ProbeRecord>,
+    /// Upload attempts made so far.
+    pub attempts: u32,
+}
+
+/// The agent's in-memory result buffer plus capped local log.
+#[derive(Debug)]
+pub struct ResultBuffer {
+    config: AgentConfig,
+    records: Vec<ProbeRecord>,
+    oldest: Option<SimTime>,
+    bytes: usize,
+    pending: Option<PendingUpload>,
+    /// Records dropped (buffer overflow or upload give-up).
+    discarded: u64,
+    /// Capped local log: newest lines win.
+    log: VecDeque<String>,
+    log_bytes: usize,
+}
+
+impl ResultBuffer {
+    /// Creates an empty buffer.
+    pub fn new(config: AgentConfig) -> Self {
+        Self {
+            config,
+            records: Vec::new(),
+            oldest: None,
+            bytes: 0,
+            pending: None,
+            discarded: 0,
+            log: VecDeque::new(),
+            log_bytes: 0,
+        }
+    }
+
+    /// Number of buffered (not yet batched) records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records discarded so far.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Approximate buffered bytes.
+    pub fn buffered_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Appends a record; drops it (counting) if the byte cap is reached.
+    pub fn push(&mut self, rec: ProbeRecord) {
+        let sz = rec.wire_size();
+        if self.bytes + sz > self.config.buffer_cap_bytes {
+            self.discarded += 1;
+            return;
+        }
+        if self.oldest.is_none() {
+            self.oldest = Some(rec.ts);
+        }
+        self.bytes += sz;
+        self.log_line(&rec);
+        self.records.push(rec);
+    }
+
+    fn log_line(&mut self, rec: &ProbeRecord) {
+        let line = format!(
+            "{},{},{},{:?}",
+            rec.ts.as_micros(),
+            rec.src,
+            rec.dst,
+            rec.outcome
+        );
+        self.log_bytes += line.len();
+        self.log.push_back(line);
+        while self.log_bytes > self.config.log_cap_bytes {
+            if let Some(old) = self.log.pop_front() {
+                self.log_bytes -= old.len();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The capped local log (oldest first).
+    pub fn log_lines(&self) -> impl Iterator<Item = &str> {
+        self.log.iter().map(|s| s.as_str())
+    }
+
+    /// Whether an upload should fire now (batch size or age trigger), and
+    /// no batch is already in flight.
+    pub fn upload_due(&self, now: SimTime) -> bool {
+        if self.pending.is_some() || self.records.is_empty() {
+            return false;
+        }
+        self.records.len() >= self.config.upload_batch_records
+            || self
+                .oldest
+                .is_some_and(|o| now.since(o) >= self.config.upload_max_age)
+    }
+
+    /// Cuts the current records into a pending batch and returns a clone
+    /// of it for the uploader. Returns `None` if a batch is already
+    /// pending or nothing is buffered.
+    pub fn begin_upload(&mut self) -> Option<Vec<ProbeRecord>> {
+        if self.pending.is_some() || self.records.is_empty() {
+            return None;
+        }
+        let records = std::mem::take(&mut self.records);
+        self.bytes = 0;
+        self.oldest = None;
+        self.pending = Some(PendingUpload {
+            records: records.clone(),
+            attempts: 1,
+        });
+        Some(records)
+    }
+
+    /// Reports the uploader's result. On failure, the batch stays pending
+    /// until the retry budget is exhausted, then it is discarded. Returns
+    /// the batch to retry, if any.
+    pub fn on_upload_result(&mut self, ok: bool) -> Option<Vec<ProbeRecord>> {
+        let mut p = self.pending.take()?;
+        if ok {
+            return None;
+        }
+        if p.attempts > self.config.upload_retries {
+            self.discarded += p.records.len() as u64;
+            return None;
+        }
+        p.attempts += 1;
+        let again = p.records.clone();
+        self.pending = Some(p);
+        Some(again)
+    }
+
+    /// Records uploaded successfully? (Used by counters.)
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{
+        DcId, PodId, PodsetId, ProbeKind, ProbeOutcome, QosClass, ServerId, SimDuration,
+    };
+
+    fn rec(ts: u64) -> ProbeRecord {
+        ProbeRecord {
+            ts: SimTime(ts),
+            src: ServerId(0),
+            dst: ServerId(1),
+            src_pod: PodId(0),
+            dst_pod: PodId(0),
+            src_podset: PodsetId(0),
+            dst_podset: PodsetId(0),
+            src_dc: DcId(0),
+            dst_dc: DcId(0),
+            kind: ProbeKind::TcpSyn,
+            qos: QosClass::High,
+            src_port: 40_000,
+            dst_port: 8_100,
+            outcome: ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(250),
+            },
+        }
+    }
+
+    fn small_config() -> AgentConfig {
+        AgentConfig {
+            upload_batch_records: 3,
+            upload_max_age: SimDuration::from_secs(60),
+            buffer_cap_bytes: 64 * 10, // ten records
+            upload_retries: 2,
+            log_cap_bytes: 200,
+            ..AgentConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_size_triggers_upload() {
+        let mut b = ResultBuffer::new(small_config());
+        b.push(rec(1));
+        b.push(rec(2));
+        assert!(!b.upload_due(SimTime(10)));
+        b.push(rec(3));
+        assert!(b.upload_due(SimTime(10)));
+        let batch = b.begin_upload().unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn age_triggers_upload() {
+        let mut b = ResultBuffer::new(small_config());
+        b.push(rec(0));
+        assert!(!b.upload_due(SimTime(59_000_000)));
+        assert!(b.upload_due(SimTime(60_000_000)));
+    }
+
+    #[test]
+    fn no_double_batches_in_flight() {
+        let mut b = ResultBuffer::new(small_config());
+        for i in 0..3 {
+            b.push(rec(i));
+        }
+        assert!(b.begin_upload().is_some());
+        b.push(rec(10));
+        b.push(rec(11));
+        b.push(rec(12));
+        // A batch is pending: neither due nor beginnable.
+        assert!(!b.upload_due(SimTime(100)));
+        assert!(b.begin_upload().is_none());
+        // Success clears the pending slot.
+        assert!(b.on_upload_result(true).is_none());
+        assert!(b.upload_due(SimTime(100)));
+    }
+
+    #[test]
+    fn failed_uploads_retry_then_discard() {
+        let mut b = ResultBuffer::new(small_config());
+        for i in 0..3 {
+            b.push(rec(i));
+        }
+        let batch = b.begin_upload().unwrap();
+        assert_eq!(batch.len(), 3);
+        // retries allowed: 2 → attempts 2 and 3 hand the batch back.
+        assert!(b.on_upload_result(false).is_some());
+        assert!(b.on_upload_result(false).is_some());
+        // third failure exhausts the budget: discard.
+        assert!(b.on_upload_result(false).is_none());
+        assert_eq!(b.discarded(), 3);
+        assert!(!b.has_pending());
+    }
+
+    #[test]
+    fn buffer_cap_drops_excess_records() {
+        let mut b = ResultBuffer::new(small_config());
+        for i in 0..20 {
+            b.push(rec(i));
+        }
+        assert_eq!(b.len(), 10, "cap = ten records");
+        assert_eq!(b.discarded(), 10);
+        assert!(b.buffered_bytes() <= small_config().buffer_cap_bytes);
+    }
+
+    #[test]
+    fn local_log_is_byte_capped() {
+        let mut b = ResultBuffer::new(small_config());
+        for i in 0..50 {
+            b.push(rec(i));
+            // keep buffer under its cap so pushes aren't dropped
+            if b.len() >= 3 {
+                b.begin_upload();
+                b.on_upload_result(true);
+            }
+        }
+        let total: usize = b.log_lines().map(|l| l.len()).sum();
+        assert!(total <= 200, "log stays capped: {total}");
+        // Newest lines survive.
+        let last = b.log_lines().last().unwrap().to_string();
+        assert!(last.starts_with("49,"));
+    }
+
+    #[test]
+    fn upload_result_without_pending_is_noop() {
+        let mut b = ResultBuffer::new(small_config());
+        assert!(b.on_upload_result(false).is_none());
+        assert_eq!(b.discarded(), 0);
+    }
+}

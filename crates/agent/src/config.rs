@@ -1,0 +1,62 @@
+//! Agent configuration.
+
+use pingmesh_types::constants::UPLOAD_RETRIES;
+use pingmesh_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Tunable (non-safety) parameters of the agent. Safety limits are *not*
+/// here — they are hard-coded in [`pingmesh_types::constants`], exactly as
+/// the paper hard-codes them in the agent source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// How often the agent polls the controller for a fresh pinglist.
+    pub controller_poll_interval: SimDuration,
+    /// Upload the buffered results when this many records accumulate…
+    pub upload_batch_records: usize,
+    /// …or when the oldest buffered record reaches this age.
+    pub upload_max_age: SimDuration,
+    /// In-memory result buffer cap in bytes; records beyond it are
+    /// dropped (counted as discarded) so a broken upload path can never
+    /// grow the agent's footprint.
+    pub buffer_cap_bytes: usize,
+    /// Upload retry attempts before the batch is discarded.
+    pub upload_retries: u32,
+    /// Local log file size cap in bytes ("The size of log files is
+    /// limited to a configurable size", §3.4.2).
+    pub log_cap_bytes: usize,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            controller_poll_interval: SimDuration::from_mins(10),
+            upload_batch_records: 2_000,
+            upload_max_age: SimDuration::from_mins(10),
+            buffer_cap_bytes: 8 * 1024 * 1024,
+            upload_retries: UPLOAD_RETRIES,
+            log_cap_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = AgentConfig::default();
+        assert!(c.upload_batch_records > 0);
+        assert!(c.buffer_cap_bytes >= 1024);
+        assert_eq!(c.upload_retries, UPLOAD_RETRIES);
+        assert!(c.controller_poll_interval.as_micros() > 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = AgentConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: AgentConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

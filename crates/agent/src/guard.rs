@@ -1,0 +1,178 @@
+//! The agent's fail-closed safety envelope (paper §3.4.2).
+//!
+//! The guard owns two responsibilities:
+//!
+//! 1. **Sanitizing pinglists.** Whatever the controller sends, the agent
+//!    clamps every entry to the hard-coded limits: probe interval at least
+//!    [`MIN_PROBE_INTERVAL`], payload at most [`MAX_PAYLOAD_BYTES`].
+//!    "These limits are hard coded in the source code. By doing so, we put
+//!    a hard limit on the worst-case traffic volume that Pingmesh can
+//!    bring into the network."
+//! 2. **Fail-closed controller tracking.** "If a Pingmesh Agent cannot
+//!    connect to its controller for 3 times, or if the controller is up
+//!    but there is no pinglist file available, the Pingmesh Agent will
+//!    remove all its existing ping peers and stop all its ping
+//!    activities. (It will still react to pings though.)"
+
+use pingmesh_types::constants::{
+    CONTROLLER_FAILURES_BEFORE_STOP, MAX_PAYLOAD_BYTES, MIN_PROBE_INTERVAL,
+};
+use pingmesh_types::{Pinglist, ProbeKind};
+
+/// Outcome of folding a controller interaction into the guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardDecision {
+    /// Keep probing with the (possibly new) pinglist.
+    Continue,
+    /// Remove all peers and stop probing (keep responding).
+    StopProbing,
+}
+
+/// Fail-closed state machine + pinglist sanitizer.
+#[derive(Debug, Clone, Default)]
+pub struct SafetyGuard {
+    consecutive_failures: u32,
+    stopped: bool,
+}
+
+impl SafetyGuard {
+    /// Fresh guard (probing allowed once a pinglist arrives).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the agent is currently fail-closed.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Consecutive controller failures so far.
+    pub fn failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// The controller answered with a pinglist: reset the failure counter
+    /// and resume probing.
+    pub fn on_pinglist_received(&mut self) -> GuardDecision {
+        self.consecutive_failures = 0;
+        self.stopped = false;
+        GuardDecision::Continue
+    }
+
+    /// The controller answered but had **no pinglist** — the fleet stop
+    /// switch. Stop immediately.
+    pub fn on_empty_controller(&mut self) -> GuardDecision {
+        self.consecutive_failures = 0;
+        self.stopped = true;
+        GuardDecision::StopProbing
+    }
+
+    /// The controller was unreachable. Stop after the 3rd consecutive
+    /// failure.
+    pub fn on_controller_failure(&mut self) -> GuardDecision {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= CONTROLLER_FAILURES_BEFORE_STOP {
+            self.stopped = true;
+            GuardDecision::StopProbing
+        } else {
+            GuardDecision::Continue
+        }
+    }
+
+    /// Clamps a pinglist against the hard-coded safety limits. Returns the
+    /// number of entries that had to be adjusted (exported as a counter —
+    /// a non-zero value means the controller is misbehaving).
+    pub fn sanitize(pl: &mut Pinglist) -> usize {
+        let mut adjusted = 0;
+        for e in &mut pl.entries {
+            if e.interval < MIN_PROBE_INTERVAL {
+                e.interval = MIN_PROBE_INTERVAL;
+                adjusted += 1;
+            }
+            if let ProbeKind::TcpPayload(b) = e.kind {
+                if b as usize > MAX_PAYLOAD_BYTES {
+                    e.kind = ProbeKind::TcpPayload(MAX_PAYLOAD_BYTES as u32);
+                    adjusted += 1;
+                }
+            }
+        }
+        adjusted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{PingTarget, PinglistEntry, QosClass, ServerId, SimDuration};
+    use std::net::Ipv4Addr;
+
+    fn list(interval_s: u64, kind: ProbeKind) -> Pinglist {
+        Pinglist {
+            server: ServerId(0),
+            generation: 1,
+            entries: vec![PinglistEntry {
+                target: PingTarget::Server {
+                    id: ServerId(1),
+                    ip: Ipv4Addr::new(10, 0, 0, 1),
+                },
+                port: 8100,
+                kind,
+                qos: QosClass::High,
+                interval: SimDuration::from_secs(interval_s),
+            }],
+        }
+    }
+
+    #[test]
+    fn sanitize_clamps_interval_and_payload() {
+        let mut pl = list(1, ProbeKind::TcpPayload(1_000_000));
+        let adjusted = SafetyGuard::sanitize(&mut pl);
+        assert_eq!(adjusted, 2);
+        assert_eq!(pl.entries[0].interval, MIN_PROBE_INTERVAL);
+        assert_eq!(
+            pl.entries[0].kind,
+            ProbeKind::TcpPayload(MAX_PAYLOAD_BYTES as u32)
+        );
+    }
+
+    #[test]
+    fn sanitize_leaves_valid_lists_alone() {
+        let mut pl = list(30, ProbeKind::TcpSyn);
+        assert_eq!(SafetyGuard::sanitize(&mut pl), 0);
+        assert_eq!(pl.entries[0].interval, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn three_failures_fail_close() {
+        let mut g = SafetyGuard::new();
+        assert_eq!(g.on_controller_failure(), GuardDecision::Continue);
+        assert_eq!(g.on_controller_failure(), GuardDecision::Continue);
+        assert!(!g.is_stopped());
+        assert_eq!(g.on_controller_failure(), GuardDecision::StopProbing);
+        assert!(g.is_stopped());
+        assert_eq!(g.failures(), 3);
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let mut g = SafetyGuard::new();
+        g.on_controller_failure();
+        g.on_controller_failure();
+        assert_eq!(g.on_pinglist_received(), GuardDecision::Continue);
+        assert_eq!(g.failures(), 0);
+        // Needs three more failures to stop again.
+        g.on_controller_failure();
+        g.on_controller_failure();
+        assert!(!g.is_stopped());
+    }
+
+    #[test]
+    fn empty_controller_stops_immediately() {
+        let mut g = SafetyGuard::new();
+        assert_eq!(g.on_empty_controller(), GuardDecision::StopProbing);
+        assert!(g.is_stopped());
+        // And a later pinglist resumes probing.
+        assert_eq!(g.on_pinglist_received(), GuardDecision::Continue);
+        assert!(!g.is_stopped());
+    }
+}

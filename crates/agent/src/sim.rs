@@ -1,0 +1,372 @@
+//! The agent state machine driven by the discrete-event simulation.
+//!
+//! One [`Agent`] instance runs per simulated server. The orchestrator
+//! (in `pingmesh-core`) delivers three kinds of stimuli, mirroring the
+//! real agent's event loop:
+//!
+//! * controller poll results ([`Agent::on_controller_poll`]),
+//! * due probes ([`Agent::due_probes`]) whose network outcomes are fed
+//!   back through [`Agent::record_outcome`], and
+//! * upload opportunities ([`Agent::begin_upload`] /
+//!   [`Agent::on_upload_result`]).
+//!
+//! All §3.4.2 safety behaviours hold by construction: sanitization and
+//! fail-closed logic live in [`crate::guard`], bounded buffering in
+//! [`crate::buffer`].
+
+use crate::buffer::ResultBuffer;
+use crate::config::AgentConfig;
+use crate::guard::{GuardDecision, SafetyGuard};
+use crate::scheduler::{DueProbe, ProbeScheduler};
+use pingmesh_types::{
+    AgentCounters, CounterSnapshot, Pinglist, ProbeOutcome, ProbeRecord, ServerId, SimTime,
+};
+use pingmesh_topology::Topology;
+use std::sync::Arc;
+
+/// What a controller poll produced (transport-agnostic: the orchestrator
+/// adapts the in-process SLB, the real agent adapts HTTP).
+#[derive(Debug, Clone)]
+pub enum ControllerPollOutcome {
+    /// A pinglist was served.
+    Pinglist(Pinglist),
+    /// The controller answered but had no pinglist (fleet stop switch).
+    NoPinglist,
+    /// The controller (VIP) was unreachable.
+    Unreachable,
+}
+
+/// One simulated Pingmesh agent.
+#[derive(Debug)]
+pub struct Agent {
+    server: ServerId,
+    topo: Arc<Topology>,
+    guard: SafetyGuard,
+    scheduler: ProbeScheduler,
+    buffer: ResultBuffer,
+    counters: AgentCounters,
+    generation: u64,
+    sanitized_entries: u64,
+}
+
+impl Agent {
+    /// Creates an idle agent for `server`.
+    pub fn new(server: ServerId, topo: Arc<Topology>, config: AgentConfig) -> Self {
+        Self {
+            server,
+            topo,
+            guard: SafetyGuard::new(),
+            scheduler: ProbeScheduler::new(server),
+            buffer: ResultBuffer::new(config),
+            counters: AgentCounters::new(),
+            generation: 0,
+            sanitized_entries: 0,
+        }
+    }
+
+    /// The server this agent runs on.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// Active pinglist generation (0 = none yet).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the agent is fail-closed (not probing).
+    pub fn is_stopped(&self) -> bool {
+        self.guard.is_stopped()
+    }
+
+    /// Number of peers currently scheduled.
+    pub fn peer_count(&self) -> usize {
+        self.scheduler.peer_count()
+    }
+
+    /// Entries the guard had to clamp over this agent's lifetime —
+    /// non-zero means the controller misbehaved.
+    pub fn sanitized_entries(&self) -> u64 {
+        self.sanitized_entries
+    }
+
+    /// Folds a controller poll result into the agent.
+    pub fn on_controller_poll(&mut self, outcome: ControllerPollOutcome, now: SimTime) {
+        match outcome {
+            ControllerPollOutcome::Pinglist(mut pl) => {
+                self.sanitized_entries += SafetyGuard::sanitize(&mut pl) as u64;
+                self.guard.on_pinglist_received();
+                // Reinstall only on a new generation: rebuilding the
+                // schedule resets probe phases, which we only want when
+                // the list actually changed.
+                if pl.generation != self.generation {
+                    self.generation = pl.generation;
+                    self.scheduler.install(&pl, now);
+                }
+            }
+            ControllerPollOutcome::NoPinglist => {
+                if self.guard.on_empty_controller() == GuardDecision::StopProbing {
+                    self.scheduler.clear();
+                    self.generation = 0;
+                }
+            }
+            ControllerPollOutcome::Unreachable => {
+                if self.guard.on_controller_failure() == GuardDecision::StopProbing {
+                    self.scheduler.clear();
+                    self.generation = 0;
+                }
+            }
+        }
+    }
+
+    /// When the agent next needs to act (to launch a probe).
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.scheduler.next_due()
+    }
+
+    /// Probes due at `now`. Empty while fail-closed (the scheduler is
+    /// cleared on stop, but double-check for safety).
+    pub fn due_probes(&mut self, now: SimTime) -> Vec<DueProbe> {
+        if self.guard.is_stopped() {
+            return Vec::new();
+        }
+        self.scheduler.pop_due(now)
+    }
+
+    /// Feeds a probe's network outcome back: updates counters and buffers
+    /// a record. `dst` is the physical server that was reached (VIPs
+    /// resolve to a DIP); probes whose target could not be resolved are
+    /// counted but produce no record.
+    pub fn record_outcome(
+        &mut self,
+        due: &DueProbe,
+        dst: Option<ServerId>,
+        outcome: ProbeOutcome,
+        now: SimTime,
+    ) {
+        self.counters.observe(outcome);
+        let Some(dst) = dst else { return };
+        let s = self.topo.server(self.server);
+        let d = self.topo.server(dst);
+        self.buffer.push(ProbeRecord {
+            ts: now,
+            src: self.server,
+            dst,
+            src_pod: s.pod,
+            dst_pod: d.pod,
+            src_podset: s.podset,
+            dst_podset: d.podset,
+            src_dc: s.dc,
+            dst_dc: d.dc,
+            kind: due.entry.kind,
+            qos: due.entry.qos,
+            src_port: due.src_port,
+            dst_port: due.entry.port,
+            outcome,
+        });
+    }
+
+    /// Whether an upload should start now.
+    pub fn upload_due(&self, now: SimTime) -> bool {
+        self.buffer.upload_due(now)
+    }
+
+    /// Starts an upload; returns the batch for the uploader.
+    pub fn begin_upload(&mut self) -> Option<Vec<ProbeRecord>> {
+        self.buffer.begin_upload()
+    }
+
+    /// Reports the uploader's verdict; returns a batch to retry, if any.
+    pub fn on_upload_result(&mut self, ok: bool) -> Option<Vec<ProbeRecord>> {
+        let retry = self.buffer.on_upload_result(ok);
+        self.counters.records_discarded = self.buffer.discarded();
+        retry
+    }
+
+    /// Marks bytes as uploaded (called by the orchestrator on success).
+    pub fn note_uploaded(&mut self, bytes: u64) {
+        self.counters.bytes_uploaded += bytes;
+    }
+
+    /// Cumulative records discarded over the agent's lifetime (the PA
+    /// counter window resets every collection; this one never does).
+    pub fn discarded_total(&self) -> u64 {
+        self.buffer.discarded()
+    }
+
+    /// Live counters.
+    pub fn counters(&self) -> &AgentCounters {
+        &self.counters
+    }
+
+    /// PA collection: export a snapshot and reset the window.
+    pub fn collect_counters(&mut self) -> CounterSnapshot {
+        let snap = self.counters.snapshot();
+        self.counters.reset_window();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{PingTarget, PinglistEntry, ProbeKind, QosClass, SimDuration};
+    use pingmesh_topology::TopologySpec;
+    use std::net::Ipv4Addr;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::build(TopologySpec::single_tiny()).unwrap())
+    }
+
+    fn pinglist(generation: u64) -> Pinglist {
+        Pinglist {
+            server: ServerId(0),
+            generation,
+            entries: vec![PinglistEntry {
+                target: PingTarget::Server {
+                    id: ServerId(1),
+                    ip: Ipv4Addr::new(10, 0, 0, 1),
+                },
+                port: 8100,
+                kind: ProbeKind::TcpSyn,
+                qos: QosClass::High,
+                interval: SimDuration::from_secs(10),
+            }],
+        }
+    }
+
+    fn agent() -> Agent {
+        Agent::new(ServerId(0), topo(), AgentConfig::default())
+    }
+
+    #[test]
+    fn pinglist_install_and_probing() {
+        let mut a = agent();
+        assert_eq!(a.peer_count(), 0);
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(1)), SimTime::ZERO);
+        assert_eq!(a.peer_count(), 1);
+        assert_eq!(a.generation(), 1);
+        let t = a.next_wakeup().unwrap();
+        let due = a.due_probes(t);
+        assert_eq!(due.len(), 1);
+        a.record_outcome(
+            &due[0],
+            Some(ServerId(1)),
+            ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(300),
+            },
+            t,
+        );
+        assert_eq!(a.counters().probes_sent, 1);
+        assert_eq!(a.counters().probes_succeeded, 1);
+    }
+
+    #[test]
+    fn same_generation_does_not_reset_schedule() {
+        let mut a = agent();
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(1)), SimTime::ZERO);
+        let first_due = a.next_wakeup().unwrap();
+        // Re-poll with the same generation much later: schedule unchanged.
+        a.on_controller_poll(
+            ControllerPollOutcome::Pinglist(pinglist(1)),
+            SimTime(5_000_000),
+        );
+        assert_eq!(a.next_wakeup().unwrap(), first_due);
+        // A new generation reinstalls.
+        a.on_controller_poll(
+            ControllerPollOutcome::Pinglist(pinglist(2)),
+            SimTime(5_000_000),
+        );
+        assert_eq!(a.generation(), 2);
+    }
+
+    #[test]
+    fn three_unreachable_polls_fail_close() {
+        let mut a = agent();
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(1)), SimTime::ZERO);
+        a.on_controller_poll(ControllerPollOutcome::Unreachable, SimTime(1));
+        a.on_controller_poll(ControllerPollOutcome::Unreachable, SimTime(2));
+        assert!(!a.is_stopped());
+        a.on_controller_poll(ControllerPollOutcome::Unreachable, SimTime(3));
+        assert!(a.is_stopped());
+        assert_eq!(a.peer_count(), 0);
+        assert!(a.due_probes(SimTime(100_000_000)).is_empty());
+        // Recovery: a pinglist resumes probing.
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(5)), SimTime(4));
+        assert!(!a.is_stopped());
+        assert_eq!(a.peer_count(), 1);
+    }
+
+    #[test]
+    fn empty_controller_stops_probing_immediately() {
+        let mut a = agent();
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(1)), SimTime::ZERO);
+        a.on_controller_poll(ControllerPollOutcome::NoPinglist, SimTime(1));
+        assert!(a.is_stopped());
+        assert_eq!(a.peer_count(), 0);
+    }
+
+    #[test]
+    fn sanitization_is_counted() {
+        let mut a = agent();
+        let mut pl = pinglist(1);
+        pl.entries[0].interval = SimDuration::from_secs(1); // below the floor
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pl), SimTime::ZERO);
+        assert_eq!(a.sanitized_entries(), 1);
+    }
+
+    #[test]
+    fn records_carry_denormalized_scope() {
+        let mut a = agent();
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(1)), SimTime::ZERO);
+        let t = a.next_wakeup().unwrap();
+        let due = a.due_probes(t);
+        a.record_outcome(
+            &due[0],
+            Some(ServerId(1)),
+            ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(200),
+            },
+            t,
+        );
+        let batch = a.begin_upload().unwrap();
+        let rec = batch[0];
+        let topo = topo();
+        assert_eq!(rec.src_pod, topo.server(ServerId(0)).pod);
+        assert_eq!(rec.dst_pod, topo.server(ServerId(1)).pod);
+        assert_eq!(rec.src_dc, rec.dst_dc);
+        assert!(rec.is_intra_pod());
+    }
+
+    #[test]
+    fn unresolved_targets_count_but_produce_no_record() {
+        let mut a = agent();
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(1)), SimTime::ZERO);
+        let t = a.next_wakeup().unwrap();
+        let due = a.due_probes(t);
+        a.record_outcome(&due[0], None, ProbeOutcome::Timeout, t);
+        assert_eq!(a.counters().probes_failed, 1);
+        assert!(a.begin_upload().is_none());
+    }
+
+    #[test]
+    fn counter_collection_resets_window() {
+        let mut a = agent();
+        a.on_controller_poll(ControllerPollOutcome::Pinglist(pinglist(1)), SimTime::ZERO);
+        let t = a.next_wakeup().unwrap();
+        let due = a.due_probes(t);
+        a.record_outcome(
+            &due[0],
+            Some(ServerId(1)),
+            ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(250),
+            },
+            t,
+        );
+        a.note_uploaded(100);
+        let snap = a.collect_counters();
+        assert_eq!(snap.probes_sent, 1);
+        assert_eq!(snap.bytes_uploaded, 100);
+        assert_eq!(a.counters().probes_sent, 0, "window reset");
+    }
+}

@@ -1,0 +1,178 @@
+//! Ablation 1 — why multiple levels of complete graphs? (paper §3.3.1)
+//!
+//! "The largest possible coverage is a server-level complete graph ...
+//! however, \[it\] is not feasible because a server needs to probe n−1
+//! servers ... Also a server-level complete graph is not necessary since
+//! tens of servers connect to the rest of the world through the same ToR
+//! switch. ... We once thought that we only need to select a configurable
+//! number of servers to participate ... the small number of selected
+//! servers may not well represent the rest of the servers."
+//!
+//! This ablation quantifies the trade-off between the three designs on
+//! the same deployment:
+//!
+//! * probe volume per server (the agent budget that made the server-level
+//!   complete graph infeasible), and
+//! * fault coverage: does some probed pair witness each possible faulty
+//!   ToR and Leaf, and does *every server* get first-party data (the
+//!   reason sampling lost)?
+
+use pingmesh_bench::*;
+use pingmesh_core::controller::{GeneratorConfig, PinglistGenerator};
+use pingmesh_core::topology::{DcSpec, Topology, TopologySpec};
+use pingmesh_core::types::{PingTarget, ServerId, SwitchId};
+use std::collections::HashSet;
+
+struct Design {
+    name: &'static str,
+    /// peers per server (max / mean)
+    max_peers: usize,
+    mean_peers: f64,
+    /// fraction of ToRs some probe pair crosses
+    tor_coverage: f64,
+    /// fraction of servers that originate probes
+    server_participation: f64,
+}
+
+fn analyze(name: &'static str, topo: &Topology, lists: Vec<(ServerId, Vec<ServerId>)>) -> Design {
+    let mut covered_tors: HashSet<SwitchId> = HashSet::new();
+    let mut participants: HashSet<ServerId> = HashSet::new();
+    let mut total_peers = 0usize;
+    let mut max_peers = 0usize;
+    for (src, peers) in &lists {
+        if !peers.is_empty() {
+            participants.insert(*src);
+        }
+        total_peers += peers.len();
+        max_peers = max_peers.max(peers.len());
+        for dst in peers {
+            covered_tors.insert(topo.tor_of_pod(topo.server(*src).pod));
+            covered_tors.insert(topo.tor_of_pod(topo.server(*dst).pod));
+        }
+    }
+    Design {
+        name,
+        max_peers,
+        mean_peers: total_peers as f64 / lists.len() as f64,
+        tor_coverage: covered_tors.len() as f64 / topo.pod_count() as f64,
+        server_participation: participants.len() as f64 / topo.server_count() as f64,
+    }
+}
+
+fn main() {
+    header(
+        "ablation_pinglist",
+        "Pinglist designs: 3-level complete graphs vs alternatives",
+    );
+    let topo = Topology::build(TopologySpec {
+        dcs: vec![DcSpec::medium("DC1")],
+    })
+    .expect("valid spec");
+    println!(
+        "deployment: {} servers, {} ToRs\n",
+        topo.server_count(),
+        topo.pod_count()
+    );
+
+    let mut designs = Vec::new();
+
+    // (1) Pingmesh: three levels of complete graphs.
+    let generator = PinglistGenerator::new(GeneratorConfig::default());
+    let set = generator.generate_all(&topo, 1);
+    let lists: Vec<(ServerId, Vec<ServerId>)> = set
+        .lists
+        .iter()
+        .map(|pl| {
+            (
+                pl.server,
+                pl.entries
+                    .iter()
+                    .filter_map(|e| match e.target {
+                        PingTarget::Server { id, .. } => Some(id),
+                        _ => None,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    designs.push(analyze("pingmesh (3-level graphs)", &topo, lists));
+
+    // (2) Server-level complete graph: every server pings every other.
+    let n = topo.server_count();
+    let lists: Vec<(ServerId, Vec<ServerId>)> = topo
+        .servers()
+        .map(|s| (s, topo.servers().filter(|&d| d != s).collect()))
+        .collect();
+    designs.push(analyze("server-level complete graph", &topo, lists));
+
+    // (3) Sampling: 2 selected servers per podset form a complete graph
+    // (the design the paper rejected).
+    let mut selected: Vec<ServerId> = Vec::new();
+    for ps in topo.podsets_in_dc(pingmesh_core::types::DcId(0)) {
+        for (i, pod) in topo.pods_in_podset(ps).enumerate() {
+            if i < 2 {
+                selected.push(topo.servers_in_pod(pod).next().unwrap());
+            }
+        }
+    }
+    let sel: HashSet<ServerId> = selected.iter().copied().collect();
+    let lists: Vec<(ServerId, Vec<ServerId>)> = topo
+        .servers()
+        .map(|s| {
+            if sel.contains(&s) {
+                (s, selected.iter().copied().filter(|&d| d != s).collect())
+            } else {
+                (s, Vec::new())
+            }
+        })
+        .collect();
+    designs.push(analyze("sampled servers (2/podset)", &topo, lists));
+
+    println!(
+        "  {:<30} {:>10} {:>12} {:>14} {:>16}",
+        "design", "max peers", "mean peers", "ToR coverage", "participation"
+    );
+    for d in &designs {
+        println!(
+            "  {:<30} {:>10} {:>12.1} {:>13.0}% {:>15.0}%",
+            d.name,
+            d.max_peers,
+            d.mean_peers,
+            d.tor_coverage * 100.0,
+            d.server_participation * 100.0
+        );
+    }
+
+    println!("\n--- conclusions (the paper's argument, quantified) ---");
+    let pingmesh = &designs[0];
+    let full = &designs[1];
+    let sampled = &designs[2];
+    let mut ok = true;
+    let mut check = |what: &str, cond: bool| {
+        println!("  [{}] {what}", if cond { "ok" } else { "FAIL" });
+        ok &= cond;
+    };
+    check(
+        &format!(
+            "pingmesh needs {}x fewer probes per server than the full graph (n-1 = {})",
+            (full.mean_peers / pingmesh.mean_peers).round(),
+            n - 1
+        ),
+        full.mean_peers / pingmesh.mean_peers > 2.0,
+    );
+    check(
+        "pingmesh still covers every ToR and keeps 100% server participation",
+        pingmesh.tor_coverage >= 1.0 && pingmesh.server_participation >= 1.0,
+    );
+    check(
+        &format!(
+            "sampling probes {:.1}x less but only {:.0}% of servers have first-party data",
+            pingmesh.mean_peers / sampled.mean_peers.max(0.01),
+            sampled.server_participation * 100.0
+        ),
+        sampled.server_participation < 0.2,
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Runs the complete experiment suite — every table and figure of the
+//! paper plus the three ablations — and prints a pass/fail summary.
+//!
+//! Each experiment is a sibling binary; `exp_all` invokes them with
+//! shortened-but-sound durations and relies on their built-in shape
+//! checks (non-zero exit = reproduction drifted).
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[(&str, &[&str])] = &[
+    ("fig3", &[]),
+    ("fig4", &["1"]),
+    ("table1", &["1"]),
+    ("fig5", &["2"]),
+    ("fig6", &["8"]),
+    ("fig7", &[]),
+    ("fig8", &[]),
+    ("ablation_pinglist", &[]),
+    ("ablation_droprate", &[]),
+    ("ablation_blackhole", &[]),
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    let mut results = Vec::new();
+    for (name, args) in EXPERIMENTS {
+        let bin = dir.join(name);
+        println!("\n##### running {name} {} #####", args.join(" "));
+        let t0 = Instant::now();
+        let status = Command::new(&bin)
+            .args(*args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        results.push((*name, status.success(), t0.elapsed()));
+    }
+    println!("\n================= experiment suite summary =================");
+    let mut all_ok = true;
+    for (name, ok, dt) in &results {
+        println!(
+            "  {:<22} {}  ({:.1}s)",
+            name,
+            if *ok { "PASS" } else { "FAIL" },
+            dt.as_secs_f64()
+        );
+        all_ok &= ok;
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

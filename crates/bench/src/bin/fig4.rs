@@ -1,0 +1,159 @@
+//! Figure 4 — network latency distributions (paper §4.1).
+//!
+//! Reproduces all four panels:
+//!   (a) inter-pod latency CDF of DC1 (throughput-heavy) vs DC2
+//!       (latency-sensitive) — similar up to ~P90;
+//!   (b) the high-percentile tail — DC1 P99.9 ≈ 23.35 ms / P99.99 ≈
+//!       1397.63 ms, DC2 ≈ 11.07 ms / 105.84 ms;
+//!   (c) intra-pod vs inter-pod in DC1 — P50 216 µs vs 268 µs, P99
+//!       1.26 ms vs 1.34 ms;
+//!   (d) with vs without payload in DC1 — P50 268→326 µs, P99
+//!       1.34→2.43 ms.
+//!
+//! The full system runs: agents probe per their controller-generated
+//! pinglists (payload probes enabled), upload to the store, and the
+//! harness folds the stored records into histograms.
+
+use pingmesh_bench::*;
+use pingmesh_core::controller::GeneratorConfig;
+use pingmesh_core::dsa::agg::LatencyScope;
+use pingmesh_core::dsa::agg::{HistKey, WindowAggregate};
+use pingmesh_core::types::{DcId, QosClass, SimDuration, SimTime};
+use pingmesh_core::OrchestratorConfig;
+
+fn main() {
+    header("fig4", "Network latency distributions (DC1 vs DC2)");
+    let sim_hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    let config = OrchestratorConfig {
+        generator: GeneratorConfig {
+            payload_probes: true,
+            ..GeneratorConfig::default()
+        },
+        ..OrchestratorConfig::default()
+    };
+    let mut o = two_dc_scenario(config);
+    println!(
+        "scenario: {} servers, {} pods across 2 DCs; simulating {sim_hours}h of probing...",
+        o.net().topology().server_count(),
+        o.net().topology().pod_count()
+    );
+    let agg = run_and_aggregate(
+        &mut o,
+        SimTime::ZERO + SimDuration::from_hours(sim_hours),
+        SimDuration::from_mins(10),
+    );
+    println!("records aggregated: {}\n", agg.record_count);
+
+    let dc1 = DcId(0);
+    let dc2 = DcId(1);
+    let inter1 = agg.syn_hist(dc1, LatencyScope::InterPod).expect("dc1 inter-pod data");
+    let inter2 = agg.syn_hist(dc2, LatencyScope::InterPod).expect("dc2 inter-pod data");
+    let intra1 = agg.syn_hist(dc1, LatencyScope::IntraPod).expect("dc1 intra-pod data");
+    let payload1 = agg
+        .hists
+        .get(&HistKey {
+            dc: dc1,
+            scope: LatencyScope::InterPod,
+            payload: true,
+            qos: QosClass::High,
+        })
+        .expect("dc1 payload data");
+
+    println!("--- (a) inter-pod latency, full distribution ---");
+    print_quantiles("DC1 (US West) inter-pod", inter1);
+    print_quantiles("DC2 (US Central) inter-pod", inter2);
+    let p90_1 = inter1.quantile(0.90).unwrap().as_micros();
+    let p90_2 = inter2.quantile(0.90).unwrap().as_micros();
+    println!(
+        "  paper's observation 'latency at P90 or lower is similar': DC1/DC2 P90 ratio = {:.2}\n",
+        p90_1 as f64 / p90_2 as f64
+    );
+
+    println!("--- (b) inter-pod latency at high percentile ---");
+    let g = |h: &pingmesh_core::types::LatencyHistogram, q: f64| {
+        fmt_us(h.quantile(q).unwrap().as_micros())
+    };
+    compare_row("DC1 P99.9", "23.35ms", &g(inter1, 0.999));
+    compare_row("DC1 P99.99", "1397.63ms", &g(inter1, 0.9999));
+    compare_row("DC2 P99.9", "11.07ms", &g(inter2, 0.999));
+    compare_row("DC2 P99.99", "105.84ms", &g(inter2, 0.9999));
+    println!();
+
+    println!("--- (c) intra-pod vs inter-pod, DC1 ---");
+    compare_row("intra-pod P50", "216us", &g(intra1, 0.50));
+    compare_row("inter-pod P50", "268us", &g(inter1, 0.50));
+    compare_row("intra-pod P99", "1.26ms", &g(intra1, 0.99));
+    compare_row("inter-pod P99", "1.34ms", &g(inter1, 0.99));
+    let d50 = inter1.quantile(0.5).unwrap().as_micros() as i64
+        - intra1.quantile(0.5).unwrap().as_micros() as i64;
+    let d99 = inter1.quantile(0.99).unwrap().as_micros() as i64
+        - intra1.quantile(0.99).unwrap().as_micros() as i64;
+    println!(
+        "  queuing-delay gap (paper: 52us at P50, 80us at P99): {d50}us at P50, {d99}us at P99\n"
+    );
+
+    println!("--- (d) inter-pod with vs without payload, DC1 ---");
+    compare_row("no payload P50", "268us", &g(inter1, 0.50));
+    compare_row("payload P50", "326us", &g(payload1, 0.50));
+    compare_row("no payload P99", "1.34ms", &g(inter1, 0.99));
+    compare_row("payload P99", "2.43ms", &g(payload1, 0.99));
+
+    println!("\n--- CDF points (inter-pod, SYN), for plotting ---");
+    print_cdf("DC1", inter1);
+    print_cdf("DC2", inter2);
+
+    verify_shape(&agg);
+}
+
+fn print_cdf(label: &str, h: &pingmesh_core::types::LatencyHistogram) {
+    let pts = h.cdf_points();
+    // Thin to ~12 points for the terminal.
+    let step = (pts.len() / 12).max(1);
+    print!("  {label}:");
+    for (lat, frac) in pts.iter().step_by(step) {
+        print!(" ({}, {:.4})", fmt_us(lat.as_micros()), frac);
+    }
+    println!();
+}
+
+/// Sanity assertions that the paper's qualitative shape holds; the binary
+/// exits non-zero if the reproduction has drifted.
+fn verify_shape(agg: &WindowAggregate) {
+    let dc1 = DcId(0);
+    let dc2 = DcId(1);
+    let inter1 = agg.syn_hist(dc1, LatencyScope::InterPod).unwrap();
+    let inter2 = agg.syn_hist(dc2, LatencyScope::InterPod).unwrap();
+    let intra1 = agg.syn_hist(dc1, LatencyScope::IntraPod).unwrap();
+    let q = |h: &pingmesh_core::types::LatencyHistogram, p: f64| {
+        h.quantile(p).unwrap().as_micros() as f64
+    };
+    let mut ok = true;
+    let mut check = |what: &str, cond: bool| {
+        println!("  [{}] {what}", if cond { "ok" } else { "FAIL" });
+        ok &= cond;
+    };
+    println!("\n--- shape checks ---");
+    check(
+        "P90 similar across DCs (ratio in [0.5, 2])",
+        (0.5..=2.0).contains(&(q(inter1, 0.9) / q(inter2, 0.9))),
+    );
+    check(
+        "DC1 tail >> DC2 tail at P99.99 (ratio > 3)",
+        q(inter1, 0.9999) / q(inter2, 0.9999) > 3.0,
+    );
+    check(
+        "intra-pod < inter-pod at P50 (tens of us gap)",
+        q(intra1, 0.5) < q(inter1, 0.5) && q(inter1, 0.5) - q(intra1, 0.5) < 200.0,
+    );
+    check(
+        "sub-ms at P50, ms-scale at P99.9, 100ms+ at P99.99 (DC1)",
+        q(inter1, 0.5) < 1_000.0 && q(inter1, 0.999) > 5_000.0 && q(inter1, 0.9999) > 100_000.0,
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

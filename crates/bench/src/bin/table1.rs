@@ -1,0 +1,119 @@
+//! Table 1 — intra-pod and inter-pod packet drop rates of five DCs
+//! (paper §4.2).
+//!
+//! The five data centers run the five calibrated profiles; the measured
+//! rates use the paper's heuristic exactly: probes with ≈3 s or ≈9 s RTT
+//! over successful probes. The paper's observations to reproduce:
+//! rates live in the 1e-5..1e-4 decade, inter-pod is typically several
+//! times intra-pod (drops happen in the fabric, not the hosts), and the
+//! intra-pod floor sits around 1e-5.
+
+use pingmesh_bench::*;
+use pingmesh_core::netsim::DcProfile;
+use pingmesh_core::topology::{DcSpec, ServiceMap, Topology, TopologySpec};
+use pingmesh_core::types::{PairStats, SimDuration, SimTime};
+use pingmesh_core::{Orchestrator, OrchestratorConfig};
+use std::sync::Arc;
+
+/// Paper Table 1, for comparison.
+const PAPER: [(&str, f64, f64); 5] = [
+    ("DC1 (US West)", 1.31e-5, 7.55e-5),
+    ("DC2 (US Central)", 2.10e-5, 7.63e-5),
+    ("DC3 (US East)", 9.58e-6, 4.00e-5),
+    ("DC4 (Europe)", 1.52e-5, 5.32e-5),
+    ("DC5 (Asia)", 9.82e-6, 1.54e-5),
+];
+
+fn main() {
+    header("table1", "Intra-pod and inter-pod packet drop rates (5 DCs)");
+    let sim_hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    let topo = Arc::new(
+        Topology::build(TopologySpec {
+            dcs: PAPER.iter().map(|(n, _, _)| DcSpec::medium(n)).collect(),
+        })
+        .expect("valid spec"),
+    );
+    let mut o = Orchestrator::new(
+        topo.clone(),
+        DcProfile::table1_presets(),
+        ServiceMap::new(),
+        OrchestratorConfig::default(),
+    );
+    println!(
+        "scenario: {} servers across 5 DCs; simulating {sim_hours}h of probing...\n",
+        topo.server_count()
+    );
+    let agg = run_and_aggregate(
+        &mut o,
+        SimTime::ZERO + SimDuration::from_hours(sim_hours),
+        SimDuration::from_mins(10),
+    );
+
+    // Split per-pair stats into intra-pod / inter-pod(intra-DC), per DC.
+    let mut intra: Vec<PairStats> = vec![PairStats::default(); 5];
+    let mut inter: Vec<PairStats> = vec![PairStats::default(); 5];
+    for (k, v) in &agg.pairs {
+        let s = topo.server(k.src);
+        let d = topo.server(k.dst);
+        if s.dc != d.dc {
+            continue;
+        }
+        if s.pod == d.pod {
+            intra[s.dc.index()].merge(v);
+        } else {
+            inter[s.dc.index()].merge(v);
+        }
+    }
+
+    println!(
+        "  {:<18} {:>22} {:>22}",
+        "Data center", "Intra-pod drop rate", "Inter-pod drop rate"
+    );
+    let mut ok = true;
+    for (i, (name, p_intra, p_inter)) in PAPER.iter().enumerate() {
+        let m_intra = intra[i].drop_rate();
+        let m_inter = inter[i].drop_rate();
+        println!(
+            "  {name:<18} {m_intra:>10.2e} (paper {p_intra:.2e}) {m_inter:>10.2e} (paper {p_inter:.2e})"
+        );
+        // Shape checks: right decade, and inter > intra except DC5 where
+        // the paper's own gap is small.
+        ok &= m_intra > 0.0 && (0.2..=5.0).contains(&(m_intra / p_intra));
+        ok &= m_inter > 0.0 && (0.2..=5.0).contains(&(m_inter / p_inter));
+    }
+    println!();
+    let ratios: Vec<f64> = (0..5)
+        .map(|i| inter[i].drop_rate() / intra[i].drop_rate().max(1e-12))
+        .collect();
+    println!(
+        "  inter/intra ratio per DC (paper: 'typically several times higher'): {:?}",
+        ratios.iter().map(|r| (r * 10.0).round() / 10.0).collect::<Vec<_>>()
+    );
+    let mostly_higher = ratios.iter().filter(|&&r| r > 1.5).count() >= 4;
+    println!(
+        "  [{}] inter-pod drop rate exceeds intra-pod in ≥4 of 5 DCs",
+        if mostly_higher { "ok" } else { "FAIL" }
+    );
+    println!(
+        "  [{}] every measured rate within 5x of the paper's value",
+        if ok { "ok" } else { "FAIL" }
+    );
+
+    // Also demonstrate the estimate is *measured*, not configured: print
+    // probe volumes behind the estimates.
+    for i in 0..5 {
+        println!(
+            "  {}: intra n={} inter n={}",
+            PAPER[i].0,
+            intra[i].total(),
+            inter[i].total()
+        );
+    }
+    if !(ok && mostly_higher) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Controller replication behind a software load balancer.
+//!
+//! "A Pingmesh Controller has a set of servers behind a single VIP. SLB
+//! distributes the requests from the Pingmesh Agents to the Pingmesh
+//! Controller servers. Every Pingmesh Controller server runs the same
+//! piece of code and generates the same set of Pinglist files for all the
+//! servers and is able to serve requests from any Pingmesh Agent. ...
+//! once a Pingmesh Controller server stops functioning, it is
+//! automatically removed from rotation by the SLB." (§3.3.2)
+//!
+//! [`SimController`] is one replica with an availability timeline;
+//! [`ControllerCluster`] is the VIP: it round-robins across replicas and
+//! retries on failure, so the cluster answers as long as one replica is
+//! alive. Removing the pinglist files (`clear_pinglists`) is the paper's
+//! global kill switch: agents that see "controller up, no pinglist"
+//! fail-closed and stop probing.
+
+use crate::genalgo::PinglistSet;
+use pingmesh_types::{Pinglist, PingmeshError, ServerId, SimTime};
+use std::sync::Arc;
+
+/// One controller replica.
+#[derive(Debug, Clone)]
+pub struct SimController {
+    lists: Option<Arc<PinglistSet>>,
+    down_windows: Vec<(SimTime, Option<SimTime>)>,
+}
+
+impl Default for SimController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimController {
+    /// A fresh replica with no pinglists yet.
+    pub fn new() -> Self {
+        Self {
+            lists: None,
+            down_windows: Vec::new(),
+        }
+    }
+
+    /// Installs a freshly generated pinglist set (the replica "ran the
+    /// generation algorithm").
+    pub fn set_pinglists(&mut self, set: Arc<PinglistSet>) {
+        self.lists = Some(set);
+    }
+
+    /// Removes all pinglist files (the paper's way to stop the fleet).
+    pub fn clear_pinglists(&mut self) {
+        self.lists = None;
+    }
+
+    /// Declares an outage window for this replica.
+    pub fn add_down_window(&mut self, from: SimTime, until: Option<SimTime>) {
+        self.down_windows.push((from, until));
+    }
+
+    /// Whether this replica currently holds pinglist files.
+    pub fn has_pinglists(&self) -> bool {
+        self.lists.is_some()
+    }
+
+    /// Whether the replica is serving at `t`.
+    pub fn is_up(&self, t: SimTime) -> bool {
+        !self
+            .down_windows
+            .iter()
+            .any(|&(from, until)| t >= from && until.is_none_or(|u| t < u))
+    }
+
+    /// Handles one pinglist request. `Err` = unreachable; `Ok(None)` = up
+    /// but no pinglist available; `Ok(Some)` = the pinglist.
+    pub fn fetch(&self, server: ServerId, t: SimTime) -> Result<Option<Pinglist>, PingmeshError> {
+        if !self.is_up(t) {
+            return Err(PingmeshError::ControllerUnavailable(format!(
+                "replica down at {t}"
+            )));
+        }
+        Ok(self
+            .lists
+            .as_ref()
+            .and_then(|set| set.for_server(server))
+            .cloned())
+    }
+}
+
+/// A set of controller replicas behind one VIP.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerCluster {
+    replicas: Vec<SimController>,
+    rr: usize,
+}
+
+impl ControllerCluster {
+    /// Creates a cluster of `n` empty replicas.
+    pub fn new(n: usize) -> Self {
+        Self {
+            replicas: (0..n.max(1)).map(|_| SimController::new()).collect(),
+            rr: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True if the cluster has no replicas (never the case via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Access a replica (e.g. to schedule an outage).
+    pub fn replica_mut(&mut self, i: usize) -> &mut SimController {
+        &mut self.replicas[i]
+    }
+
+    /// Installs a pinglist set on every replica — they all "run the same
+    /// piece of code", so they always serve identical files.
+    pub fn set_pinglists(&mut self, set: PinglistSet) {
+        let set = Arc::new(set);
+        for r in &mut self.replicas {
+            r.set_pinglists(set.clone());
+        }
+    }
+
+    /// Removes pinglists from every replica (global stop switch).
+    pub fn clear_pinglists(&mut self) {
+        for r in &mut self.replicas {
+            r.clear_pinglists();
+        }
+    }
+
+    /// Whether any replica is up at `t`.
+    pub fn any_up(&self, t: SimTime) -> bool {
+        self.replicas.iter().any(|r| r.is_up(t))
+    }
+
+    /// Whether the cluster holds pinglist files at all (`false` after
+    /// [`ControllerCluster::clear_pinglists`] — the fleet stop state).
+    pub fn serves_pinglists(&self) -> bool {
+        self.replicas.iter().any(|r| r.has_pinglists())
+    }
+
+    /// One agent request through the VIP: starts at the round-robin
+    /// cursor, fails over to the next replica until one answers.
+    pub fn fetch(
+        &mut self,
+        server: ServerId,
+        t: SimTime,
+    ) -> Result<Option<Pinglist>, PingmeshError> {
+        let n = self.replicas.len();
+        let start = self.rr;
+        self.rr = (self.rr + 1) % n;
+        let mut last_err = None;
+        for k in 0..n {
+            let idx = (start + k) % n;
+            match self.replicas[idx].fetch(server, t) {
+                Ok(r) => return Ok(r),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one replica"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genalgo::{GeneratorConfig, PinglistGenerator};
+    use pingmesh_topology::{Topology, TopologySpec};
+
+    fn lists() -> PinglistSet {
+        let topo = Topology::build(TopologySpec::single_tiny()).unwrap();
+        PinglistGenerator::new(GeneratorConfig::default()).generate_all(&topo, 1)
+    }
+
+    #[test]
+    fn empty_replica_serves_nothing() {
+        let c = SimController::new();
+        assert!(matches!(c.fetch(ServerId(0), SimTime(0)), Ok(None)));
+    }
+
+    #[test]
+    fn replica_outage_is_an_error() {
+        let mut c = SimController::new();
+        c.set_pinglists(Arc::new(lists()));
+        c.add_down_window(SimTime(100), Some(SimTime(200)));
+        assert!(c.fetch(ServerId(0), SimTime(150)).is_err());
+        assert!(matches!(c.fetch(ServerId(0), SimTime(250)), Ok(Some(_))));
+    }
+
+    #[test]
+    fn unknown_server_gets_none() {
+        let mut c = SimController::new();
+        c.set_pinglists(Arc::new(lists()));
+        assert!(matches!(c.fetch(ServerId(99_999), SimTime(0)), Ok(None)));
+    }
+
+    #[test]
+    fn cluster_fails_over_to_healthy_replica() {
+        let mut cluster = ControllerCluster::new(2);
+        cluster.set_pinglists(lists());
+        cluster.replica_mut(0).add_down_window(SimTime(0), None);
+        for _ in 0..10 {
+            // Regardless of the round-robin cursor, requests succeed.
+            let got = cluster.fetch(ServerId(1), SimTime(50)).unwrap();
+            assert!(got.is_some());
+        }
+    }
+
+    #[test]
+    fn cluster_with_all_replicas_down_errors() {
+        let mut cluster = ControllerCluster::new(3);
+        cluster.set_pinglists(lists());
+        for i in 0..3 {
+            cluster.replica_mut(i).add_down_window(SimTime(0), None);
+        }
+        assert!(cluster.fetch(ServerId(0), SimTime(1)).is_err());
+        assert!(!cluster.any_up(SimTime(1)));
+    }
+
+    #[test]
+    fn clearing_pinglists_stops_serving_but_cluster_stays_up() {
+        let mut cluster = ControllerCluster::new(2);
+        cluster.set_pinglists(lists());
+        assert!(cluster.fetch(ServerId(0), SimTime(0)).unwrap().is_some());
+        cluster.clear_pinglists();
+        // Up, answering, but with no pinglist — the fleet kill switch.
+        assert!(cluster.any_up(SimTime(0)));
+        assert!(cluster.fetch(ServerId(0), SimTime(0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn round_robin_spreads_requests() {
+        // With both replicas up, successive fetches alternate the starting
+        // replica; we can only observe this indirectly, so just check many
+        // fetches all succeed and the cursor wraps without panic.
+        let mut cluster = ControllerCluster::new(2);
+        cluster.set_pinglists(lists());
+        for _ in 0..100 {
+            assert!(cluster.fetch(ServerId(2), SimTime(0)).unwrap().is_some());
+        }
+    }
+}

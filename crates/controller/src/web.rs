@@ -1,0 +1,210 @@
+//! The Controller's RESTful web service (real-socket mode).
+//!
+//! "The files are then stored in SSD and served to the servers via a
+//! Pingmesh Web service. The Pingmesh Controller provides a simple
+//! RESTful Web API for the Pingmesh Agents to retrieve their Pinglist
+//! files respectively. The Pingmesh Agents need to periodically ask the
+//! Controller for Pinglist files and the Pingmesh Controller does not
+//! push any data to the Pingmesh Agents. By doing so, Pingmesh Controller
+//! becomes stateless and easy to scale." (§3.3.2)
+//!
+//! Endpoints:
+//!
+//! * `GET /pinglist/<server-id>` → `200` with the Pinglist XML, `404` if
+//!   the server id is unknown, `503` if no pinglists are loaded.
+//! * `GET /health` → `200 ok` (the SLB's health probe).
+//!
+//! The service holds the current [`PinglistSet`] behind a `parking_lot`
+//! `RwLock`; a generation swap is one pointer store, so requests never
+//! block on regeneration.
+
+use crate::genalgo::PinglistSet;
+use crate::xml;
+use parking_lot::RwLock;
+use pingmesh_httpx::{read_request, write_response, Response};
+use pingmesh_types::{Pinglist, PingmeshError, ServerId};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+
+/// Shared state of the controller web service.
+#[derive(Debug, Default)]
+pub struct WebState {
+    lists: RwLock<Option<Arc<PinglistSet>>>,
+}
+
+impl WebState {
+    /// Creates empty state (no pinglists loaded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically installs a new pinglist generation.
+    pub fn set_pinglists(&self, set: PinglistSet) {
+        *self.lists.write() = Some(Arc::new(set));
+    }
+
+    /// Removes all pinglists (fleet stop switch).
+    pub fn clear_pinglists(&self) {
+        *self.lists.write() = None;
+    }
+
+    /// Serves one request path, returning the HTTP response. Pure —
+    /// directly unit-testable without sockets.
+    pub fn respond(&self, method: &str, path: &str) -> Response {
+        if method != "GET" {
+            return Response::not_found();
+        }
+        if path == "/health" {
+            return Response::ok(b"ok".to_vec());
+        }
+        if let Some(id) = path.strip_prefix("/pinglist/") {
+            let Ok(id) = id.parse::<u32>() else {
+                return Response::not_found();
+            };
+            let guard = self.lists.read();
+            let Some(set) = guard.as_ref() else {
+                return Response::unavailable();
+            };
+            return match set.for_server(ServerId(id)) {
+                Some(pl) => {
+                    let mut resp = Response::ok(xml::to_xml(pl).into_bytes());
+                    resp.headers
+                        .push(("content-type".into(), "application/xml".into()));
+                    resp
+                }
+                None => Response::not_found(),
+            };
+        }
+        Response::not_found()
+    }
+}
+
+async fn handle_conn(state: Arc<WebState>, mut stream: TcpStream) {
+    if let Ok(req) = read_request(&mut stream).await {
+        let resp = state.respond(&req.method, &req.path);
+        let _ = write_response(&mut stream, &resp).await;
+    }
+}
+
+/// Runs the controller web service on an already-bound listener until the
+/// task is dropped. One spawned task per connection, one request per
+/// connection (agents poll rarely; latency of the control path is
+/// irrelevant next to its simplicity).
+pub async fn serve(listener: TcpListener, state: Arc<WebState>) {
+    loop {
+        match listener.accept().await {
+            Ok((stream, _peer)) => {
+                let state = state.clone();
+                tokio::spawn(handle_conn(state, stream));
+            }
+            Err(_) => tokio::task::yield_now().await,
+        }
+    }
+}
+
+/// Agent-side client: fetches the pinglist for `server` from a controller
+/// (or SLB VIP) address. `Ok(None)` means the controller answered but has
+/// no pinglist for us — the agent must fail-close.
+pub async fn fetch_pinglist(
+    addr: SocketAddr,
+    server: ServerId,
+) -> Result<Option<Pinglist>, PingmeshError> {
+    let mut stream = TcpStream::connect(addr)
+        .await
+        .map_err(|e| PingmeshError::ControllerUnavailable(e.to_string()))?;
+    let req = pingmesh_httpx::Request::get(&format!("/pinglist/{}", server.0));
+    pingmesh_httpx::write_request(&mut stream, &req)
+        .await
+        .map_err(|e| PingmeshError::ControllerUnavailable(e.to_string()))?;
+    let resp = read_request_response(&mut stream).await?;
+    match resp.status {
+        200 => {
+            let text = String::from_utf8(resp.body)
+                .map_err(|_| PingmeshError::Parse("non-utf8 pinglist".into()))?;
+            Ok(Some(xml::from_xml(&text)?))
+        }
+        404 | 503 => Ok(None),
+        s => Err(PingmeshError::ControllerUnavailable(format!("status {s}"))),
+    }
+}
+
+async fn read_request_response(
+    stream: &mut TcpStream,
+) -> Result<pingmesh_httpx::Response, PingmeshError> {
+    pingmesh_httpx::read_response(stream)
+        .await
+        .map_err(|e| PingmeshError::ControllerUnavailable(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genalgo::{GeneratorConfig, PinglistGenerator};
+    use pingmesh_topology::{Topology, TopologySpec};
+
+    fn state_with_lists() -> Arc<WebState> {
+        let topo = Topology::build(TopologySpec::single_tiny()).unwrap();
+        let set = PinglistGenerator::new(GeneratorConfig::default()).generate_all(&topo, 3);
+        let state = Arc::new(WebState::new());
+        state.set_pinglists(set);
+        state
+    }
+
+    #[test]
+    fn respond_health() {
+        let state = WebState::new();
+        let r = state.respond("GET", "/health");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn respond_pinglist_and_errors() {
+        let state = state_with_lists();
+        let ok = state.respond("GET", "/pinglist/0");
+        assert_eq!(ok.status, 200);
+        assert!(String::from_utf8(ok.body).unwrap().contains("<Pinglist"));
+        assert_eq!(state.respond("GET", "/pinglist/99999").status, 404);
+        assert_eq!(state.respond("GET", "/pinglist/abc").status, 404);
+        assert_eq!(state.respond("GET", "/nope").status, 404);
+        assert_eq!(state.respond("POST", "/pinglist/0").status, 404);
+    }
+
+    #[test]
+    fn respond_unavailable_without_lists() {
+        let state = WebState::new();
+        assert_eq!(state.respond("GET", "/pinglist/0").status, 503);
+        let populated = state_with_lists();
+        populated.clear_pinglists();
+        assert_eq!(populated.respond("GET", "/pinglist/0").status, 503);
+    }
+
+    #[tokio::test]
+    async fn end_to_end_fetch_over_real_sockets() {
+        let state = state_with_lists();
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(serve(listener, state));
+
+        let pl = fetch_pinglist(addr, ServerId(1)).await.unwrap().unwrap();
+        assert_eq!(pl.server, ServerId(1));
+        assert!(!pl.entries.is_empty());
+
+        // Unknown server: Ok(None) → fail-closed signal for the agent.
+        let none = fetch_pinglist(addr, ServerId(12_345)).await.unwrap();
+        assert!(none.is_none());
+
+        server.abort();
+    }
+
+    #[tokio::test]
+    async fn fetch_from_dead_controller_is_an_error() {
+        // Bind then drop to get a port with nothing listening.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let err = fetch_pinglist(addr, ServerId(0)).await.unwrap_err();
+        assert!(matches!(err, PingmeshError::ControllerUnavailable(_)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Pinglist XML serialization.
+//!
+//! "Pingmesh Controller and Pingmesh Agent interact only through the
+//! pinglist files, which are standard XML files, via standard Web API"
+//! (paper §6.2). The schema is fixed and tiny, so the writer and parser
+//! are hand-rolled rather than pulling in an XML dependency. The format:
+//!
+//! ```xml
+//! <Pinglist server="42" generation="7">
+//!   <Ping kind="syn" ip="10.0.0.3" port="8100" qos="high"
+//!         interval_us="10000000" peer="3"/>
+//!   <Ping kind="payload" bytes="1000" ip="10.0.0.3" port="8100"
+//!         qos="high" interval_us="30000000" peer="3"/>
+//!   <Ping kind="http" ip="172.16.0.0" port="80" qos="high"
+//!         interval_us="60000000" vip="0"/>
+//! </Pinglist>
+//! ```
+
+use pingmesh_types::{
+    PingTarget, Pinglist, PinglistEntry, PingmeshError, ProbeKind, QosClass, ServerId,
+    SimDuration, VipId,
+};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// Serializes a pinglist to XML.
+pub fn to_xml(pl: &Pinglist) -> String {
+    let mut out = String::with_capacity(64 + pl.entries.len() * 96);
+    let _ = writeln!(
+        out,
+        "<Pinglist server=\"{}\" generation=\"{}\">",
+        pl.server.0, pl.generation
+    );
+    for e in &pl.entries {
+        let (kind, bytes) = match e.kind {
+            ProbeKind::TcpSyn => ("syn", None),
+            ProbeKind::TcpPayload(b) => ("payload", Some(b)),
+            ProbeKind::Http => ("http", None),
+        };
+        let _ = write!(out, "  <Ping kind=\"{kind}\"");
+        if let Some(b) = bytes {
+            let _ = write!(out, " bytes=\"{b}\"");
+        }
+        let _ = write!(
+            out,
+            " ip=\"{}\" port=\"{}\" qos=\"{}\" interval_us=\"{}\"",
+            e.target.ip(),
+            e.port,
+            e.qos.label(),
+            e.interval.as_micros()
+        );
+        match e.target {
+            PingTarget::Server { id, .. } => {
+                let _ = write!(out, " peer=\"{}\"", id.0);
+            }
+            PingTarget::Vip { id, .. } => {
+                let _ = write!(out, " vip=\"{}\"", id.0);
+            }
+        }
+        let _ = writeln!(out, "/>");
+    }
+    out.push_str("</Pinglist>\n");
+    out
+}
+
+fn attr<'a>(tag: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("{name}=\"");
+    let start = tag.find(&pat)? + pat.len();
+    let end = tag[start..].find('"')? + start;
+    Some(&tag[start..end])
+}
+
+fn required<'a>(tag: &'a str, name: &str) -> Result<&'a str, PingmeshError> {
+    attr(tag, name).ok_or_else(|| PingmeshError::Parse(format!("missing attribute {name}")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, PingmeshError> {
+    s.parse()
+        .map_err(|_| PingmeshError::Parse(format!("bad {what}: {s}")))
+}
+
+/// Parses a pinglist from XML. Tolerant of whitespace; strict about
+/// required attributes.
+pub fn from_xml(xml: &str) -> Result<Pinglist, PingmeshError> {
+    let open_start = xml
+        .find("<Pinglist")
+        .ok_or_else(|| PingmeshError::Parse("missing <Pinglist>".into()))?;
+    let open_end = xml[open_start..]
+        .find('>')
+        .ok_or_else(|| PingmeshError::Parse("unterminated <Pinglist>".into()))?
+        + open_start;
+    let head = &xml[open_start..open_end];
+    let server = ServerId(parse_num(required(head, "server")?, "server id")?);
+    let generation: u64 = parse_num(required(head, "generation")?, "generation")?;
+
+    let mut entries = Vec::new();
+    let mut rest = &xml[open_end..];
+    while let Some(p) = rest.find("<Ping ") {
+        let tag_start = p;
+        let tag_end = rest[tag_start..]
+            .find("/>")
+            .ok_or_else(|| PingmeshError::Parse("unterminated <Ping>".into()))?
+            + tag_start;
+        let tag = &rest[tag_start..tag_end];
+        let kind_s = required(tag, "kind")?;
+        let kind = match kind_s {
+            "syn" => ProbeKind::TcpSyn,
+            "payload" => {
+                ProbeKind::TcpPayload(parse_num(required(tag, "bytes")?, "payload bytes")?)
+            }
+            "http" => ProbeKind::Http,
+            other => {
+                return Err(PingmeshError::Parse(format!("unknown probe kind {other}")));
+            }
+        };
+        let ip: Ipv4Addr = parse_num(required(tag, "ip")?, "ip")?;
+        let port: u16 = parse_num(required(tag, "port")?, "port")?;
+        let qos = match required(tag, "qos")? {
+            "high" => QosClass::High,
+            "low" => QosClass::Low,
+            other => return Err(PingmeshError::Parse(format!("unknown qos {other}"))),
+        };
+        let interval =
+            SimDuration::from_micros(parse_num(required(tag, "interval_us")?, "interval")?);
+        let target = if let Some(peer) = attr(tag, "peer") {
+            PingTarget::Server {
+                id: ServerId(parse_num(peer, "peer id")?),
+                ip,
+            }
+        } else if let Some(vip) = attr(tag, "vip") {
+            PingTarget::Vip {
+                id: VipId(parse_num(vip, "vip id")?),
+                ip,
+            }
+        } else {
+            return Err(PingmeshError::Parse("entry without peer or vip".into()));
+        };
+        entries.push(PinglistEntry {
+            target,
+            port,
+            kind,
+            qos,
+            interval,
+        });
+        rest = &rest[tag_end + 2..];
+    }
+
+    Ok(Pinglist {
+        server,
+        generation,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genalgo::{GeneratorConfig, PinglistGenerator};
+    use pingmesh_topology::{Topology, TopologySpec};
+
+    fn sample() -> Pinglist {
+        let topo = Topology::build(TopologySpec::single_tiny()).unwrap();
+        let g = PinglistGenerator::new(GeneratorConfig {
+            payload_probes: true,
+            qos_low: true,
+            vip_targets: vec![(VipId(3), Ipv4Addr::new(172, 16, 0, 3))],
+            ..GeneratorConfig::default()
+        });
+        // Server 0 is an inter-DC prober in the tiny topology, so its list
+        // exercises VIP entries too.
+        g.generate_for(&topo, ServerId(0), 9)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let pl = sample();
+        let xml = to_xml(&pl);
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(pl, back);
+    }
+
+    #[test]
+    fn empty_pinglist_roundtrips() {
+        let pl = Pinglist::empty(ServerId(5), 2);
+        let back = from_xml(&to_xml(&pl)).unwrap();
+        assert_eq!(back, pl);
+    }
+
+    #[test]
+    fn output_looks_like_xml() {
+        let xml = to_xml(&sample());
+        assert!(xml.starts_with("<Pinglist server=\"0\" generation=\"9\">"));
+        assert!(xml.trim_end().ends_with("</Pinglist>"));
+        assert!(xml.contains("kind=\"syn\""));
+        assert!(xml.contains("kind=\"payload\" bytes=\"1000\""));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_xml("not xml at all").is_err());
+        assert!(from_xml("<Pinglist server=\"x\" generation=\"1\"></Pinglist>").is_err());
+        assert!(from_xml("<Pinglist server=\"1\"></Pinglist>").is_err());
+        // Ping without peer/vip attribute.
+        let bad = "<Pinglist server=\"1\" generation=\"1\">\n  <Ping kind=\"syn\" ip=\"10.0.0.1\" port=\"1\" qos=\"high\" interval_us=\"10000000\"/>\n</Pinglist>";
+        assert!(from_xml(bad).is_err());
+        // Unknown kind.
+        let bad2 = bad.replace("\"syn\"", "\"icmp\"");
+        assert!(from_xml(&bad2).is_err());
+        // Unterminated Ping tag.
+        assert!(
+            from_xml("<Pinglist server=\"1\" generation=\"1\">\n<Ping kind=\"syn\"").is_err()
+        );
+    }
+
+    #[test]
+    fn parse_is_whitespace_tolerant() {
+        let xml = "  \n<Pinglist server=\"2\" generation=\"4\">\n\n   <Ping kind=\"syn\" ip=\"10.0.0.9\" port=\"8100\" qos=\"low\" interval_us=\"20000000\" peer=\"9\"/>  \n</Pinglist>\n\n";
+        let pl = from_xml(xml).unwrap();
+        assert_eq!(pl.server, ServerId(2));
+        assert_eq!(pl.entries.len(), 1);
+        assert_eq!(pl.entries[0].qos, QosClass::Low);
+    }
+}

@@ -1,0 +1,498 @@
+//! The end-to-end orchestrator.
+//!
+//! Builds a full Pingmesh deployment over a simulated network and drives
+//! it on one discrete-event queue:
+//!
+//! * every server's **agent** polls the controller VIP, launches probes
+//!   at its scheduled times, buffers results and uploads them to the
+//!   store with retry-then-discard semantics;
+//! * the **controller cluster** regenerates pinglists on demand and can
+//!   suffer replica outages;
+//! * the **PA pipeline** sweeps agent counters every 5 minutes;
+//! * the **job manager** fires the 10-min / 1-h / 1-day DSA jobs, whose
+//!   findings feed the **repair loop**: black-holed ToRs are reloaded
+//!   (≤ 20/day), and silent-drop incidents trigger a traceroute campaign
+//!   that isolates the guilty switch — reproducing the full §5
+//!   detect-localize-mitigate story.
+
+use crate::repair::RepairService;
+use pingmesh_agent::{Agent, AgentConfig, ControllerPollOutcome};
+use pingmesh_controller::{ControllerCluster, GeneratorConfig, PinglistGenerator};
+use pingmesh_dsa::jobs::{JobManager, Pipeline};
+use pingmesh_dsa::store::{CosmosStore, StreamName};
+use pingmesh_dsa::{LatencyPattern, PerfCounterAggregator, SilentDropFinding};
+use pingmesh_netsim::{tcp_traceroute, DcProfile, EventQueue, SimNet, TracerouteReport};
+use pingmesh_topology::{ServiceMap, Topology};
+use pingmesh_types::{
+    DcId, PingTarget, ServerId, SimDuration, SimTime, SwitchId,
+};
+use std::sync::Arc;
+
+/// Orchestrator configuration.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Agent tunables.
+    pub agent: AgentConfig,
+    /// Pinglist generation parameters.
+    pub generator: GeneratorConfig,
+    /// Controller replicas behind the VIP.
+    pub controller_replicas: usize,
+    /// PA counter collection interval.
+    pub pa_interval: SimDuration,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+    /// Whether detection findings drive automatic repair (reloads /
+    /// isolations). Disable to observe incidents without mitigation.
+    pub auto_repair: bool,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            agent: AgentConfig::default(),
+            generator: GeneratorConfig::default(),
+            controller_replicas: 2,
+            pa_interval: SimDuration::from_mins(5),
+            seed: 0xC0FFEE,
+            auto_repair: true,
+        }
+    }
+}
+
+/// Everything the run produced, for inspection by experiments.
+#[derive(Debug, Default)]
+pub struct SimOutputs {
+    /// Alert transitions from the 10-min pipeline.
+    pub alerts: Vec<pingmesh_dsa::Alert>,
+    /// Per-window pattern verdicts: (window start, DC, pattern).
+    pub patterns: Vec<(SimTime, DcId, LatencyPattern)>,
+    /// Silent-drop incidents raised.
+    pub incidents: Vec<SilentDropFinding>,
+    /// Black-hole reload candidates seen per hourly run.
+    pub blackhole_candidates: Vec<(SimTime, SwitchId, f64)>,
+    /// Podset escalations from black-hole detection.
+    pub escalations: Vec<(SimTime, pingmesh_types::PodsetId)>,
+    /// Traceroute campaigns run: (time, merged report).
+    pub traceroutes: Vec<(SimTime, TracerouteReport)>,
+    /// Probes executed in total.
+    pub probes_run: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    AgentPoll(ServerId),
+    AgentWake(ServerId),
+    PaCollect,
+    JobWake,
+}
+
+/// The orchestrator.
+pub struct Orchestrator {
+    net: SimNet,
+    agents: Vec<Agent>,
+    cluster: ControllerCluster,
+    pipeline: Pipeline,
+    pa: PerfCounterAggregator,
+    jobman: JobManager,
+    repair: RepairService,
+    queue: EventQueue<Ev>,
+    config: OrchestratorConfig,
+    outputs: SimOutputs,
+    generation: u64,
+}
+
+impl Orchestrator {
+    /// Builds a deployment: network, controller cluster with generated
+    /// pinglists, one agent per server, DSA pipeline, and the initial
+    /// event population.
+    pub fn new(
+        topo: Arc<Topology>,
+        profiles: Vec<DcProfile>,
+        services: ServiceMap,
+        config: OrchestratorConfig,
+    ) -> Self {
+        let net = SimNet::new(topo.clone(), profiles, config.seed);
+
+        let generator = PinglistGenerator::new(config.generator.clone());
+        let mut cluster = ControllerCluster::new(config.controller_replicas);
+        let generation = 1;
+        cluster.set_pinglists(generator.generate_all(&topo, generation));
+
+        let agents: Vec<Agent> = topo
+            .servers()
+            .map(|s| Agent::new(s, topo.clone(), config.agent.clone()))
+            .collect();
+
+        let pipeline = Pipeline::new(topo.clone(), services, CosmosStore::with_defaults());
+        let jobman = JobManager::new();
+
+        let mut queue = EventQueue::new();
+        // Stagger the initial controller polls over the first minute so
+        // the fleet does not stampede the VIP.
+        let n = agents.len().max(1) as u64;
+        for (i, a) in agents.iter().enumerate() {
+            let offset = (i as u64 * 60_000_000) / n;
+            queue.schedule(SimTime(offset), Ev::AgentPoll(a.server()));
+        }
+        queue.schedule(SimTime::ZERO + config.pa_interval, Ev::PaCollect);
+        queue.schedule(jobman.next_wakeup(), Ev::JobWake);
+
+        Self {
+            net,
+            agents,
+            cluster,
+            pipeline,
+            pa: PerfCounterAggregator::new(),
+            jobman,
+            repair: RepairService::new(),
+            queue,
+            config,
+            outputs: SimOutputs::default(),
+            generation,
+        }
+    }
+
+    /// The simulated network (inject faults, VIPs, profiles before or
+    /// between runs).
+    pub fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    /// The simulated network (read).
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The controller cluster (read).
+    pub fn cluster(&self) -> &ControllerCluster {
+        &self.cluster
+    }
+
+    /// The controller cluster (schedule outages, clear pinglists).
+    pub fn cluster_mut(&mut self) -> &mut ControllerCluster {
+        &mut self.cluster
+    }
+
+    /// The DSA pipeline (results DB, store, detectors).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Mutable DSA pipeline access (tune detector configs).
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
+    }
+
+    /// The PA fast path.
+    pub fn pa(&self) -> &PerfCounterAggregator {
+        &self.pa
+    }
+
+    /// Run outputs so far.
+    pub fn outputs(&self) -> &SimOutputs {
+        &self.outputs
+    }
+
+    /// The repair service (reload / isolation logs).
+    pub fn repair(&self) -> &RepairService {
+        &self.repair
+    }
+
+    /// One agent, by server id (diagnostics).
+    pub fn agent(&self, s: ServerId) -> &Agent {
+        &self.agents[s.index()]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Regenerates pinglists (e.g. after a topology/config change) and
+    /// installs them on the controller cluster. Agents pick the new
+    /// generation up at their next poll — the controller never pushes.
+    pub fn regenerate_pinglists(&mut self, generator_config: GeneratorConfig) {
+        self.generation += 1;
+        self.config.generator = generator_config.clone();
+        let generator = PinglistGenerator::new(generator_config);
+        self.cluster
+            .set_pinglists(generator.generate_all(self.net.topology(), self.generation));
+    }
+
+    /// Runs the simulation until virtual time `end` (inclusive of events
+    /// at `end`).
+    pub fn run_until(&mut self, end: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.handle(ev.time, ev.event);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::AgentPoll(s) => self.handle_poll(now, s),
+            Ev::AgentWake(s) => self.handle_wake(now, s),
+            Ev::PaCollect => self.handle_pa(now),
+            Ev::JobWake => self.handle_jobs(now),
+        }
+    }
+
+    fn handle_poll(&mut self, now: SimTime, s: ServerId) {
+        let poll_interval = self.config.agent.controller_poll_interval;
+        self.queue.schedule(now + poll_interval, Ev::AgentPoll(s));
+        if !self.net.server_is_up(s, now) {
+            return; // the server has no power; it will poll when back
+        }
+        let agent = &mut self.agents[s.index()];
+        let had_schedule = agent.next_wakeup().is_some();
+        let outcome = match self.cluster.fetch(s, now) {
+            Ok(Some(pl)) => ControllerPollOutcome::Pinglist(pl),
+            Ok(None) => ControllerPollOutcome::NoPinglist,
+            Err(_) => ControllerPollOutcome::Unreachable,
+        };
+        agent.on_controller_poll(outcome, now);
+        // Start a wake chain when a schedule (re)appeared.
+        if let Some(t) = agent.next_wakeup() {
+            if !had_schedule || t <= now {
+                self.queue.schedule(t.max(now), Ev::AgentWake(s));
+            }
+        }
+    }
+
+    fn handle_wake(&mut self, now: SimTime, s: ServerId) {
+        if !self.net.server_is_up(s, now) {
+            // Powered off: drop this chain; the poll handler will restart
+            // probing after power returns (next poll re-fetches the list).
+            self.agents[s.index()].on_controller_poll(
+                ControllerPollOutcome::NoPinglist,
+                now,
+            );
+            return;
+        }
+        let due = self.agents[s.index()].due_probes(now);
+        for probe in due {
+            let target_ip = match probe.entry.target {
+                PingTarget::Server { ip, .. } | PingTarget::Vip { ip, .. } => ip,
+            };
+            let attempt = self.net.probe_qos(
+                s,
+                target_ip,
+                probe.src_port,
+                probe.entry.port,
+                probe.entry.kind,
+                probe.entry.qos,
+                now,
+            );
+            self.outputs.probes_run += 1;
+            self.agents[s.index()].record_outcome(&probe, attempt.dst, attempt.outcome, now);
+        }
+        // Upload path: batch triggers + synchronous retry-then-discard.
+        if self.agents[s.index()].upload_due(now) {
+            let dc = self.net.topology().server(s).dc;
+            if let Some(mut batch) = self.agents[s.index()].begin_upload() {
+                loop {
+                    let ok = self
+                        .pipeline
+                        .store
+                        .append(StreamName { dc }, &batch, now);
+                    if ok {
+                        let bytes: u64 = batch.iter().map(|r| r.wire_size() as u64).sum();
+                        self.agents[s.index()].note_uploaded(bytes);
+                        self.agents[s.index()].on_upload_result(true);
+                        break;
+                    }
+                    match self.agents[s.index()].on_upload_result(false) {
+                        Some(again) => batch = again,
+                        None => break, // retries exhausted: discarded
+                    }
+                }
+            }
+        }
+        if let Some(t) = self.agents[s.index()].next_wakeup() {
+            self.queue.schedule(t.max(now), Ev::AgentWake(s));
+        }
+    }
+
+    fn handle_pa(&mut self, now: SimTime) {
+        self.queue
+            .schedule(now + self.config.pa_interval, Ev::PaCollect);
+        let topo = self.net.topology().clone();
+        for dc in topo.dcs() {
+            let snaps: Vec<_> = topo
+                .servers_in_dc(dc)
+                .map(|s| self.agents[s.index()].collect_counters())
+                .collect();
+            self.pa.collect(dc, now, snaps);
+        }
+    }
+
+    fn handle_jobs(&mut self, now: SimTime) {
+        let ticks = self.jobman.due(now);
+        self.queue.schedule(self.jobman.next_wakeup(), Ev::JobWake);
+        for tick in ticks {
+            let out = self.pipeline.run_tick(tick);
+            self.outputs.alerts.extend(out.alerts);
+            for (dc, pattern) in out.patterns {
+                self.outputs.patterns.push((tick.window_start, dc, pattern));
+            }
+            if let Some(bh) = out.blackholes {
+                for c in &bh.reload_candidates {
+                    self.outputs
+                        .blackhole_candidates
+                        .push((now, c.tor, c.score));
+                    if self.config.auto_repair {
+                        self.repair.request_reload(&mut self.net, c.tor, now);
+                    }
+                }
+                for ps in bh.escalations {
+                    self.outputs.escalations.push((now, ps));
+                }
+            }
+            for incident in out.incidents {
+                self.localize_and_mitigate(&incident, now);
+                self.outputs.incidents.push(incident);
+            }
+        }
+    }
+
+    /// §5.2 in code: traceroute the worst pairs of an incident, rank
+    /// switches by attributed loss, isolate the top one.
+    fn localize_and_mitigate(&mut self, incident: &SilentDropFinding, now: SimTime) {
+        if incident.suspect_pairs.is_empty() {
+            return;
+        }
+        let mut merged = TracerouteReport::default();
+        for (i, pair) in incident.suspect_pairs.iter().take(8).enumerate() {
+            let report = tcp_traceroute(
+                &mut self.net,
+                pair.src,
+                pair.dst,
+                64,
+                100,
+                20_000 + (i as u16) * 128,
+                now,
+            );
+            merged.merge(&report);
+        }
+        // A switch is suspect when its attributed loss clearly exceeds
+        // what the DC-wide incident rate predicts for a healthy device;
+        // half the incident rate separates the faulty switch (whose
+        // per-packet loss must be at least the diluted DC rate) from the
+        // 1e-5-class background.
+        let min_rate = (incident.drop_rate * 0.5).max(5.0 * incident.baseline.max(1e-5));
+        let suspects = merged.suspects(min_rate, 500);
+        if self.config.auto_repair {
+            if let Some(&(sw, _rate)) = suspects.first() {
+                self.repair.isolate_for_rma(&mut self.net, sw, now);
+            }
+        }
+        self.outputs.traceroutes.push((now, merged));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_topology::{DcSpec, TopologySpec};
+
+    fn small_orchestrator() -> Orchestrator {
+        let topo = Arc::new(
+            Topology::build(TopologySpec {
+                dcs: vec![DcSpec::tiny("t")],
+            })
+            .unwrap(),
+        );
+        Orchestrator::new(
+            topo,
+            vec![DcProfile::ideal()],
+            ServiceMap::new(),
+            OrchestratorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn agents_probe_and_upload_end_to_end() {
+        let mut o = small_orchestrator();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(25));
+        assert!(o.outputs().probes_run > 100, "{}", o.outputs().probes_run);
+        assert!(
+            o.pipeline().store.record_count() > 0,
+            "uploads must reach the store"
+        );
+        // The 10-min job has run and produced DC-level SLA rows.
+        let row = o
+            .pipeline()
+            .db
+            .latest(pingmesh_dsa::ScopeKey::Dc(DcId(0)));
+        assert!(row.is_some());
+        let row = row.unwrap();
+        assert!(row.samples > 0);
+        assert!(row.p50_us > 0);
+        assert!(row.drop_rate < 1e-3, "ideal profile has no drops");
+    }
+
+    #[test]
+    fn pa_collects_fleet_counters() {
+        let mut o = small_orchestrator();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(12));
+        let series = o.pa().series(DcId(0));
+        assert!(!series.is_empty());
+        assert!(series.iter().any(|s| s.probes_sent > 0));
+    }
+
+    #[test]
+    fn healthy_run_raises_no_alerts_and_is_normal() {
+        let mut o = small_orchestrator();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(40));
+        assert!(o.outputs().alerts.is_empty(), "{:?}", o.outputs().alerts);
+        assert!(o
+            .outputs()
+            .patterns
+            .iter()
+            .all(|&(_, _, p)| p == LatencyPattern::Normal));
+        assert!(o.outputs().incidents.is_empty());
+    }
+
+    #[test]
+    fn controller_outage_fail_closes_then_recovers() {
+        let mut o = small_orchestrator();
+        // Both replicas down from minute 5 to minute 60.
+        let from = SimTime::ZERO + SimDuration::from_mins(5);
+        let until = SimTime::ZERO + SimDuration::from_mins(60);
+        for i in 0..2 {
+            o.cluster_mut()
+                .replica_mut(i)
+                .add_down_window(from, Some(until));
+        }
+        // After 3 failed polls (10-min interval), agents stop probing.
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(45));
+        let stopped = (0..o.agents.len())
+            .filter(|&i| o.agents[i].is_stopped())
+            .count();
+        assert_eq!(stopped, o.agents.len(), "all agents fail-closed");
+        let probes_when_stopped = o.outputs().probes_run;
+        // Recovery after the outage ends.
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(90));
+        let resumed = (0..o.agents.len())
+            .filter(|&i| !o.agents[i].is_stopped())
+            .count();
+        assert_eq!(resumed, o.agents.len(), "all agents resumed");
+        assert!(o.outputs().probes_run > probes_when_stopped);
+    }
+
+    #[test]
+    fn regeneration_reaches_agents_via_poll() {
+        let mut o = small_orchestrator();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(5));
+        o.regenerate_pinglists(GeneratorConfig {
+            payload_probes: true,
+            ..GeneratorConfig::default()
+        });
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(30));
+        // All agents picked up generation 2.
+        assert!(o.agents.iter().all(|a| a.generation() == 2));
+    }
+}

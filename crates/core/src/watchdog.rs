@@ -1,0 +1,258 @@
+//! Component watchdogs (paper §3.5).
+//!
+//! "We differentiate Pingmesh as an always-on service from a set of
+//! scripts that run periodically. All the components of Pingmesh have
+//! watchdogs to watch whether they are running correctly or not, e.g.,
+//! whether pinglists are generated correctly, whether the CPU and memory
+//! usages are within budget, whether pingmesh data are reported and
+//! stored, whether DSA reports network SLAs in time."
+//!
+//! [`Watchdog::check`] audits a running deployment against exactly those
+//! conditions and returns machine-readable findings; a healthy system
+//! returns none.
+
+use crate::orchestrator::Orchestrator;
+use pingmesh_types::{SimDuration, SimTime};
+use std::fmt;
+
+/// One watchdog finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchdogFinding {
+    /// The controller cluster serves no pinglists (fleet stopped).
+    NoPinglistsServed,
+    /// Every controller replica is down.
+    ControllerClusterDown,
+    /// This many agents are fail-closed (not probing).
+    AgentsStopped(usize),
+    /// Agents had to sanitize controller-supplied entries — the
+    /// controller violated the hard safety limits this many times.
+    ControllerViolatedSafetyLimits(u64),
+    /// No records have reached the store within the freshness horizon.
+    StaleStore {
+        /// Newest record age, if any records exist at all.
+        newest_age: Option<SimDuration>,
+    },
+    /// The DSA pipeline has produced no SLA rows within the horizon.
+    StaleSlaRows,
+    /// Agents discarded this many records (upload path unhealthy).
+    RecordsDiscarded(u64),
+    /// The PA fast path has produced no samples.
+    PaSilent,
+}
+
+impl fmt::Display for WatchdogFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchdogFinding::NoPinglistsServed => {
+                write!(f, "controller serves no pinglists: fleet is stopped")
+            }
+            WatchdogFinding::ControllerClusterDown => {
+                write!(f, "every controller replica is unreachable")
+            }
+            WatchdogFinding::AgentsStopped(n) => {
+                write!(f, "{n} agents are fail-closed and not probing")
+            }
+            WatchdogFinding::ControllerViolatedSafetyLimits(n) => {
+                write!(f, "agents clamped {n} unsafe pinglist entries")
+            }
+            WatchdogFinding::StaleStore { newest_age } => match newest_age {
+                Some(age) => write!(f, "newest stored record is {age} old"),
+                None => write!(f, "the store has never received a record"),
+            },
+            WatchdogFinding::StaleSlaRows => {
+                write!(f, "DSA has not reported SLAs within the horizon")
+            }
+            WatchdogFinding::RecordsDiscarded(n) => {
+                write!(f, "{n} records discarded by agents (upload path unhealthy)")
+            }
+            WatchdogFinding::PaSilent => write!(f, "the PA fast path has no samples"),
+        }
+    }
+}
+
+/// Watchdog configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    /// Store freshness horizon: records older than this (and nothing
+    /// newer) mean the report path is broken. The paper's end-to-end
+    /// budget for the near-real-time path is ~20 minutes.
+    pub store_horizon: SimDuration,
+    /// SLA-row freshness horizon: one 10-min window + ingest lag + slack.
+    pub sla_horizon: SimDuration,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self {
+            store_horizon: SimDuration::from_mins(20),
+            sla_horizon: SimDuration::from_mins(35),
+        }
+    }
+}
+
+impl Watchdog {
+    /// Audits a deployment at its current virtual time.
+    pub fn check(&self, o: &Orchestrator) -> Vec<WatchdogFinding> {
+        let now = o.now();
+        let mut findings = Vec::new();
+        let topo = o.net().topology().clone();
+
+        // Controller health.
+        if !o.cluster().any_up(now) {
+            findings.push(WatchdogFinding::ControllerClusterDown);
+        } else if !o.cluster().serves_pinglists() {
+            findings.push(WatchdogFinding::NoPinglistsServed);
+        }
+
+        // Agent health.
+        let stopped = topo.servers().filter(|&s| o.agent(s).is_stopped()).count();
+        if stopped > 0 {
+            findings.push(WatchdogFinding::AgentsStopped(stopped));
+        }
+        let sanitized: u64 = topo.servers().map(|s| o.agent(s).sanitized_entries()).sum();
+        if sanitized > 0 {
+            findings.push(WatchdogFinding::ControllerViolatedSafetyLimits(sanitized));
+        }
+        let discarded: u64 = topo.servers().map(|s| o.agent(s).discarded_total()).sum();
+        if discarded > 0 {
+            findings.push(WatchdogFinding::RecordsDiscarded(discarded));
+        }
+
+        // Report path: is data reaching the store? Only meaningful once
+        // the system has been up long enough to upload anything.
+        if now.as_micros() > self.store_horizon.as_micros() {
+            let horizon_start = now - self.store_horizon;
+            let fresh = o
+                .pipeline()
+                .store
+                .scan_all_window(horizon_start, now)
+                .next()
+                .is_some();
+            if !fresh {
+                let newest = o
+                    .pipeline()
+                    .store
+                    .scan_all_window(SimTime::ZERO, now)
+                    .map(|r| r.ts)
+                    .max();
+                findings.push(WatchdogFinding::StaleStore {
+                    newest_age: newest.map(|ts| now.since(ts)),
+                });
+            }
+        }
+
+        // Analysis path: are SLA rows being produced on time?
+        if now.as_micros() > self.sla_horizon.as_micros() {
+            let horizon_start = now - self.sla_horizon;
+            let fresh = topo.dcs().any(|dc| {
+                o.pipeline()
+                    .db
+                    .latest(pingmesh_dsa::ScopeKey::Dc(dc))
+                    .is_some_and(|row| row.window_start >= horizon_start)
+            });
+            if !fresh {
+                findings.push(WatchdogFinding::StaleSlaRows);
+            }
+        }
+
+        // PA fast path.
+        if now.as_micros() > SimDuration::from_mins(10).as_micros()
+            && topo.dcs().all(|dc| o.pa().series(dc).is_empty())
+        {
+            findings.push(WatchdogFinding::PaSilent);
+        }
+
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::OrchestratorConfig;
+    use pingmesh_netsim::DcProfile;
+    use pingmesh_topology::{ServiceMap, Topology, TopologySpec};
+    use std::sync::Arc;
+
+    fn orch() -> Orchestrator {
+        let topo = Arc::new(Topology::build(TopologySpec::single_tiny()).unwrap());
+        Orchestrator::new(
+            topo,
+            vec![DcProfile::ideal()],
+            ServiceMap::new(),
+            OrchestratorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn healthy_system_has_no_findings() {
+        let mut o = orch();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(45));
+        let findings = Watchdog::default().check(&o);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cleared_pinglists_are_reported() {
+        let mut o = orch();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(25));
+        o.cluster_mut().clear_pinglists();
+        // Agents notice at the next poll and fail-close; the store goes
+        // stale after the horizon.
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(90));
+        let findings = Watchdog::default().check(&o);
+        assert!(findings.contains(&WatchdogFinding::NoPinglistsServed));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, WatchdogFinding::AgentsStopped(_))));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, WatchdogFinding::StaleStore { .. })));
+    }
+
+    #[test]
+    fn controller_outage_is_reported() {
+        let mut o = orch();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(15));
+        let now = o.now();
+        for i in 0..2 {
+            o.cluster_mut().replica_mut(i).add_down_window(now, None);
+        }
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(20));
+        let findings = Watchdog::default().check(&o);
+        assert!(findings.contains(&WatchdogFinding::ControllerClusterDown));
+    }
+
+    #[test]
+    fn store_outage_discards_are_reported() {
+        let mut o = orch();
+        o.pipeline_mut()
+            .store
+            .add_down_window(SimTime::ZERO, Some(SimTime::ZERO + SimDuration::from_mins(40)));
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(50));
+        let findings = Watchdog::default().check(&o);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, WatchdogFinding::RecordsDiscarded(_))));
+    }
+
+    #[test]
+    fn findings_render_human_readably() {
+        let all = [
+            WatchdogFinding::NoPinglistsServed,
+            WatchdogFinding::ControllerClusterDown,
+            WatchdogFinding::AgentsStopped(3),
+            WatchdogFinding::ControllerViolatedSafetyLimits(7),
+            WatchdogFinding::StaleStore {
+                newest_age: Some(SimDuration::from_mins(30)),
+            },
+            WatchdogFinding::StaleStore { newest_age: None },
+            WatchdogFinding::StaleSlaRows,
+            WatchdogFinding::RecordsDiscarded(10),
+            WatchdogFinding::PaSilent,
+        ];
+        let rendered: std::collections::HashSet<String> =
+            all.iter().map(|f| f.to_string()).collect();
+        assert_eq!(rendered.len(), all.len(), "descriptions must be distinct");
+    }
+}

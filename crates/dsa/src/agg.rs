@@ -1,0 +1,342 @@
+//! Single-pass window aggregation.
+//!
+//! The SCOPE jobs in the paper are declarative group-bys over the probe
+//! logs. [`WindowAggregate`] is our equivalent: one pass over a window's
+//! records produces every grouping the downstream consumers need —
+//! latency histograms per (DC, scope, payload, QoS), per-pair outcome
+//! stats, per-server stats, and the podset-pair matrices the heatmap and
+//! pattern detection consume.
+
+use pingmesh_types::counters::{classify_rtt, RttClass};
+use pingmesh_types::{
+    DcId, LatencyHistogram, PairStats, PodsetId, ProbeRecord, QosClass, ServerId,
+};
+use std::collections::HashMap;
+
+/// A (source server, destination server) pair key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PairKey {
+    /// Probing server.
+    pub src: ServerId,
+    /// Probed server.
+    pub dst: ServerId,
+}
+
+/// Scope of a latency sample within a DC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyScope {
+    /// Same pod (same ToR).
+    IntraPod,
+    /// Same DC, different pod.
+    InterPod,
+    /// Across DCs.
+    InterDc,
+}
+
+/// Key of a latency histogram bucket group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistKey {
+    /// Source data center.
+    pub dc: DcId,
+    /// Scope of the pair.
+    pub scope: LatencyScope,
+    /// Whether the probe carried payload.
+    pub payload: bool,
+    /// QoS class.
+    pub qos: QosClass,
+}
+
+/// Per-server outcome accumulation.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Aggregate outcome counts over all of the server's probes.
+    pub stats: PairStats,
+    /// RTT distribution of the server's successful probes.
+    pub latency: LatencyHistogram,
+}
+
+/// The aggregate of one analysis window.
+#[derive(Debug, Clone, Default)]
+pub struct WindowAggregate {
+    /// Records folded in.
+    pub record_count: u64,
+    /// Latency histograms per (DC, scope, payload, QoS).
+    pub hists: HashMap<HistKey, LatencyHistogram>,
+    /// Outcome stats per (src, dst) server pair.
+    pub pairs: HashMap<PairKey, PairStats>,
+    /// Outcome stats per probing server.
+    pub per_server: HashMap<ServerId, ServerStats>,
+    /// P99-relevant histogram per (src podset, dst podset), intra-DC only
+    /// — the heatmap input.
+    pub podset_matrix: HashMap<(PodsetId, PodsetId), LatencyHistogram>,
+    /// Outcome stats per (src podset, dst podset), intra-DC only.
+    pub podset_pairs: HashMap<(PodsetId, PodsetId), PairStats>,
+}
+
+impl WindowAggregate {
+    /// Builds the aggregate from a window's records.
+    pub fn build<'a>(records: impl IntoIterator<Item = &'a ProbeRecord>) -> Self {
+        let mut agg = WindowAggregate::default();
+        for r in records {
+            agg.fold(r);
+        }
+        agg
+    }
+
+    /// Folds one record.
+    pub fn fold(&mut self, r: &ProbeRecord) {
+        self.record_count += 1;
+        let scope = if r.is_inter_dc() {
+            LatencyScope::InterDc
+        } else if r.is_intra_pod() {
+            LatencyScope::IntraPod
+        } else {
+            LatencyScope::InterPod
+        };
+
+        // Pair stats bucketing by the 3 s / 9 s signature.
+        let pair = self.pairs.entry(PairKey { src: r.src, dst: r.dst }).or_default();
+        let server = self.per_server.entry(r.src).or_default();
+        match r.outcome {
+            pingmesh_types::ProbeOutcome::Success { rtt } => {
+                match classify_rtt(rtt) {
+                    RttClass::Normal => {
+                        pair.ok += 1;
+                        server.stats.ok += 1;
+                    }
+                    RttClass::OneDrop => {
+                        pair.rtt_3s += 1;
+                        server.stats.rtt_3s += 1;
+                    }
+                    RttClass::TwoDrops => {
+                        pair.rtt_9s += 1;
+                        server.stats.rtt_9s += 1;
+                    }
+                }
+                server.latency.record(rtt);
+                self.hists
+                    .entry(HistKey {
+                        dc: r.src_dc,
+                        scope,
+                        payload: r.kind.has_payload(),
+                        qos: r.qos,
+                    })
+                    .or_default()
+                    .record(rtt);
+                if !r.is_inter_dc() {
+                    self.podset_matrix
+                        .entry((r.src_podset, r.dst_podset))
+                        .or_default()
+                        .record(rtt);
+                }
+            }
+            pingmesh_types::ProbeOutcome::Timeout | pingmesh_types::ProbeOutcome::Refused => {
+                pair.failed += 1;
+                server.stats.failed += 1;
+            }
+        }
+        if !r.is_inter_dc() {
+            let ps = self
+                .podset_pairs
+                .entry((r.src_podset, r.dst_podset))
+                .or_default();
+            match r.outcome {
+                pingmesh_types::ProbeOutcome::Success { rtt } => match classify_rtt(rtt) {
+                    RttClass::Normal => ps.ok += 1,
+                    RttClass::OneDrop => ps.rtt_3s += 1,
+                    RttClass::TwoDrops => ps.rtt_9s += 1,
+                },
+                _ => ps.failed += 1,
+            }
+        }
+    }
+
+    /// Merges another aggregate into this one. Aggregates are CRDT-like:
+    /// merging per-window aggregates equals aggregating the union of the
+    /// windows, which lets long experiments fold history chunk by chunk
+    /// and drop raw records.
+    pub fn merge(&mut self, other: &WindowAggregate) {
+        self.record_count += other.record_count;
+        for (k, h) in &other.hists {
+            self.hists.entry(*k).or_default().merge(h);
+        }
+        for (k, p) in &other.pairs {
+            self.pairs.entry(*k).or_default().merge(p);
+        }
+        for (k, s) in &other.per_server {
+            let e = self.per_server.entry(*k).or_default();
+            e.stats.merge(&s.stats);
+            e.latency.merge(&s.latency);
+        }
+        for (k, h) in &other.podset_matrix {
+            self.podset_matrix.entry(*k).or_default().merge(h);
+        }
+        for (k, p) in &other.podset_pairs {
+            self.podset_pairs.entry(*k).or_default().merge(p);
+        }
+    }
+
+    /// Convenience: the SYN-only, high-QoS histogram for a DC and scope —
+    /// "if not specifically mentioned, the latency we use in the paper is
+    /// the inter-pod TCP SYN/SYN-ACK RTT without payload".
+    pub fn syn_hist(&self, dc: DcId, scope: LatencyScope) -> Option<&LatencyHistogram> {
+        self.hists.get(&HistKey {
+            dc,
+            scope,
+            payload: false,
+            qos: QosClass::High,
+        })
+    }
+
+    /// Measured drop rate over a set of pairs (3 s + 9 s heuristic).
+    pub fn drop_rate_over<'a>(pairs: impl IntoIterator<Item = &'a PairStats>) -> f64 {
+        let mut total = PairStats::default();
+        for p in pairs {
+            total.merge(p);
+        }
+        total.drop_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{PodId, ProbeKind, ProbeOutcome, SimDuration, SimTime};
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        src: u32,
+        dst: u32,
+        src_pod: u32,
+        dst_pod: u32,
+        src_podset: u32,
+        dst_podset: u32,
+        dst_dc: u32,
+        outcome: ProbeOutcome,
+    ) -> ProbeRecord {
+        ProbeRecord {
+            ts: SimTime(0),
+            src: ServerId(src),
+            dst: ServerId(dst),
+            src_pod: PodId(src_pod),
+            dst_pod: PodId(dst_pod),
+            src_podset: PodsetId(src_podset),
+            dst_podset: PodsetId(dst_podset),
+            src_dc: DcId(0),
+            dst_dc: DcId(dst_dc),
+            kind: ProbeKind::TcpSyn,
+            qos: QosClass::High,
+            src_port: 40_000,
+            dst_port: 8_100,
+            outcome,
+        }
+    }
+
+    fn ok(us: u64) -> ProbeOutcome {
+        ProbeOutcome::Success {
+            rtt: SimDuration::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn scopes_are_separated() {
+        let records = vec![
+            rec(0, 1, 0, 0, 0, 0, 0, ok(200)), // intra-pod
+            rec(0, 2, 0, 1, 0, 0, 0, ok(260)), // inter-pod
+            rec(0, 3, 0, 9, 0, 3, 1, ok(60_000)), // inter-DC
+        ];
+        let agg = WindowAggregate::build(&records);
+        assert_eq!(agg.record_count, 3);
+        assert_eq!(
+            agg.syn_hist(DcId(0), LatencyScope::IntraPod).unwrap().count(),
+            1
+        );
+        assert_eq!(
+            agg.syn_hist(DcId(0), LatencyScope::InterPod).unwrap().count(),
+            1
+        );
+        assert_eq!(
+            agg.syn_hist(DcId(0), LatencyScope::InterDc).unwrap().count(),
+            1
+        );
+    }
+
+    #[test]
+    fn payload_and_qos_split_histograms() {
+        let mut p = rec(0, 2, 0, 1, 0, 0, 0, ok(400));
+        p.kind = ProbeKind::TcpPayload(1_000);
+        let mut q = rec(0, 2, 0, 1, 0, 0, 0, ok(300));
+        q.qos = QosClass::Low;
+        let agg = WindowAggregate::build(&[rec(0, 2, 0, 1, 0, 0, 0, ok(260)), p, q]);
+        assert_eq!(agg.hists.len(), 3);
+        assert_eq!(
+            agg.syn_hist(DcId(0), LatencyScope::InterPod).unwrap().count(),
+            1
+        );
+    }
+
+    #[test]
+    fn syn_retry_rtts_count_as_drops_not_normal() {
+        let records = vec![
+            rec(0, 2, 0, 1, 0, 0, 0, ok(260)),
+            rec(0, 2, 0, 1, 0, 0, 0, ok(3_000_260)),
+            rec(0, 2, 0, 1, 0, 0, 0, ok(9_000_260)),
+            rec(0, 2, 0, 1, 0, 0, 0, ProbeOutcome::Timeout),
+        ];
+        let agg = WindowAggregate::build(&records);
+        let pair = agg.pairs[&PairKey {
+            src: ServerId(0),
+            dst: ServerId(2),
+        }];
+        assert_eq!(pair.ok, 1);
+        assert_eq!(pair.rtt_3s, 1);
+        assert_eq!(pair.rtt_9s, 1);
+        assert_eq!(pair.failed, 1);
+        // drop rate = 2/3 per the heuristic
+        assert!((pair.drop_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn podset_matrix_excludes_inter_dc() {
+        let records = vec![
+            rec(0, 2, 0, 1, 0, 1, 0, ok(260)),
+            rec(0, 3, 0, 9, 0, 3, 1, ok(60_000)),
+        ];
+        let agg = WindowAggregate::build(&records);
+        assert_eq!(agg.podset_matrix.len(), 1);
+        assert!(agg
+            .podset_matrix
+            .contains_key(&(PodsetId(0), PodsetId(1))));
+    }
+
+    #[test]
+    fn per_server_stats_accumulate() {
+        let records = vec![
+            rec(0, 2, 0, 1, 0, 0, 0, ok(260)),
+            rec(0, 3, 0, 2, 0, 0, 0, ProbeOutcome::Timeout),
+            rec(1, 2, 0, 1, 0, 0, 0, ok(220)),
+        ];
+        let agg = WindowAggregate::build(&records);
+        let s0 = &agg.per_server[&ServerId(0)];
+        assert_eq!(s0.stats.ok, 1);
+        assert_eq!(s0.stats.failed, 1);
+        assert_eq!(s0.latency.count(), 1);
+        assert_eq!(agg.per_server[&ServerId(1)].stats.ok, 1);
+    }
+
+    #[test]
+    fn drop_rate_over_merges_pairs() {
+        let a = PairStats {
+            ok: 9_999,
+            rtt_3s: 1,
+            ..Default::default()
+        };
+        let b = PairStats {
+            ok: 9_997,
+            rtt_3s: 3,
+            ..Default::default()
+        };
+        let rate = WindowAggregate::drop_rate_over([&a, &b]);
+        assert!((rate - 4.0 / 20_000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! The results database.
+//!
+//! "The results of the SCOPE jobs are stored in a SQL database, from
+//! which visualization, reports, and alerts are generated" (§3.5). We
+//! keep the shape — rows keyed by (scope, window) holding the SLA metrics
+//! — in an in-memory ordered map with time-series queries.
+
+use pingmesh_types::{DcId, PodId, PodsetId, ServerId, ServiceId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A scope an SLA row describes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ScopeKey {
+    /// One data center.
+    Dc(DcId),
+    /// An ordered (source DC, destination DC) pair — the inter-DC
+    /// pipeline's scope (paper §6.2 added a dedicated inter-DC data
+    /// processing pipeline).
+    DcPair(DcId, DcId),
+    /// One podset.
+    Podset(PodsetId),
+    /// One pod.
+    Pod(PodId),
+    /// One server.
+    Server(ServerId),
+    /// One service.
+    Service(ServiceId),
+}
+
+/// One SLA row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaRow {
+    /// Window start.
+    pub window_start: SimTime,
+    /// Scope described.
+    pub scope: ScopeKey,
+    /// Packet drop rate estimate.
+    pub drop_rate: f64,
+    /// Median RTT in µs (0 when no traffic).
+    pub p50_us: u64,
+    /// P99 RTT in µs (0 when no traffic).
+    pub p99_us: u64,
+    /// Successful probe count behind the row.
+    pub samples: u64,
+}
+
+/// The database: rows indexed by (scope, window start).
+#[derive(Debug, Default)]
+pub struct ResultsDb {
+    rows: BTreeMap<(ScopeKey, SimTime), SlaRow>,
+}
+
+impl ResultsDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a row.
+    pub fn insert(&mut self, row: SlaRow) {
+        self.rows.insert((row.scope, row.window_start), row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row of a scope at a specific window.
+    pub fn get(&self, scope: ScopeKey, window_start: SimTime) -> Option<&SlaRow> {
+        self.rows.get(&(scope, window_start))
+    }
+
+    /// Time series of a scope, oldest first.
+    pub fn series(&self, scope: ScopeKey) -> impl Iterator<Item = &SlaRow> {
+        self.rows
+            .range((scope, SimTime::ZERO)..=(scope, SimTime(u64::MAX)))
+            .map(|(_, v)| v)
+    }
+
+    /// Latest row of a scope.
+    pub fn latest(&self, scope: ScopeKey) -> Option<&SlaRow> {
+        self.series(scope).last()
+    }
+
+    /// All rows in a window, any scope.
+    pub fn window_rows(&self, window_start: SimTime) -> impl Iterator<Item = &SlaRow> {
+        self.rows
+            .values()
+            .filter(move |r| r.window_start == window_start)
+    }
+
+    /// Drops rows older than `horizon` (the paper keeps 2 months).
+    pub fn retire_before(&mut self, horizon: SimTime) {
+        self.rows.retain(|(_, w), _| *w >= horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(scope: ScopeKey, w: u64, drop: f64) -> SlaRow {
+        SlaRow {
+            window_start: SimTime(w),
+            scope,
+            drop_rate: drop,
+            p50_us: 250,
+            p99_us: 1_300,
+            samples: 1_000,
+        }
+    }
+
+    #[test]
+    fn series_is_time_ordered_per_scope() {
+        let mut db = ResultsDb::new();
+        let dc = ScopeKey::Dc(DcId(0));
+        db.insert(row(dc, 200, 1e-5));
+        db.insert(row(dc, 100, 2e-5));
+        db.insert(row(ScopeKey::Dc(DcId(1)), 150, 9e-5));
+        let times: Vec<u64> = db.series(dc).map(|r| r.window_start.as_micros()).collect();
+        assert_eq!(times, vec![100, 200]);
+        assert_eq!(db.latest(dc).unwrap().window_start, SimTime(200));
+    }
+
+    #[test]
+    fn insert_replaces_same_key() {
+        let mut db = ResultsDb::new();
+        let s = ScopeKey::Server(ServerId(4));
+        db.insert(row(s, 100, 1e-5));
+        db.insert(row(s, 100, 5e-5));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(s, SimTime(100)).unwrap().drop_rate, 5e-5);
+    }
+
+    #[test]
+    fn window_rows_cross_scopes() {
+        let mut db = ResultsDb::new();
+        db.insert(row(ScopeKey::Dc(DcId(0)), 100, 1e-5));
+        db.insert(row(ScopeKey::Pod(PodId(3)), 100, 1e-5));
+        db.insert(row(ScopeKey::Dc(DcId(0)), 200, 1e-5));
+        assert_eq!(db.window_rows(SimTime(100)).count(), 2);
+    }
+
+    #[test]
+    fn retirement() {
+        let mut db = ResultsDb::new();
+        let dc = ScopeKey::Dc(DcId(0));
+        for w in [100u64, 200, 300] {
+            db.insert(row(dc, w, 1e-5));
+        }
+        db.retire_before(SimTime(200));
+        assert_eq!(db.series(dc).count(), 2);
+        assert!(db.get(dc, SimTime(100)).is_none());
+    }
+
+    #[test]
+    fn scope_kinds_do_not_collide() {
+        let mut db = ResultsDb::new();
+        db.insert(row(ScopeKey::Pod(PodId(0)), 100, 1e-5));
+        db.insert(row(ScopeKey::Podset(PodsetId(0)), 100, 2e-5));
+        db.insert(row(ScopeKey::Service(ServiceId(0)), 100, 3e-5));
+        assert_eq!(db.len(), 3);
+    }
+}

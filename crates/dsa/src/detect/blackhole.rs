@@ -1,0 +1,360 @@
+//! ToR black-hole detection (paper §5.1).
+//!
+//! "The idea of the algorithm is that if many servers under a ToR switch
+//! experience the black-hole symptom, then we mark the ToR switch as a
+//! black-hole candidate and assign it a score which is the ratio of
+//! servers with black-hole symptom. We then select the switches with
+//! black-hole score larger than a threshold as the candidates. Within a
+//! podset, if only part of the ToRs experience the black-hole symptom,
+//! then those ToRs are blacking hole packets. We then invoke a network
+//! repairing service to safely restart the ToRs. If all the ToRs in a
+//! podset experience the black-hole symptom, then the problem may be in
+//! the Leaf or Spine layer. Network engineers are notified to do further
+//! investigation."
+//!
+//! The per-server *symptom* is: "server A cannot talk to server B, but it
+//! can talk to servers C and D just fine. All the servers A-D are
+//! healthy." Concretely: A has at least one peer with deterministic
+//! full-window failure, while (a) A itself reaches most of its peers and
+//! (b) the unreachable peer is reachable from other servers (so the peer
+//! is not simply dead).
+
+use crate::agg::WindowAggregate;
+use pingmesh_types::{PodsetId, ServerId, SwitchId};
+use pingmesh_topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlackholeConfig {
+    /// ToR score (fraction of its servers showing the symptom) above
+    /// which the ToR becomes a candidate.
+    pub score_threshold: f64,
+    /// Minimum probes a pair needs in the window before its failure is
+    /// considered deterministic.
+    pub min_probes_per_pair: u64,
+    /// Minimum fraction of a server's peers it must still reach for the
+    /// server itself to count as healthy.
+    pub min_reach_fraction: f64,
+}
+
+impl Default for BlackholeConfig {
+    fn default() -> Self {
+        Self {
+            score_threshold: 0.6,
+            min_probes_per_pair: 2,
+            min_reach_fraction: 0.2,
+        }
+    }
+}
+
+/// A ToR candidate with its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TorCandidate {
+    /// The suspect ToR.
+    pub tor: SwitchId,
+    /// Fraction of its servers with the symptom.
+    pub score: f64,
+}
+
+/// Result of one detection run.
+#[derive(Debug, Clone, Default)]
+pub struct BlackholeFinding {
+    /// ToRs to reload, most suspect first.
+    pub reload_candidates: Vec<TorCandidate>,
+    /// Podsets where *every* ToR shows the symptom — a Leaf/Spine problem
+    /// to escalate to engineers, not a ToR reload.
+    pub escalations: Vec<PodsetId>,
+    /// Servers that exhibited the symptom (diagnostics).
+    pub symptomatic_servers: Vec<ServerId>,
+}
+
+/// The detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlackholeDetector {
+    /// Configuration.
+    pub config: BlackholeConfig,
+}
+
+impl BlackholeDetector {
+    /// Creates a detector.
+    pub fn new(config: BlackholeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs detection over one window's aggregate.
+    pub fn detect(&self, agg: &WindowAggregate, topo: &Topology) -> BlackholeFinding {
+        let cfg = self.config;
+
+        // Which destinations are reachable from at least one source?
+        let mut dst_reachable: HashSet<ServerId> = HashSet::new();
+        for (k, v) in &agg.pairs {
+            if v.successful() > 0 {
+                dst_reachable.insert(k.dst);
+            }
+        }
+
+        // Per-server peer accounting.
+        #[derive(Default)]
+        struct Acc {
+            peers: u64,
+            reached: u64,
+            blackholed: u64,
+        }
+        let mut per_src: HashMap<ServerId, Acc> = HashMap::new();
+        for (k, v) in &agg.pairs {
+            if v.total() < cfg.min_probes_per_pair {
+                continue;
+            }
+            let a = per_src.entry(k.src).or_default();
+            a.peers += 1;
+            if v.successful() > 0 {
+                a.reached += 1;
+            } else if v.is_deterministic_failure() && dst_reachable.contains(&k.dst) {
+                a.blackholed += 1;
+            }
+        }
+
+        // The symptom.
+        let mut symptomatic: Vec<ServerId> = per_src
+            .iter()
+            .filter(|(_, a)| {
+                a.peers > 0
+                    && a.blackholed > 0
+                    && (a.reached as f64 / a.peers as f64) >= cfg.min_reach_fraction
+            })
+            .map(|(&s, _)| s)
+            .collect();
+        symptomatic.sort();
+
+        // ToR scores: symptomatic servers / servers-with-data per pod.
+        let mut pod_total: HashMap<u32, u64> = HashMap::new();
+        for &s in per_src.keys() {
+            *pod_total.entry(topo.server(s).pod.0).or_default() += 1;
+        }
+        let mut pod_sympt: HashMap<u32, u64> = HashMap::new();
+        for &s in &symptomatic {
+            *pod_sympt.entry(topo.server(s).pod.0).or_default() += 1;
+        }
+
+        let mut candidates: Vec<TorCandidate> = pod_sympt
+            .iter()
+            .filter_map(|(&pod, &sympt)| {
+                let total = *pod_total.get(&pod)?;
+                if total == 0 {
+                    return None;
+                }
+                let score = sympt as f64 / total as f64;
+                (score >= cfg.score_threshold).then(|| TorCandidate {
+                    tor: topo.tor_of_pod(pingmesh_types::PodId(pod)),
+                    score,
+                })
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.tor.index.cmp(&b.tor.index))
+        });
+
+        // Podset rule: all-ToRs-symptomatic ⇒ escalate instead of reload.
+        let mut by_podset: HashMap<PodsetId, Vec<SwitchId>> = HashMap::new();
+        for c in &candidates {
+            let pod = topo.pod_of_tor(c.tor).expect("candidate tor maps to pod");
+            by_podset
+                .entry(topo.pod(pod).podset)
+                .or_default()
+                .push(c.tor);
+        }
+        let mut escalations = Vec::new();
+        let mut escalated_tors: HashSet<SwitchId> = HashSet::new();
+        for (podset, tors) in &by_podset {
+            // Count this podset's pods that have any data at all.
+            let pods_with_data = topo
+                .pods_in_podset(*podset)
+                .filter(|p| pod_total.contains_key(&p.0))
+                .count();
+            if pods_with_data > 1 && tors.len() >= pods_with_data {
+                escalations.push(*podset);
+                escalated_tors.extend(tors.iter().copied());
+            }
+        }
+        escalations.sort();
+        candidates.retain(|c| !escalated_tors.contains(&c.tor));
+
+        BlackholeFinding {
+            reload_candidates: candidates,
+            escalations,
+            symptomatic_servers: symptomatic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::PairKey;
+    use pingmesh_types::{PairStats, PodId};
+    use pingmesh_topology::TopologySpec;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_tiny()).unwrap()
+    }
+
+    /// Builds an aggregate where `dead_pairs` fail deterministically and
+    /// everything else succeeds. Pairs follow the pinglist shape: every
+    /// server probes its pod peers and its index-peer in other pods.
+    fn synthetic_agg(topo: &Topology, dead_pairs: &[(u32, u32)]) -> WindowAggregate {
+        let dead: HashSet<(u32, u32)> = dead_pairs.iter().copied().collect();
+        let mut agg = WindowAggregate::default();
+        for src in topo.servers() {
+            let info = topo.server(src);
+            let mut peers = Vec::new();
+            for p in topo.servers_in_pod(info.pod) {
+                if p != src {
+                    peers.push(p);
+                }
+            }
+            for pod in topo.pods_in_dc(info.dc) {
+                if pod != info.pod {
+                    if let Some(p) = topo.nth_server_of_pod(pod, info.index_in_pod) {
+                        peers.push(p);
+                    }
+                }
+            }
+            for dst in peers {
+                let stats = if dead.contains(&(src.0, dst.0)) {
+                    PairStats {
+                        failed: 10,
+                        ..Default::default()
+                    }
+                } else {
+                    PairStats {
+                        ok: 10,
+                        ..Default::default()
+                    }
+                };
+                agg.pairs.insert(PairKey { src, dst }, stats);
+            }
+        }
+        agg
+    }
+
+    #[test]
+    fn clean_window_finds_nothing() {
+        let t = topo();
+        let agg = synthetic_agg(&t, &[]);
+        let f = BlackholeDetector::default().detect(&agg, &t);
+        assert!(f.reload_candidates.is_empty());
+        assert!(f.escalations.is_empty());
+        assert!(f.symptomatic_servers.is_empty());
+    }
+
+    #[test]
+    fn tor_blackhole_is_caught() {
+        let t = topo();
+        // Pod 1's ToR black-holes: every server in pod 1 loses one
+        // cross-pod peer (and the reverse direction fails too).
+        let mut dead = Vec::new();
+        for s in t.servers_in_pod(PodId(1)) {
+            let i = t.server(s).index_in_pod;
+            let peer = t.nth_server_of_pod(PodId(2), i).unwrap();
+            dead.push((s.0, peer.0));
+            dead.push((peer.0, s.0));
+        }
+        let agg = synthetic_agg(&t, &dead);
+        let f = BlackholeDetector::default().detect(&agg, &t);
+        assert!(!f.reload_candidates.is_empty());
+        assert_eq!(f.reload_candidates[0].tor, t.tor_of_pod(PodId(1)));
+        assert!(f.reload_candidates[0].score >= 0.5);
+        assert!(f.escalations.is_empty());
+    }
+
+    #[test]
+    fn dead_destination_is_not_a_blackhole() {
+        let t = topo();
+        // Server 5 is dead: every pair towards it fails, but it is not
+        // reachable from *anywhere*, so no symptom may fire.
+        let dead: Vec<(u32, u32)> = t
+            .servers()
+            .filter(|s| s.0 != 5)
+            .map(|s| (s.0, 5))
+            .collect();
+        let agg = synthetic_agg(&t, &dead);
+        let f = BlackholeDetector::default().detect(&agg, &t);
+        assert!(
+            f.symptomatic_servers.is_empty(),
+            "dead peer must not create symptoms: {:?}",
+            f.symptomatic_servers
+        );
+    }
+
+    #[test]
+    fn whole_podset_symptom_escalates_to_leaf_spine() {
+        let t = topo();
+        // Every server of podset 0 (pods 0..4) loses a peer — as if a
+        // Leaf above them black-holed. All four ToRs become candidates →
+        // escalate, no reloads.
+        let mut dead = Vec::new();
+        for pod in 0..4u32 {
+            for s in t.servers_in_pod(PodId(pod)) {
+                let i = t.server(s).index_in_pod;
+                let peer = t.nth_server_of_pod(PodId(5), i).unwrap();
+                dead.push((s.0, peer.0));
+                dead.push((peer.0, s.0));
+            }
+        }
+        let agg = synthetic_agg(&t, &dead);
+        let f = BlackholeDetector::default().detect(&agg, &t);
+        assert_eq!(f.escalations, vec![t.server(t.servers_in_pod(PodId(0)).next().unwrap()).podset]);
+        // The four ToRs of podset 0 must not be reload candidates.
+        for c in &f.reload_candidates {
+            let pod = t.pod_of_tor(c.tor).unwrap();
+            assert!(pod.0 >= 4, "podset-0 ToR {} wrongly marked for reload", c.tor);
+        }
+    }
+
+    #[test]
+    fn symptom_requires_server_to_reach_others() {
+        let t = topo();
+        // Server 0 loses ALL its peers (its own NIC is dead, not a remote
+        // black-hole): reach fraction 0 < min_reach_fraction.
+        let info = t.server(ServerId(0));
+        let mut dead = Vec::new();
+        for p in t.servers_in_pod(info.pod) {
+            if p.0 != 0 {
+                dead.push((0, p.0));
+            }
+        }
+        for pod in t.pods_in_dc(info.dc) {
+            if pod != info.pod {
+                if let Some(p) = t.nth_server_of_pod(pod, 0) {
+                    dead.push((0, p.0));
+                }
+            }
+        }
+        let agg = synthetic_agg(&t, &dead);
+        let f = BlackholeDetector::default().detect(&agg, &t);
+        assert!(!f.symptomatic_servers.contains(&ServerId(0)));
+    }
+
+    #[test]
+    fn sparse_pairs_are_ignored() {
+        let t = topo();
+        let mut agg = synthetic_agg(&t, &[]);
+        // A pair with a single failed probe: below min_probes_per_pair.
+        agg.pairs.insert(
+            PairKey {
+                src: ServerId(0),
+                dst: ServerId(9),
+            },
+            PairStats {
+                failed: 1,
+                ..Default::default()
+            },
+        );
+        let f = BlackholeDetector::default().detect(&agg, &t);
+        assert!(f.symptomatic_servers.is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+//! Failure detection built on the Pingmesh data.
+//!
+//! * [`blackhole`] — the ToR black-hole detection algorithm of §5.1,
+//! * [`silent`] — silent random packet-drop incident detection of §5.2,
+//! * [`pattern`] — the latency-pattern classification behind the Figure-8
+//!   visualizations of §6.3.
+
+pub mod blackhole;
+pub mod pattern;
+pub mod silent;

@@ -1,0 +1,263 @@
+//! Latency-pattern classification (paper §6.3, Figure 8).
+//!
+//! The visualization portal draws, per DC, a matrix of podset-pair P99
+//! latencies: "a small green, yellow, or red block or pixel shows the
+//! network latency at the 99th percentile between a source-destination
+//! pod-pair. Green means the latency is less than 4ms, yellow means the
+//! latency is between 4-5ms, and red is for latency larger than 5ms. A
+//! white block means there is no latency data available."
+//!
+//! Four canonical patterns are recognized automatically:
+//!
+//! * **Normal** — (almost) all green (Fig. 8(a));
+//! * **Podset-down** — a white cross: the podset lost power, so there is
+//!   no data from or to it (Fig. 8(b));
+//! * **Podset-failure** — a red cross: high latency from and to one
+//!   podset, e.g. a Leaf dropping packets (Fig. 8(c));
+//! * **Spine-failure** — red off-diagonal with green diagonal squares:
+//!   intra-podset latency fine, cross-podset latency out of SLA
+//!   (Fig. 8(d)).
+
+use crate::agg::WindowAggregate;
+use pingmesh_types::{DcId, PodsetId, SimDuration};
+use pingmesh_topology::Topology;
+
+/// Green/yellow/red thresholds from the paper.
+pub const GREEN_BELOW: SimDuration = SimDuration::from_millis(4);
+/// See [`GREEN_BELOW`].
+pub const YELLOW_BELOW: SimDuration = SimDuration::from_millis(5);
+
+/// Cell color in the heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellColor {
+    /// P99 < 4 ms.
+    Green,
+    /// 4 ms ≤ P99 ≤ 5 ms.
+    Yellow,
+    /// P99 > 5 ms.
+    Red,
+    /// No data.
+    White,
+}
+
+/// The podset-pair P99 matrix of one DC.
+#[derive(Debug, Clone)]
+pub struct HeatmapMatrix {
+    /// The DC rendered.
+    pub dc: DcId,
+    /// Podsets, in matrix order.
+    pub podsets: Vec<PodsetId>,
+    /// Row-major P99 per (src podset, dst podset); `None` = no data.
+    pub p99_us: Vec<Option<u64>>,
+}
+
+impl HeatmapMatrix {
+    /// Builds the matrix of a DC from a window aggregate.
+    pub fn from_aggregate(agg: &WindowAggregate, topo: &Topology, dc: DcId) -> Self {
+        let podsets: Vec<PodsetId> = topo.podsets_in_dc(dc).collect();
+        let n = podsets.len();
+        let mut p99_us = vec![None; n * n];
+        for (i, &a) in podsets.iter().enumerate() {
+            for (j, &b) in podsets.iter().enumerate() {
+                if let Some(h) = agg.podset_matrix.get(&(a, b)) {
+                    p99_us[i * n + j] = h.p99().map(|d| d.as_micros());
+                }
+            }
+        }
+        Self { dc, podsets, p99_us }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.podsets.len()
+    }
+
+    /// The P99 of a cell.
+    pub fn cell(&self, i: usize, j: usize) -> Option<u64> {
+        self.p99_us[i * self.n() + j]
+    }
+
+    /// The color of a cell.
+    pub fn color(&self, i: usize, j: usize) -> CellColor {
+        match self.cell(i, j) {
+            None => CellColor::White,
+            Some(us) if us < GREEN_BELOW.as_micros() => CellColor::Green,
+            Some(us) if us <= YELLOW_BELOW.as_micros() => CellColor::Yellow,
+            Some(_) => CellColor::Red,
+        }
+    }
+}
+
+/// The classification verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyPattern {
+    /// All green: the network is fine.
+    Normal,
+    /// White cross at one podset: podset lost power.
+    PodsetDown(PodsetId),
+    /// Red cross at one podset: network issue *within* the podset
+    /// (e.g. a packet-dropping Leaf or an L2 storm).
+    PodsetFailure(PodsetId),
+    /// Green diagonal, red elsewhere: a Spine-layer issue.
+    SpineFailure,
+    /// Something is wrong but matches no canonical pattern.
+    Degraded,
+}
+
+fn fraction(colors: &[CellColor], want: CellColor) -> f64 {
+    if colors.is_empty() {
+        return 0.0;
+    }
+    colors.iter().filter(|&&c| c == want).count() as f64 / colors.len() as f64
+}
+
+/// Classifies a heatmap into one of the Figure-8 patterns.
+pub fn classify_pattern(m: &HeatmapMatrix) -> LatencyPattern {
+    let n = m.n();
+    if n == 0 {
+        return LatencyPattern::Normal;
+    }
+
+    // Per-podset cross (row ∪ column) and the remainder.
+    for (idx, &podset) in m.podsets.iter().enumerate() {
+        let mut cross = Vec::new();
+        let mut rest = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let c = m.color(i, j);
+                if i == idx || j == idx {
+                    cross.push(c);
+                } else {
+                    rest.push(c);
+                }
+            }
+        }
+        let rest_green = fraction(&rest, CellColor::Green);
+        // White cross: no data touching this podset, rest healthy.
+        if fraction(&cross, CellColor::White) >= 0.9 && (rest.is_empty() || rest_green >= 0.7) {
+            return LatencyPattern::PodsetDown(podset);
+        }
+        // Red cross: bad latency touching this podset, rest healthy.
+        if fraction(&cross, CellColor::Red) >= 0.7 && (rest.is_empty() || rest_green >= 0.7) {
+            return LatencyPattern::PodsetFailure(podset);
+        }
+    }
+
+    // Spine failure: diagonal green, off-diagonal predominantly red.
+    let diag: Vec<CellColor> = (0..n).map(|i| m.color(i, i)).collect();
+    let mut off = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                off.push(m.color(i, j));
+            }
+        }
+    }
+    if n > 1 && fraction(&diag, CellColor::Green) >= 0.8 && fraction(&off, CellColor::Red) >= 0.7
+    {
+        return LatencyPattern::SpineFailure;
+    }
+
+    // Normal: everything (with data) green.
+    let all: Vec<CellColor> = (0..n * n)
+        .map(|k| m.color(k / n, k % n))
+        .filter(|&c| c != CellColor::White)
+        .collect();
+    if fraction(&all, CellColor::Green) >= 0.95 {
+        return LatencyPattern::Normal;
+    }
+    LatencyPattern::Degraded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a 4x4 matrix with the provided cell generator.
+    fn matrix(f: impl Fn(usize, usize) -> Option<u64>) -> HeatmapMatrix {
+        let n = 4;
+        let mut p99_us = vec![None; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                p99_us[i * n + j] = f(i, j);
+            }
+        }
+        HeatmapMatrix {
+            dc: DcId(0),
+            podsets: (0..n as u32).map(PodsetId).collect(),
+            p99_us,
+        }
+    }
+
+    const GREEN: Option<u64> = Some(1_300);
+    const RED: Option<u64> = Some(3_000_000);
+
+    #[test]
+    fn color_thresholds_match_paper() {
+        let m = matrix(|i, _| match i {
+            0 => Some(3_999),
+            1 => Some(4_000),
+            2 => Some(5_000),
+            _ => Some(5_001),
+        });
+        assert_eq!(m.color(0, 0), CellColor::Green);
+        assert_eq!(m.color(1, 0), CellColor::Yellow);
+        assert_eq!(m.color(2, 0), CellColor::Yellow);
+        assert_eq!(m.color(3, 0), CellColor::Red);
+        let empty = matrix(|_, _| None);
+        assert_eq!(empty.color(0, 0), CellColor::White);
+    }
+
+    #[test]
+    fn all_green_is_normal() {
+        assert_eq!(classify_pattern(&matrix(|_, _| GREEN)), LatencyPattern::Normal);
+    }
+
+    #[test]
+    fn white_cross_is_podset_down() {
+        let m = matrix(|i, j| if i == 2 || j == 2 { None } else { GREEN });
+        assert_eq!(
+            classify_pattern(&m),
+            LatencyPattern::PodsetDown(PodsetId(2))
+        );
+    }
+
+    #[test]
+    fn red_cross_is_podset_failure() {
+        let m = matrix(|i, j| if i == 1 || j == 1 { RED } else { GREEN });
+        assert_eq!(
+            classify_pattern(&m),
+            LatencyPattern::PodsetFailure(PodsetId(1))
+        );
+    }
+
+    #[test]
+    fn green_diagonal_red_rest_is_spine_failure() {
+        let m = matrix(|i, j| if i == j { GREEN } else { RED });
+        assert_eq!(classify_pattern(&m), LatencyPattern::SpineFailure);
+    }
+
+    #[test]
+    fn scattered_red_is_degraded() {
+        // Red in an irregular set of cells: not a cross, not spine.
+        let m = matrix(|i, j| if (i + j) % 2 == 0 { RED } else { GREEN });
+        assert_eq!(classify_pattern(&m), LatencyPattern::Degraded);
+    }
+
+    #[test]
+    fn sparse_white_cells_do_not_break_normal() {
+        // A couple of missing cells (low traffic) in a green matrix.
+        let m = matrix(|i, j| if i == 0 && j == 3 { None } else { GREEN });
+        assert_eq!(classify_pattern(&m), LatencyPattern::Normal);
+    }
+
+    #[test]
+    fn empty_matrix_is_normal() {
+        let m = HeatmapMatrix {
+            dc: DcId(0),
+            podsets: vec![],
+            p99_us: vec![],
+        };
+        assert_eq!(classify_pattern(&m), LatencyPattern::Normal);
+    }
+}

@@ -1,0 +1,291 @@
+//! Silent random packet-drop incident detection (paper §5.2).
+//!
+//! "In one incident, all the users in a data center began to experience
+//! increased network latency at the 99th percentile. Using Pingmesh, we
+//! could confirm that the packet drops in that data center has increased
+//! significantly ... Under normal condition, the percentage should be at
+//! around 1e-4 – 1e-5. But it suddenly jumped up to around 2e-3."
+//!
+//! The detector keeps a per-DC drop-rate series. When the rate jumps far
+//! above the trailing baseline (and past the SLA alert threshold) it
+//! opens an incident, attaches the Figure-8 pattern verdict (a
+//! [`LatencyPattern::SpineFailure`] points at the Spine tier — "Packet
+//! drops at ToR and Leaf layers cannot cause the latency increase for all
+//! our customers due to the much smaller number of servers under them"),
+//! and selects the worst-affected cross-podset pairs as traceroute
+//! targets. Pingmesh itself stops there: localizing the device is the job
+//! of the traceroute campaign (run by the orchestrator), exactly as in
+//! the paper.
+
+use crate::agg::{PairKey, WindowAggregate};
+use crate::detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
+use pingmesh_types::{DcId, SimTime};
+use pingmesh_topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SilentDropConfig {
+    /// Absolute drop-rate floor for an incident.
+    pub incident_threshold: f64,
+    /// The rate must additionally exceed `baseline × jump_factor`.
+    pub jump_factor: f64,
+    /// Trailing windows used for the baseline (median).
+    pub baseline_windows: usize,
+    /// A pair is a traceroute target when its window drop rate is at
+    /// least this.
+    pub pair_drop_threshold: f64,
+    /// Maximum traceroute targets to emit.
+    pub max_pairs: usize,
+}
+
+impl Default for SilentDropConfig {
+    fn default() -> Self {
+        Self {
+            incident_threshold: 1e-3,
+            jump_factor: 5.0,
+            baseline_windows: 12,
+            pair_drop_threshold: 5e-3,
+            max_pairs: 16,
+        }
+    }
+}
+
+/// An open incident produced by the detector.
+#[derive(Debug, Clone)]
+pub struct SilentDropFinding {
+    /// The affected DC.
+    pub dc: DcId,
+    /// Window in which the jump was seen.
+    pub window_start: SimTime,
+    /// Observed DC-wide drop rate.
+    pub drop_rate: f64,
+    /// Trailing baseline the rate was compared against.
+    pub baseline: f64,
+    /// Figure-8 pattern verdict for the window.
+    pub pattern: LatencyPattern,
+    /// Worst cross-podset pairs — the traceroute targets.
+    pub suspect_pairs: Vec<PairKey>,
+}
+
+/// Per-DC drop-rate tracker + incident detector.
+#[derive(Debug, Default)]
+pub struct SilentDropDetector {
+    /// Configuration.
+    pub config: SilentDropConfig,
+    series: HashMap<DcId, Vec<(SimTime, f64)>>,
+}
+
+impl SilentDropDetector {
+    /// Creates a detector.
+    pub fn new(config: SilentDropConfig) -> Self {
+        Self {
+            config,
+            series: HashMap::new(),
+        }
+    }
+
+    /// The recorded drop-rate series of a DC.
+    pub fn series(&self, dc: DcId) -> &[(SimTime, f64)] {
+        self.series.get(&dc).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    fn baseline(&self, dc: DcId) -> Option<f64> {
+        let s = self.series(dc);
+        if s.is_empty() {
+            return None;
+        }
+        let tail: Vec<f64> = s
+            .iter()
+            .rev()
+            .take(self.config.baseline_windows)
+            .map(|&(_, r)| r)
+            .collect();
+        let mut sorted = tail.clone();
+        sorted.sort_by(f64::total_cmp);
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// Folds one window of one DC; returns an incident if the drop rate
+    /// jumped.
+    pub fn observe_window(
+        &mut self,
+        dc: DcId,
+        window_start: SimTime,
+        agg: &WindowAggregate,
+        topo: &Topology,
+    ) -> Option<SilentDropFinding> {
+        // DC-wide drop rate over intra-DC pairs (the paper's service view
+        // is DC-scoped during the incident).
+        let rate = WindowAggregate::drop_rate_over(
+            agg.pairs
+                .iter()
+                .filter(|(k, _)| {
+                    topo.server(k.src).dc == dc && topo.server(k.dst).dc == dc
+                })
+                .map(|(_, v)| v),
+        );
+
+        let baseline = self.baseline(dc);
+        self.series.entry(dc).or_default().push((window_start, rate));
+
+        let baseline = baseline?;
+        let cfg = self.config;
+        if rate <= cfg.incident_threshold || rate <= baseline * cfg.jump_factor {
+            return None;
+        }
+
+        // Pattern verdict for the tier hint.
+        let matrix = HeatmapMatrix::from_aggregate(agg, topo, dc);
+        let pattern = classify_pattern(&matrix);
+
+        // Worst affected cross-podset pairs → traceroute targets.
+        let mut pairs: Vec<(PairKey, f64)> = agg
+            .pairs
+            .iter()
+            .filter(|(k, v)| {
+                topo.server(k.src).dc == dc
+                    && topo.server(k.dst).dc == dc
+                    && topo.server(k.src).podset != topo.server(k.dst).podset
+                    && v.successful() + v.failed >= 2
+                    && v.drop_rate() >= cfg.pair_drop_threshold
+            })
+            .map(|(k, v)| (*k, v.drop_rate()))
+            .collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pairs.truncate(cfg.max_pairs);
+
+        Some(SilentDropFinding {
+            dc,
+            window_start,
+            drop_rate: rate,
+            baseline,
+            pattern,
+            suspect_pairs: pairs.into_iter().map(|(k, _)| k).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{PairStats, ServerId};
+    use pingmesh_topology::TopologySpec;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_tiny()).unwrap()
+    }
+
+    /// Aggregate with a uniform drop rate across the pinglist pairs.
+    fn agg_with_rate(topo: &Topology, per_pair_3s: u64, ok: u64) -> WindowAggregate {
+        let mut agg = WindowAggregate::default();
+        for src in topo.servers() {
+            let info = topo.server(src);
+            for pod in topo.pods_in_dc(info.dc) {
+                if pod == info.pod {
+                    continue;
+                }
+                if let Some(dst) = topo.nth_server_of_pod(pod, info.index_in_pod) {
+                    agg.pairs.insert(
+                        PairKey { src, dst },
+                        PairStats {
+                            ok,
+                            rtt_3s: per_pair_3s,
+                            ..Default::default()
+                        },
+                    );
+                }
+            }
+        }
+        agg
+    }
+
+    #[test]
+    fn stable_rate_never_fires() {
+        let t = topo();
+        let mut d = SilentDropDetector::default();
+        for w in 0..20u64 {
+            let agg = agg_with_rate(&t, 0, 1_000);
+            assert!(d
+                .observe_window(DcId(0), SimTime(w * 600_000_000), &agg, &t)
+                .is_none());
+        }
+        assert_eq!(d.series(DcId(0)).len(), 20);
+    }
+
+    #[test]
+    fn jump_fires_an_incident_with_suspects() {
+        let t = topo();
+        let mut d = SilentDropDetector::default();
+        // Baseline: a tiny rate.
+        for w in 0..12u64 {
+            let agg = agg_with_rate(&t, 0, 1_000);
+            d.observe_window(DcId(0), SimTime(w * 600_000_000), &agg, &t);
+        }
+        // Incident window: 6e-3-ish drop rate (6 of 1000 probes at 3 s),
+        // above both the absolute threshold and the per-pair suspect bar.
+        let agg = agg_with_rate(&t, 6, 994);
+        let finding = d
+            .observe_window(DcId(0), SimTime(12 * 600_000_000), &agg, &t)
+            .expect("incident must fire");
+        assert!(finding.drop_rate > 1e-3);
+        assert!(finding.baseline < 1e-4);
+        assert!(!finding.suspect_pairs.is_empty());
+        // Suspects must be cross-podset pairs.
+        for p in &finding.suspect_pairs {
+            assert_ne!(t.server(p.src).podset, t.server(p.dst).podset);
+        }
+        assert!(finding.suspect_pairs.len() <= d.config.max_pairs);
+    }
+
+    #[test]
+    fn first_window_cannot_fire_without_baseline() {
+        let t = topo();
+        let mut d = SilentDropDetector::default();
+        let agg = agg_with_rate(&t, 10, 990);
+        assert!(d.observe_window(DcId(0), SimTime(0), &agg, &t).is_none());
+    }
+
+    #[test]
+    fn rate_below_absolute_threshold_never_fires() {
+        let t = topo();
+        let mut d = SilentDropDetector::default();
+        for w in 0..12u64 {
+            let agg = agg_with_rate(&t, 0, 10_000);
+            d.observe_window(DcId(0), SimTime(w * 600_000_000), &agg, &t);
+        }
+        // A big *relative* jump that stays under 1e-3 absolute.
+        let agg = agg_with_rate(&t, 1, 9_999); // 1e-4
+        assert!(d
+            .observe_window(DcId(0), SimTime(13 * 600_000_000), &agg, &t)
+            .is_none());
+    }
+
+    #[test]
+    fn dcs_are_tracked_independently() {
+        let t = Topology::build(TopologySpec {
+            dcs: vec![
+                pingmesh_topology::DcSpec::tiny("a"),
+                pingmesh_topology::DcSpec::tiny("b"),
+            ],
+        })
+        .unwrap();
+        let mut d = SilentDropDetector::default();
+        // Feed only DC0 data; DC1's series stays empty.
+        let mut agg = WindowAggregate::default();
+        agg.pairs.insert(
+            PairKey {
+                src: ServerId(0),
+                dst: ServerId(4),
+            },
+            PairStats {
+                ok: 100,
+                ..Default::default()
+            },
+        );
+        d.observe_window(DcId(0), SimTime(0), &agg, &t);
+        assert_eq!(d.series(DcId(0)).len(), 1);
+        assert!(d.series(DcId(1)).is_empty());
+    }
+}

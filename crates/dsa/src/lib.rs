@@ -1,0 +1,50 @@
+//! Data Storage and Analysis (DSA) — the Pingmesh analysis pipeline.
+//!
+//! The paper stores latency data in Cosmos and analyzes it with SCOPE
+//! jobs on 10-minute / 1-hour / 1-day cadences, stores results in a SQL
+//! database, and generates visualization, reports and alerts (§3.5); a
+//! parallel Perfcounter Aggregator path delivers coarse counters with
+//! 5-minute latency. This crate reproduces each piece:
+//!
+//! * [`store`] — append-only extent store (the Cosmos stand-in),
+//! * [`agg`] — the single-pass window aggregation every job consumes,
+//! * [`jobs`] — the job manager with 10-min / 1-h / 1-day cadences,
+//! * [`sla`] — network SLA computation at server / pod / podset / DC /
+//!   service scopes (§4.3),
+//! * [`pa`] — the fast perf-counter path,
+//! * [`db`] — the results database feeding reports and alerts,
+//! * [`alert`] — threshold alerting (drop rate > 1e-3, P99 > 5 ms),
+//! * [`investigate`] — the §4.3 troubleshooting drill-down (scale of a
+//!   problem + concrete reproducible flows),
+//! * [`detect`] — switch black-hole detection (§5.1), silent random
+//!   packet-drop incident detection (§5.2), and latency-pattern
+//!   classification (§6.3 / Figure 8),
+//! * [`viz`] — the latency-pattern heatmap rendering.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agg;
+pub mod alert;
+pub mod db;
+pub mod detect;
+pub mod investigate;
+pub mod jobs;
+pub mod pa;
+pub mod report;
+pub mod sla;
+pub mod store;
+pub mod viz;
+
+pub use agg::{PairKey, WindowAggregate};
+pub use alert::{Alert, AlertKind, Alerter};
+pub use db::{ResultsDb, ScopeKey, SlaRow};
+pub use detect::blackhole::{BlackholeDetector, BlackholeFinding};
+pub use detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
+pub use detect::silent::{SilentDropDetector, SilentDropFinding};
+pub use investigate::{investigate, Investigation, SuspectFlow};
+pub use jobs::{JobKind, JobManager, JobTick, Pipeline, TickOutput};
+pub use pa::PerfCounterAggregator;
+pub use report::daily_report;
+pub use sla::{ScopeSla, SlaComputer};
+pub use store::{CosmosStore, StreamName};

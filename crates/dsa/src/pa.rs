@@ -1,0 +1,159 @@
+//! The Perfcounter Aggregator fast path (paper §3.5).
+//!
+//! "In parallel we use the Autopilot PA pipeline to collect and aggregate
+//! a set of Pingmesh counters. The Autopilot PA pipeline is a distributed
+//! design with every data center has its own pipeline. The PA counter
+//! collection latency is 5 minutes, which is faster than our
+//! Cosmos/SCOPE pipeline. ... By using both of them, we provide higher
+//! availability for Pingmesh than either of them."
+//!
+//! Every 5 minutes the aggregator sweeps each agent's counter snapshot
+//! and folds them into one fleet sample per DC.
+
+use pingmesh_types::{CounterSnapshot, DcId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Default PA collection interval.
+pub const PA_INTERVAL: SimDuration = SimDuration::from_mins(5);
+
+/// One aggregated fleet sample for a DC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSample {
+    /// Collection time.
+    pub ts: SimTime,
+    /// Agents that reported.
+    pub agents: u64,
+    /// Total probes sent in the interval.
+    pub probes_sent: u64,
+    /// Total probes succeeded.
+    pub probes_succeeded: u64,
+    /// Fleet drop-rate estimate (success-weighted mean of agent rates).
+    pub drop_rate: f64,
+    /// Median of the agents' P99s, µs (a robust fleet tail signal).
+    pub p99_median_us: u64,
+    /// Max of the agents' P99s, µs.
+    pub p99_max_us: u64,
+}
+
+/// The per-DC perfcounter aggregation pipeline.
+#[derive(Debug, Default)]
+pub struct PerfCounterAggregator {
+    series: BTreeMap<DcId, Vec<FleetSample>>,
+}
+
+impl PerfCounterAggregator {
+    /// Empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one DC's agent snapshots collected at `ts` into a sample.
+    /// Agents with no traffic in the window are counted but contribute no
+    /// latency.
+    pub fn collect(
+        &mut self,
+        dc: DcId,
+        ts: SimTime,
+        snapshots: impl IntoIterator<Item = CounterSnapshot>,
+    ) -> FleetSample {
+        let mut agents = 0u64;
+        let mut sent = 0u64;
+        let mut succeeded = 0u64;
+        let mut weighted_drops = 0.0f64;
+        let mut p99s: Vec<u64> = Vec::new();
+        for s in snapshots {
+            agents += 1;
+            sent += s.probes_sent;
+            succeeded += s.probes_succeeded;
+            weighted_drops += s.drop_rate * s.probes_succeeded as f64;
+            if let Some(p99) = s.p99 {
+                p99s.push(p99.as_micros());
+            }
+        }
+        p99s.sort_unstable();
+        let sample = FleetSample {
+            ts,
+            agents,
+            probes_sent: sent,
+            probes_succeeded: succeeded,
+            drop_rate: if succeeded == 0 {
+                0.0
+            } else {
+                weighted_drops / succeeded as f64
+            },
+            p99_median_us: p99s.get(p99s.len() / 2).copied().unwrap_or(0),
+            p99_max_us: p99s.last().copied().unwrap_or(0),
+        };
+        self.series.entry(dc).or_default().push(sample);
+        sample
+    }
+
+    /// Time series of a DC, oldest first.
+    pub fn series(&self, dc: DcId) -> &[FleetSample] {
+        self.series.get(&dc).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Latest sample of a DC.
+    pub fn latest(&self, dc: DcId) -> Option<&FleetSample> {
+        self.series(dc).last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(sent: u64, succeeded: u64, drop: f64, p99_us: Option<u64>) -> CounterSnapshot {
+        CounterSnapshot {
+            probes_sent: sent,
+            probes_succeeded: succeeded,
+            probes_failed: sent - succeeded,
+            drop_rate: drop,
+            p50: Some(SimDuration::from_micros(250)),
+            p99: p99_us.map(SimDuration::from_micros),
+            records_discarded: 0,
+            bytes_uploaded: 0,
+        }
+    }
+
+    #[test]
+    fn collect_aggregates_fleet() {
+        let mut pa = PerfCounterAggregator::new();
+        let s = pa.collect(
+            DcId(0),
+            SimTime(300_000_000),
+            vec![
+                snap(100, 100, 1e-4, Some(1_200)),
+                snap(300, 300, 3e-4, Some(1_800)),
+                snap(0, 0, 0.0, None),
+            ],
+        );
+        assert_eq!(s.agents, 3);
+        assert_eq!(s.probes_sent, 400);
+        // success-weighted: (1e-4*100 + 3e-4*300)/400 = 2.5e-4
+        assert!((s.drop_rate - 2.5e-4).abs() < 1e-12);
+        assert_eq!(s.p99_median_us, 1_800); // index 1 of [1200, 1800]
+        assert_eq!(s.p99_max_us, 1_800);
+    }
+
+    #[test]
+    fn empty_collection_is_zeroed() {
+        let mut pa = PerfCounterAggregator::new();
+        let s = pa.collect(DcId(0), SimTime(0), vec![]);
+        assert_eq!(s.agents, 0);
+        assert_eq!(s.drop_rate, 0.0);
+        assert_eq!(s.p99_max_us, 0);
+    }
+
+    #[test]
+    fn series_grows_per_dc() {
+        let mut pa = PerfCounterAggregator::new();
+        pa.collect(DcId(0), SimTime(0), vec![snap(1, 1, 0.0, Some(100))]);
+        pa.collect(DcId(0), SimTime(300), vec![snap(1, 1, 0.0, Some(100))]);
+        pa.collect(DcId(1), SimTime(0), vec![snap(1, 1, 0.0, Some(100))]);
+        assert_eq!(pa.series(DcId(0)).len(), 2);
+        assert_eq!(pa.series(DcId(1)).len(), 1);
+        assert!(pa.latest(DcId(0)).unwrap().ts > pa.series(DcId(0))[0].ts);
+        assert!(pa.series(DcId(9)).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Daily network report generation.
+//!
+//! "The results of the SCOPE jobs are stored in a SQL database, from
+//! which visualization, reports, and alerts are generated" (§3.5). This
+//! module renders the *report* artifact: a plain-text daily summary an
+//! operator (or the network team's standup) reads — per-DC SLA with
+//! worst windows, the noisiest pods, alert transitions, and the data
+//! volume the fleet produced.
+
+use crate::alert::Alert;
+use crate::db::{ResultsDb, ScopeKey, SlaRow};
+use pingmesh_types::{SimDuration, SimTime};
+use pingmesh_topology::Topology;
+use std::fmt::Write as _;
+
+/// Renders the daily report for the day containing `day_start`.
+pub fn daily_report(
+    db: &ResultsDb,
+    alerts: &[Alert],
+    topo: &Topology,
+    day_start: SimTime,
+) -> String {
+    let day_end = day_start + SimDuration::from_days(1);
+    let in_day = |t: SimTime| t >= day_start && t < day_end;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Pingmesh daily network report ===");
+    let _ = writeln!(out, "day starting {day_start}");
+
+    // Per-DC SLA rollup over the day's windows.
+    let _ = writeln!(out, "\n--- per-DC network SLA ---");
+    for dc in topo.dcs() {
+        let rows: Vec<&SlaRow> = db
+            .series(ScopeKey::Dc(dc))
+            .filter(|r| in_day(r.window_start))
+            .collect();
+        if rows.is_empty() {
+            let _ = writeln!(out, "{:<20} no data", topo.dc(dc).name);
+            continue;
+        }
+        let samples: u64 = rows.iter().map(|r| r.samples).sum();
+        let drop_rate = rows
+            .iter()
+            .map(|r| r.drop_rate * r.samples as f64)
+            .sum::<f64>()
+            / samples.max(1) as f64;
+        let median_p99 = {
+            let mut p99s: Vec<u64> = rows.iter().map(|r| r.p99_us).collect();
+            p99s.sort_unstable();
+            p99s[p99s.len() / 2]
+        };
+        let worst = rows
+            .iter()
+            .max_by_key(|r| r.p99_us)
+            .expect("non-empty rows");
+        let _ = writeln!(
+            out,
+            "{:<20} windows={:<4} probes={:<10} drop_rate={:.1e} median_p99={}us (worst {}us at {})",
+            topo.dc(dc).name,
+            rows.len(),
+            samples,
+            drop_rate,
+            median_p99,
+            worst.p99_us,
+            worst.window_start,
+        );
+    }
+
+    // Noisiest pods of the day (highest day-aggregate drop rate).
+    let _ = writeln!(out, "\n--- noisiest pods (by drop rate) ---");
+    let mut pods: Vec<(u32, f64, u64)> = topo
+        .dcs()
+        .flat_map(|dc| topo.pods_in_dc(dc))
+        .filter_map(|pod| {
+            let rows: Vec<&SlaRow> = db
+                .series(ScopeKey::Pod(pod))
+                .filter(|r| in_day(r.window_start))
+                .collect();
+            let samples: u64 = rows.iter().map(|r| r.samples).sum();
+            if samples == 0 {
+                return None;
+            }
+            let rate = rows
+                .iter()
+                .map(|r| r.drop_rate * r.samples as f64)
+                .sum::<f64>()
+                / samples as f64;
+            Some((pod.0, rate, samples))
+        })
+        .collect();
+    pods.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (pod, rate, samples) in pods.iter().take(5) {
+        let _ = writeln!(out, "pod{pod:<6} drop_rate={rate:.1e} ({samples} probes)");
+    }
+    if pods.is_empty() {
+        let _ = writeln!(out, "no pod data");
+    }
+
+    // Alert transitions of the day.
+    let _ = writeln!(out, "\n--- alerts ---");
+    let day_alerts: Vec<&Alert> = alerts.iter().filter(|a| in_day(a.at)).collect();
+    if day_alerts.is_empty() {
+        let _ = writeln!(out, "none — the network was within SLA all day");
+    }
+    for a in day_alerts {
+        let _ = writeln!(
+            out,
+            "{} {} {:?} on {:?} (value {:.2e})",
+            a.at,
+            if a.raised { "RAISED " } else { "cleared" },
+            a.kind,
+            a.scope,
+            a.value
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AlertKind;
+    use crate::db::SlaRow;
+    use pingmesh_types::{DcId, PodId};
+    use pingmesh_topology::TopologySpec;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_tiny()).unwrap()
+    }
+
+    fn row(scope: ScopeKey, w: u64, drop: f64, p99: u64, samples: u64) -> SlaRow {
+        SlaRow {
+            window_start: SimTime(w),
+            scope,
+            drop_rate: drop,
+            p50_us: 250,
+            p99_us: p99,
+            samples,
+        }
+    }
+
+    #[test]
+    fn report_summarizes_dcs_pods_and_alerts() {
+        let t = topo();
+        let mut db = ResultsDb::new();
+        let w10 = SimDuration::from_mins(10).as_micros();
+        for k in 0..6u64 {
+            db.insert(row(ScopeKey::Dc(DcId(0)), k * w10, 4e-5, 1_300 + k, 10_000));
+            db.insert(row(ScopeKey::Pod(PodId(0)), k * w10, 1e-5, 1_200, 1_000));
+            db.insert(row(ScopeKey::Pod(PodId(1)), k * w10, 9e-4, 1_200, 1_000));
+        }
+        let alerts = vec![Alert {
+            at: SimTime(2 * w10),
+            scope: ScopeKey::Pod(PodId(1)),
+            kind: AlertKind::DropRate,
+            raised: true,
+            value: 9e-4,
+        }];
+        let report = daily_report(&db, &alerts, &t, SimTime::ZERO);
+        assert!(report.contains("per-DC network SLA"));
+        assert!(report.contains("windows=6"));
+        assert!(report.contains("probes=60000"));
+        // pod1 (noisy) ranks above pod0.
+        let p1 = report.find("pod1").expect("pod1 listed");
+        let p0 = report.find("pod0").expect("pod0 listed");
+        assert!(p1 < p0, "noisiest pod first");
+        assert!(report.contains("RAISED"));
+    }
+
+    #[test]
+    fn report_on_empty_day_is_calm() {
+        let t = topo();
+        let db = ResultsDb::new();
+        let report = daily_report(&db, &[], &t, SimTime::ZERO);
+        assert!(report.contains("no data"));
+        assert!(report.contains("none — the network was within SLA all day"));
+    }
+
+    #[test]
+    fn report_filters_to_the_requested_day() {
+        let t = topo();
+        let mut db = ResultsDb::new();
+        // One row today, one row tomorrow.
+        db.insert(row(ScopeKey::Dc(DcId(0)), 0, 1e-5, 1_000, 100));
+        db.insert(row(
+            ScopeKey::Dc(DcId(0)),
+            SimDuration::from_days(1).as_micros() + 1,
+            1e-5,
+            1_000,
+            100,
+        ));
+        let report = daily_report(&db, &[], &t, SimTime::ZERO);
+        assert!(report.contains("windows=1"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Network SLA computation at every scope (paper §4.3).
+//!
+//! "We define network SLA as a set of metrics including packet drop rate,
+//! network latency at the 50th percentile and the 99th percentile.
+//! Network SLA can then be tracked at different scopes including per
+//! server, per pod/podset, per service, per data center, by using the
+//! Pingmesh data."
+
+use crate::agg::PairKey;
+use pingmesh_types::counters::{classify_rtt, RttClass};
+use pingmesh_types::{
+    DcId, LatencyHistogram, PairStats, PodId, PodsetId, ProbeOutcome, ProbeRecord, ServerId,
+    ServiceId, SimDuration,
+};
+use pingmesh_topology::{ServiceMap, Topology};
+use std::collections::HashMap;
+
+/// SLA metrics of one scope over one window.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeSla {
+    /// Outcome counts.
+    pub stats: PairStats,
+    /// RTT distribution of successful probes.
+    pub latency: LatencyHistogram,
+}
+
+impl ScopeSla {
+    /// Packet drop rate (the 3 s + 9 s heuristic).
+    pub fn drop_rate(&self) -> f64 {
+        self.stats.drop_rate()
+    }
+
+    /// Median RTT.
+    pub fn p50(&self) -> Option<SimDuration> {
+        self.latency.p50()
+    }
+
+    /// 99th-percentile RTT.
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.latency.p99()
+    }
+
+    fn fold(&mut self, outcome: ProbeOutcome) {
+        match outcome {
+            ProbeOutcome::Success { rtt } => {
+                match classify_rtt(rtt) {
+                    RttClass::Normal => self.stats.ok += 1,
+                    RttClass::OneDrop => self.stats.rtt_3s += 1,
+                    RttClass::TwoDrops => self.stats.rtt_9s += 1,
+                }
+                self.latency.record(rtt);
+            }
+            ProbeOutcome::Timeout | ProbeOutcome::Refused => self.stats.failed += 1,
+        }
+    }
+}
+
+/// SLAs of every scope over one window.
+#[derive(Debug, Clone, Default)]
+pub struct SlaReport {
+    /// Per probing server.
+    pub per_server: HashMap<ServerId, ScopeSla>,
+    /// Per pod (of the probing server).
+    pub per_pod: HashMap<PodId, ScopeSla>,
+    /// Per podset.
+    pub per_podset: HashMap<PodsetId, ScopeSla>,
+    /// Per data center.
+    pub per_dc: HashMap<DcId, ScopeSla>,
+    /// Per (source DC, destination DC) pair; inter-DC probes only. This
+    /// is the inter-DC pipeline of §6.2.
+    pub per_dc_pair: HashMap<(DcId, DcId), ScopeSla>,
+    /// Per service: probes whose *both* endpoints belong to the service.
+    pub per_service: HashMap<ServiceId, ScopeSla>,
+    /// Per pair (used by troubleshooting drill-down).
+    pub per_pair: HashMap<PairKey, PairStats>,
+}
+
+/// Computes SLA reports from probe records.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlaComputer;
+
+impl SlaComputer {
+    /// One pass over the window's records. `services` maps service → the
+    /// servers it runs on; a probe counts toward a service when both
+    /// endpoints host it.
+    pub fn compute<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a ProbeRecord>,
+        _topo: &Topology,
+        services: &ServiceMap,
+    ) -> SlaReport {
+        let mut rep = SlaReport::default();
+        for r in records {
+            rep.per_server.entry(r.src).or_default().fold(r.outcome);
+            rep.per_pod.entry(r.src_pod).or_default().fold(r.outcome);
+            rep.per_podset
+                .entry(r.src_podset)
+                .or_default()
+                .fold(r.outcome);
+            rep.per_dc.entry(r.src_dc).or_default().fold(r.outcome);
+            if r.is_inter_dc() {
+                rep.per_dc_pair
+                    .entry((r.src_dc, r.dst_dc))
+                    .or_default()
+                    .fold(r.outcome);
+            }
+            let pair = rep
+                .per_pair
+                .entry(PairKey { src: r.src, dst: r.dst })
+                .or_default();
+            match r.outcome {
+                ProbeOutcome::Success { rtt } => match classify_rtt(rtt) {
+                    RttClass::Normal => pair.ok += 1,
+                    RttClass::OneDrop => pair.rtt_3s += 1,
+                    RttClass::TwoDrops => pair.rtt_9s += 1,
+                },
+                _ => pair.failed += 1,
+            }
+            for &svc in services.services_on(r.src) {
+                if services.covers_pair(svc, r.src, r.dst) {
+                    rep.per_service.entry(svc).or_default().fold(r.outcome);
+                }
+            }
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{ProbeKind, QosClass, SimTime};
+    use pingmesh_topology::TopologySpec;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_tiny()).unwrap()
+    }
+
+    fn rec(topo: &Topology, src: u32, dst: u32, outcome: ProbeOutcome) -> ProbeRecord {
+        let s = topo.server(ServerId(src));
+        let d = topo.server(ServerId(dst));
+        ProbeRecord {
+            ts: SimTime(0),
+            src: ServerId(src),
+            dst: ServerId(dst),
+            src_pod: s.pod,
+            dst_pod: d.pod,
+            src_podset: s.podset,
+            dst_podset: d.podset,
+            src_dc: s.dc,
+            dst_dc: d.dc,
+            kind: ProbeKind::TcpSyn,
+            qos: QosClass::High,
+            src_port: 40_000,
+            dst_port: 8_100,
+            outcome,
+        }
+    }
+
+    fn ok(us: u64) -> ProbeOutcome {
+        ProbeOutcome::Success {
+            rtt: SimDuration::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn scope_rollups_nest() {
+        let t = topo();
+        let records = vec![
+            rec(&t, 0, 1, ok(200)),
+            rec(&t, 0, 5, ok(300)),
+            rec(&t, 4, 0, ok(250)),
+        ];
+        let rep = SlaComputer.compute(&records, &t, &ServiceMap::new());
+        // Server 0 probed twice; server 4 once.
+        assert_eq!(rep.per_server[&ServerId(0)].stats.ok, 2);
+        assert_eq!(rep.per_server[&ServerId(4)].stats.ok, 1);
+        // Pod 0 contains server 0 (2 probes); pod 1 contains server 4.
+        let pod0 = t.server(ServerId(0)).pod;
+        let pod1 = t.server(ServerId(4)).pod;
+        assert_eq!(rep.per_pod[&pod0].stats.ok, 2);
+        assert_eq!(rep.per_pod[&pod1].stats.ok, 1);
+        // The DC rollup has all three.
+        assert_eq!(rep.per_dc[&DcId(0)].stats.ok, 3);
+        assert_eq!(rep.per_dc[&DcId(0)].latency.count(), 3);
+    }
+
+    #[test]
+    fn sla_metrics_expose_percentiles_and_drop_rate() {
+        let t = topo();
+        let mut records = Vec::new();
+        for _ in 0..99 {
+            records.push(rec(&t, 0, 1, ok(250)));
+        }
+        records.push(rec(&t, 0, 1, ok(3_000_250)));
+        let rep = SlaComputer.compute(&records, &t, &ServiceMap::new());
+        let sla = &rep.per_server[&ServerId(0)];
+        assert!((sla.drop_rate() - 0.01).abs() < 1e-9);
+        assert!(sla.p50().unwrap().as_micros() < 300);
+        assert!(sla.p99().unwrap().as_micros() < 400);
+    }
+
+    #[test]
+    fn per_service_counts_only_covered_pairs() {
+        let t = topo();
+        let mut services = ServiceMap::new();
+        let svc = services
+            .register("search", [ServerId(0), ServerId(1)])
+            .unwrap();
+        let records = vec![
+            rec(&t, 0, 1, ok(200)), // both in service
+            rec(&t, 0, 5, ok(300)), // dst not in service
+            rec(&t, 5, 1, ok(300)), // src not in service
+        ];
+        let rep = SlaComputer.compute(&records, &t, &services);
+        assert_eq!(rep.per_service[&svc].stats.ok, 1);
+    }
+
+    #[test]
+    fn per_pair_tracks_failures() {
+        let t = topo();
+        let records = vec![
+            rec(&t, 0, 1, ProbeOutcome::Timeout),
+            rec(&t, 0, 1, ProbeOutcome::Timeout),
+            rec(&t, 0, 2, ok(220)),
+        ];
+        let rep = SlaComputer.compute(&records, &t, &ServiceMap::new());
+        let dead = rep.per_pair[&PairKey {
+            src: ServerId(0),
+            dst: ServerId(1),
+        }];
+        assert!(dead.is_deterministic_failure());
+        let alive = rep.per_pair[&PairKey {
+            src: ServerId(0),
+            dst: ServerId(2),
+        }];
+        assert!(!alive.is_deterministic_failure());
+    }
+
+    #[test]
+    fn inter_dc_pairs_feed_the_interdc_pipeline() {
+        let t = Topology::build(TopologySpec {
+            dcs: vec![
+                pingmesh_topology::DcSpec::tiny("a"),
+                pingmesh_topology::DcSpec::tiny("b"),
+            ],
+        })
+        .unwrap();
+        let cross = t.servers_in_dc(DcId(1)).next().unwrap();
+        let records = vec![
+            rec(&t, 0, cross.0, ok(60_000)),
+            rec(&t, cross.0, 0, ok(61_000)),
+            rec(&t, 0, 1, ok(200)), // intra-DC: not in the pair scope
+        ];
+        let rep = SlaComputer.compute(&records, &t, &ServiceMap::new());
+        assert_eq!(rep.per_dc_pair.len(), 2);
+        assert_eq!(rep.per_dc_pair[&(DcId(0), DcId(1))].stats.ok, 1);
+        assert_eq!(rep.per_dc_pair[&(DcId(1), DcId(0))].stats.ok, 1);
+    }
+
+    #[test]
+    fn empty_window_is_empty_report() {
+        let t = topo();
+        let rep = SlaComputer.compute(&[], &t, &ServiceMap::new());
+        assert!(rep.per_server.is_empty());
+        assert!(rep.per_dc.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! The append-only record store (Cosmos stand-in).
+//!
+//! "Files in Cosmos are append-only and a file is split into multiple
+//! 'extents' and an extent is stored in multiple servers to provide high
+//! reliability" (§2.3). We reproduce the structure that matters to the
+//! pipeline: named streams of append-only extents, bounded extent size,
+//! replication accounting, and windowed scans. Availability windows can
+//! be injected to exercise the agents' upload-retry-then-discard path.
+
+use pingmesh_types::{DcId, ProbeRecord, SimTime};
+use std::collections::BTreeMap;
+
+/// Name of a record stream. The production pipeline partitions uploads by
+/// data center and time window; we key streams by DC (windowing is done
+/// at scan time, records are timestamped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamName {
+    /// The data center whose agents feed this stream.
+    pub dc: DcId,
+}
+
+/// One append-only extent.
+#[derive(Debug, Clone)]
+struct Extent {
+    records: Vec<ProbeRecord>,
+    sealed: bool,
+    min_ts: SimTime,
+    max_ts: SimTime,
+}
+
+impl Extent {
+    fn overlaps(&self, from: SimTime, to: SimTime) -> bool {
+        !self.records.is_empty() && self.min_ts < to && self.max_ts >= from
+    }
+}
+
+/// The store.
+#[derive(Debug)]
+pub struct CosmosStore {
+    extent_cap: usize,
+    replication: u32,
+    streams: BTreeMap<StreamName, Vec<Extent>>,
+    down_windows: Vec<(SimTime, Option<SimTime>)>,
+    total_records: u64,
+    total_bytes: u64,
+}
+
+impl CosmosStore {
+    /// Creates a store with the given extent capacity (records per
+    /// extent) and replication factor.
+    pub fn new(extent_cap: usize, replication: u32) -> Self {
+        Self {
+            extent_cap: extent_cap.max(1),
+            replication: replication.max(1),
+            streams: BTreeMap::new(),
+            down_windows: Vec::new(),
+            total_records: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// A store with production-ish defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(250_000, 3)
+    }
+
+    /// Declares an outage window (uploads fail during it).
+    pub fn add_down_window(&mut self, from: SimTime, until: Option<SimTime>) {
+        self.down_windows.push((from, until));
+    }
+
+    /// Whether the store front-end accepts uploads at `t`.
+    pub fn is_up(&self, t: SimTime) -> bool {
+        !self
+            .down_windows
+            .iter()
+            .any(|&(from, until)| t >= from && until.is_none_or(|u| t < u))
+    }
+
+    /// Appends a batch to a stream. Returns `false` (and stores nothing)
+    /// if the store is down at `t` — the agent will retry and eventually
+    /// discard.
+    pub fn append(&mut self, stream: StreamName, batch: &[ProbeRecord], t: SimTime) -> bool {
+        if !self.is_up(t) {
+            return false;
+        }
+        let extents = self.streams.entry(stream).or_default();
+        for &rec in batch {
+            let need_new = match extents.last() {
+                None => true,
+                Some(e) => e.sealed || e.records.len() >= self.extent_cap,
+            };
+            if need_new {
+                if let Some(last) = extents.last_mut() {
+                    last.sealed = true;
+                }
+                extents.push(Extent {
+                    records: Vec::new(),
+                    sealed: false,
+                    min_ts: rec.ts,
+                    max_ts: rec.ts,
+                });
+            }
+            let e = extents.last_mut().expect("just ensured");
+            e.min_ts = e.min_ts.min(rec.ts);
+            e.max_ts = e.max_ts.max(rec.ts);
+            e.records.push(rec);
+            self.total_records += 1;
+            self.total_bytes += rec.wire_size() as u64;
+        }
+        true
+    }
+
+    /// Scans all records of a stream, in append order.
+    pub fn scan(&self, stream: StreamName) -> impl Iterator<Item = &ProbeRecord> {
+        self.streams
+            .get(&stream)
+            .into_iter()
+            .flat_map(|extents| extents.iter().flat_map(|e| e.records.iter()))
+    }
+
+    /// Scans records of a stream whose timestamps fall in `[from, to)`.
+    pub fn scan_window(
+        &self,
+        stream: StreamName,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &ProbeRecord> {
+        // Extents carry time bounds, so windowed scans skip whole extents
+        // outside the window — windows stay O(window), not O(history).
+        self.streams
+            .get(&stream)
+            .into_iter()
+            .flat_map(move |extents| {
+                extents
+                    .iter()
+                    .filter(move |e| e.overlaps(from, to))
+                    .flat_map(|e| e.records.iter())
+            })
+            .filter(move |r| r.ts >= from && r.ts < to)
+    }
+
+    /// Scans every stream's records in `[from, to)`.
+    pub fn scan_all_window(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &ProbeRecord> {
+        self.streams
+            .values()
+            .flat_map(move |extents| {
+                extents
+                    .iter()
+                    .filter(move |e| e.overlaps(from, to))
+                    .flat_map(|e| e.records.iter())
+            })
+            .filter(move |r| r.ts >= from && r.ts < to)
+    }
+
+    /// Number of extents in a stream.
+    pub fn extent_count(&self, stream: StreamName) -> usize {
+        self.streams.get(&stream).map_or(0, |v| v.len())
+    }
+
+    /// Total records stored.
+    pub fn record_count(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Logical bytes stored (before replication).
+    pub fn logical_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Physical bytes including replication — the paper's "24 terabytes
+    /// of data per day" is this figure for the production fleet.
+    pub fn physical_bytes(&self) -> u64 {
+        self.total_bytes * self.replication as u64
+    }
+
+    /// Drops all records older than `horizon` (the paper keeps two months
+    /// of history). Whole extents are retired when their newest record is
+    /// older than the horizon.
+    pub fn retire_before(&mut self, horizon: SimTime) {
+        for extents in self.streams.values_mut() {
+            extents.retain(|e| {
+                let newest = e.records.iter().map(|r| r.ts).max();
+                newest.is_none_or(|ts| ts >= horizon)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{
+        PodId, PodsetId, ProbeKind, ProbeOutcome, QosClass, ServerId, SimDuration,
+    };
+
+    fn rec(ts: u64) -> ProbeRecord {
+        ProbeRecord {
+            ts: SimTime(ts),
+            src: ServerId(0),
+            dst: ServerId(1),
+            src_pod: PodId(0),
+            dst_pod: PodId(1),
+            src_podset: PodsetId(0),
+            dst_podset: PodsetId(0),
+            src_dc: DcId(0),
+            dst_dc: DcId(0),
+            kind: ProbeKind::TcpSyn,
+            qos: QosClass::High,
+            src_port: 40_000,
+            dst_port: 8_100,
+            outcome: ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(300),
+            },
+        }
+    }
+
+    const S: StreamName = StreamName { dc: DcId(0) };
+
+    #[test]
+    fn append_and_scan_preserve_order() {
+        let mut store = CosmosStore::new(10, 3);
+        let batch: Vec<ProbeRecord> = (0..25).map(rec).collect();
+        assert!(store.append(S, &batch, SimTime(100)));
+        let ts: Vec<u64> = store.scan(S).map(|r| r.ts.as_micros()).collect();
+        assert_eq!(ts, (0..25).collect::<Vec<_>>());
+        // 25 records at 10/extent → 3 extents, earlier ones sealed.
+        assert_eq!(store.extent_count(S), 3);
+    }
+
+    #[test]
+    fn window_scan_filters_by_time() {
+        let mut store = CosmosStore::with_defaults();
+        store.append(S, &(0..100).map(rec).collect::<Vec<_>>(), SimTime(0));
+        let n = store.scan_window(S, SimTime(10), SimTime(20)).count();
+        assert_eq!(n, 10);
+        let all = store.scan_all_window(SimTime(0), SimTime(1_000)).count();
+        assert_eq!(all, 100);
+    }
+
+    #[test]
+    fn outage_rejects_appends() {
+        let mut store = CosmosStore::with_defaults();
+        store.add_down_window(SimTime(100), Some(SimTime(200)));
+        assert!(!store.append(S, &[rec(1)], SimTime(150)));
+        assert_eq!(store.record_count(), 0);
+        assert!(store.append(S, &[rec(1)], SimTime(250)));
+        assert_eq!(store.record_count(), 1);
+    }
+
+    #[test]
+    fn accounting_tracks_bytes_and_replication() {
+        let mut store = CosmosStore::new(100, 3);
+        store.append(S, &(0..10).map(rec).collect::<Vec<_>>(), SimTime(0));
+        assert_eq!(store.record_count(), 10);
+        assert_eq!(store.logical_bytes(), 10 * 64);
+        assert_eq!(store.physical_bytes(), 3 * 10 * 64);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut store = CosmosStore::with_defaults();
+        let s1 = StreamName { dc: DcId(1) };
+        store.append(S, &[rec(1)], SimTime(0));
+        store.append(s1, &[rec(2), rec(3)], SimTime(0));
+        assert_eq!(store.scan(S).count(), 1);
+        assert_eq!(store.scan(s1).count(), 2);
+    }
+
+    #[test]
+    fn retirement_drops_old_extents() {
+        let mut store = CosmosStore::new(10, 1);
+        store.append(S, &(0..30).map(rec).collect::<Vec<_>>(), SimTime(0));
+        assert_eq!(store.extent_count(S), 3);
+        // Horizon past the first two extents (records 0..20).
+        store.retire_before(SimTime(20));
+        assert_eq!(store.extent_count(S), 1);
+        assert_eq!(store.scan(S).count(), 10);
+    }
+}

@@ -1,0 +1,119 @@
+//! Heatmap rendering (paper §6.3).
+//!
+//! "Our happy findings are that data speaks for themselves and that
+//! visualization helps us better understand and detect various latency
+//! patterns." The portal's podset-pair matrix is rendered here both as
+//! ANSI-colored blocks (for terminals) and as a plain-ASCII grid (for
+//! logs, docs and tests): `G` green, `Y` yellow, `R` red, `.` white.
+
+use crate::detect::pattern::{CellColor, HeatmapMatrix, LatencyPattern};
+
+/// Plain-ASCII rendering: one row per source podset.
+pub fn render_ascii(m: &HeatmapMatrix) -> String {
+    let n = m.n();
+    let mut out = String::with_capacity((n + 8) * (n + 4));
+    out.push_str(&format!("dc{} podset-pair P99 heatmap\n", m.dc.0));
+    for i in 0..n {
+        for j in 0..n {
+            out.push(match m.color(i, j) {
+                CellColor::Green => 'G',
+                CellColor::Yellow => 'Y',
+                CellColor::Red => 'R',
+                CellColor::White => '.',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// ANSI-colored rendering using block glyphs, plus a legend — the
+/// closest terminal analogue of the paper's portal.
+pub fn render_ansi(m: &HeatmapMatrix) -> String {
+    let n = m.n();
+    let mut out = String::new();
+    out.push_str(&format!("dc{} podset-pair P99 heatmap\n", m.dc.0));
+    for i in 0..n {
+        for j in 0..n {
+            out.push_str(match m.color(i, j) {
+                CellColor::Green => "\x1b[42m  \x1b[0m",
+                CellColor::Yellow => "\x1b[43m  \x1b[0m",
+                CellColor::Red => "\x1b[41m  \x1b[0m",
+                CellColor::White => "\x1b[47m  \x1b[0m",
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "legend: \x1b[42m  \x1b[0m <4ms  \x1b[43m  \x1b[0m 4-5ms  \x1b[41m  \x1b[0m >5ms  \x1b[47m  \x1b[0m no data\n",
+    );
+    out
+}
+
+/// One-line description of a pattern verdict, for reports.
+pub fn describe_pattern(p: LatencyPattern) -> String {
+    match p {
+        LatencyPattern::Normal => "normal: network healthy (all green)".to_string(),
+        LatencyPattern::PodsetDown(ps) => {
+            format!("white cross at {ps}: podset down (likely power loss)")
+        }
+        LatencyPattern::PodsetFailure(ps) => {
+            format!("red cross at {ps}: network issue within the podset (check its Leaf switches)")
+        }
+        LatencyPattern::SpineFailure => {
+            "red with green diagonal: Spine-layer issue (cross-podset latency out of SLA)"
+                .to_string()
+        }
+        LatencyPattern::Degraded => "degraded: non-canonical latency pattern".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{DcId, PodsetId};
+
+    fn matrix(cells: &[Option<u64>], n: usize) -> HeatmapMatrix {
+        HeatmapMatrix {
+            dc: DcId(0),
+            podsets: (0..n as u32).map(PodsetId).collect(),
+            p99_us: cells.to_vec(),
+        }
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let g = Some(1_000u64);
+        let r = Some(6_000_000u64);
+        let m = matrix(&[g, r, None, g], 2);
+        let s = render_ascii(&m);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "GR");
+        assert_eq!(lines[2], ".G");
+    }
+
+    #[test]
+    fn ansi_rendering_contains_colors_and_legend() {
+        let m = matrix(&[Some(1_000), Some(4_500), Some(6_000_000), None], 2);
+        let s = render_ansi(&m);
+        assert!(s.contains("\x1b[42m"));
+        assert!(s.contains("\x1b[43m"));
+        assert!(s.contains("\x1b[41m"));
+        assert!(s.contains("\x1b[47m"));
+        assert!(s.contains("legend"));
+    }
+
+    #[test]
+    fn pattern_descriptions_are_distinct() {
+        let all = [
+            describe_pattern(LatencyPattern::Normal),
+            describe_pattern(LatencyPattern::PodsetDown(PodsetId(1))),
+            describe_pattern(LatencyPattern::PodsetFailure(PodsetId(1))),
+            describe_pattern(LatencyPattern::SpineFailure),
+            describe_pattern(LatencyPattern::Degraded),
+        ];
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+}

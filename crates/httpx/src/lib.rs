@@ -1,0 +1,480 @@
+//! A minimal HTTP/1.1 codec over tokio streams.
+//!
+//! The Pingmesh Controller exposes "a simple RESTful Web API for the
+//! Pingmesh Agents to retrieve their Pinglist files" (paper §3.3.2), and
+//! agents both launch HTTP pings and respond to them (§3.4.1). We keep the
+//! dependency surface small by implementing the tiny slice of HTTP/1.1
+//! those interactions need — request/response head parsing,
+//! `Content-Length` bodies, one exchange per connection — instead of
+//! pulling in a full web framework.
+//!
+//! Parsing is implemented as pure, incremental functions over byte slices
+//! (unit-testable without sockets), with thin async adapters for tokio
+//! streams.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Maximum accepted head (request/status line + headers) size.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted body size (pinglists are small; probe payloads are
+/// capped at 64 KB by the agent anyway).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Errors from the codec.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request or response.
+    Malformed(&'static str),
+    /// Head or body exceeded the size limits.
+    TooLarge,
+    /// Peer closed the connection mid-message.
+    UnexpectedEof,
+    /// Underlying transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed http: {what}"),
+            HttpError::TooLarge => write!(f, "http message too large"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method, e.g. `GET`.
+    pub method: String,
+    /// Path including query, e.g. `/pinglist/42`.
+    pub path: String,
+    /// Lower-cased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a GET request.
+    pub fn get(path: &str) -> Self {
+        Self {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builds a POST request with a body.
+    pub fn post(path: &str, body: Vec<u8>) -> Self {
+        Self {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+
+    /// Serializes the request head + body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        for (k, v) in &self.headers {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(b"connection: close\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 OK with a body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Self {
+            status: 200,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// 400 Bad Request with a reason body.
+    pub fn bad_request(reason: &str) -> Self {
+        Self {
+            status: 400,
+            headers: Vec::new(),
+            body: reason.as_bytes().to_vec(),
+        }
+    }
+
+    /// 404 Not Found.
+    pub fn not_found() -> Self {
+        Self {
+            status: 404,
+            headers: Vec::new(),
+            body: b"not found".to_vec(),
+        }
+    }
+
+    /// 503 Service Unavailable.
+    pub fn unavailable() -> Self {
+        Self {
+            status: 503,
+            headers: Vec::new(),
+            body: b"unavailable".to_vec(),
+        }
+    }
+
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+
+    /// Serializes the response head + body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            503 => "Service Unavailable",
+            _ => "Status",
+        };
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, reason).as_bytes());
+        for (k, v) in &self.headers {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(b"connection: close\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Finds the end of the head (`\r\n\r\n`), returning the offset just past
+/// it.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn parse_headers(lines: &mut std::str::Split<'_, &str>) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    match header_of(headers, "content-length") {
+        None => Ok(0),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if n > MAX_BODY {
+                return Err(HttpError::TooLarge);
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// Parses a request head; returns the request (without body) and the
+/// expected body length.
+pub fn parse_request_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let mut lines = text.split("\r\n");
+    let start = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = start.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing path"))?
+        .to_string();
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported version"));
+    }
+    let headers = parse_headers(&mut lines)?;
+    let len = content_length(&headers)?;
+    Ok((
+        Request {
+            method,
+            path,
+            headers,
+            body: Vec::new(),
+        },
+        len,
+    ))
+}
+
+/// Parses a response head; returns the response (without body) and the
+/// expected body length.
+pub fn parse_response_head(head: &[u8]) -> Result<(Response, usize), HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let mut lines = text.split("\r\n");
+    let start = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = start.split_whitespace();
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported version"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing status"))?
+        .parse()
+        .map_err(|_| HttpError::Malformed("bad status"))?;
+    let headers = parse_headers(&mut lines)?;
+    let len = content_length(&headers)?;
+    Ok((
+        Response {
+            status,
+            headers,
+            body: Vec::new(),
+        },
+        len,
+    ))
+}
+
+async fn read_message<S, H>(
+    stream: &mut S,
+    parse: impl Fn(&[u8]) -> Result<(H, usize), HttpError>,
+) -> Result<H, HttpError>
+where
+    S: AsyncRead + Unpin,
+    H: BodyCarrier,
+{
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let (mut msg, body_len, body_start) = loop {
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge);
+        }
+        let n = stream.read(&mut chunk).await?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(end) = head_end(&buf) {
+            let (msg, len) = parse(&buf[..end])?;
+            break (msg, len, end);
+        }
+    };
+    let mut body = buf[body_start..].to_vec();
+    while body.len() < body_len {
+        let n = stream.read(&mut chunk).await?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(body_len);
+    msg.set_body(body);
+    Ok(msg)
+}
+
+/// Internal helper so `read_message` can attach the body generically.
+trait BodyCarrier {
+    fn set_body(&mut self, body: Vec<u8>);
+}
+
+impl BodyCarrier for Request {
+    fn set_body(&mut self, body: Vec<u8>) {
+        self.body = body;
+    }
+}
+
+impl BodyCarrier for Response {
+    fn set_body(&mut self, body: Vec<u8>) {
+        self.body = body;
+    }
+}
+
+/// Reads one request from the stream.
+pub async fn read_request<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Request, HttpError> {
+    read_message(stream, parse_request_head).await
+}
+
+/// Reads one response from the stream.
+pub async fn read_response<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Response, HttpError> {
+    read_message(stream, parse_response_head).await
+}
+
+/// Writes a request to the stream.
+pub async fn write_request<S: AsyncWrite + Unpin>(
+    stream: &mut S,
+    req: &Request,
+) -> Result<(), HttpError> {
+    stream.write_all(&req.to_bytes()).await?;
+    stream.flush().await?;
+    Ok(())
+}
+
+/// Writes a response to the stream.
+pub async fn write_response<S: AsyncWrite + Unpin>(
+    stream: &mut S,
+    resp: &Response,
+) -> Result<(), HttpError> {
+    stream.write_all(&resp.to_bytes()).await?;
+    stream.flush().await?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_via_parse() {
+        let mut req = Request::post("/upload", b"hello world".to_vec());
+        req.headers.push(("x-custom".into(), "1".into()));
+        let bytes = req.to_bytes();
+        let end = head_end(&bytes).unwrap();
+        let (parsed, len) = parse_request_head(&bytes[..end]).unwrap();
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path, "/upload");
+        assert_eq!(parsed.header("X-Custom"), Some("1"));
+        assert_eq!(len, 11);
+        assert_eq!(&bytes[end..end + len], b"hello world");
+    }
+
+    #[test]
+    fn response_roundtrip_via_parse() {
+        let resp = Response::ok(b"<xml/>".to_vec());
+        let bytes = resp.to_bytes();
+        let end = head_end(&bytes).unwrap();
+        let (parsed, len) = parse_response_head(&bytes[..end]).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(len, 6);
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        assert!(parse_request_head(b"GET\r\n\r\n").is_err());
+        assert!(parse_request_head(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse_request_head(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(parse_response_head(b"HTTP/1.1 abc\r\n\r\n").is_err());
+        assert!(parse_request_head(&[0xFF, 0xFE, b'\r', b'\n', b'\r', b'\n']).is_err());
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let head = format!("GET / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            parse_request_head(head.as_bytes()),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn status_without_content_length_means_empty_body() {
+        let (_, len) = parse_response_head(b"HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
+        assert_eq!(len, 0);
+    }
+
+    #[tokio::test]
+    async fn async_roundtrip_over_duplex() {
+        let (mut client, mut server) = tokio::io::duplex(4096);
+        let req = Request::get("/pinglist/7");
+        let wrote = req.clone();
+        let client_task = tokio::spawn(async move {
+            write_request(&mut client, &wrote).await.unwrap();
+            read_response(&mut client).await.unwrap()
+        });
+        let got = read_request(&mut server).await.unwrap();
+        assert_eq!(got.method, "GET");
+        assert_eq!(got.path, "/pinglist/7");
+        write_response(&mut server, &Response::ok(b"<Pinglist/>".to_vec()))
+            .await
+            .unwrap();
+        let resp = client_task.await.unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"<Pinglist/>");
+    }
+
+    #[tokio::test]
+    async fn eof_mid_body_is_detected() {
+        let (mut client, mut server) = tokio::io::duplex(4096);
+        tokio::spawn(async move {
+            use tokio::io::AsyncWriteExt;
+            client
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\nshort")
+                .await
+                .unwrap();
+            // client dropped here: EOF
+        });
+        let err = read_response(&mut server).await.unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof), "{err}");
+    }
+
+    #[tokio::test]
+    async fn fragmented_delivery_is_reassembled() {
+        let (mut client, mut server) = tokio::io::duplex(8);
+        let body = vec![b'x'; 300];
+        let sent_body = body.clone();
+        tokio::spawn(async move {
+            let resp = Response::ok(sent_body);
+            // duplex with a tiny buffer forces many partial reads.
+            write_response(&mut client, &resp).await.unwrap();
+        });
+        let got = read_response(&mut server).await.unwrap();
+        assert_eq!(got.body, body);
+    }
+}

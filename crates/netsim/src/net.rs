@@ -1,0 +1,741 @@
+//! The simulated network: probe execution with TCP connect semantics.
+//!
+//! [`SimNet`] owns the topology, per-DC latency profiles, the fault state
+//! and per-switch counters, and executes probes:
+//!
+//! 1. Resolve the destination (physical server or VIP → DIP).
+//! 2. Resolve forward and reverse ECMP paths (isolated switches excluded,
+//!    modelling the routing update after isolation).
+//! 3. Run the TCP three-way handshake: each SYN attempt sends a packet
+//!    down the forward path and, if it survives, a SYN-ACK down the
+//!    reverse path. A lost attempt costs the TCP initial timeout (3 s,
+//!    doubling), and the retransmitted SYN reuses the same five-tuple —
+//!    same path, so deterministic black-holes fail the whole connect.
+//! 4. For payload probes, exchange the payload and its echo with data
+//!    retransmission timeouts on loss.
+//!
+//! The outcome is exactly what a Pingmesh agent would observe: an RTT
+//! (possibly ≈3 s / ≈9 s) or a timeout.
+
+use crate::faults::{Faults, Verdict};
+use crate::latency::{DcProfile, InterDcMatrix};
+use crate::rng::chance;
+use pingmesh_types::constants::{TCP_SYN_RETRIES, TCP_SYN_TIMEOUT};
+use pingmesh_types::{
+    DcId, DeviceId, FiveTuple, ProbeKind, ProbeOutcome, QosClass, ServerId, SimDuration, SimTime,
+    SwitchId,
+};
+use pingmesh_topology::{Path, Router, Topology, VipTable};
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Data-packet retransmission timeout (initial) for payload exchanges.
+const DATA_RTO: SimDuration = SimDuration::from_millis(300);
+/// Data retransmission attempts before the payload exchange is abandoned.
+const DATA_RETRIES: u32 = 5;
+
+/// SNMP-visible view of one switch, plus ground truth for verification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchCounters {
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Discards the switch *admits to* (congestion, down). This is what
+    /// the paper's operators could read from SNMP.
+    pub visible_discards: u64,
+    /// Ground truth: silent drops (black-holes, silent random, FCS). Real
+    /// SNMP has no such counter — "A switch may drop packets even though
+    /// its SNMP tells us everything is fine" (§6). Tests use this field;
+    /// detection code must not.
+    pub silent_discards_ground_truth: u64,
+}
+
+/// Result of one probe execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeAttempt {
+    /// The physical server that answered (VIP targets resolve to a DIP);
+    /// `None` when the target address is unknown.
+    pub dst: Option<ServerId>,
+    /// What the probing client observed.
+    pub outcome: ProbeOutcome,
+}
+
+/// The simulated data-center network.
+pub struct SimNet {
+    topo: Arc<Topology>,
+    profiles: Vec<DcProfile>,
+    interdc: InterDcMatrix,
+    vips: VipTable,
+    faults: Faults,
+    counters: HashMap<SwitchId, SwitchCounters>,
+    rng: SmallRng,
+}
+
+impl SimNet {
+    /// Creates a network over `topo` with one profile per DC (the profile
+    /// list is cycled if shorter than the DC count).
+    pub fn new(topo: Arc<Topology>, profiles: Vec<DcProfile>, seed: u64) -> Self {
+        assert!(!profiles.is_empty(), "need at least one DC profile");
+        let n = topo.dc_count();
+        let profiles: Vec<DcProfile> = (0..n)
+            .map(|i| profiles[i % profiles.len()].clone())
+            .collect();
+        let interdc = InterDcMatrix::uniform(n, SimDuration::from_millis(30));
+        Self {
+            topo,
+            profiles,
+            interdc,
+            vips: VipTable::new(),
+            faults: Faults::new(),
+            counters: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Profile of a DC.
+    pub fn profile(&self, dc: DcId) -> &DcProfile {
+        &self.profiles[dc.index()]
+    }
+
+    /// Mutable profile of a DC (for scenario tweaks).
+    pub fn profile_mut(&mut self, dc: DcId) -> &mut DcProfile {
+        &mut self.profiles[dc.index()]
+    }
+
+    /// Inter-DC delay matrix.
+    pub fn interdc_mut(&mut self) -> &mut InterDcMatrix {
+        &mut self.interdc
+    }
+
+    /// VIP table (read).
+    pub fn vips(&self) -> &VipTable {
+        &self.vips
+    }
+
+    /// VIP table (mutate).
+    pub fn vips_mut(&mut self) -> &mut VipTable {
+        &mut self.vips
+    }
+
+    /// Fault state (read).
+    pub fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
+    /// Fault state (mutate).
+    pub fn faults_mut(&mut self) -> &mut Faults {
+        &mut self.faults
+    }
+
+    /// Counters of a switch (zeroed view if never touched).
+    pub fn switch_counters(&self, sw: SwitchId) -> SwitchCounters {
+        self.counters.get(&sw).copied().unwrap_or_default()
+    }
+
+    /// Whether a server is powered and its agent able to probe/respond.
+    pub fn server_is_up(&self, s: ServerId, t: SimTime) -> bool {
+        let podset = self.topo.server(s).podset;
+        self.faults.server_is_up(s, podset, t) && !self.faults.podset_is_down(podset, t)
+    }
+
+    /// Resolves a destination address to a physical server: direct server
+    /// IP, or VIP dispatched to a DIP by five-tuple hash.
+    pub fn resolve_target(&self, ip: Ipv4Addr, tuple: &FiveTuple) -> Option<ServerId> {
+        self.topo
+            .server_by_ip(ip)
+            .or_else(|| self.vips.dispatch(ip, tuple))
+    }
+
+    fn resolve_path(&self, src: ServerId, dst: ServerId, tuple: &FiveTuple) -> Path {
+        let router = Router::new(&self.topo);
+        let faults = &self.faults;
+        router.resolve_excluding(src, dst, tuple, &|sw| faults.is_isolated(sw))
+    }
+
+    /// Sends one packet with five-tuple `tuple` along `path`; returns
+    /// `true` if it survives every hop. Updates switch counters: visible
+    /// discards for attributable drops, the ground-truth silent counter
+    /// for silent ones.
+    fn packet_survives_tuple(
+        &mut self,
+        path: &Path,
+        tuple: &FiveTuple,
+        payload_bytes: u32,
+        t: SimTime,
+    ) -> bool {
+        let (src_dc, dst_dc) = self.path_endpoints_dcs(path);
+        let p_host_src = self.profiles[src_dc.index()].drops.host;
+        let p_host_dst = self.profiles[dst_dc.index()].drops.host;
+        if chance(&mut self.rng, p_host_src) || chance(&mut self.rng, p_host_dst) {
+            return false;
+        }
+        let switches: Vec<SwitchId> = path.switches().collect();
+        for sw in switches {
+            if let Some(v) = self.faults.deterministic_verdict(sw, tuple, t) {
+                match v {
+                    Verdict::DropVisible => self.bump(sw, |c| c.visible_discards += 1),
+                    _ => self.bump(sw, |c| c.silent_discards_ground_truth += 1),
+                }
+                return false;
+            }
+            let dc = self.topo.dc_of_switch(sw).expect("switch has a DC");
+            let base = self.profiles[dc.index()].drops.for_tier(sw.tier);
+            let (silent, visible) = self.faults.random_drop_probs(sw, payload_bytes, t);
+            if chance(&mut self.rng, base + silent) {
+                self.bump(sw, |c| c.silent_discards_ground_truth += 1);
+                return false;
+            }
+            if chance(&mut self.rng, visible) {
+                self.bump(sw, |c| c.visible_discards += 1);
+                return false;
+            }
+            self.bump(sw, |c| c.forwarded += 1);
+        }
+        true
+    }
+
+    fn bump(&mut self, sw: SwitchId, f: impl FnOnce(&mut SwitchCounters)) {
+        f(self.counters.entry(sw).or_default())
+    }
+
+    fn path_endpoints_dcs(&self, path: &Path) -> (DcId, DcId) {
+        let dc_of = |d: &DeviceId| match d {
+            DeviceId::Server(s) => self.topo.server(*s).dc,
+            DeviceId::Switch(sw) => self.topo.dc_of_switch(*sw).expect("switch has a DC"),
+        };
+        let first = path.hops.first().map(&dc_of).unwrap_or(DcId(0));
+        let last = path.hops.last().map(&dc_of).unwrap_or(first);
+        (first, last)
+    }
+
+    /// Samples one round-trip path latency (no payload): host cost in each
+    /// direction, switch traversals of both paths, inter-DC propagation,
+    /// and host hiccups.
+    fn sample_rtt(&mut self, fwd: &Path, rev: &Path, t: SimTime, qos: QosClass) -> f64 {
+        let (src_dc, dst_dc) = self.path_endpoints_dcs(fwd);
+        let mut us = 0.0;
+        // Host cost per direction, attributed to the sending DC's profile
+        // (the pair sender-stack + receiver-stack).
+        // Borrow profiles by value to appease the borrow checker.
+        let src_profile = self.profiles[src_dc.index()].clone();
+        let dst_profile = self.profiles[dst_dc.index()].clone();
+        us += src_profile.sample_host_us(&mut self.rng);
+        us += dst_profile.sample_host_us(&mut self.rng);
+        for path in [fwd, rev] {
+            for sw in path.switches() {
+                let dc = self.topo.dc_of_switch(sw).expect("switch has a DC");
+                let p = self.profiles[dc.index()].clone();
+                us += p.sample_switch_us_qos(&mut self.rng, t, qos);
+            }
+        }
+        if src_dc != dst_dc {
+            us += 2.0 * self.interdc.one_way(src_dc.index(), dst_dc.index()).as_micros() as f64;
+        }
+        // One hiccup draw per probe, on the busier (source) host profile.
+        us += src_profile.sample_hiccup_us(&mut self.rng);
+        us
+    }
+
+    /// Executes one probe at virtual time `t`.
+    ///
+    /// `target_ip` may be a server IP or a VIP. The source port must be a
+    /// fresh ephemeral port (the agent guarantees this).
+    pub fn probe(
+        &mut self,
+        src: ServerId,
+        target_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        kind: ProbeKind,
+        t: SimTime,
+    ) -> ProbeAttempt {
+        self.probe_qos(src, target_ip, src_port, dst_port, kind, QosClass::High, t)
+    }
+
+    /// Like [`SimNet::probe`] with an explicit QoS class: low-priority
+    /// probes see the scavenger queue's inflated queuing delay.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_qos(
+        &mut self,
+        src: ServerId,
+        target_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        kind: ProbeKind,
+        qos: QosClass,
+        t: SimTime,
+    ) -> ProbeAttempt {
+        let tuple = FiveTuple::tcp(self.topo.ip_of(src), src_port, target_ip, dst_port);
+        let Some(dst) = self.resolve_target(target_ip, &tuple) else {
+            return ProbeAttempt {
+                dst: None,
+                outcome: ProbeOutcome::Timeout,
+            };
+        };
+        if src == dst {
+            // Self-probe: loopback, host stack only.
+            let dc = self.topo.server(src).dc;
+            let p = self.profiles[dc.index()].clone();
+            let rtt = p.sample_host_us(&mut self.rng);
+            return ProbeAttempt {
+                dst: Some(dst),
+                outcome: ProbeOutcome::Success {
+                    rtt: SimDuration::from_micros(rtt as u64),
+                },
+            };
+        }
+
+        let fwd = self.resolve_path(src, dst, &tuple);
+        let rev = self.resolve_path(dst, src, &tuple.reversed());
+        let dst_up = self.server_is_up(dst, t);
+
+        // --- TCP connect: SYN attempts with 3s / 6s timeouts. ---
+        let mut wait = SimDuration::ZERO;
+        let mut timeout = TCP_SYN_TIMEOUT;
+        let mut connected = false;
+        let mut prev_attempt_randomly_dropped = false;
+        let burst_corr = {
+            let dc = self.topo.server(src).dc;
+            self.profiles[dc.index()].burst_correlation
+        };
+        for _attempt in 0..=TCP_SYN_RETRIES {
+            // Burst correlation: after a random loss, the retry is more
+            // likely to be lost too (paper §4.2's justification for
+            // counting a 9 s connect as one drop).
+            let burst_kill =
+                prev_attempt_randomly_dropped && chance(&mut self.rng, burst_corr);
+            let syn_ok = !burst_kill
+                && dst_up
+                && self.packet_survives_tuple(&fwd, &tuple, 0, t + wait);
+            let synack_ok =
+                syn_ok && self.packet_survives_tuple(&rev, &tuple.reversed(), 0, t + wait);
+            if syn_ok && synack_ok {
+                connected = true;
+                break;
+            }
+            prev_attempt_randomly_dropped = true;
+            wait += timeout;
+            timeout = SimDuration::from_micros(timeout.as_micros() * 2);
+        }
+        if !connected {
+            return ProbeAttempt {
+                dst: Some(dst),
+                outcome: ProbeOutcome::Timeout,
+            };
+        }
+
+        let mut rtt_us = self.sample_rtt(&fwd, &rev, t, qos) + wait.as_micros() as f64;
+
+        // --- Optional payload exchange. ---
+        let payload = kind.payload_bytes();
+        if payload > 0 {
+            let (src_dc, dst_dc) = (self.topo.server(src).dc, self.topo.server(dst).dc);
+            // Serialization cost per traversed link, both directions.
+            let hops = (fwd.link_count() + rev.link_count()) as f64;
+            let per_hop = self.profiles[src_dc.index()].tx_delay_us(payload);
+            rtt_us += hops * per_hop;
+            // Peer user-space echo processing.
+            let dst_profile = self.profiles[dst_dc.index()].clone();
+            rtt_us += dst_profile.sample_echo_us(&mut self.rng);
+            // Data / echo packets can be lost; TCP retransmits with RTO.
+            let mut rto = DATA_RTO;
+            let mut delivered = false;
+            for _ in 0..=DATA_RETRIES {
+                let data_ok = self.packet_survives_tuple(&fwd, &tuple, payload, t);
+                let echo_ok = data_ok
+                    && self.packet_survives_tuple(&rev, &tuple.reversed(), payload, t);
+                if data_ok && echo_ok {
+                    delivered = true;
+                    break;
+                }
+                rtt_us += rto.as_micros() as f64;
+                rto = SimDuration::from_micros(rto.as_micros() * 2);
+            }
+            if !delivered {
+                return ProbeAttempt {
+                    dst: Some(dst),
+                    outcome: ProbeOutcome::Timeout,
+                };
+            }
+        }
+
+        ProbeAttempt {
+            dst: Some(dst),
+            outcome: ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(rtt_us.max(1.0) as u64),
+            },
+        }
+    }
+
+    /// Resolves the forward path a five-tuple takes from `src` to `dst`,
+    /// honoring isolations. Public for the traceroute tool.
+    pub fn path_of(&self, src: ServerId, dst: ServerId, tuple: &FiveTuple) -> Path {
+        self.resolve_path(src, dst, tuple)
+    }
+
+    /// One switch-traversal survival check for the given packet — the
+    /// primitive the simulated TCP traceroute uses. Does not bump the
+    /// forwarded counter (traceroute volume is negligible), but silent /
+    /// visible discards are recorded as ground truth.
+    pub(crate) fn switch_passes(
+        &mut self,
+        sw: SwitchId,
+        tuple: &FiveTuple,
+        payload_bytes: u32,
+        t: SimTime,
+    ) -> bool {
+        if let Some(v) = self.faults.deterministic_verdict(sw, tuple, t) {
+            match v {
+                Verdict::DropVisible => self.bump(sw, |c| c.visible_discards += 1),
+                _ => self.bump(sw, |c| c.silent_discards_ground_truth += 1),
+            }
+            return false;
+        }
+        let dc = self.topo.dc_of_switch(sw).expect("switch has a DC");
+        let base = self.profiles[dc.index()].drops.for_tier(sw.tier);
+        let (silent, visible) = self.faults.random_drop_probs(sw, payload_bytes, t);
+        if chance(&mut self.rng, base + silent) {
+            self.bump(sw, |c| c.silent_discards_ground_truth += 1);
+            return false;
+        }
+        if chance(&mut self.rng, visible) {
+            self.bump(sw, |c| c.visible_discards += 1);
+            return false;
+        }
+        true
+    }
+
+    /// Deterministic sub-RNG for helpers that need isolated randomness.
+    pub fn fork_rng(&mut self) -> SmallRng {
+        SmallRng::seed_from_u64(self.rng.random::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{ActiveFault, FaultKind};
+    use pingmesh_topology::{DcSpec, TopologySpec};
+    use pingmesh_types::PodId;
+
+    fn topo2() -> Arc<Topology> {
+        Arc::new(
+            Topology::build(TopologySpec {
+                dcs: vec![DcSpec::tiny("west"), DcSpec::tiny("east")],
+            })
+            .unwrap(),
+        )
+    }
+
+    fn net(profile: DcProfile) -> SimNet {
+        SimNet::new(topo2(), vec![profile], 99)
+    }
+
+    fn pair_cross_podset(net: &SimNet) -> (ServerId, ServerId) {
+        let t = net.topology();
+        (
+            t.servers_in_pod(PodId(0)).next().unwrap(),
+            t.servers_in_pod(PodId(4)).next().unwrap(),
+        )
+    }
+
+    #[test]
+    fn ideal_probe_succeeds_with_sane_rtt() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        let ip = n.topology().ip_of(b);
+        let r = n.probe(a, ip, 40_000, 8_100, ProbeKind::TcpSyn, SimTime(0));
+        assert_eq!(r.dst, Some(b));
+        let rtt = r.outcome.rtt().unwrap().as_micros();
+        // ideal: 2 * 100us host + 10 switch traversals * 5us = 250us.
+        assert_eq!(rtt, 250);
+    }
+
+    #[test]
+    fn payload_probe_costs_more_than_syn() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        let ip = n.topology().ip_of(b);
+        let syn = n
+            .probe(a, ip, 40_000, 8_100, ProbeKind::TcpSyn, SimTime(0))
+            .outcome
+            .rtt()
+            .unwrap();
+        let pay = n
+            .probe(a, ip, 40_001, 8_100, ProbeKind::TcpPayload(1_000), SimTime(0))
+            .outcome
+            .rtt()
+            .unwrap();
+        assert!(pay > syn, "payload {pay} vs syn {syn}");
+    }
+
+    #[test]
+    fn unknown_target_times_out() {
+        let mut n = net(DcProfile::ideal());
+        let a = ServerId(0);
+        let r = n.probe(
+            a,
+            Ipv4Addr::new(192, 168, 1, 1),
+            40_000,
+            8_100,
+            ProbeKind::TcpSyn,
+            SimTime(0),
+        );
+        assert_eq!(r.dst, None);
+        assert_eq!(r.outcome, ProbeOutcome::Timeout);
+    }
+
+    #[test]
+    fn self_probe_is_loopback() {
+        let mut n = net(DcProfile::ideal());
+        let a = ServerId(3);
+        let ip = n.topology().ip_of(a);
+        let r = n.probe(a, ip, 40_000, 8_100, ProbeKind::TcpSyn, SimTime(0));
+        assert_eq!(r.dst, Some(a));
+        assert_eq!(r.outcome.rtt().unwrap().as_micros(), 100);
+    }
+
+    #[test]
+    fn downed_podset_makes_probes_time_out() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        let podset_b = n.topology().server(b).podset;
+        n.faults_mut()
+            .set_podset_down(podset_b, SimTime(0), Some(SimTime(1_000_000)));
+        let ip = n.topology().ip_of(b);
+        let r = n.probe(a, ip, 40_000, 8_100, ProbeKind::TcpSyn, SimTime(10));
+        assert_eq!(r.outcome, ProbeOutcome::Timeout);
+        assert!(!n.server_is_up(b, SimTime(10)));
+        // After power restoration, probes work again.
+        let r2 = n.probe(a, ip, 40_001, 8_100, ProbeKind::TcpSyn, SimTime(2_000_000));
+        assert!(r2.outcome.is_success());
+    }
+
+    #[test]
+    fn full_blackhole_on_tor_fails_all_probes_through_it() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        let tor_a = n.topology().tor_of_pod(n.topology().server(a).pod);
+        n.faults_mut().add_switch_fault(
+            tor_a,
+            ActiveFault {
+                kind: FaultKind::BlackholeIp { frac: 1.0 },
+                from: SimTime(0),
+                until: None,
+            },
+        );
+        let ip = n.topology().ip_of(b);
+        let r = n.probe(a, ip, 40_000, 8_100, ProbeKind::TcpSyn, SimTime(0));
+        assert_eq!(r.outcome, ProbeOutcome::Timeout);
+        // The drop was silent: no visible discards.
+        let c = n.switch_counters(tor_a);
+        assert_eq!(c.visible_discards, 0);
+        assert!(c.silent_discards_ground_truth > 0);
+    }
+
+    #[test]
+    fn partial_blackhole_hits_some_pairs_deterministically() {
+        let mut n = net(DcProfile::ideal());
+        let t = n.topology().clone();
+        let tor0 = SwitchId::tor(0);
+        n.faults_mut().add_switch_fault(
+            tor0,
+            ActiveFault {
+                kind: FaultKind::BlackholeIp { frac: 0.4 },
+                from: SimTime(0),
+                until: None,
+            },
+        );
+        let a = t.servers_in_pod(PodId(0)).next().unwrap();
+        let mut failed_pairs = 0;
+        let mut ok_pairs = 0;
+        for b in t.servers_in_dc(DcId(0)).filter(|&b| b != a) {
+            let ip = t.ip_of(b);
+            // Several probes per pair: the fate must be identical.
+            let outcomes: Vec<bool> = (0..4)
+                .map(|i| {
+                    n.probe(a, ip, 41_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(0))
+                        .outcome
+                        .is_success()
+                })
+                .collect();
+            assert!(
+                outcomes.iter().all(|&o| o == outcomes[0]),
+                "black-hole must be deterministic per pair"
+            );
+            if outcomes[0] {
+                ok_pairs += 1;
+            } else {
+                failed_pairs += 1;
+            }
+        }
+        assert!(failed_pairs > 0, "some pairs must be black-holed");
+        assert!(ok_pairs > 0, "some pairs must survive");
+    }
+
+    #[test]
+    fn silent_random_drops_produce_3s_rtts() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        // 30% silent drop on every spine: many probes lose their first SYN.
+        let spines: Vec<SwitchId> = n.topology().spines_of_dc(DcId(0)).collect();
+        for s in spines {
+            n.faults_mut().add_switch_fault(
+                s,
+                ActiveFault {
+                    kind: FaultKind::SilentRandomDrop { prob: 0.3 },
+                    from: SimTime(0),
+                    until: None,
+                },
+            );
+        }
+        let ip = n.topology().ip_of(b);
+        let mut n3s = 0;
+        let mut normal = 0;
+        for i in 0..400u16 {
+            let r = n.probe(a, ip, 42_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(0));
+            if let Some(rtt) = r.outcome.rtt() {
+                if rtt >= SimDuration::from_secs(2) {
+                    n3s += 1;
+                } else {
+                    normal += 1;
+                }
+            }
+        }
+        assert!(n3s > 20, "expected many 3s-class RTTs, got {n3s}");
+        assert!(normal > 100, "most probes still succeed normally");
+    }
+
+    #[test]
+    fn isolation_routes_around_faulty_spine() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        // Kill one spine completely.
+        let spine = n.topology().spines_of_dc(DcId(0)).next().unwrap();
+        n.faults_mut().add_switch_fault(
+            spine,
+            ActiveFault {
+                kind: FaultKind::SilentRandomDrop { prob: 1.0 },
+                from: SimTime(0),
+                until: None,
+            },
+        );
+        let ip = n.topology().ip_of(b);
+        let before: usize = (0..200u16)
+            .filter(|i| {
+                !n.probe(a, ip, 43_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(0))
+                    .outcome
+                    .is_success()
+            })
+            .count();
+        assert!(before > 10, "faulty spine should fail many probes: {before}");
+        n.faults_mut().isolate_switch(spine);
+        let after: usize = (0..200u16)
+            .filter(|i| {
+                !n.probe(a, ip, 44_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(0))
+                    .outcome
+                    .is_success()
+            })
+            .count();
+        assert_eq!(after, 0, "isolation must route around the bad spine");
+    }
+
+    #[test]
+    fn vip_probes_reach_a_dip() {
+        let mut n = net(DcProfile::ideal());
+        let t = n.topology().clone();
+        let dips: Vec<ServerId> = t.servers_in_pod(PodId(2)).collect();
+        let vip_id = n.vips_mut().register(dips.clone()).unwrap();
+        let vip_ip = n.vips().get(vip_id).unwrap().vip;
+        let a = t.servers_in_pod(PodId(0)).next().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u16 {
+            let r = n.probe(a, vip_ip, 45_000 + i, 80, ProbeKind::Http, SimTime(0));
+            let dst = r.dst.expect("vip must resolve");
+            assert!(dips.contains(&dst));
+            assert!(r.outcome.is_success());
+            seen.insert(dst);
+        }
+        assert!(seen.len() > 1, "load balancing should use several DIPs");
+    }
+
+    #[test]
+    fn fcs_errors_hit_payload_probes_harder() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        // FCS fault on the source ToR: 20% per KB.
+        let tor_a = n.topology().tor_of_pod(n.topology().server(a).pod);
+        n.faults_mut().add_switch_fault(
+            tor_a,
+            ActiveFault {
+                kind: FaultKind::FcsError { per_kb_prob: 0.2 },
+                from: SimTime(0),
+                until: None,
+            },
+        );
+        let ip = n.topology().ip_of(b);
+        let mut syn_delayed = 0;
+        let mut pay_delayed = 0;
+        for i in 0..300u16 {
+            let r = n.probe(a, ip, 46_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(0));
+            if r.outcome.rtt().is_some_and(|x| x > SimDuration::from_millis(100)) {
+                syn_delayed += 1;
+            }
+            let r = n.probe(a, ip, 48_000 + i, 8_100, ProbeKind::TcpPayload(4_096), SimTime(0));
+            if r.outcome.rtt().is_some_and(|x| x > SimDuration::from_millis(100)) {
+                pay_delayed += 1;
+            }
+        }
+        assert_eq!(syn_delayed, 0, "SYN packets carry no payload");
+        assert!(pay_delayed > 50, "payload probes must suffer: {pay_delayed}");
+    }
+
+    #[test]
+    fn low_priority_probes_see_worse_queuing() {
+        let mut profile = DcProfile::ideal();
+        // Give the queue some randomness so percentile comparison is fair.
+        profile.queue_median_us = 20.0;
+        profile.queue_sigma = 0.5;
+        profile.qos_low_queue_factor = 4.0;
+        let mut n = SimNet::new(topo2(), vec![profile], 21);
+        let (a, b) = pair_cross_podset(&n);
+        let ip = n.topology().ip_of(b);
+        let mut sum_high = 0u64;
+        let mut sum_low = 0u64;
+        for i in 0..400u16 {
+            let hi = n
+                .probe_qos(a, ip, 50_000 + i, 8_100, ProbeKind::TcpSyn, QosClass::High, SimTime(0))
+                .outcome
+                .rtt()
+                .unwrap();
+            let lo = n
+                .probe_qos(a, ip, 52_000 + i, 8_101, ProbeKind::TcpSyn, QosClass::Low, SimTime(0))
+                .outcome
+                .rtt()
+                .unwrap();
+            sum_high += hi.as_micros();
+            sum_low += lo.as_micros();
+        }
+        assert!(
+            sum_low as f64 > sum_high as f64 * 1.5,
+            "low priority must queue behind high: {sum_low} vs {sum_high}"
+        );
+    }
+
+    #[test]
+    fn forwarded_counters_increase() {
+        let mut n = net(DcProfile::ideal());
+        let (a, b) = pair_cross_podset(&n);
+        let ip = n.topology().ip_of(b);
+        n.probe(a, ip, 40_000, 8_100, ProbeKind::TcpSyn, SimTime(0));
+        let tor_a = n.topology().tor_of_pod(n.topology().server(a).pod);
+        assert!(n.switch_counters(tor_a).forwarded > 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! The full real-socket agent: download pinglist → ping → upload.
+//!
+//! Identical semantics to the simulated agent, against real sockets:
+//!
+//! * pinglist fetched from the controller over HTTP, with the §3.4.2
+//!   fail-closed rules (3 consecutive failures or "no pinglist" → drop
+//!   all peers, keep responding);
+//! * every probe on a fresh connection (the OS assigns a fresh ephemeral
+//!   port per connect);
+//! * results buffered and uploaded to the collector, retry-then-discard;
+//! * perf counters (P50 / P99 / drop rate) exported for the PA path.
+//!
+//! [`RealAgent::run`] is the faithful always-on loop (probe cadence
+//! clamped to the hard 10-second floor); [`RealAgent::probe_round_once`]
+//! runs a single round immediately for demos and tests.
+
+use crate::collector::upload_records;
+use crate::directory::PeerDirectory;
+use pingmesh_agent::guard::SafetyGuard;
+use pingmesh_agent::real::{http_ping, tcp_ping};
+use pingmesh_controller::fetch_pinglist;
+use pingmesh_topology::Topology;
+use pingmesh_types::constants::{MIN_PROBE_INTERVAL, UPLOAD_RETRIES};
+use pingmesh_types::{
+    AgentCounters, CounterSnapshot, PingTarget, Pinglist, ProbeKind, ProbeOutcome, ProbeRecord,
+    ServerId, SimDuration, SimTime,
+};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the agent turns a pinglist entry into a socket address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Addressing {
+    /// Probe the entry's IP and port directly — production behaviour,
+    /// where the pinglist's addresses are the peers' real addresses.
+    #[default]
+    Direct,
+    /// Translate the peer's server id through a [`PeerDirectory`] —
+    /// the localhost mode, where every simulated server shares one host
+    /// and gets its own port pair.
+    Directory,
+}
+
+/// Configuration of one real agent.
+#[derive(Debug, Clone)]
+pub struct RealAgentConfig {
+    /// This agent's server identity.
+    pub me: ServerId,
+    /// The controller (or SLB VIP) address.
+    pub controller: SocketAddr,
+    /// The collector address records are uploaded to.
+    pub collector: SocketAddr,
+    /// Per-probe timeout.
+    pub probe_timeout: Duration,
+    /// Upload when this many records are buffered.
+    pub upload_batch: usize,
+    /// Max probes in flight at once (the paper's agent spreads load
+    /// across cores; we bound concurrency instead).
+    pub max_inflight: usize,
+    /// Peer address resolution mode.
+    pub addressing: Addressing,
+}
+
+impl RealAgentConfig {
+    /// Sensible defaults for a localhost deployment.
+    pub fn new(me: ServerId, controller: SocketAddr, collector: SocketAddr) -> Self {
+        Self {
+            me,
+            controller,
+            collector,
+            probe_timeout: Duration::from_secs(2),
+            upload_batch: 500,
+            max_inflight: 32,
+            addressing: Addressing::Directory,
+        }
+    }
+}
+
+/// The real-socket agent.
+pub struct RealAgent {
+    config: RealAgentConfig,
+    topo: Arc<Topology>,
+    directory: PeerDirectory,
+    guard: SafetyGuard,
+    pinglist: Option<Pinglist>,
+    buffer: Vec<ProbeRecord>,
+    counters: AgentCounters,
+    discarded: u64,
+    epoch: Instant,
+}
+
+impl RealAgent {
+    /// Creates an idle agent.
+    pub fn new(config: RealAgentConfig, topo: Arc<Topology>, directory: PeerDirectory) -> Self {
+        Self {
+            config,
+            topo,
+            directory,
+            guard: SafetyGuard::new(),
+            pinglist: None,
+            buffer: Vec::new(),
+            counters: AgentCounters::new(),
+            discarded: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// This agent's identity.
+    pub fn server(&self) -> ServerId {
+        self.config.me
+    }
+
+    /// Whether the agent is fail-closed.
+    pub fn is_stopped(&self) -> bool {
+        self.guard.is_stopped()
+    }
+
+    /// Active peer count.
+    pub fn peer_count(&self) -> usize {
+        self.pinglist.as_ref().map_or(0, |pl| pl.entries.len())
+    }
+
+    /// Records discarded because uploads kept failing.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Counter snapshot for the PA path (resets the window).
+    pub fn collect_counters(&mut self) -> CounterSnapshot {
+        let snap = self.counters.snapshot();
+        self.counters.reset_window();
+        snap
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Polls the controller once, applying the fail-closed rules.
+    pub async fn poll_controller(&mut self) {
+        match fetch_pinglist(self.config.controller, self.config.me).await {
+            Ok(Some(mut pl)) => {
+                SafetyGuard::sanitize(&mut pl);
+                self.guard.on_pinglist_received();
+                self.pinglist = Some(pl);
+            }
+            Ok(None) => {
+                self.guard.on_empty_controller();
+                self.pinglist = None;
+            }
+            Err(_) => {
+                if self.guard.on_controller_failure()
+                    == pingmesh_agent::guard::GuardDecision::StopProbing
+                {
+                    self.pinglist = None;
+                }
+            }
+        }
+    }
+
+    /// Runs one probe round: one probe per pinglist entry, concurrently
+    /// (bounded), recording outcomes. Returns the number of probes sent.
+    pub async fn probe_round_once(&mut self) -> usize {
+        if self.guard.is_stopped() {
+            return 0;
+        }
+        let Some(pl) = self.pinglist.clone() else {
+            return 0;
+        };
+        let timeout = self.config.probe_timeout;
+        let mut inflight = tokio::task::JoinSet::new();
+        let mut sent = 0usize;
+        for entry in pl.entries.iter().copied() {
+            let PingTarget::Server { id: peer, ip } = entry.target else {
+                continue; // VIP targets need the production LB; skip here
+            };
+            let endpoints = match self.config.addressing {
+                Addressing::Directory => match self.directory.lookup(peer) {
+                    Some(e) => e,
+                    None => continue,
+                },
+                Addressing::Direct => crate::directory::PeerEndpoints {
+                    // Production addressing: the pinglist's IP and port
+                    // are the peer agent's actual endpoints; HTTP probes
+                    // use the conventional HTTP port on the same host.
+                    echo: SocketAddr::from((ip, entry.port)),
+                    http: SocketAddr::from((ip, 80)),
+                },
+            };
+            if inflight.len() >= self.config.max_inflight {
+                if let Some(done) = inflight.join_next().await {
+                    self.absorb(done.expect("probe task panicked"));
+                }
+            }
+            sent += 1;
+            inflight.spawn(async move {
+                let outcome = match entry.kind {
+                    ProbeKind::TcpSyn => tcp_ping(endpoints.echo, None, timeout)
+                        .await
+                        .map(|r| r.connect_rtt)
+                        .ok(),
+                    ProbeKind::TcpPayload(n) => {
+                        let payload = vec![0xA5u8; n as usize];
+                        tcp_ping(endpoints.echo, Some(&payload), timeout)
+                            .await
+                            .ok()
+                            .and_then(|r| r.payload_rtt)
+                    }
+                    ProbeKind::Http => http_ping(endpoints.http, timeout).await.ok(),
+                };
+                (entry, peer, outcome)
+            });
+        }
+        while let Some(done) = inflight.join_next().await {
+            self.absorb(done.expect("probe task panicked"));
+        }
+        sent
+    }
+
+    fn absorb(
+        &mut self,
+        (entry, peer, rtt): (
+            pingmesh_types::PinglistEntry,
+            ServerId,
+            Option<Duration>,
+        ),
+    ) {
+        let outcome = match rtt {
+            Some(d) => ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(d.as_micros().max(1) as u64),
+            },
+            None => ProbeOutcome::Timeout,
+        };
+        self.counters.observe(outcome);
+        let s = self.topo.server(self.config.me);
+        let d = self.topo.server(peer);
+        self.buffer.push(ProbeRecord {
+            ts: self.now(),
+            src: self.config.me,
+            dst: peer,
+            src_pod: s.pod,
+            dst_pod: d.pod,
+            src_podset: s.podset,
+            dst_podset: d.podset,
+            src_dc: s.dc,
+            dst_dc: d.dc,
+            kind: entry.kind,
+            qos: entry.qos,
+            src_port: 0, // the OS picked the ephemeral port
+            dst_port: entry.port,
+            outcome,
+        });
+    }
+
+    /// Uploads the buffer if it reached the batch size; `force` flushes
+    /// regardless. Retries then discards, per §3.4.2.
+    pub async fn flush(&mut self, force: bool) {
+        if self.buffer.is_empty() || (!force && self.buffer.len() < self.config.upload_batch) {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buffer);
+        for attempt in 0..=UPLOAD_RETRIES {
+            match upload_records(self.config.collector, &batch).await {
+                Ok(()) => {
+                    self.counters.bytes_uploaded +=
+                        batch.iter().map(|r| r.wire_size() as u64).sum::<u64>();
+                    return;
+                }
+                Err(_) if attempt < UPLOAD_RETRIES => {
+                    tokio::time::sleep(Duration::from_millis(50)).await;
+                }
+                Err(_) => {
+                    self.discarded += batch.len() as u64;
+                    self.counters.records_discarded = self.discarded;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The always-on loop: poll the controller, then run probe rounds at
+    /// the configured cadence — clamped to the hard 10-second floor so a
+    /// full round never probes any pair more often than the paper's
+    /// limit. Runs until `shutdown` resolves.
+    pub async fn run(
+        mut self,
+        round_interval: Duration,
+        poll_interval: Duration,
+        shutdown: tokio::sync::watch::Receiver<bool>,
+    ) -> Self {
+        let floor = Duration::from_micros(MIN_PROBE_INTERVAL.as_micros());
+        let round_interval = round_interval.max(floor);
+        let mut next_poll = Instant::now();
+        let mut shutdown = shutdown;
+        loop {
+            if *shutdown.borrow() {
+                break;
+            }
+            if Instant::now() >= next_poll {
+                self.poll_controller().await;
+                next_poll = Instant::now() + poll_interval;
+            }
+            self.probe_round_once().await;
+            self.flush(false).await;
+            tokio::select! {
+                _ = tokio::time::sleep(round_interval) => {}
+                _ = shutdown.changed() => {}
+            }
+        }
+        self.flush(true).await;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::LocalCluster;
+    use pingmesh_controller::GeneratorConfig;
+    use pingmesh_topology::TopologySpec;
+
+    #[tokio::test]
+    async fn full_loop_fetch_probe_upload() {
+        let cluster = LocalCluster::start(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+        )
+        .await;
+        let mut agent = cluster.agent(ServerId(0));
+        agent.poll_controller().await;
+        assert!(!agent.is_stopped());
+        assert!(agent.peer_count() > 0);
+        let sent = agent.probe_round_once().await;
+        assert!(sent > 0, "must probe peers");
+        assert_eq!(agent.counters.probes_sent as usize, sent);
+        assert!(agent.counters.probes_succeeded > 0);
+        agent.flush(true).await;
+        let stats = cluster.collector().stats();
+        assert_eq!(stats.records, sent as u64);
+    }
+
+    #[tokio::test]
+    async fn controller_loss_fail_closes_after_three_polls() {
+        let cluster = LocalCluster::start(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+        )
+        .await;
+        let mut agent = cluster.agent(ServerId(1));
+        agent.poll_controller().await;
+        assert!(agent.peer_count() > 0);
+        // Point the agent at a dead controller.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        agent.config.controller = dead;
+        for _ in 0..3 {
+            agent.poll_controller().await;
+        }
+        assert!(agent.is_stopped());
+        assert_eq!(agent.peer_count(), 0);
+        assert_eq!(agent.probe_round_once().await, 0);
+    }
+
+    #[tokio::test]
+    async fn run_loop_probes_until_shutdown_and_flushes() {
+        let cluster = LocalCluster::start(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+        )
+        .await;
+        let agent = cluster.agent(ServerId(3));
+        let (tx, rx) = tokio::sync::watch::channel(false);
+        let handle = tokio::spawn(agent.run(
+            Duration::from_secs(3600), // one round, then sleep until shutdown
+            Duration::from_secs(3600),
+            rx,
+        ));
+        // Give the loop time for its first poll + round, then stop it.
+        tokio::time::sleep(Duration::from_millis(500)).await;
+        tx.send(true).unwrap();
+        let agent = handle.await.unwrap();
+        assert!(agent.counters.probes_sent > 0, "the loop must have probed");
+        // The final flush delivered everything.
+        assert!(agent.buffer.is_empty());
+        assert_eq!(
+            cluster.collector().stats().records,
+            agent.counters.probes_sent
+        );
+    }
+
+    #[tokio::test]
+    async fn upload_outage_discards_after_retries() {
+        let cluster = LocalCluster::start(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+        )
+        .await;
+        let mut agent = cluster.agent(ServerId(2));
+        agent.poll_controller().await;
+        agent.probe_round_once().await;
+        cluster.collector().set_accepting(false);
+        agent.flush(true).await;
+        assert!(agent.discarded() > 0, "retries exhausted must discard");
+        // Memory is bounded: the buffer is empty again.
+        assert!(agent.buffer.is_empty());
+    }
+}

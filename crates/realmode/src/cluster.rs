@@ -1,0 +1,159 @@
+//! A miniature Pingmesh deployment on localhost, exchanging real packets.
+//!
+//! [`LocalCluster::start`] spins up, over actual TCP sockets:
+//!
+//! * the controller web service with generated pinglists,
+//! * the record collector,
+//! * one TCP-echo responder and one HTTP responder per topology server
+//!   (registered in the shared [`PeerDirectory`]), and
+//! * hands out fully wired [`RealAgent`]s on demand.
+
+use crate::agent_loop::{RealAgent, RealAgentConfig};
+use crate::collector::{serve_collector, Collector};
+use crate::directory::{PeerDirectory, PeerEndpoints};
+use pingmesh_agent::real::{serve_echo, serve_http};
+use pingmesh_controller::{serve, GeneratorConfig, PinglistGenerator, WebState};
+use pingmesh_topology::{Topology, TopologySpec};
+use pingmesh_types::ServerId;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::TcpListener;
+
+/// Handles to a running localhost deployment.
+pub struct LocalCluster {
+    topo: Arc<Topology>,
+    controller_addr: SocketAddr,
+    controller_state: Arc<WebState>,
+    collector_addr: SocketAddr,
+    collector: Collector,
+    directory: PeerDirectory,
+}
+
+impl LocalCluster {
+    /// Builds the topology, generates pinglists, starts every service and
+    /// responder. All tasks are detached; they die with the runtime.
+    pub async fn start(spec: TopologySpec, generator_config: GeneratorConfig) -> Self {
+        let topo = Arc::new(Topology::build(spec).expect("valid topology"));
+
+        // Controller.
+        let generator = PinglistGenerator::new(generator_config);
+        let controller_state = Arc::new(WebState::new());
+        controller_state.set_pinglists(generator.generate_all(&topo, 1));
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let controller_addr = listener.local_addr().expect("addr");
+        tokio::spawn(serve(listener, controller_state.clone()));
+
+        // Collector.
+        let collector = Collector::new();
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let collector_addr = listener.local_addr().expect("addr");
+        tokio::spawn(serve_collector(listener, collector.clone()));
+
+        // Responders for every server.
+        let directory = PeerDirectory::new();
+        for server in topo.servers() {
+            let echo = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+            let echo_addr = echo.local_addr().expect("addr");
+            tokio::spawn(serve_echo(echo));
+            let http = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+            let http_addr = http.local_addr().expect("addr");
+            tokio::spawn(serve_http(http));
+            directory.register(
+                server,
+                PeerEndpoints {
+                    echo: echo_addr,
+                    http: http_addr,
+                },
+            );
+        }
+
+        Self {
+            topo,
+            controller_addr,
+            controller_state,
+            collector_addr,
+            collector,
+            directory,
+        }
+    }
+
+    /// The deployment topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The controller's address (for agents or manual fetches).
+    pub fn controller_addr(&self) -> SocketAddr {
+        self.controller_addr
+    }
+
+    /// The controller's state handle (swap/clear pinglists at runtime).
+    pub fn controller_state(&self) -> &Arc<WebState> {
+        &self.controller_state
+    }
+
+    /// The collector's address.
+    pub fn collector_addr(&self) -> SocketAddr {
+        self.collector_addr
+    }
+
+    /// The collector handle (stats, outage injection, store access).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// The shared peer directory.
+    pub fn directory(&self) -> &PeerDirectory {
+        &self.directory
+    }
+
+    /// A fully wired agent for one of the topology's servers.
+    pub fn agent(&self, server: ServerId) -> RealAgent {
+        RealAgent::new(
+            RealAgentConfig::new(server, self.controller_addr, self.collector_addr),
+            self.topo.clone(),
+            self.directory.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn cluster_starts_all_services() {
+        let cluster = LocalCluster::start(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+        )
+        .await;
+        assert_eq!(cluster.directory().len(), cluster.topology().server_count());
+        // The controller serves a pinglist over real HTTP.
+        let pl = pingmesh_controller::fetch_pinglist(cluster.controller_addr(), ServerId(0))
+            .await
+            .unwrap()
+            .unwrap();
+        assert!(!pl.entries.is_empty());
+        // The collector starts empty.
+        assert_eq!(cluster.collector().stats().records, 0);
+    }
+
+    #[tokio::test]
+    async fn multiple_agents_share_the_deployment() {
+        let cluster = LocalCluster::start(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+        )
+        .await;
+        let mut total = 0u64;
+        for s in [ServerId(0), ServerId(5), ServerId(9)] {
+            let mut a = cluster.agent(s);
+            a.poll_controller().await;
+            total += a.probe_round_once().await as u64;
+            a.flush(true).await;
+        }
+        assert_eq!(cluster.collector().stats().records, total);
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The record collector: Cosmos's upload front-end over real HTTP.
+//!
+//! "The Pingmesh Agent periodically uploads the aggregated records to
+//! Cosmos. Similar to the Pingmesh Controller, the front-end of Cosmos
+//! uses load-balancer and VIP to scale out." (§3.5)
+//!
+//! Endpoints:
+//!
+//! * `POST /upload` — body: JSON array of [`ProbeRecord`]s. `200` on
+//!   success; `503` while the store is marked down (drives the agents'
+//!   retry-then-discard path).
+//! * `GET /stats` — JSON `{records, logical_bytes, physical_bytes}`.
+
+use parking_lot::Mutex;
+use pingmesh_dsa::store::{CosmosStore, StreamName};
+use pingmesh_httpx::{read_request, write_response, Request, Response};
+use pingmesh_types::{PingmeshError, ProbeRecord, SimTime};
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+
+/// Collector statistics, served on `GET /stats`.
+#[derive(Debug, Clone, Copy, Serialize, serde::Deserialize)]
+pub struct CollectorStats {
+    /// Records stored.
+    pub records: u64,
+    /// Bytes before replication.
+    pub logical_bytes: u64,
+    /// Bytes including replication.
+    pub physical_bytes: u64,
+}
+
+/// The collector: a shared store behind an HTTP front-end.
+#[derive(Clone)]
+pub struct Collector {
+    store: Arc<Mutex<CosmosStore>>,
+    accepting: Arc<AtomicBool>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// A collector over a fresh store.
+    pub fn new() -> Self {
+        Self {
+            store: Arc::new(Mutex::new(CosmosStore::with_defaults())),
+            accepting: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// The shared store (scan it for analysis).
+    pub fn store(&self) -> &Arc<Mutex<CosmosStore>> {
+        &self.store
+    }
+
+    /// Simulates a storage outage: uploads get `503` until re-enabled.
+    pub fn set_accepting(&self, accepting: bool) {
+        self.accepting.store(accepting, Ordering::SeqCst);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CollectorStats {
+        let store = self.store.lock();
+        CollectorStats {
+            records: store.record_count(),
+            logical_bytes: store.logical_bytes(),
+            physical_bytes: store.physical_bytes(),
+        }
+    }
+
+    /// Handles one parsed request (pure; unit-testable without sockets).
+    pub fn respond(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/upload") => {
+                if !self.accepting.load(Ordering::SeqCst) {
+                    return Response::unavailable();
+                }
+                let Ok(records) = serde_json::from_slice::<Vec<ProbeRecord>>(&req.body) else {
+                    return Response::bad_request("malformed record batch");
+                };
+                if records.is_empty() {
+                    return Response::ok(b"empty".to_vec());
+                }
+                let mut store = self.store.lock();
+                // Batches are per-agent and agents live in one DC; the
+                // first record names the stream.
+                let stream = StreamName {
+                    dc: records[0].src_dc,
+                };
+                // The upload timestamp is the newest record's; the real
+                // store cares only about content timestamps.
+                let t = records.iter().map(|r| r.ts).max().unwrap_or(SimTime::ZERO);
+                store.append(stream, &records, t);
+                Response::ok(b"stored".to_vec())
+            }
+            ("GET", "/stats") => {
+                let body = serde_json::to_vec(&self.stats()).expect("stats serialize");
+                let mut resp = Response::ok(body);
+                resp.headers
+                    .push(("content-type".into(), "application/json".into()));
+                resp
+            }
+            _ => Response::not_found(),
+        }
+    }
+}
+
+async fn handle_conn(collector: Collector, mut stream: TcpStream) {
+    if let Ok(req) = read_request(&mut stream).await {
+        let resp = collector.respond(&req);
+        let _ = write_response(&mut stream, &resp).await;
+    }
+}
+
+/// Runs the collector HTTP service until dropped.
+pub async fn serve_collector(listener: TcpListener, collector: Collector) {
+    loop {
+        match listener.accept().await {
+            Ok((stream, _)) => {
+                tokio::spawn(handle_conn(collector.clone(), stream));
+            }
+            Err(_) => tokio::task::yield_now().await,
+        }
+    }
+}
+
+/// Agent-side upload client: POSTs a record batch to the collector.
+pub async fn upload_records(
+    addr: SocketAddr,
+    records: &[ProbeRecord],
+) -> Result<(), PingmeshError> {
+    let body = serde_json::to_vec(records).map_err(|e| PingmeshError::Parse(e.to_string()))?;
+    let mut stream = TcpStream::connect(addr)
+        .await
+        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+    let req = Request::post("/upload", body);
+    pingmesh_httpx::write_request(&mut stream, &req)
+        .await
+        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+    let resp = pingmesh_httpx::read_response(&mut stream)
+        .await
+        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+    if resp.status == 200 {
+        Ok(())
+    } else {
+        Err(PingmeshError::UploadFailed(format!(
+            "collector status {}",
+            resp.status
+        )))
+    }
+}
+
+/// Fetches collector statistics.
+pub async fn fetch_stats(addr: SocketAddr) -> Result<CollectorStats, PingmeshError> {
+    let mut stream = TcpStream::connect(addr)
+        .await
+        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+    pingmesh_httpx::write_request(&mut stream, &Request::get("/stats"))
+        .await
+        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+    let resp = pingmesh_httpx::read_response(&mut stream)
+        .await
+        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+    serde_json::from_slice(&resp.body).map_err(|e| PingmeshError::Parse(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::{
+        DcId, PodId, PodsetId, ProbeKind, ProbeOutcome, QosClass, ServerId, SimDuration,
+    };
+
+    fn rec(ts: u64) -> ProbeRecord {
+        ProbeRecord {
+            ts: SimTime(ts),
+            src: ServerId(0),
+            dst: ServerId(1),
+            src_pod: PodId(0),
+            dst_pod: PodId(0),
+            src_podset: PodsetId(0),
+            dst_podset: PodsetId(0),
+            src_dc: DcId(0),
+            dst_dc: DcId(0),
+            kind: ProbeKind::TcpSyn,
+            qos: QosClass::High,
+            src_port: 40_000,
+            dst_port: 8_100,
+            outcome: ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(123),
+            },
+        }
+    }
+
+    #[test]
+    fn respond_upload_and_stats() {
+        let c = Collector::new();
+        let batch = vec![rec(1), rec(2)];
+        let req = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+        assert_eq!(c.respond(&req).status, 200);
+        assert_eq!(c.stats().records, 2);
+        let stats_resp = c.respond(&Request::get("/stats"));
+        let stats: CollectorStats = serde_json::from_slice(&stats_resp.body).unwrap();
+        assert_eq!(stats.records, 2);
+        assert!(stats.physical_bytes >= stats.logical_bytes);
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests() {
+        let c = Collector::new();
+        assert_eq!(
+            c.respond(&Request::post("/upload", b"not json".to_vec())).status,
+            400
+        );
+        assert_eq!(c.respond(&Request::get("/nope")).status, 404);
+        assert_eq!(c.respond(&Request::get("/upload")).status, 404);
+        // Empty batch is accepted but stores nothing.
+        assert_eq!(
+            c.respond(&Request::post("/upload", b"[]".to_vec())).status,
+            200
+        );
+        assert_eq!(c.stats().records, 0);
+    }
+
+    #[test]
+    fn outage_mode_returns_503() {
+        let c = Collector::new();
+        c.set_accepting(false);
+        let batch = vec![rec(1)];
+        let req = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+        assert_eq!(c.respond(&req).status, 503);
+        assert_eq!(c.stats().records, 0);
+        c.set_accepting(true);
+        assert_eq!(c.respond(&req).status, 200);
+    }
+
+    #[tokio::test]
+    async fn upload_over_real_sockets() {
+        let c = Collector::new();
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(serve_collector(listener, c.clone()));
+
+        let batch: Vec<ProbeRecord> = (0..100).map(rec).collect();
+        upload_records(addr, &batch).await.unwrap();
+        let stats = fetch_stats(addr).await.unwrap();
+        assert_eq!(stats.records, 100);
+        // And the shared store is directly scannable for analysis.
+        assert_eq!(
+            c.store().lock().scan_all_window(SimTime(0), SimTime(1_000)).count(),
+            100
+        );
+    }
+
+    #[tokio::test]
+    async fn upload_to_down_collector_fails() {
+        let c = Collector::new();
+        c.set_accepting(false);
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(serve_collector(listener, c.clone()));
+        let err = upload_records(addr, &[rec(1)]).await.unwrap_err();
+        assert!(matches!(err, PingmeshError::UploadFailed(_)));
+    }
+}

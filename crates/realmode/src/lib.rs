@@ -1,0 +1,27 @@
+//! Real-socket Pingmesh deployment.
+//!
+//! Everything the simulation mode exercises at fleet scale, over actual
+//! TCP connections: the Controller's RESTful pinglist service
+//! (`pingmesh-controller::web`), a record **collector** standing in for
+//! Cosmos's upload front-end ([`collector`]), per-server TCP/HTTP
+//! **responders**, a **peer directory** mapping topology server ids to
+//! socket addresses ([`directory`]), and the full **agent run loop**
+//! ([`agent_loop`]) with the paper's fail-closed, bounded-resource
+//! semantics.
+//!
+//! [`cluster::LocalCluster`] wires all of it on localhost: a miniature
+//! Pingmesh deployment exchanging real packets, used by the
+//! `real_cluster` example and the integration tests.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agent_loop;
+pub mod cluster;
+pub mod collector;
+pub mod directory;
+
+pub use agent_loop::{RealAgent, RealAgentConfig};
+pub use cluster::LocalCluster;
+pub use collector::{serve_collector, upload_records, Collector};
+pub use directory::PeerDirectory;

@@ -1,0 +1,36 @@
+//! Data-center network topology model for Pingmesh.
+//!
+//! Models the structure described in §2.1 of the paper (Figure 1): within a
+//! data center, tens of servers connect to a top-of-rack (ToR) switch and
+//! form a **Pod**; tens of ToRs connect to a tier of **Leaf** switches and
+//! form a **Podset**; Podsets connect through a **Spine** tier; data centers
+//! connect to each other through border routers over the inter-DC network.
+//!
+//! The crate provides:
+//!
+//! * a declarative, serializable [`spec::TopologySpec`] describing a
+//!   deployment,
+//! * the materialized [`model::Topology`] with O(1) containment lookups and
+//!   IP address assignment,
+//! * ECMP-faithful path resolution ([`route`]) — the exact hop sequence a
+//!   five-tuple traverses, with per-switch hash salts, matching how the
+//!   fabric load-balances and why "the exact path of a TCP connection is
+//!   unknown at the server side",
+//! * VIP → DIP mapping for the software load balancer ([`vip`]), and
+//! * service → server mapping used for per-service SLA tracking
+//!   ([`service`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod route;
+pub mod service;
+pub mod spec;
+pub mod vip;
+
+pub use model::Topology;
+pub use route::{Path, Router};
+pub use service::ServiceMap;
+pub use spec::{DcSpec, TopologySpec};
+pub use vip::VipTable;

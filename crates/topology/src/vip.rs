@@ -1,0 +1,167 @@
+//! VIP → DIP mapping of the software load balancer (paper §6.2).
+//!
+//! Our load-balancing system exposes logical virtual IPs (VIPs); a control
+//! plane maintains the mapping from each VIP to the physical destination
+//! IPs (DIPs) of the servers behind it, and the data plane delivers packets
+//! addressed to a VIP to one of the DIPs. Pingmesh's VIP monitoring
+//! extension adds VIPs as pinglist targets; the probe is answered by a DIP
+//! chosen by five-tuple hash, exactly like the production Ananta-style
+//! load balancer the paper references.
+
+use pingmesh_types::{FiveTuple, PingmeshError, ServerId, VipId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One VIP with its backing DIP set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VipEntry {
+    /// VIP identity.
+    pub id: VipId,
+    /// Virtual address exposed to clients. Lives in 172.16.0.0/16 so it
+    /// can never collide with physical server addresses (10.0.0.0/8).
+    pub vip: Ipv4Addr,
+    /// Servers backing the VIP.
+    pub dips: Vec<ServerId>,
+}
+
+/// The VIP table maintained by the load-balancer control plane.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VipTable {
+    entries: Vec<VipEntry>,
+    #[serde(skip)]
+    by_ip: HashMap<Ipv4Addr, usize>,
+}
+
+impl VipTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Address assigned to the `n`-th VIP.
+    pub fn address_for(n: u32) -> Ipv4Addr {
+        let [hi, lo] = (n as u16).to_be_bytes();
+        Ipv4Addr::new(172, 16, hi, lo)
+    }
+
+    /// Registers a VIP backed by the given servers.
+    pub fn register(&mut self, dips: Vec<ServerId>) -> Result<VipId, PingmeshError> {
+        if dips.is_empty() {
+            return Err(PingmeshError::InvalidConfig(
+                "a VIP needs at least one DIP".into(),
+            ));
+        }
+        let id = VipId(self.entries.len() as u32);
+        let vip = Self::address_for(id.0);
+        self.by_ip.insert(vip, self.entries.len());
+        self.entries.push(VipEntry { id, vip, dips });
+        Ok(id)
+    }
+
+    /// All registered VIPs.
+    pub fn entries(&self) -> &[VipEntry] {
+        &self.entries
+    }
+
+    /// Looks up a VIP entry by id.
+    pub fn get(&self, id: VipId) -> Option<&VipEntry> {
+        self.entries.get(id.0 as usize)
+    }
+
+    /// Looks up a VIP entry by address.
+    pub fn by_address(&self, ip: Ipv4Addr) -> Option<&VipEntry> {
+        self.by_ip.get(&ip).map(|&i| &self.entries[i])
+    }
+
+    /// Data-plane dispatch: which DIP serves a flow addressed to `vip`?
+    /// Deterministic per five-tuple (connection affinity), balanced across
+    /// DIPs — the essential behaviour of the paper's SLB.
+    pub fn dispatch(&self, vip: Ipv4Addr, tuple: &FiveTuple) -> Option<ServerId> {
+        let e = self.by_address(vip)?;
+        let idx = (tuple.ecmp_hash() % e.dips.len() as u64) as usize;
+        Some(e.dips[idx])
+    }
+
+    /// Rebuilds the by-address index (needed after deserialization, since
+    /// the index is not serialized).
+    pub fn reindex(&mut self) {
+        self.by_ip = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.vip, i))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(sp: u16, dst: Ipv4Addr) -> FiveTuple {
+        FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), sp, dst, 80)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = VipTable::new();
+        let id = t.register(vec![ServerId(1), ServerId(2)]).unwrap();
+        let e = t.get(id).unwrap();
+        assert_eq!(e.vip, Ipv4Addr::new(172, 16, 0, 0));
+        assert_eq!(t.by_address(e.vip).unwrap().id, id);
+        assert_eq!(t.by_address(Ipv4Addr::new(172, 16, 0, 99)), None);
+    }
+
+    #[test]
+    fn empty_dip_set_is_rejected() {
+        assert!(VipTable::new().register(vec![]).is_err());
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_and_balanced() {
+        let mut t = VipTable::new();
+        let dips: Vec<ServerId> = (0..4).map(ServerId).collect();
+        let id = t.register(dips.clone()).unwrap();
+        let vip = t.get(id).unwrap().vip;
+        let mut counts = vec![0u32; 4];
+        for sp in 0..4_000u16 {
+            let tu = tuple(sp, vip);
+            let d1 = t.dispatch(vip, &tu).unwrap();
+            let d2 = t.dispatch(vip, &tu).unwrap();
+            assert_eq!(d1, d2, "connection affinity violated");
+            counts[d1.index()] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1_300).contains(&c), "unbalanced dispatch: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn dispatch_to_unknown_vip_is_none() {
+        let t = VipTable::new();
+        assert_eq!(
+            t.dispatch(Ipv4Addr::new(172, 16, 0, 0), &tuple(1, Ipv4Addr::new(172, 16, 0, 0))),
+            None
+        );
+    }
+
+    #[test]
+    fn reindex_restores_lookup_after_serde() {
+        let mut t = VipTable::new();
+        t.register(vec![ServerId(5)]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: VipTable = serde_json::from_str(&json).unwrap();
+        assert!(back.by_address(VipTable::address_for(0)).is_none());
+        back.reindex();
+        assert!(back.by_address(VipTable::address_for(0)).is_some());
+    }
+
+    #[test]
+    fn vip_addresses_do_not_collide_with_server_space() {
+        for n in [0u32, 1, 255, 65_535] {
+            let ip = VipTable::address_for(n);
+            assert_eq!(ip.octets()[0], 172);
+        }
+    }
+}

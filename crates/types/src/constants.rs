@@ -1,0 +1,67 @@
+//! Hard-coded safety constants of the Pingmesh Agent (paper §3.4.2).
+//!
+//! The paper is explicit that two limits are **hard coded in the source
+//! code** so that no configuration mistake can ever turn the fleet-wide
+//! agent into a traffic bomb:
+//!
+//! * the minimum probe interval between any two servers is 10 seconds, and
+//! * the probe payload length is limited to 64 kilobytes.
+//!
+//! We keep them as compile-time constants for exactly the same reason; the
+//! agent clamps any configuration against these bounds rather than trusting
+//! the controller.
+
+use crate::time::SimDuration;
+
+/// Minimum interval between two successive probes of the same
+/// source-destination pair. Hard limit; configuration can only increase it.
+pub const MIN_PROBE_INTERVAL: SimDuration = SimDuration::from_secs(10);
+
+/// Maximum probe payload length in bytes. Hard limit; configuration can
+/// only decrease it.
+pub const MAX_PAYLOAD_BYTES: usize = 64 * 1024;
+
+/// Number of consecutive controller failures after which the agent
+/// fail-closes: it drops all ping peers and stops probing (it keeps
+/// responding to pings from others).
+pub const CONTROLLER_FAILURES_BEFORE_STOP: u32 = 3;
+
+/// TCP initial SYN retransmission timeout in our data centers (paper §4.2:
+/// "the initial timeout value is 3 seconds").
+pub const TCP_SYN_TIMEOUT: SimDuration = SimDuration::from_secs(3);
+
+/// Number of SYN retransmissions before the connect attempt fails
+/// (paper §4.2: "the sender will retry SYN two times").
+pub const TCP_SYN_RETRIES: u32 = 2;
+
+/// Default number of upload retry attempts before in-memory latency data is
+/// discarded (paper §3.4.2: "it will retry several times. After that it
+/// will stop trying and discard the in-memory data").
+pub const UPLOAD_RETRIES: u32 = 3;
+
+/// Network SLA violation thresholds (paper §4.3): packet drop rate greater
+/// than 1e-3 or P99 latency above 5 ms fires an alert.
+pub const SLA_DROP_RATE_ALERT: f64 = 1e-3;
+
+/// See [`SLA_DROP_RATE_ALERT`].
+pub const SLA_P99_ALERT: SimDuration = SimDuration::from_millis(5);
+
+/// Maximum number of switch reloads the black-hole repair loop may trigger
+/// per day (paper §5.1: "we limit the algorithm to reload at most 20
+/// switches per day").
+pub const MAX_SWITCH_RELOADS_PER_DAY: u32 = 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        assert_eq!(MIN_PROBE_INTERVAL.as_micros(), 10_000_000);
+        assert_eq!(MAX_PAYLOAD_BYTES, 65_536);
+        assert_eq!(TCP_SYN_TIMEOUT.as_micros(), 3_000_000);
+        assert_eq!(TCP_SYN_RETRIES, 2);
+        assert_eq!(MAX_SWITCH_RELOADS_PER_DAY, 20);
+        assert!((0.0..1.0).contains(&SLA_DROP_RATE_ALERT) && SLA_DROP_RATE_ALERT != 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! The workspace-wide error type.
+//!
+//! Hand-rolled (no `thiserror`) to keep the dependency footprint to the
+//! pre-approved list; the enum is small and stable.
+
+use std::fmt;
+
+/// Errors surfaced by Pingmesh components.
+#[derive(Debug)]
+pub enum PingmeshError {
+    /// A referenced entity does not exist in the topology.
+    UnknownEntity(String),
+    /// Configuration failed validation.
+    InvalidConfig(String),
+    /// The controller could not be reached or returned an error.
+    ControllerUnavailable(String),
+    /// Uploading latency data to the store failed.
+    UploadFailed(String),
+    /// A wire-format document could not be parsed.
+    Parse(String),
+    /// Underlying socket / IO failure (real-socket mode).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PingmeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PingmeshError::UnknownEntity(s) => write!(f, "unknown entity: {s}"),
+            PingmeshError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            PingmeshError::ControllerUnavailable(s) => {
+                write!(f, "controller unavailable: {s}")
+            }
+            PingmeshError::UploadFailed(s) => write!(f, "upload failed: {s}"),
+            PingmeshError::Parse(s) => write!(f, "parse error: {s}"),
+            PingmeshError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PingmeshError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PingmeshError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PingmeshError {
+    fn from(e: std::io::Error) -> Self {
+        PingmeshError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PingmeshError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PingmeshError::UnknownEntity("srv9".into())
+            .to_string()
+            .contains("srv9"));
+        assert!(PingmeshError::Parse("bad xml".into())
+            .to_string()
+            .contains("bad xml"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let e: PingmeshError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "nope").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Strongly-typed identifiers for data-center entities.
+//!
+//! The paper's network is organized as: servers under a top-of-rack (ToR)
+//! switch form a **Pod**; a group of Pods plus their Leaf switches form a
+//! **Podset**; Podsets connect through a **Spine** layer; multiple data
+//! centers connect through an inter-DC network. Every entity gets a
+//! dedicated newtype so indices can never be mixed up across layers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// A data center. The inter-DC complete graph treats each DC as a
+    /// virtual node.
+    DcId,
+    "dc"
+);
+index_id!(
+    /// A Podset: a group of Pods sharing a set of Leaf switches.
+    /// Podset ids are global across the deployment.
+    PodsetId,
+    "podset"
+);
+index_id!(
+    /// A Pod: the servers under one ToR switch. Pod ids are global.
+    PodId,
+    "pod"
+);
+index_id!(
+    /// A single server. Server ids are global across all data centers.
+    ServerId,
+    "srv"
+);
+index_id!(
+    /// A service (tenant / application) mapped onto a set of servers.
+    /// Network SLAs are tracked per service (paper §4.3).
+    ServiceId,
+    "svc"
+);
+
+/// The tier a switch occupies in the Clos fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SwitchTier {
+    /// Top-of-rack switch: first hop from the servers of one Pod.
+    Tor,
+    /// Leaf switch: aggregates the ToRs of one Podset.
+    Leaf,
+    /// Spine switch: interconnects Podsets within a data center.
+    Spine,
+    /// Border router: gateway of a data center onto the inter-DC network.
+    Border,
+}
+
+impl SwitchTier {
+    /// Short lowercase label used in rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwitchTier::Tor => "tor",
+            SwitchTier::Leaf => "leaf",
+            SwitchTier::Spine => "spine",
+            SwitchTier::Border => "border",
+        }
+    }
+}
+
+impl fmt::Display for SwitchTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A switch anywhere in the deployment, identified by tier plus a global
+/// index within that tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchId {
+    /// Tier of this switch.
+    pub tier: SwitchTier,
+    /// Global index within the tier.
+    pub index: u32,
+}
+
+impl SwitchId {
+    /// Creates a switch id.
+    pub fn new(tier: SwitchTier, index: u32) -> Self {
+        Self { tier, index }
+    }
+
+    /// Convenience constructor for a ToR switch id.
+    pub fn tor(index: u32) -> Self {
+        Self::new(SwitchTier::Tor, index)
+    }
+
+    /// Convenience constructor for a Leaf switch id.
+    pub fn leaf(index: u32) -> Self {
+        Self::new(SwitchTier::Leaf, index)
+    }
+
+    /// Convenience constructor for a Spine switch id.
+    pub fn spine(index: u32) -> Self {
+        Self::new(SwitchTier::Spine, index)
+    }
+
+    /// Convenience constructor for a border router id.
+    pub fn border(index: u32) -> Self {
+        Self::new(SwitchTier::Border, index)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.tier.label(), self.index)
+    }
+}
+
+/// Any device a packet can traverse or originate from: a server NIC or a
+/// switch. Used by path resolution and by per-device fault attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceId {
+    /// A server endpoint (NIC + host stack).
+    Server(ServerId),
+    /// A switch at some tier.
+    Switch(SwitchId),
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceId::Server(s) => write!(f, "{s}"),
+            DeviceId::Switch(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<ServerId> for DeviceId {
+    fn from(v: ServerId) -> Self {
+        DeviceId::Server(v)
+    }
+}
+
+impl From<SwitchId> for DeviceId {
+    fn from(v: SwitchId) -> Self {
+        DeviceId::Switch(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DcId(3).to_string(), "dc3");
+        assert_eq!(ServerId(42).to_string(), "srv42");
+        assert_eq!(SwitchId::spine(7).to_string(), "spine7");
+        assert_eq!(DeviceId::from(ServerId(1)).to_string(), "srv1");
+        assert_eq!(DeviceId::from(SwitchId::tor(9)).to_string(), "tor9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<PodId> = [PodId(2), PodId(0), PodId(1)].into_iter().collect();
+        let v: Vec<u32> = set.into_iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn switch_tier_labels_are_distinct() {
+        let labels = [
+            SwitchTier::Tor,
+            SwitchTier::Leaf,
+            SwitchTier::Spine,
+            SwitchTier::Border,
+        ]
+        .map(SwitchTier::label);
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent_for_index_ids() {
+        let json = serde_json::to_string(&ServerId(17)).unwrap();
+        assert_eq!(json, "17");
+        let back: ServerId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ServerId(17));
+    }
+}

@@ -1,0 +1,218 @@
+//! Network-level primitives: five-tuples, ECMP hashing, QoS classes, VIPs.
+//!
+//! The paper's fabric load-balances with ECMP keyed on the TCP/UDP
+//! five-tuple; every Pingmesh probe uses a fresh ephemeral source port so
+//! that successive probes explore different fabric paths. The deterministic
+//! [`FiveTuple::ecmp_hash`] here is the single source of truth used both by
+//! the simulated switches (to pick a next hop) and by fault rules (packet
+//! black-holes keyed on address/port patterns).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// IP protocol numbers we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpProto {
+    /// TCP (all Pingmesh probes are TCP or HTTP-over-TCP).
+    Tcp,
+    /// UDP (present so the fabric model is protocol-agnostic, per §4.2).
+    Udp,
+}
+
+/// A TCP/UDP five-tuple, the ECMP hashing key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: IpProto,
+}
+
+impl FiveTuple {
+    /// Creates a TCP five-tuple.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IpProto::Tcp,
+        }
+    }
+
+    /// The five-tuple of the reverse direction (SYN-ACK path).
+    pub fn reversed(&self) -> Self {
+        Self {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Deterministic 64-bit ECMP hash of the five-tuple (FNV-1a).
+    ///
+    /// Switches derive the next-hop choice at each tier from this value,
+    /// mixing in a per-switch salt so that different switches do not make
+    /// correlated choices (see `pingmesh-topology`).
+    pub fn ecmp_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for b in self.src_ip.octets() {
+            eat(b);
+        }
+        for b in self.dst_ip.octets() {
+            eat(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            eat(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            eat(b);
+        }
+        eat(match self.proto {
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+        });
+        // Final avalanche (splitmix64 tail) so low bits are well mixed even
+        // for nearly-identical tuples.
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Hash of the address pair only (used by type-1 black-hole rules,
+    /// which match on source/destination IP regardless of ports).
+    pub fn addr_pair_hash(&self) -> u64 {
+        let mut t = *self;
+        t.src_port = 0;
+        t.dst_port = 0;
+        t.ecmp_hash()
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({:?})",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+/// DSCP-based quality-of-service class (paper §6.2, "QoS monitoring").
+///
+/// After network QoS was introduced, the Pingmesh Generator emits pinglist
+/// entries for both classes; the low-priority class probes a dedicated
+/// destination port on the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QosClass {
+    /// High-priority (default) traffic class.
+    High,
+    /// Low-priority / scavenger traffic class.
+    Low,
+}
+
+impl QosClass {
+    /// All classes, in generation order.
+    pub const ALL: [QosClass; 2] = [QosClass::High, QosClass::Low];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::High => "high",
+            QosClass::Low => "low",
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A virtual IP exposed by the software load balancer (paper §6.2, "VIP
+/// monitoring"). The load-balancing control plane maps a VIP onto a set of
+/// physical destination IPs (DIPs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VipId(pub u32);
+
+impl fmt::Display for VipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vip{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(sp: u16, dp: u16) -> FiveTuple {
+        FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sp,
+            Ipv4Addr::new(10, 0, 4, 2),
+            dp,
+        )
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(tuple(1234, 80).ecmp_hash(), tuple(1234, 80).ecmp_hash());
+    }
+
+    #[test]
+    fn hash_depends_on_ports() {
+        // Fresh source ports must steer probes onto (generally) different
+        // paths — the whole point of per-probe ephemeral ports.
+        assert_ne!(tuple(1234, 80).ecmp_hash(), tuple(1235, 80).ecmp_hash());
+        assert_ne!(tuple(1234, 80).ecmp_hash(), tuple(1234, 81).ecmp_hash());
+    }
+
+    #[test]
+    fn addr_pair_hash_ignores_ports() {
+        assert_eq!(
+            tuple(1234, 80).addr_pair_hash(),
+            tuple(4321, 443).addr_pair_hash()
+        );
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = tuple(1234, 80);
+        let r = t.reversed();
+        assert_eq!(r.src_ip, t.dst_ip);
+        assert_eq!(r.dst_port, t.src_port);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn hash_spreads_over_buckets() {
+        // A crude uniformity check: hashing 4k consecutive source ports into
+        // 8 buckets should put a reasonable share in each.
+        let mut buckets = [0u32; 8];
+        for sp in 0..4096u16 {
+            buckets[(tuple(sp, 80).ecmp_hash() % 8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((300..=800).contains(&b), "bucket count {b} out of range");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The pinglist: the contract between the Pingmesh Controller and Agents.
+//!
+//! The Controller's Pingmesh Generator computes, per server, the list of
+//! peers that server must probe, together with probe parameters. Agents
+//! periodically *pull* their pinglist over a RESTful web interface; the
+//! Controller never pushes (paper §3.3.2), which keeps it stateless. The
+//! wire format is a small XML document (paper §6.2: "standard XML files");
+//! serialization lives in `pingmesh-controller::xml`, the schema lives here
+//! so the agent does not depend on the controller crate.
+
+use crate::id::ServerId;
+use crate::net::{QosClass, VipId};
+use crate::probe::ProbeKind;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What a pinglist entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PingTarget {
+    /// A physical peer server.
+    Server {
+        /// Peer server id (for record bookkeeping).
+        id: ServerId,
+        /// Peer address.
+        ip: Ipv4Addr,
+    },
+    /// A load-balanced VIP (paper §6.2, "VIP monitoring"). The probe
+    /// lands on one of the VIP's DIPs chosen by the load balancer.
+    Vip {
+        /// VIP identity.
+        id: VipId,
+        /// Virtual address.
+        ip: Ipv4Addr,
+    },
+}
+
+impl PingTarget {
+    /// Destination address to probe.
+    pub fn ip(&self) -> Ipv4Addr {
+        match self {
+            PingTarget::Server { ip, .. } | PingTarget::Vip { ip, .. } => *ip,
+        }
+    }
+}
+
+/// One peer entry in a server's pinglist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PinglistEntry {
+    /// Whom to probe.
+    pub target: PingTarget,
+    /// Destination port (the agent listens on one port per QoS class).
+    pub port: u16,
+    /// Probe kind to launch.
+    pub kind: ProbeKind,
+    /// QoS class to mark the probe with.
+    pub qos: QosClass,
+    /// Interval between successive probes of this peer. The agent clamps
+    /// this to at least [`crate::constants::MIN_PROBE_INTERVAL`].
+    pub interval: SimDuration,
+}
+
+/// The complete pinglist generated for one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pinglist {
+    /// The server this list was generated for.
+    pub server: ServerId,
+    /// Monotonically increasing generation number; bumped whenever the
+    /// controller regenerates lists from a new topology or configuration.
+    pub generation: u64,
+    /// Peers to probe.
+    pub entries: Vec<PinglistEntry>,
+}
+
+impl Pinglist {
+    /// Creates an empty pinglist for a server.
+    pub fn empty(server: ServerId, generation: u64) -> Self {
+        Self {
+            server,
+            generation,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of probes this server launches per second under this list.
+    pub fn probes_per_second(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| {
+                let us = e.interval.as_micros();
+                if us == 0 {
+                    0.0
+                } else {
+                    1e6 / us as f64
+                }
+            })
+            .sum()
+    }
+
+    /// Estimated worst-case probing bandwidth in bits per second (paper
+    /// §3.4.2 bounds worst-case traffic volume; this is what the agent's
+    /// watchdog checks against its budget).
+    pub fn traffic_budget_bps(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| {
+                let us = e.interval.as_micros();
+                if us == 0 {
+                    return 0.0;
+                }
+                // SYN + SYN-ACK + ACK + FIN handshakes ≈ 320 bytes framing,
+                // plus payload echoed both ways.
+                let bytes = 320 + 2 * e.kind.payload_bytes() as u64;
+                (bytes * 8) as f64 / (us as f64 / 1e6)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(interval_s: u64, kind: ProbeKind) -> PinglistEntry {
+        PinglistEntry {
+            target: PingTarget::Server {
+                id: ServerId(7),
+                ip: Ipv4Addr::new(10, 0, 0, 7),
+            },
+            port: 8100,
+            kind,
+            qos: QosClass::High,
+            interval: SimDuration::from_secs(interval_s),
+        }
+    }
+
+    #[test]
+    fn probes_per_second_sums_entries() {
+        let pl = Pinglist {
+            server: ServerId(1),
+            generation: 1,
+            entries: vec![entry(10, ProbeKind::TcpSyn), entry(20, ProbeKind::TcpSyn)],
+        };
+        assert!((pl.probes_per_second() - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_budget_counts_payload_twice() {
+        let pl_syn = Pinglist {
+            server: ServerId(1),
+            generation: 1,
+            entries: vec![entry(10, ProbeKind::TcpSyn)],
+        };
+        let pl_payload = Pinglist {
+            server: ServerId(1),
+            generation: 1,
+            entries: vec![entry(10, ProbeKind::TcpPayload(1000))],
+        };
+        let syn = pl_syn.traffic_budget_bps();
+        let payload = pl_payload.traffic_budget_bps();
+        assert!((syn - 320.0 * 8.0 / 10.0).abs() < 1e-9);
+        assert!((payload - (320.0 + 2000.0) * 8.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_interval_entries_do_not_divide_by_zero() {
+        let mut e = entry(0, ProbeKind::TcpSyn);
+        e.interval = SimDuration::ZERO;
+        let pl = Pinglist {
+            server: ServerId(1),
+            generation: 1,
+            entries: vec![e],
+        };
+        assert_eq!(pl.probes_per_second(), 0.0);
+        assert_eq!(pl.traffic_budget_bps(), 0.0);
+    }
+
+    #[test]
+    fn target_ip_accessor() {
+        let t = PingTarget::Vip {
+            id: VipId(3),
+            ip: Ipv4Addr::new(172, 16, 0, 3),
+        };
+        assert_eq!(t.ip(), Ipv4Addr::new(172, 16, 0, 3));
+    }
+}

@@ -1,0 +1,171 @@
+//! `pingmesh-agent` — the real agent daemon: responds to pings, fetches
+//! its pinglist from the controller, probes its peers, uploads results to
+//! the collector. The third piece of the operator CLI triple
+//! (`pingmesh-controller`, `pingmesh-collector`, `pingmesh-agent`).
+//!
+//! ```text
+//! pingmesh-agent --server ID --controller ADDR --collector ADDR
+//!                [--listen-echo ADDR] [--listen-http ADDR]
+//!                [--topology FILE] [--round-secs N] [--poll-secs N]
+//! ```
+//!
+//! Addresses in the pinglist are probed directly (production behaviour).
+//! Probe rounds are clamped to the hard-coded 10-second floor.
+//!
+//! Note: the daemon binds one echo port (default 8100, the high-priority
+//! agent port). If the controller generates low-priority QoS entries
+//! (port 8101), run a second responder on that port or disable
+//! `--qos-low` on the controller.
+
+use pingmesh::agent::real::{serve_echo, serve_http};
+use pingmesh::realmode::agent_loop::{Addressing, RealAgent, RealAgentConfig};
+use pingmesh::realmode::PeerDirectory;
+use pingmesh::topology::{DcSpec, Topology, TopologySpec};
+use pingmesh::types::ServerId;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    server: u32,
+    controller: SocketAddr,
+    collector: SocketAddr,
+    listen_echo: String,
+    listen_http: String,
+    topology: Option<String>,
+    round_secs: u64,
+    poll_secs: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut server = None;
+    let mut controller = None;
+    let mut collector = None;
+    let mut listen_echo = "0.0.0.0:8100".to_string();
+    let mut listen_http = "0.0.0.0:8180".to_string();
+    let mut topology = None;
+    let mut round_secs = 30u64;
+    let mut poll_secs = 600u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--server" => server = Some(value("--server")?.parse().map_err(|e| format!("{e}"))?),
+            "--controller" => {
+                controller = Some(value("--controller")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--collector" => {
+                collector = Some(value("--collector")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--listen-echo" => listen_echo = value("--listen-echo")?,
+            "--listen-http" => listen_http = value("--listen-http")?,
+            "--topology" => topology = Some(value("--topology")?),
+            "--round-secs" => {
+                round_secs = value("--round-secs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--poll-secs" => {
+                poll_secs = value("--poll-secs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => {
+                return Err("usage: pingmesh-agent --server ID --controller ADDR \
+                            --collector ADDR [--listen-echo ADDR] [--listen-http ADDR] \
+                            [--topology FILE] [--round-secs N] [--poll-secs N]"
+                    .into());
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(Args {
+        server: server.ok_or("--server is required")?,
+        controller: controller.ok_or("--controller is required")?,
+        collector: collector.ok_or("--collector is required")?,
+        listen_echo,
+        listen_http,
+        topology,
+        round_secs,
+        poll_secs,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    // The agent needs the topology to denormalize record scopes, exactly
+    // like the production agent ships with the network graph.
+    let spec = match &args.topology {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            TopologySpec::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("invalid topology spec: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => TopologySpec {
+            dcs: vec![DcSpec::medium("DC1")],
+        },
+    };
+    let topo = Arc::new(Topology::build(spec).expect("validated above"));
+    if args.server as usize >= topo.server_count() {
+        eprintln!(
+            "--server {} is outside the topology ({} servers)",
+            args.server,
+            topo.server_count()
+        );
+        std::process::exit(2);
+    }
+
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .expect("runtime");
+    rt.block_on(async {
+        // The server part: respond to pings regardless of probing state
+        // ("It will still react to pings though", §3.4.2).
+        let echo = tokio::net::TcpListener::bind(&args.listen_echo)
+            .await
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind {}: {e}", args.listen_echo);
+                std::process::exit(2);
+            });
+        println!("echo responder on {}", echo.local_addr().expect("addr"));
+        tokio::spawn(serve_echo(echo));
+        let http = tokio::net::TcpListener::bind(&args.listen_http)
+            .await
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind {}: {e}", args.listen_http);
+                std::process::exit(2);
+            });
+        println!("http responder on {}", http.local_addr().expect("addr"));
+        tokio::spawn(serve_http(http));
+
+        // The client part: the always-on probe loop.
+        let mut config = RealAgentConfig::new(
+            ServerId(args.server),
+            args.controller,
+            args.collector,
+        );
+        config.addressing = Addressing::Direct;
+        let agent = RealAgent::new(config, topo, PeerDirectory::new());
+        println!(
+            "agent srv{} probing via controller {} / collector {} (rounds every {}s, polls every {}s)",
+            args.server, args.controller, args.collector, args.round_secs, args.poll_secs
+        );
+        let (_tx, rx) = tokio::sync::watch::channel(false);
+        // Runs until killed; _tx is held so the channel stays open.
+        let _agent = agent
+            .run(
+                Duration::from_secs(args.round_secs),
+                Duration::from_secs(args.poll_secs),
+                rx,
+            )
+            .await;
+    });
+}

@@ -1,0 +1,67 @@
+//! `pingmesh-collector` — the real record-ingest daemon: accepts agent
+//! uploads over HTTP and prints ingest statistics periodically.
+//!
+//! ```text
+//! pingmesh-collector --listen 127.0.0.1:8090 [--stats-interval-secs N]
+//! ```
+
+use pingmesh::realmode::{serve_collector, Collector};
+use std::time::Duration;
+
+fn main() {
+    let mut listen = "127.0.0.1:8090".to_string();
+    let mut stats_every = 10u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => listen = it.next().expect("--listen expects ADDR"),
+            "--stats-interval-secs" => {
+                stats_every = it
+                    .next()
+                    .expect("--stats-interval-secs expects N")
+                    .parse()
+                    .expect("numeric interval")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: pingmesh-collector --listen ADDR [--stats-interval-secs N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .expect("runtime");
+    rt.block_on(async {
+        let collector = Collector::new();
+        let listener = tokio::net::TcpListener::bind(&listen)
+            .await
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind {listen}: {e}");
+                std::process::exit(2);
+            });
+        println!(
+            "collector listening on http://{} (POST /upload, GET /stats)",
+            listener.local_addr().expect("addr")
+        );
+        let stats_handle = collector.clone();
+        tokio::spawn(async move {
+            loop {
+                tokio::time::sleep(Duration::from_secs(stats_every)).await;
+                let s = stats_handle.stats();
+                println!(
+                    "stored: {} records, {} logical bytes ({} physical with replication)",
+                    s.records, s.logical_bytes, s.physical_bytes
+                );
+            }
+        });
+        serve_collector(listener, collector).await;
+    });
+}

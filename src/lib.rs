@@ -1,0 +1,9 @@
+//! Umbrella crate for the Pingmesh reproduction.
+//!
+//! This crate hosts the repository-level examples and integration tests and
+//! re-exports the public facade from [`pingmesh_core`].
+
+pub use pingmesh_core::*;
+
+/// Real-socket deployment mode (localhost clusters with actual packets).
+pub use pingmesh_realmode as realmode;

@@ -1,0 +1,118 @@
+//! Smoke tests over the operator CLIs (spawned as real processes).
+
+use std::process::Command;
+
+#[test]
+fn pingmesh_sim_help_and_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-sim"))
+        .arg("--help")
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "--help exits with usage status");
+    let usage = String::from_utf8_lossy(&out.stderr);
+    assert!(usage.contains("usage: pingmesh-sim"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-sim"))
+        .args(["--nope"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-sim"))
+        .args(["--dcs", "9"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "--dcs out of range must fail");
+}
+
+#[test]
+fn pingmesh_sim_runs_a_tiny_healthy_scenario() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-sim"))
+        .args(["--tiny", "--minutes", "25", "--seed", "7"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("=== network SLA"));
+    assert!(stdout.contains("drop_rate="));
+    assert!(stdout.contains("all components healthy"));
+    assert!(stdout.contains("probes executed:"));
+}
+
+#[test]
+fn pingmesh_sim_writes_a_json_report() {
+    let dir = std::env::temp_dir().join(format!("pm-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_file = dir.join("report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-sim"))
+        .args([
+            "--tiny",
+            "--minutes",
+            "25",
+            "--json",
+            json_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let report = std::fs::read_to_string(&json_file).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&report).expect("valid json");
+    assert!(parsed["probes_run"].as_u64().unwrap() > 0);
+    assert!(parsed["dc_sla"].as_array().unwrap().len() == 1);
+    assert_eq!(parsed["alerts_raised"].as_u64().unwrap(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pingmesh_controller_writes_and_accepts_topology() {
+    let dir = std::env::temp_dir().join(format!("pm-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let topo_file = dir.join("topo.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-controller"))
+        .args([
+            "--write-default-topology",
+            topo_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&topo_file).unwrap();
+    assert!(written.contains("podsets"));
+    // The written spec parses back through the library.
+    pingmesh::topology::TopologySpec::from_json(&written).expect("valid spec");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pingmesh_controller_rejects_bad_topology_file() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-controller"))
+        .args(["--topology", "/nonexistent/nope.json"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn pingmesh_agent_requires_its_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-agent"))
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--server is required"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-agent"))
+        .arg("--help")
+        .output()
+        .expect("spawn");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pingmesh-agent"));
+}
+
+#[test]
+fn pingmesh_collector_help() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-collector"))
+        .arg("--help")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: pingmesh-collector"));
+}

@@ -1,0 +1,228 @@
+//! Property-based tests over the core invariants.
+
+use pingmesh::controller::{from_xml, to_xml, GeneratorConfig, PinglistGenerator};
+use pingmesh::topology::{DcSpec, Router, Topology, TopologySpec};
+use pingmesh::types::{
+    FiveTuple, LatencyHistogram, PingTarget, Pinglist, PinglistEntry, ProbeKind, QosClass,
+    ServerId, SimDuration, SwitchTier, VipId,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = TopologySpec> {
+    // Small but varied deployments: 1-3 DCs with independent shapes.
+    prop::collection::vec(
+        (1u32..4, 1u32..5, 1u32..6, 1u32..4, 1u32..5, 1u32..3).prop_map(
+            |(podsets, pods, servers, leaves, spines, borders)| DcSpec {
+                name: "dc".into(),
+                podsets,
+                pods_per_podset: pods,
+                servers_per_pod: servers,
+                leaves_per_podset: leaves,
+                spines,
+                borders,
+            },
+        ),
+        1..4,
+    )
+    .prop_map(|dcs| TopologySpec { dcs })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topology_containment_invariants(spec in arb_spec()) {
+        let topo = Topology::build(spec).unwrap();
+        // IPs unique and reversible; containment chains agree.
+        let mut seen = std::collections::HashSet::new();
+        for s in topo.servers() {
+            let info = topo.server(s);
+            prop_assert!(seen.insert(info.ip));
+            prop_assert_eq!(topo.server_by_ip(info.ip), Some(s));
+            prop_assert_eq!(topo.pod(info.pod).podset, info.podset);
+            prop_assert_eq!(topo.podset(info.podset).dc, info.dc);
+            prop_assert!(topo.pod(info.pod).servers.contains(&s.0));
+        }
+        // Per-DC ranges tile the global server space.
+        let total: usize = topo.dcs().map(|d| topo.servers_in_dc(d).count()).sum();
+        prop_assert_eq!(total, topo.server_count());
+    }
+
+    #[test]
+    fn ecmp_paths_are_well_formed(spec in arb_spec(), src_port in 1024u16.., salt in any::<u32>()) {
+        let topo = Topology::build(spec).unwrap();
+        let router = Router::new(&topo);
+        let n = topo.server_count() as u32;
+        let a = ServerId(salt % n);
+        let b = ServerId((salt / 7) % n);
+        let tuple = FiveTuple::tcp(topo.ip_of(a), src_port, topo.ip_of(b), 8100);
+        let path = router.resolve(a, b, &tuple);
+        // Endpoints are the servers themselves.
+        prop_assert_eq!(path.hops.first(), Some(&a.into()));
+        prop_assert_eq!(path.hops.last(), Some(&b.into()));
+        // Deterministic.
+        prop_assert_eq!(router.resolve(a, b, &tuple), path.clone());
+        // Structure: tier sequence is a palindrome of the expected shape
+        // and every switch belongs to the right DC.
+        let tiers: Vec<SwitchTier> = path.switches().map(|s| s.tier).collect();
+        let rev: Vec<SwitchTier> = tiers.iter().rev().copied().collect();
+        prop_assert_eq!(&tiers, &rev, "tier sequence must be symmetric");
+        for sw in path.switches() {
+            let dc = topo.dc_of_switch(sw);
+            prop_assert!(dc == Some(topo.server(a).dc) || dc == Some(topo.server(b).dc));
+        }
+        // No switch repeats on a loop-free path.
+        let set: std::collections::HashSet<_> = path.switches().collect();
+        prop_assert_eq!(set.len(), path.switches().count());
+    }
+
+    #[test]
+    fn pinglist_generation_invariants(spec in arb_spec()) {
+        let topo = Topology::build(spec).unwrap();
+        let generator = PinglistGenerator::new(GeneratorConfig::default());
+        let set = generator.generate_all(&topo, 3);
+        prop_assert_eq!(set.lists.len(), topo.server_count());
+        for pl in &set.lists {
+            let me = pl.server;
+            for e in &pl.entries {
+                // Hard floors hold straight out of the generator.
+                prop_assert!(e.interval >= pingmesh::types::constants::MIN_PROBE_INTERVAL);
+                match e.target {
+                    PingTarget::Server { id, ip } => {
+                        prop_assert_ne!(id, me, "no self-ping");
+                        prop_assert_eq!(topo.ip_of(id), ip, "target ip matches id");
+                        let a = topo.server(me);
+                        let b = topo.server(id);
+                        // The intra-DC rule: cross-pod same-DC peers share
+                        // the in-pod index.
+                        if a.dc == b.dc && a.pod != b.pod {
+                            prop_assert_eq!(a.index_in_pod, b.index_in_pod);
+                        }
+                    }
+                    PingTarget::Vip { .. } => {}
+                }
+            }
+        }
+        // Intra-pod symmetry: if a pings b (same pod), b pings a.
+        for pl in &set.lists {
+            let me = pl.server;
+            for e in &pl.entries {
+                if let PingTarget::Server { id, .. } = e.target {
+                    if topo.server(me).pod == topo.server(id).pod {
+                        let back = set.for_server(id).unwrap();
+                        let reciprocated = back.entries.iter().any(|e2| {
+                            matches!(e2.target, PingTarget::Server { id: rid, .. } if rid == me)
+                        });
+                        prop_assert!(reciprocated, "intra-pod pinglist not symmetric");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_quantiles(
+        mut samples in prop::collection::vec(1u64..10_000_000, 100..2_000),
+        q in 0.0f64..1.0
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_micros(s));
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1] as f64;
+        let est = h.quantile(q).unwrap().as_micros() as f64;
+        // Log-bucketed histogram: ≤ ~5% relative error (bucket width),
+        // plus clamping to the observed min/max.
+        prop_assert!(
+            (est - exact).abs() / exact <= 0.05,
+            "q={} exact={} est={}", q, exact, est
+        );
+    }
+
+    #[test]
+    fn histogram_merge_is_equivalent_to_union(
+        a in prop::collection::vec(1u64..1_000_000, 1..500),
+        b in prop::collection::vec(1u64..1_000_000, 1..500),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &x in &a { ha.record(SimDuration::from_micros(x)); hu.record(SimDuration::from_micros(x)); }
+        for &x in &b { hb.record(SimDuration::from_micros(x)); hu.record(SimDuration::from_micros(x)); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, hu);
+    }
+
+    #[test]
+    fn pinglist_xml_roundtrips(entries in prop::collection::vec(
+        (0u32..1000, 1u16..u16::MAX, 0u32..3, 0u32..2, 10u64..10_000).prop_map(
+            |(peer, port, kind, qos, interval_s)| PinglistEntry {
+                target: if kind == 2 && peer % 5 == 0 {
+                    PingTarget::Vip { id: VipId(peer), ip: std::net::Ipv4Addr::new(172, 16, 0, (peer % 256) as u8) }
+                } else {
+                    PingTarget::Server { id: ServerId(peer), ip: std::net::Ipv4Addr::new(10, 0, (peer / 256) as u8, (peer % 256) as u8) }
+                },
+                port,
+                kind: match kind { 0 => ProbeKind::TcpSyn, 1 => ProbeKind::TcpPayload(800 + peer % 400), _ => ProbeKind::Http },
+                qos: if qos == 0 { QosClass::High } else { QosClass::Low },
+                interval: SimDuration::from_secs(interval_s),
+            }
+        ), 0..50), server in any::<u32>(), generation in any::<u64>())
+    {
+        let pl = Pinglist { server: ServerId(server), generation, entries };
+        let xml = to_xml(&pl);
+        let back = from_xml(&xml).unwrap();
+        prop_assert_eq!(pl, back);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_garbage(garbage in ".{0,400}") {
+        // from_xml must reject or accept, never panic — agents parse
+        // bytes that crossed a network.
+        let _ = from_xml(&garbage);
+        let framed = format!("<Pinglist server=\"1\" generation=\"2\">{garbage}</Pinglist>");
+        let _ = from_xml(&framed);
+    }
+
+    #[test]
+    fn simnet_probes_are_deterministic_per_seed(seed in any::<u64>()) {
+        use pingmesh::netsim::{DcProfile, SimNet};
+        use pingmesh::types::{ProbeKind, SimTime};
+        let spec = TopologySpec::single_tiny();
+        let topo = std::sync::Arc::new(Topology::build(spec).unwrap());
+        let run = |seed: u64| {
+            let mut net = SimNet::new(topo.clone(), vec![DcProfile::us_west()], seed);
+            let a = ServerId(0);
+            let ip = topo.ip_of(ServerId(17));
+            (0..50u16)
+                .map(|i| {
+                    net.probe(a, ip, 40_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(i as u64))
+                        .outcome
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn ecmp_hash_is_uniform_enough(
+        base_port in 1024u16..60_000,
+        buckets in 2u64..16,
+    ) {
+        let ip_a = std::net::Ipv4Addr::new(10, 0, 0, 1);
+        let ip_b = std::net::Ipv4Addr::new(10, 0, 7, 9);
+        let n = 4_000u32;
+        let mut counts = vec![0u32; buckets as usize];
+        for i in 0..n {
+            let t = FiveTuple::tcp(ip_a, base_port.wrapping_add(i as u16), ip_b, 8100);
+            counts[(t.ecmp_hash() % buckets) as usize] += 1;
+        }
+        let expect = n as f64 / buckets as f64;
+        for &c in &counts {
+            prop_assert!((c as f64) > expect * 0.6 && (c as f64) < expect * 1.4,
+                "bucket {} vs expectation {}", c, expect);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Opt-in scale test (slow): run `cargo test --release --test scale -- --ignored`.
+//!
+//! The paper's deployments reach hundreds of thousands of servers. The
+//! simulator is bounded by probes/second, not fleet size; this test checks
+//! that a 10k-server deployment builds, generates pinglists, probes, and
+//! analyzes within sane time and memory.
+
+use pingmesh::controller::GeneratorConfig;
+use pingmesh::netsim::DcProfile;
+use pingmesh::topology::{DcSpec, ServiceMap, Topology, TopologySpec};
+use pingmesh::types::{DcId, SimDuration, SimTime};
+use pingmesh::{Orchestrator, OrchestratorConfig};
+use std::sync::Arc;
+
+#[test]
+#[ignore = "slow: ~10k servers, run explicitly"]
+fn ten_thousand_servers_probe_and_analyze() {
+    let topo = Arc::new(
+        Topology::build(TopologySpec {
+            dcs: vec![DcSpec {
+                name: "DC1".into(),
+                podsets: 16,
+                pods_per_podset: 16,
+                servers_per_pod: 40,
+                leaves_per_podset: 4,
+                spines: 64,
+                borders: 2,
+            }],
+        })
+        .unwrap(),
+    );
+    assert_eq!(topo.server_count(), 10_240);
+    let config = OrchestratorConfig {
+        generator: GeneratorConfig {
+            // Long intervals: fleet-wide probe rate stays manageable while
+            // every server still probes its whole pinglist.
+            intra_pod_interval: SimDuration::from_secs(120),
+            intra_dc_interval: SimDuration::from_secs(600),
+            ..GeneratorConfig::default()
+        },
+        ..OrchestratorConfig::default()
+    };
+    let mut o = Orchestrator::new(
+        topo.clone(),
+        vec![DcProfile::us_central()],
+        ServiceMap::new(),
+        config,
+    );
+    o.run_until(SimTime::ZERO + SimDuration::from_mins(45));
+    assert!(o.outputs().probes_run > 1_000_000);
+    let row = o
+        .pipeline()
+        .db
+        .latest(pingmesh::dsa::ScopeKey::Dc(DcId(0)))
+        .expect("sla row");
+    assert!(row.samples > 100_000);
+    assert!(row.drop_rate < 1e-3);
+    assert!(o.outputs().alerts.iter().all(|a| !a.raised));
+}
