@@ -18,11 +18,39 @@ use crate::buffer::ResultBuffer;
 use crate::config::AgentConfig;
 use crate::guard::{GuardDecision, SafetyGuard};
 use crate::scheduler::{DueProbe, ProbeScheduler};
+use pingmesh_topology::Topology;
 use pingmesh_types::{
     AgentCounters, CounterSnapshot, Pinglist, ProbeOutcome, ProbeRecord, ServerId, SimTime,
 };
-use pingmesh_topology::Topology;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Fleet-wide agent metrics. Thousands of [`Agent`] instances share these
+/// handles, so they are resolved once; each touch is an atomic add.
+struct AgentMetrics {
+    probes_sent: Arc<pingmesh_obs::Counter>,
+    guard_trips: Arc<pingmesh_obs::Counter>,
+    sanitized: Arc<pingmesh_obs::Counter>,
+    uploads_started: Arc<pingmesh_obs::Counter>,
+    upload_retries: Arc<pingmesh_obs::Counter>,
+    records_discarded: Arc<pingmesh_obs::Counter>,
+    upload_batch_size: Arc<pingmesh_obs::Histogram>,
+}
+
+fn metrics() -> &'static AgentMetrics {
+    static M: OnceLock<AgentMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = pingmesh_obs::registry();
+        AgentMetrics {
+            probes_sent: r.counter("pingmesh_agent_probes_sent_total"),
+            guard_trips: r.counter("pingmesh_agent_guard_trips_total"),
+            sanitized: r.counter("pingmesh_agent_sanitized_entries_total"),
+            uploads_started: r.counter("pingmesh_agent_uploads_started_total"),
+            upload_retries: r.counter("pingmesh_agent_upload_retries_total"),
+            records_discarded: r.counter("pingmesh_agent_records_discarded_total"),
+            upload_batch_size: r.histogram("pingmesh_agent_upload_batch_size"),
+        }
+    })
+}
 
 /// What a controller poll produced (transport-agnostic: the orchestrator
 /// adapts the in-process SLB, the real agent adapts HTTP).
@@ -47,6 +75,9 @@ pub struct Agent {
     counters: AgentCounters,
     generation: u64,
     sanitized_entries: u64,
+    // Last cumulative buffer-discard count folded into the fleet metric
+    // (the windowed counter resets, so the delta needs its own baseline).
+    discarded_seen: u64,
 }
 
 impl Agent {
@@ -61,6 +92,7 @@ impl Agent {
             counters: AgentCounters::new(),
             generation: 0,
             sanitized_entries: 0,
+            discarded_seen: 0,
         }
     }
 
@@ -90,11 +122,27 @@ impl Agent {
         self.sanitized_entries
     }
 
+    // Counts a fail-closed transition (edge-triggered: the guard keeps
+    // answering `StopProbing` while stopped, but only the first stop is a
+    // trip).
+    fn note_guard_trip(&self, reason: &'static str, now: SimTime) {
+        metrics().guard_trips.inc();
+        pingmesh_obs::emit_sim!(now; Warn, "agent.guard", "guard_trip",
+            "server" => self.server.0 as u64, "reason" => reason);
+    }
+
     /// Folds a controller poll result into the agent.
     pub fn on_controller_poll(&mut self, outcome: ControllerPollOutcome, now: SimTime) {
+        let was_stopped = self.guard.is_stopped();
         match outcome {
             ControllerPollOutcome::Pinglist(mut pl) => {
-                self.sanitized_entries += SafetyGuard::sanitize(&mut pl) as u64;
+                let clamped = SafetyGuard::sanitize(&mut pl) as u64;
+                if clamped > 0 {
+                    metrics().sanitized.add(clamped);
+                    pingmesh_obs::emit_sim!(now; Warn, "agent.guard", "entries_sanitized",
+                        "server" => self.server.0 as u64, "entries" => clamped);
+                }
+                self.sanitized_entries += clamped;
                 self.guard.on_pinglist_received();
                 // Reinstall only on a new generation: rebuilding the
                 // schedule resets probe phases, which we only want when
@@ -106,12 +154,18 @@ impl Agent {
             }
             ControllerPollOutcome::NoPinglist => {
                 if self.guard.on_empty_controller() == GuardDecision::StopProbing {
+                    if !was_stopped {
+                        self.note_guard_trip("no_pinglist", now);
+                    }
                     self.scheduler.clear();
                     self.generation = 0;
                 }
             }
             ControllerPollOutcome::Unreachable => {
                 if self.guard.on_controller_failure() == GuardDecision::StopProbing {
+                    if !was_stopped {
+                        self.note_guard_trip("controller_unreachable", now);
+                    }
                     self.scheduler.clear();
                     self.generation = 0;
                 }
@@ -145,6 +199,7 @@ impl Agent {
         now: SimTime,
     ) {
         self.counters.observe(outcome);
+        metrics().probes_sent.inc();
         let Some(dst) = dst else { return };
         let s = self.topo.server(self.server);
         let d = self.topo.server(dst);
@@ -173,13 +228,26 @@ impl Agent {
 
     /// Starts an upload; returns the batch for the uploader.
     pub fn begin_upload(&mut self) -> Option<Vec<ProbeRecord>> {
-        self.buffer.begin_upload()
+        let batch = self.buffer.begin_upload();
+        if let Some(b) = &batch {
+            metrics().uploads_started.inc();
+            metrics().upload_batch_size.record_micros(b.len() as u64);
+        }
+        batch
     }
 
     /// Reports the uploader's verdict; returns a batch to retry, if any.
     pub fn on_upload_result(&mut self, ok: bool) -> Option<Vec<ProbeRecord>> {
         let retry = self.buffer.on_upload_result(ok);
+        if !ok && retry.is_some() {
+            metrics().upload_retries.inc();
+        }
         self.counters.records_discarded = self.buffer.discarded();
+        let newly = self.buffer.discarded().saturating_sub(self.discarded_seen);
+        if newly > 0 {
+            self.discarded_seen = self.buffer.discarded();
+            metrics().records_discarded.add(newly);
+        }
         retry
     }
 
@@ -210,8 +278,8 @@ impl Agent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pingmesh_types::{PingTarget, PinglistEntry, ProbeKind, QosClass, SimDuration};
     use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{PingTarget, PinglistEntry, ProbeKind, QosClass, SimDuration};
     use std::net::Ipv4Addr;
 
     fn topo() -> Arc<Topology> {

@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks over the performance-critical paths:
 //! pinglist generation, ECMP path resolution, histogram operations,
-//! simulated probe execution, window aggregation, and agent scheduling.
+//! simulated probe execution, window aggregation, agent scheduling, and
+//! the observability layer itself (including proof that the disabled
+//! event path performs zero heap allocations).
 //!
 //! Run with `cargo bench -p pingmesh-bench`.
 
@@ -11,10 +13,32 @@ use pingmesh_core::dsa::agg::WindowAggregate;
 use pingmesh_core::netsim::{DcProfile, SimNet};
 use pingmesh_core::topology::{DcSpec, Router, Topology, TopologySpec};
 use pingmesh_core::types::{
-    FiveTuple, LatencyHistogram, PodId, ProbeKind, ProbeOutcome, ProbeRecord, QosClass,
-    ServerId, SimDuration, SimTime,
+    FiveTuple, LatencyHistogram, PodId, ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId,
+    SimDuration, SimTime,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Counts every heap allocation so the disabled-instrumentation bench can
+/// assert the probe hot path stays allocation-free.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn medium_topo() -> Arc<Topology> {
     Arc::new(
@@ -27,9 +51,7 @@ fn medium_topo() -> Arc<Topology> {
 
 fn bench_pinglist_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("pinglist_generation");
-    for (label, podsets, pods, servers) in
-        [("800srv", 5u32, 8u32, 10u32), ("8k_srv", 10, 20, 40)]
-    {
+    for (label, podsets, pods, servers) in [("800srv", 5u32, 8u32, 10u32), ("8k_srv", 10, 20, 40)] {
         let topo = Topology::build(TopologySpec {
             dcs: vec![DcSpec {
                 name: "DC".into(),
@@ -165,6 +187,38 @@ fn bench_scheduler(c: &mut Criterion) {
     });
 }
 
+fn bench_obs(c: &mut Criterion) {
+    // Acceptance check, not a timing: with instrumentation disabled, the
+    // emit + span paths must not touch the heap at all. The counting
+    // allocator sees every allocation in the process, so a zero delta over
+    // 10k iterations is proof.
+    pingmesh_obs::set_enabled(false);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        pingmesh_obs::emit!(Info, "bench.micro", "disabled_emit", "i" => i);
+        let _guard = pingmesh_obs::span("bench.micro", "disabled_span");
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "disabled observability path allocated {allocs} times"
+    );
+
+    c.bench_function("obs_emit_disabled", |b| {
+        b.iter(|| pingmesh_obs::emit!(Info, "bench.micro", "disabled_emit", "n" => 1u64))
+    });
+    pingmesh_obs::set_enabled(true);
+    c.bench_function("obs_emit_enabled", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pingmesh_obs::emit!(Debug, "bench.micro", "enabled_emit", "i" => i);
+        })
+    });
+    let ctr = pingmesh_obs::registry().counter("pingmesh_bench_micro_total");
+    c.bench_function("obs_counter_inc", |b| b.iter(|| ctr.inc()));
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -177,6 +231,7 @@ criterion_group! {
         bench_histogram,
         bench_simnet_probe,
         bench_window_aggregation,
-        bench_scheduler
+        bench_scheduler,
+        bench_obs
 }
 criterion_main!(benches);

@@ -22,6 +22,7 @@ fn main() {
         "ablation_blackhole",
         "Black-hole detector: precision/recall vs ToR-score threshold",
     );
+    init_telemetry("ablation_blackhole");
     let topo = Arc::new(
         Topology::build(TopologySpec {
             dcs: vec![DcSpec {
@@ -69,10 +70,9 @@ fn main() {
         topo.server_count(),
         faulty.len()
     );
-    println!("observing 4 hours of probes...\n");
+    pingmesh_obs::emit!(Info, "bench.ablation_blackhole", "observing", "sim_hours" => 4u64);
     let until = SimTime::ZERO + SimDuration::from_hours(4);
-    let agg: WindowAggregate =
-        run_and_aggregate(&mut o, until, SimDuration::from_mins(30));
+    let agg: WindowAggregate = run_and_aggregate(&mut o, until, SimDuration::from_mins(30));
 
     println!(
         "  {:>10} {:>10} {:>10} {:>10} {:>12}",
@@ -86,11 +86,7 @@ fn main() {
             min_reach_fraction: 0.2,
         });
         let finding = det.detect(&agg, &topo);
-        let flagged: HashSet<SwitchId> = finding
-            .reload_candidates
-            .iter()
-            .map(|c| c.tor)
-            .collect();
+        let flagged: HashSet<SwitchId> = finding.reload_candidates.iter().map(|c| c.tor).collect();
         let hits = flagged.intersection(&faulty).count();
         let precision = if flagged.is_empty() {
             1.0
@@ -117,11 +113,17 @@ fn main() {
         ok &= cond;
     };
     check(
-        &format!("precision ≥ 60% at the default threshold (got {:.0}%)", precision * 100.0),
+        &format!(
+            "precision ≥ 60% at the default threshold (got {:.0}%)",
+            precision * 100.0
+        ),
         precision >= 0.6,
     );
     check(
-        &format!("recall ≥ 90% at the default threshold (got {:.0}%)", recall * 100.0),
+        &format!(
+            "recall ≥ 90% at the default threshold (got {:.0}%)",
+            recall * 100.0
+        ),
         recall >= 0.9,
     );
     println!(
@@ -129,6 +131,7 @@ fn main() {
          \x20 slightly lower recall. The repair loop tolerates false positives (a reload\n\
          \x20 is cheap and budgeted), so the default favors recall, as the paper's did."
     );
+    finish_telemetry("ablation_blackhole");
     if !ok {
         std::process::exit(1);
     }

@@ -70,6 +70,7 @@ fn main() {
         "ablation_droprate",
         "Drop-rate heuristic: 9s = one drop, successful-only denominator",
     );
+    init_telemetry("ablation_droprate");
     let topo = Arc::new(
         Topology::build(TopologySpec {
             dcs: vec![DcSpec::tiny("DC1")],
@@ -93,13 +94,19 @@ fn main() {
     // probability = 1 - (1-p)^2 per connection.
     let truth = 1.0 - (1.0f64 - 0.02).powi(2);
     compare_row("ground-truth first-loss rate", &format!("{truth:.2e}"), "");
-    compare_row("paper heuristic (9s = 1 drop)", "", &format!("{:.2e}", c.paper()));
-    compare_row("variant: 9s counted as 2 drops", "", &format!("{:.2e}", c.double_count_9s()));
+    compare_row(
+        "paper heuristic (9s = 1 drop)",
+        "",
+        &format!("{:.2e}", c.paper()),
+    );
+    compare_row(
+        "variant: 9s counted as 2 drops",
+        "",
+        &format!("{:.2e}", c.double_count_9s()),
+    );
     let err_paper = 100.0 * (c.paper() - truth).abs() / truth;
     let err_double = 100.0 * (c.double_count_9s() - truth).abs() / truth;
-    println!(
-        "  relative error: paper {err_paper:.1}% vs double-count {err_double:.1}%",
-    );
+    println!("  relative error: paper {err_paper:.1}% vs double-count {err_double:.1}%",);
     let a_ok = err_paper <= err_double + 1e-9;
     println!(
         "  [{}] counting a 9s connect once is at least as accurate under bursty loss",
@@ -115,17 +122,26 @@ fn main() {
     // The probed pod's podset loses power halfway through.
     let b = topo.servers_in_pod(PodId(4)).next().unwrap();
     let podset_b = topo.server(b).podset;
-    net.faults_mut().set_podset_down(
-        podset_b,
-        SimTime(200_000_000),
-        None,
-    );
+    net.faults_mut()
+        .set_podset_down(podset_b, SimTime(200_000_000), None);
     let _ = PodsetId(0);
     let c = run(&mut net, 400_000);
     let truth = 1.0 - (1.0f64 - 0.005).powi(2);
-    compare_row("ground-truth network loss rate", &format!("{truth:.2e}"), "");
-    compare_row("paper heuristic (successful-only)", "", &format!("{:.2e}", c.paper()));
-    compare_row("variant: all probes in denominator", "", &format!("{:.2e}", c.all_probe_denominator()));
+    compare_row(
+        "ground-truth network loss rate",
+        &format!("{truth:.2e}"),
+        "",
+    );
+    compare_row(
+        "paper heuristic (successful-only)",
+        "",
+        &format!("{:.2e}", c.paper()),
+    );
+    compare_row(
+        "variant: all probes in denominator",
+        "",
+        &format!("{:.2e}", c.all_probe_denominator()),
+    );
     let err_paper = 100.0 * (c.paper() - truth).abs() / truth;
     let err_all = 100.0 * (c.all_probe_denominator() - truth).abs() / truth;
     println!("  relative error: paper {err_paper:.1}% vs all-probes {err_all:.1}%");
@@ -135,6 +151,7 @@ fn main() {
         if b_ok { "ok" } else { "FAIL" }
     );
 
+    finish_telemetry("ablation_droprate");
     if !(a_ok && b_ok) {
         std::process::exit(1);
     }

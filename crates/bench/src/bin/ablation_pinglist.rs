@@ -64,6 +64,7 @@ fn main() {
         "ablation_pinglist",
         "Pinglist designs: 3-level complete graphs vs alternatives",
     );
+    init_telemetry("ablation_pinglist");
     let topo = Topology::build(TopologySpec {
         dcs: vec![DcSpec::medium("DC1")],
     })
@@ -172,6 +173,7 @@ fn main() {
         ),
         sampled.server_participation < 0.2,
     );
+    finish_telemetry("ablation_pinglist");
     if !ok {
         std::process::exit(1);
     }

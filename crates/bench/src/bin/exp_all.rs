@@ -22,6 +22,7 @@ const EXPERIMENTS: &[(&str, &[&str])] = &[
 ];
 
 fn main() {
+    pingmesh_bench::init_telemetry("exp_all");
     let me = std::env::current_exe().expect("current_exe");
     let dir = me.parent().expect("bin dir").to_path_buf();
     let mut results = Vec::new();
@@ -33,6 +34,9 @@ fn main() {
             .args(*args)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        pingmesh_obs::emit!(Info, "bench.exp_all", "experiment_finished",
+            "experiment" => *name, "ok" => status.success(),
+            "duration_s" => t0.elapsed().as_secs_f64());
         results.push((*name, status.success(), t0.elapsed()));
     }
     println!("\n================= experiment suite summary =================");
@@ -46,6 +50,7 @@ fn main() {
         );
         all_ok &= ok;
     }
+    pingmesh_bench::finish_telemetry("exp_all");
     if !all_ok {
         std::process::exit(1);
     }

@@ -175,6 +175,8 @@ fn measure_memory() {
 
 fn main() {
     header("fig3", "CPU and memory usage of the Pingmesh Agent");
+    init_telemetry("fig3");
     measure_cpu();
     measure_memory();
+    finish_telemetry("fig3");
 }

@@ -23,6 +23,7 @@ use pingmesh_core::OrchestratorConfig;
 
 fn main() {
     header("fig4", "Network latency distributions (DC1 vs DC2)");
+    init_telemetry("fig4");
     let sim_hours: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -36,23 +37,28 @@ fn main() {
         ..OrchestratorConfig::default()
     };
     let mut o = two_dc_scenario(config);
-    println!(
-        "scenario: {} servers, {} pods across 2 DCs; simulating {sim_hours}h of probing...",
-        o.net().topology().server_count(),
-        o.net().topology().pod_count()
-    );
+    pingmesh_obs::emit!(Info, "bench.fig4", "scenario",
+        "servers" => o.net().topology().server_count(),
+        "pods" => o.net().topology().pod_count(),
+        "sim_hours" => sim_hours);
     let agg = run_and_aggregate(
         &mut o,
         SimTime::ZERO + SimDuration::from_hours(sim_hours),
         SimDuration::from_mins(10),
     );
-    println!("records aggregated: {}\n", agg.record_count);
+    pingmesh_obs::emit!(Info, "bench.fig4", "aggregated", "records" => agg.record_count);
 
     let dc1 = DcId(0);
     let dc2 = DcId(1);
-    let inter1 = agg.syn_hist(dc1, LatencyScope::InterPod).expect("dc1 inter-pod data");
-    let inter2 = agg.syn_hist(dc2, LatencyScope::InterPod).expect("dc2 inter-pod data");
-    let intra1 = agg.syn_hist(dc1, LatencyScope::IntraPod).expect("dc1 intra-pod data");
+    let inter1 = agg
+        .syn_hist(dc1, LatencyScope::InterPod)
+        .expect("dc1 inter-pod data");
+    let inter2 = agg
+        .syn_hist(dc2, LatencyScope::InterPod)
+        .expect("dc2 inter-pod data");
+    let intra1 = agg
+        .syn_hist(dc1, LatencyScope::IntraPod)
+        .expect("dc1 intra-pod data");
     let payload1 = agg
         .hists
         .get(&HistKey {
@@ -106,6 +112,7 @@ fn main() {
     print_cdf("DC1", inter1);
     print_cdf("DC2", inter2);
 
+    finish_telemetry("fig4");
     verify_shape(&agg);
 }
 

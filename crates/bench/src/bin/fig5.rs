@@ -22,7 +22,11 @@ use pingmesh_core::{Orchestrator, OrchestratorConfig};
 use std::sync::Arc;
 
 fn main() {
-    header("fig5", "Per-service 99th-percentile latency and drop rate, one week");
+    header(
+        "fig5",
+        "Per-service 99th-percentile latency and drop rate, one week",
+    );
+    init_telemetry("fig5");
     let sim_days: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -59,10 +63,8 @@ fn main() {
     };
     let mut o = Orchestrator::new(topo.clone(), vec![profile], services, config);
     let n_servers = topo.server_count();
-    println!(
-        "scenario: {n_servers} servers, service 'search' on {} servers; simulating {sim_days} days...\n",
-        n_servers / 2
-    );
+    pingmesh_obs::emit!(Info, "bench.fig5", "scenario",
+        "servers" => n_servers, "service_servers" => n_servers / 2, "sim_days" => sim_days);
     o.run_until(SimTime::ZERO + SimDuration::from_days(sim_days));
 
     // Pull the per-service SLA series from the results DB and thin it to
@@ -80,14 +82,22 @@ fn main() {
         .step_by(step)
         .map(|(t, p99, _, _)| (format!("{t}"), *p99 as f64 / 1000.0))
         .collect();
-    print_series("(a) service P99 latency (paper: 500-560us band + periodic bumps)", &p99_series, "ms");
+    print_series(
+        "(a) service P99 latency (paper: 500-560us band + periodic bumps)",
+        &p99_series,
+        "ms",
+    );
     println!();
     let drop_series: Vec<(String, f64)> = rows
         .iter()
         .step_by(step)
         .map(|(t, _, drop, _)| (format!("{t}"), *drop))
         .collect();
-    print_series("(b) service packet drop rate (paper: around 4e-5)", &drop_series, "rate");
+    print_series(
+        "(b) service packet drop rate (paper: around 4e-5)",
+        &drop_series,
+        "rate",
+    );
 
     // Quantitative summary.
     let mut p99s: Vec<u64> = rows.iter().map(|r| r.1).collect();
@@ -95,14 +105,19 @@ fn main() {
     let baseline_p99 = p99s[p99s.len() / 4]; // lower quartile ≈ off-sync band
     let peak_p99 = p99s[p99s.len() - 1 - p99s.len() / 100];
     let total_samples: u64 = rows.iter().map(|r| r.3).sum();
-    let weighted_drop: f64 = rows
-        .iter()
-        .map(|r| r.2 * r.3 as f64)
-        .sum::<f64>()
-        / total_samples.max(1) as f64;
+    let weighted_drop: f64 =
+        rows.iter().map(|r| r.2 * r.3 as f64).sum::<f64>() / total_samples.max(1) as f64;
     println!();
-    compare_row("baseline P99 (off-sync windows)", "500-560us", &fmt_us(baseline_p99));
-    compare_row("peak P99 (sync windows)", "periodic bumps", &fmt_us(peak_p99));
+    compare_row(
+        "baseline P99 (off-sync windows)",
+        "500-560us",
+        &fmt_us(baseline_p99),
+    );
+    compare_row(
+        "peak P99 (sync windows)",
+        "periodic bumps",
+        &fmt_us(peak_p99),
+    );
     compare_row("mean drop rate", "4e-5", &format!("{weighted_drop:.1e}"));
 
     println!("\n--- shape checks ---");
@@ -129,15 +144,13 @@ fn main() {
         .outputs()
         .alerts
         .iter()
-        .filter(|a| {
-            a.raised
-                && matches!(a.scope, ScopeKey::Service(_) | ScopeKey::Dc(_))
-        })
+        .filter(|a| a.raised && matches!(a.scope, ScopeKey::Service(_) | ScopeKey::Dc(_)))
         .count();
     check(
         "no service- or DC-scope SLA alerts in a normal week",
         coarse_alerts == 0,
     );
+    finish_telemetry("fig5");
     if !ok {
         std::process::exit(1);
     }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 fn main() {
     header("fig6", "ToR black-holes detected and reloaded per day");
+    init_telemetry("fig6");
     let sim_days: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -101,12 +102,9 @@ fn main() {
         t += SimDuration::from_hours(16);
         k += 1;
     }
-    println!(
-        "scenario: {} servers, {} ToRs; backlog of {backlog} black-holed ToRs, {} later arrivals; {sim_days} days...\n",
-        topo.server_count(),
-        tor_count,
-        arrivals.len()
-    );
+    pingmesh_obs::emit!(Info, "bench.fig6", "scenario",
+        "servers" => topo.server_count(), "tors" => tor_count,
+        "backlog" => backlog, "arrivals" => arrivals.len(), "sim_days" => sim_days);
 
     o.run_until(SimTime::ZERO + SimDuration::from_days(sim_days));
 
@@ -129,9 +127,19 @@ fn main() {
         / 3.0;
     println!();
     compare_row("first-day reloads (cap)", "≤20", &day0.to_string());
-    compare_row("steady state (last 3 days avg)", "several/day", &format!("{late_days_avg:.1}"));
-    println!("  total reloads: {total_reloads}, deferred-past-budget: {}", repair.deferred.len());
-    println!("  escalations to Leaf/Spine: {}", o.outputs().escalations.len());
+    compare_row(
+        "steady state (last 3 days avg)",
+        "several/day",
+        &format!("{late_days_avg:.1}"),
+    );
+    println!(
+        "  total reloads: {total_reloads}, deferred-past-budget: {}",
+        repair.deferred.len()
+    );
+    println!(
+        "  escalations to Leaf/Spine: {}",
+        o.outputs().escalations.len()
+    );
 
     // Ground truth: after the run, how many ToRs still black-hole?
     let now = o.now();
@@ -166,6 +174,7 @@ fn main() {
         "customers stopped complaining: paper's end state is 'several per day'",
         late_days_avg <= 6.0,
     );
+    finish_telemetry("fig6");
     if !ok {
         std::process::exit(1);
     }

@@ -24,7 +24,11 @@ use pingmesh_core::{Orchestrator, OrchestratorConfig};
 use std::sync::Arc;
 
 fn main() {
-    header("fig7", "Silent random packet drops of a Spine switch (incident)");
+    header(
+        "fig7",
+        "Silent random packet drops of a Spine switch (incident)",
+    );
+    init_telemetry("fig7");
     let topo = Arc::new(
         Topology::build(TopologySpec {
             dcs: vec![small_dc_spec()],
@@ -58,20 +62,18 @@ fn main() {
             until: None,
         },
     );
-    println!(
-        "scenario: {} servers, 4 spines; {bad_spine} starts dropping 0.4% of packets silently at {onset}\n",
-        topo.server_count()
-    );
+    pingmesh_obs::emit!(Info, "bench.fig7", "scenario",
+        "servers" => topo.server_count(),
+        "bad_spine" => format!("{bad_spine}"),
+        "onset" => format!("{onset}"),
+        "drop_prob" => 0.004);
 
     o.run_until(SimTime::ZERO + SimDuration::from_hours(5));
 
     // The drop-rate series the detector recorded (10-min windows).
     let series = o.pipeline().silent.series(DcId(0));
     assert!(!series.is_empty());
-    let points: Vec<(String, f64)> = series
-        .iter()
-        .map(|(t, r)| (format!("{t}"), *r))
-        .collect();
+    let points: Vec<(String, f64)> = series.iter().map(|(t, r)| (format!("{t}"), *r)).collect();
     print_series("DC drop rate per 10-min window", &points, "rate");
 
     let baseline: f64 = {
@@ -82,14 +84,15 @@ fn main() {
             .collect();
         pre.iter().sum::<f64>() / pre.len().max(1) as f64
     };
-    let peak = series
-        .iter()
-        .map(|&(_, r)| r)
-        .fold(0.0f64, f64::max);
+    let peak = series.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
     let last = series.last().map(|&(_, r)| r).unwrap_or(0.0);
 
     println!();
-    compare_row("normal drop rate", "1e-4 - 1e-5", &format!("{baseline:.1e}"));
+    compare_row(
+        "normal drop rate",
+        "1e-4 - 1e-5",
+        &format!("{baseline:.1e}"),
+    );
     compare_row("incident drop rate", "~2e-3", &format!("{peak:.1e}"));
     compare_row("after isolation", "back to normal", &format!("{last:.1e}"));
 
@@ -127,11 +130,15 @@ fn main() {
         "traceroute localized and isolated exactly the faulty spine",
         isolations.len() == 1 && isolations[0].1 == bad_spine,
     );
-    check("drop rate recovered after isolation", last < 3.0 * baseline.max(1e-5));
+    check(
+        "drop rate recovered after isolation",
+        last < 3.0 * baseline.max(1e-5),
+    );
     check(
         "the switch's own visible counters stayed clean (silent!)",
         o.net().switch_counters(bad_spine).visible_discards == 0,
     );
+    finish_telemetry("fig7");
     if !ok {
         std::process::exit(1);
     }

@@ -60,6 +60,7 @@ fn run_and_classify(mut o: Orchestrator, label: &str) -> (LatencyPattern, String
 
 fn main() {
     header("fig8", "Latency patterns through visualization");
+    init_telemetry("fig8");
     let mut results = Vec::new();
 
     // (a) Normal.
@@ -84,11 +85,7 @@ fn main() {
     // 8% of packets — latency from/to the podset goes out of SLA.
     {
         let mut o = scenario();
-        let leaves: Vec<_> = o
-            .net()
-            .topology()
-            .leaves_of_podset(PodsetId(1))
-            .collect();
+        let leaves: Vec<_> = o.net().topology().leaves_of_podset(PodsetId(1)).collect();
         for leaf in leaves {
             o.net_mut().faults_mut().add_switch_fault(
                 leaf,
@@ -146,6 +143,7 @@ fn main() {
     }
     // The WindowAggregate import is exercised via run_and_aggregate.
     let _ = WindowAggregate::default();
+    finish_telemetry("fig8");
     if !ok {
         std::process::exit(1);
     }

@@ -25,7 +25,11 @@ const PAPER: [(&str, f64, f64); 5] = [
 ];
 
 fn main() {
-    header("table1", "Intra-pod and inter-pod packet drop rates (5 DCs)");
+    header(
+        "table1",
+        "Intra-pod and inter-pod packet drop rates (5 DCs)",
+    );
+    init_telemetry("table1");
     let sim_hours: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -43,10 +47,8 @@ fn main() {
         ServiceMap::new(),
         OrchestratorConfig::default(),
     );
-    println!(
-        "scenario: {} servers across 5 DCs; simulating {sim_hours}h of probing...\n",
-        topo.server_count()
-    );
+    pingmesh_obs::emit!(Info, "bench.table1", "scenario",
+        "servers" => topo.server_count(), "dcs" => 5u64, "sim_hours" => sim_hours);
     let agg = run_and_aggregate(
         &mut o,
         SimTime::ZERO + SimDuration::from_hours(sim_hours),
@@ -91,7 +93,10 @@ fn main() {
         .collect();
     println!(
         "  inter/intra ratio per DC (paper: 'typically several times higher'): {:?}",
-        ratios.iter().map(|r| (r * 10.0).round() / 10.0).collect::<Vec<_>>()
+        ratios
+            .iter()
+            .map(|r| (r * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
     let mostly_higher = ratios.iter().filter(|&&r| r > 1.5).count() >= 4;
     println!(
@@ -113,6 +118,7 @@ fn main() {
             inter[i].total()
         );
     }
+    finish_telemetry("table1");
     if !(ok && mostly_higher) {
         std::process::exit(1);
     }

@@ -22,7 +22,10 @@ use std::sync::Arc;
 pub fn two_dc_scenario(config: OrchestratorConfig) -> Orchestrator {
     let topo = Arc::new(
         Topology::build(TopologySpec {
-            dcs: vec![DcSpec::medium("DC1 (US West)"), DcSpec::medium("DC2 (US Central)")],
+            dcs: vec![
+                DcSpec::medium("DC1 (US West)"),
+                DcSpec::medium("DC2 (US Central)"),
+            ],
         })
         .expect("valid spec"),
     );
@@ -69,9 +72,8 @@ pub fn run_and_aggregate(
         o.run_until(next);
         let scan_to = (next - lag).max(scanned_to);
         if scan_to > scanned_to {
-            let chunk_agg = WindowAggregate::build(
-                o.pipeline().store.scan_all_window(scanned_to, scan_to),
-            );
+            let chunk_agg =
+                WindowAggregate::build(o.pipeline().store.scan_all_window(scanned_to, scan_to));
             agg.merge(&chunk_agg);
             // Retire with one extra lag of slack so late uploads whose
             // timestamps precede scan_to are never double-counted or lost.
@@ -86,6 +88,50 @@ pub fn run_and_aggregate(
     let tail = WindowAggregate::build(o.pipeline().store.scan_all_window(scanned_to, until));
     agg.merge(&tail);
     agg
+}
+
+/// Initialises observability for an experiment binary: events are
+/// enabled and mirrored to **stderr** as one-line logs, so stdout carries
+/// only figure data. Call first in every `src/bin/` main.
+pub fn init_telemetry(id: &'static str) {
+    pingmesh_obs::set_enabled(true);
+    pingmesh_obs::install_stderr_sink();
+    pingmesh_obs::emit!(Info, "bench", "run_start", "experiment" => id);
+}
+
+/// Writes the per-run telemetry manifest — metrics snapshot plus event
+/// ring statistics — as JSON under `target/telemetry/<id>.json` (override
+/// the directory with `PINGMESH_TELEMETRY_DIR`). Returns the path.
+pub fn write_telemetry_manifest(id: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir =
+        std::env::var("PINGMESH_TELEMETRY_DIR").unwrap_or_else(|_| "target/telemetry".to_string());
+    std::fs::create_dir_all(&dir)?;
+    let path = std::path::Path::new(&dir).join(format!("{id}.json"));
+    let ring = pingmesh_obs::events();
+    let manifest = format!(
+        "{{\"experiment\":{},\"events_buffered\":{},\"events_dropped\":{},\"metrics\":{}}}\n",
+        pingmesh_obs::encode::json_string(id),
+        ring.len(),
+        ring.dropped(),
+        pingmesh_obs::encode::snapshot_to_json(&pingmesh_obs::registry().snapshot()),
+    );
+    std::fs::write(&path, manifest)?;
+    Ok(path)
+}
+
+/// Finishes an experiment run: writes the telemetry manifest and logs the
+/// outcome (to stderr, via the event sink). Call last in every main.
+pub fn finish_telemetry(id: &'static str) {
+    match write_telemetry_manifest(id) {
+        Ok(path) => {
+            pingmesh_obs::emit!(Info, "bench", "run_finished",
+                "experiment" => id, "manifest" => path.display().to_string());
+        }
+        Err(e) => {
+            pingmesh_obs::emit!(Warn, "bench", "manifest_write_failed",
+                "experiment" => id, "error" => e.to_string());
+        }
+    }
 }
 
 /// Formats a µs latency humanly (µs / ms / s).

@@ -18,11 +18,11 @@
 //! port), VIP monitoring (VIP targets appended for selected servers), and
 //! payload probes (for detecting packet-size-dependent drops).
 
+use pingmesh_topology::Topology;
 use pingmesh_types::constants::MIN_PROBE_INTERVAL;
 use pingmesh_types::{
     DcId, PingTarget, Pinglist, PinglistEntry, ProbeKind, QosClass, ServerId, SimDuration, VipId,
 };
-use pingmesh_topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -124,7 +124,11 @@ impl PinglistSet {
     /// ping 2000-5000 peer servers depending on the size of the data
     /// center").
     pub fn max_entries(&self) -> usize {
-        self.lists.iter().map(|l| l.entries.len()).max().unwrap_or(0)
+        self.lists
+            .iter()
+            .map(|l| l.entries.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -249,7 +253,13 @@ impl PinglistGenerator {
                 continue;
             }
             if let Some(peer) = topo.nth_server_of_pod(pod, i) {
-                self.push_peer(&mut entries, topo, peer, self.config.intra_dc_interval, true);
+                self.push_peer(
+                    &mut entries,
+                    topo,
+                    peer,
+                    self.config.intra_dc_interval,
+                    true,
+                );
             }
         }
 
@@ -294,11 +304,25 @@ impl PinglistGenerator {
 
     /// Generates pinglists for every server in the topology.
     pub fn generate_all(&self, topo: &Topology, generation: u64) -> PinglistSet {
-        let lists = topo
+        let started = std::time::Instant::now();
+        let lists: Vec<Pinglist> = topo
             .servers()
             .map(|s| self.generate_for(topo, s, generation))
             .collect();
-        PinglistSet { generation, lists }
+        let set = PinglistSet { generation, lists };
+        pingmesh_obs::registry()
+            .counter("pingmesh_controller_generations_total")
+            .inc();
+        pingmesh_obs::registry()
+            .histogram("pingmesh_controller_generate_us")
+            .record_wall(started.elapsed());
+        pingmesh_obs::emit!(Info, "controller.genalgo", "pinglists_generated",
+            "generation" => generation,
+            "servers" => set.lists.len() as u64,
+            "entries" => set.total_entries() as u64,
+            "duration_us" => started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+        set
     }
 }
 
@@ -490,7 +514,11 @@ mod tests {
             .collect();
         assert!(!low.is_empty());
         assert!(low.iter().all(|e| e.port == AGENT_PORT_LOW));
-        let high_count = pl.entries.iter().filter(|e| e.qos == QosClass::High).count();
+        let high_count = pl
+            .entries
+            .iter()
+            .filter(|e| e.qos == QosClass::High)
+            .count();
         assert_eq!(low.len(), high_count, "every peer probed in both classes");
     }
 
@@ -509,10 +537,7 @@ mod tests {
             .iter()
             .any(|e| matches!(e.target, PingTarget::Vip { .. }) && e.kind == ProbeKind::Http));
         // Non-probers do not probe VIPs.
-        let non_prober = t
-            .servers()
-            .find(|&s| !g.is_inter_dc_prober(&t, s))
-            .unwrap();
+        let non_prober = t.servers().find(|&s| !g.is_inter_dc_prober(&t, s)).unwrap();
         let pl2 = g.generate_for(&t, non_prober, 1);
         assert!(!pl2
             .entries

@@ -154,14 +154,34 @@ impl ControllerCluster {
         let n = self.replicas.len();
         let start = self.rr;
         self.rr = (self.rr + 1) % n;
+        let registry = pingmesh_obs::registry();
+        registry
+            .counter("pingmesh_controller_slb_fetches_total")
+            .inc();
         let mut last_err = None;
         for k in 0..n {
             let idx = (start + k) % n;
             match self.replicas[idx].fetch(server, t) {
-                Ok(r) => return Ok(r),
+                Ok(r) => {
+                    if k > 0 {
+                        // The round-robin pick was down; the VIP failed
+                        // over to a healthy replica.
+                        registry
+                            .counter("pingmesh_controller_slb_failovers_total")
+                            .inc();
+                        pingmesh_obs::emit_sim!(t; Debug, "controller.slb", "failover",
+                            "replica" => idx as u64, "skipped" => k as u64);
+                    }
+                    return Ok(r);
+                }
                 Err(e) => last_err = Some(e),
             }
         }
+        registry
+            .counter("pingmesh_controller_slb_all_down_total")
+            .inc();
+        pingmesh_obs::emit_sim!(t; Warn, "controller.slb", "all_replicas_down",
+            "replicas" => n as u64);
         Err(last_err.expect("at least one replica"))
     }
 }

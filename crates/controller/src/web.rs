@@ -52,6 +52,19 @@ impl WebState {
     /// Serves one request path, returning the HTTP response. Pure —
     /// directly unit-testable without sockets.
     pub fn respond(&self, method: &str, path: &str) -> Response {
+        let route = if path == "/health" {
+            "health"
+        } else if path.starts_with("/pinglist/") {
+            "pinglist"
+        } else {
+            "other"
+        };
+        pingmesh_obs::registry()
+            .counter_with(
+                "pingmesh_controller_web_requests_total",
+                &[("route", route)],
+            )
+            .inc();
         if method != "GET" {
             return Response::not_found();
         }

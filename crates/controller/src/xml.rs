@@ -17,8 +17,8 @@
 //! ```
 
 use pingmesh_types::{
-    PingTarget, Pinglist, PinglistEntry, PingmeshError, ProbeKind, QosClass, ServerId,
-    SimDuration, VipId,
+    PingTarget, Pinglist, PinglistEntry, PingmeshError, ProbeKind, QosClass, ServerId, SimDuration,
+    VipId,
 };
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
@@ -207,9 +207,7 @@ mod tests {
         let bad2 = bad.replace("\"syn\"", "\"icmp\"");
         assert!(from_xml(&bad2).is_err());
         // Unterminated Ping tag.
-        assert!(
-            from_xml("<Pinglist server=\"1\" generation=\"1\">\n<Ping kind=\"syn\"").is_err()
-        );
+        assert!(from_xml("<Pinglist server=\"1\" generation=\"1\">\n<Ping kind=\"syn\"").is_err());
     }
 
     #[test]

@@ -23,9 +23,7 @@ use pingmesh_dsa::store::{CosmosStore, StreamName};
 use pingmesh_dsa::{LatencyPattern, PerfCounterAggregator, SilentDropFinding};
 use pingmesh_netsim::{tcp_traceroute, DcProfile, EventQueue, SimNet, TracerouteReport};
 use pingmesh_topology::{ServiceMap, Topology};
-use pingmesh_types::{
-    DcId, PingTarget, ServerId, SimDuration, SimTime, SwitchId,
-};
+use pingmesh_types::{DcId, PingTarget, ServerId, SimDuration, SimTime, SwitchId};
 use std::sync::Arc;
 
 /// Orchestrator configuration.
@@ -222,12 +220,46 @@ impl Orchestrator {
     /// Runs the simulation until virtual time `end` (inclusive of events
     /// at `end`).
     pub fn run_until(&mut self, end: SimTime) {
+        let virtual_start = self.queue.now();
+        let wall_start = std::time::Instant::now();
+        let mut processed: u64 = 0;
         while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
             self.handle(ev.time, ev.event);
+            processed += 1;
+        }
+        let now = self.queue.now();
+        pingmesh_obs::registry()
+            .counter("pingmesh_core_events_total")
+            .add(processed);
+        if pingmesh_obs::enabled() && processed > 0 {
+            let wall_s = wall_start.elapsed().as_secs_f64();
+            let virtual_s = now.since(virtual_start).as_secs_f64();
+            let ratio = if wall_s > 0.0 {
+                virtual_s / wall_s
+            } else {
+                0.0
+            };
+            let eps = if wall_s > 0.0 {
+                processed as f64 / wall_s
+            } else {
+                0.0
+            };
+            pingmesh_obs::registry()
+                .gauge("pingmesh_core_events_per_sec")
+                .set(eps);
+            pingmesh_obs::registry()
+                .gauge("pingmesh_core_virtual_wall_ratio")
+                .set(ratio);
+            pingmesh_obs::emit_sim!(now; Info, "core.orchestrator", "run_until",
+                "events" => processed,
+                "events_per_sec" => eps,
+                "virtual_wall_ratio" => ratio,
+                "queue_depth" => self.queue.len() as u64,
+            );
         }
     }
 
@@ -266,10 +298,7 @@ impl Orchestrator {
         if !self.net.server_is_up(s, now) {
             // Powered off: drop this chain; the poll handler will restart
             // probing after power returns (next poll re-fetches the list).
-            self.agents[s.index()].on_controller_poll(
-                ControllerPollOutcome::NoPinglist,
-                now,
-            );
+            self.agents[s.index()].on_controller_poll(ControllerPollOutcome::NoPinglist, now);
             return;
         }
         let due = self.agents[s.index()].due_probes(now);
@@ -294,10 +323,7 @@ impl Orchestrator {
             let dc = self.net.topology().server(s).dc;
             if let Some(mut batch) = self.agents[s.index()].begin_upload() {
                 loop {
-                    let ok = self
-                        .pipeline
-                        .store
-                        .append(StreamName { dc }, &batch, now);
+                    let ok = self.pipeline.store.append(StreamName { dc }, &batch, now);
                     if ok {
                         let bytes: u64 = batch.iter().map(|r| r.wire_size() as u64).sum();
                         self.agents[s.index()].note_uploaded(bytes);
@@ -423,10 +449,7 @@ mod tests {
             "uploads must reach the store"
         );
         // The 10-min job has run and produced DC-level SLA rows.
-        let row = o
-            .pipeline()
-            .db
-            .latest(pingmesh_dsa::ScopeKey::Dc(DcId(0)));
+        let row = o.pipeline().db.latest(pingmesh_dsa::ScopeKey::Dc(DcId(0)));
         assert!(row.is_some());
         let row = row.unwrap();
         assert!(row.samples > 0);

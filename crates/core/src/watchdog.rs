@@ -226,9 +226,10 @@ mod tests {
     #[test]
     fn store_outage_discards_are_reported() {
         let mut o = orch();
-        o.pipeline_mut()
-            .store
-            .add_down_window(SimTime::ZERO, Some(SimTime::ZERO + SimDuration::from_mins(40)));
+        o.pipeline_mut().store.add_down_window(
+            SimTime::ZERO,
+            Some(SimTime::ZERO + SimDuration::from_mins(40)),
+        );
         o.run_until(SimTime::ZERO + SimDuration::from_mins(50));
         let findings = Watchdog::default().check(&o);
         assert!(findings

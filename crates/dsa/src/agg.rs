@@ -95,7 +95,13 @@ impl WindowAggregate {
         };
 
         // Pair stats bucketing by the 3 s / 9 s signature.
-        let pair = self.pairs.entry(PairKey { src: r.src, dst: r.dst }).or_default();
+        let pair = self
+            .pairs
+            .entry(PairKey {
+                src: r.src,
+                dst: r.dst,
+            })
+            .or_default();
         let server = self.per_server.entry(r.src).or_default();
         match r.outcome {
             pingmesh_types::ProbeOutcome::Success { rtt } => {
@@ -241,22 +247,28 @@ mod tests {
     #[test]
     fn scopes_are_separated() {
         let records = vec![
-            rec(0, 1, 0, 0, 0, 0, 0, ok(200)), // intra-pod
-            rec(0, 2, 0, 1, 0, 0, 0, ok(260)), // inter-pod
+            rec(0, 1, 0, 0, 0, 0, 0, ok(200)),    // intra-pod
+            rec(0, 2, 0, 1, 0, 0, 0, ok(260)),    // inter-pod
             rec(0, 3, 0, 9, 0, 3, 1, ok(60_000)), // inter-DC
         ];
         let agg = WindowAggregate::build(&records);
         assert_eq!(agg.record_count, 3);
         assert_eq!(
-            agg.syn_hist(DcId(0), LatencyScope::IntraPod).unwrap().count(),
+            agg.syn_hist(DcId(0), LatencyScope::IntraPod)
+                .unwrap()
+                .count(),
             1
         );
         assert_eq!(
-            agg.syn_hist(DcId(0), LatencyScope::InterPod).unwrap().count(),
+            agg.syn_hist(DcId(0), LatencyScope::InterPod)
+                .unwrap()
+                .count(),
             1
         );
         assert_eq!(
-            agg.syn_hist(DcId(0), LatencyScope::InterDc).unwrap().count(),
+            agg.syn_hist(DcId(0), LatencyScope::InterDc)
+                .unwrap()
+                .count(),
             1
         );
     }
@@ -270,7 +282,9 @@ mod tests {
         let agg = WindowAggregate::build(&[rec(0, 2, 0, 1, 0, 0, 0, ok(260)), p, q]);
         assert_eq!(agg.hists.len(), 3);
         assert_eq!(
-            agg.syn_hist(DcId(0), LatencyScope::InterPod).unwrap().count(),
+            agg.syn_hist(DcId(0), LatencyScope::InterPod)
+                .unwrap()
+                .count(),
             1
         );
     }
@@ -304,9 +318,7 @@ mod tests {
         ];
         let agg = WindowAggregate::build(&records);
         assert_eq!(agg.podset_matrix.len(), 1);
-        assert!(agg
-            .podset_matrix
-            .contains_key(&(PodsetId(0), PodsetId(1))));
+        assert!(agg.podset_matrix.contains_key(&(PodsetId(0), PodsetId(1))));
     }
 
     #[test]

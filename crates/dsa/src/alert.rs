@@ -214,7 +214,7 @@ mod tests {
     fn thresholds_match_the_paper() {
         let mut a = Alerter::new(1);
         a.raise_after = 1; // test the thresholds themselves
-        // exactly at threshold: not violating (strictly greater fires)
+                           // exactly at threshold: not violating (strictly greater fires)
         assert!(a.check([&row(0, 1e-3, 5_000, 10_000)]).is_empty());
         assert_eq!(a.check([&row(1, 1.01e-3, 5_001, 10_000)]).len(), 2);
     }

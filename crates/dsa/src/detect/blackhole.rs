@@ -20,8 +20,8 @@
 //! is not simply dead).
 
 use crate::agg::WindowAggregate;
-use pingmesh_types::{PodsetId, ServerId, SwitchId};
 use pingmesh_topology::Topology;
+use pingmesh_types::{PodsetId, ServerId, SwitchId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -195,8 +195,8 @@ impl BlackholeDetector {
 mod tests {
     use super::*;
     use crate::agg::PairKey;
-    use pingmesh_types::{PairStats, PodId};
     use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{PairStats, PodId};
 
     fn topo() -> Topology {
         Topology::build(TopologySpec::single_tiny()).unwrap()
@@ -276,11 +276,7 @@ mod tests {
         let t = topo();
         // Server 5 is dead: every pair towards it fails, but it is not
         // reachable from *anywhere*, so no symptom may fire.
-        let dead: Vec<(u32, u32)> = t
-            .servers()
-            .filter(|s| s.0 != 5)
-            .map(|s| (s.0, 5))
-            .collect();
+        let dead: Vec<(u32, u32)> = t.servers().filter(|s| s.0 != 5).map(|s| (s.0, 5)).collect();
         let agg = synthetic_agg(&t, &dead);
         let f = BlackholeDetector::default().detect(&agg, &t);
         assert!(
@@ -307,11 +303,18 @@ mod tests {
         }
         let agg = synthetic_agg(&t, &dead);
         let f = BlackholeDetector::default().detect(&agg, &t);
-        assert_eq!(f.escalations, vec![t.server(t.servers_in_pod(PodId(0)).next().unwrap()).podset]);
+        assert_eq!(
+            f.escalations,
+            vec![t.server(t.servers_in_pod(PodId(0)).next().unwrap()).podset]
+        );
         // The four ToRs of podset 0 must not be reload candidates.
         for c in &f.reload_candidates {
             let pod = t.pod_of_tor(c.tor).unwrap();
-            assert!(pod.0 >= 4, "podset-0 ToR {} wrongly marked for reload", c.tor);
+            assert!(
+                pod.0 >= 4,
+                "podset-0 ToR {} wrongly marked for reload",
+                c.tor
+            );
         }
     }
 

@@ -19,8 +19,8 @@
 //!   (Fig. 8(d)).
 
 use crate::agg::WindowAggregate;
-use pingmesh_types::{DcId, PodsetId, SimDuration};
 use pingmesh_topology::Topology;
+use pingmesh_types::{DcId, PodsetId, SimDuration};
 
 /// Green/yellow/red thresholds from the paper.
 pub const GREEN_BELOW: SimDuration = SimDuration::from_millis(4);
@@ -64,7 +64,11 @@ impl HeatmapMatrix {
                 }
             }
         }
-        Self { dc, podsets, p99_us }
+        Self {
+            dc,
+            podsets,
+            p99_us,
+        }
     }
 
     /// Matrix dimension.
@@ -153,8 +157,7 @@ pub fn classify_pattern(m: &HeatmapMatrix) -> LatencyPattern {
             }
         }
     }
-    if n > 1 && fraction(&diag, CellColor::Green) >= 0.8 && fraction(&off, CellColor::Red) >= 0.7
-    {
+    if n > 1 && fraction(&diag, CellColor::Green) >= 0.8 && fraction(&off, CellColor::Red) >= 0.7 {
         return LatencyPattern::SpineFailure;
     }
 
@@ -210,7 +213,10 @@ mod tests {
 
     #[test]
     fn all_green_is_normal() {
-        assert_eq!(classify_pattern(&matrix(|_, _| GREEN)), LatencyPattern::Normal);
+        assert_eq!(
+            classify_pattern(&matrix(|_, _| GREEN)),
+            LatencyPattern::Normal
+        );
     }
 
     #[test]

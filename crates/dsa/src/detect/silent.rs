@@ -19,8 +19,8 @@
 
 use crate::agg::{PairKey, WindowAggregate};
 use crate::detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
-use pingmesh_types::{DcId, SimTime};
 use pingmesh_topology::Topology;
+use pingmesh_types::{DcId, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -121,14 +121,15 @@ impl SilentDropDetector {
         let rate = WindowAggregate::drop_rate_over(
             agg.pairs
                 .iter()
-                .filter(|(k, _)| {
-                    topo.server(k.src).dc == dc && topo.server(k.dst).dc == dc
-                })
+                .filter(|(k, _)| topo.server(k.src).dc == dc && topo.server(k.dst).dc == dc)
                 .map(|(_, v)| v),
         );
 
         let baseline = self.baseline(dc);
-        self.series.entry(dc).or_default().push((window_start, rate));
+        self.series
+            .entry(dc)
+            .or_default()
+            .push((window_start, rate));
 
         let baseline = baseline?;
         let cfg = self.config;
@@ -170,8 +171,8 @@ impl SilentDropDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pingmesh_types::{PairStats, ServerId};
     use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{PairStats, ServerId};
 
     fn topo() -> Topology {
         Topology::build(TopologySpec::single_tiny()).unwrap()

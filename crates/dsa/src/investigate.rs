@@ -12,9 +12,9 @@
 //! the hand-off package for the network on-call.
 
 use crate::agg::PairKey;
+use pingmesh_topology::Topology;
 use pingmesh_types::counters::{classify_rtt, RttClass};
 use pingmesh_types::{PairStats, ProbeOutcome, ProbeRecord, ServerId, SimDuration};
-use pingmesh_topology::Topology;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -90,7 +90,10 @@ pub fn investigate<'a>(
             continue;
         }
         inv.probes += 1;
-        let key = PairKey { src: r.src, dst: r.dst };
+        let key = PairKey {
+            src: r.src,
+            dst: r.dst,
+        };
         let stats = pair_stats.entry(key).or_default();
         let bad = match r.outcome {
             ProbeOutcome::Success { rtt } => match classify_rtt(rtt) {
@@ -163,8 +166,8 @@ pub fn investigate<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pingmesh_types::{ProbeKind, QosClass, SimTime};
     use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{ProbeKind, QosClass, SimTime};
 
     fn topo() -> Topology {
         Topology::build(TopologySpec::single_tiny()).unwrap()

@@ -186,6 +186,7 @@ impl Pipeline {
 
     /// Runs the job set of one tick.
     pub fn run_tick(&mut self, tick: JobTick) -> TickOutput {
+        let started = std::time::Instant::now();
         let mut out = TickOutput::default();
         let records: Vec<pingmesh_types::ProbeRecord> = self
             .store
@@ -227,11 +228,7 @@ impl Pipeline {
                     insert(ScopeKey::Service(svc), sla);
                 }
                 // Alerts over this window's rows.
-                let rows: Vec<SlaRow> = self
-                    .db
-                    .window_rows(tick.window_start)
-                    .copied()
-                    .collect();
+                let rows: Vec<SlaRow> = self.db.window_rows(tick.window_start).copied().collect();
                 out.alerts = self.alerter.check(rows.iter());
                 // Pattern per DC + silent-drop incident detection.
                 let agg = WindowAggregate::build(records.iter());
@@ -267,6 +264,25 @@ impl Pipeline {
                 self.db.retire_before(horizon);
             }
         }
+        let stage = match tick.kind {
+            JobKind::TenMin => "ten_min",
+            JobKind::Hourly => "hourly",
+            JobKind::Daily => "daily",
+        };
+        let registry = pingmesh_obs::registry();
+        registry
+            .counter_with("pingmesh_dsa_records_ingested_total", &[("stage", stage)])
+            .add(out.records);
+        registry
+            .histogram_with("pingmesh_dsa_tick_us", &[("stage", stage)])
+            .record_wall(started.elapsed());
+        pingmesh_obs::emit_sim!(tick.window_end; Info, "dsa.jobs", "tick",
+            "stage" => stage,
+            "records" => out.records,
+            "alerts" => out.alerts.len() as u64,
+            "incidents" => out.incidents.len() as u64,
+            "duration_us" => started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
         out
     }
 }
@@ -275,10 +291,8 @@ impl Pipeline {
 mod tests {
     use super::*;
     use crate::store::StreamName;
-    use pingmesh_types::{
-        ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId, SimDuration,
-    };
     use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId, SimDuration};
 
     fn topo() -> Arc<Topology> {
         Arc::new(Topology::build(TopologySpec::single_tiny()).unwrap())
@@ -340,7 +354,13 @@ mod tests {
         let records: Vec<ProbeRecord> = (0..200u64)
             .map(|i| rec(&t, (i % 32) as u32, ((i + 5) % 32) as u32, i * 1_000, 260))
             .collect();
-        store.append(StreamName { dc: pingmesh_types::DcId(0) }, &records, SimTime(0));
+        store.append(
+            StreamName {
+                dc: pingmesh_types::DcId(0),
+            },
+            &records,
+            SimTime(0),
+        );
         let mut p = Pipeline::new(t.clone(), ServiceMap::new(), store);
         let out = p.run_tick(JobTick {
             kind: JobKind::TenMin,
@@ -355,10 +375,7 @@ mod tests {
             LatencyPattern::Normal
         );
         // DC row exists with sane values.
-        let row = p
-            .db
-            .latest(ScopeKey::Dc(pingmesh_types::DcId(0)))
-            .unwrap();
+        let row = p.db.latest(ScopeKey::Dc(pingmesh_types::DcId(0))).unwrap();
         assert_eq!(row.samples, 200);
         assert!(row.p50_us > 0);
     }
@@ -381,7 +398,9 @@ mod tests {
         let t = topo();
         let mut store = CosmosStore::with_defaults();
         store.append(
-            StreamName { dc: pingmesh_types::DcId(0) },
+            StreamName {
+                dc: pingmesh_types::DcId(0),
+            },
             &[rec(&t, 0, 1, 0, 250)],
             SimTime(0),
         );
@@ -418,7 +437,13 @@ mod tests {
         for i in 0..360u64 {
             records.push(rec(&t, 0, 1, 600 + i, 3_000_260));
         }
-        store.append(StreamName { dc: pingmesh_types::DcId(0) }, &records, SimTime(0));
+        store.append(
+            StreamName {
+                dc: pingmesh_types::DcId(0),
+            },
+            &records,
+            SimTime(0),
+        );
         let mut p = Pipeline::new(t, ServiceMap::new(), store);
         // Persistence: the raise fires on the second violating window.
         let first = p.run_tick(JobTick {

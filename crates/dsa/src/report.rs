@@ -9,8 +9,8 @@
 
 use crate::alert::Alert;
 use crate::db::{ResultsDb, ScopeKey, SlaRow};
-use pingmesh_types::{SimDuration, SimTime};
 use pingmesh_topology::Topology;
+use pingmesh_types::{SimDuration, SimTime};
 use std::fmt::Write as _;
 
 /// Renders the daily report for the day containing `day_start`.
@@ -120,8 +120,8 @@ mod tests {
     use super::*;
     use crate::alert::AlertKind;
     use crate::db::SlaRow;
-    use pingmesh_types::{DcId, PodId};
     use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{DcId, PodId};
 
     fn topo() -> Topology {
         Topology::build(TopologySpec::single_tiny()).unwrap()

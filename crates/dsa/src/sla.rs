@@ -7,12 +7,12 @@
 //! Pingmesh data."
 
 use crate::agg::PairKey;
+use pingmesh_topology::{ServiceMap, Topology};
 use pingmesh_types::counters::{classify_rtt, RttClass};
 use pingmesh_types::{
     DcId, LatencyHistogram, PairStats, PodId, PodsetId, ProbeOutcome, ProbeRecord, ServerId,
     ServiceId, SimDuration,
 };
-use pingmesh_topology::{ServiceMap, Topology};
 use std::collections::HashMap;
 
 /// SLA metrics of one scope over one window.
@@ -106,7 +106,10 @@ impl SlaComputer {
             }
             let pair = rep
                 .per_pair
-                .entry(PairKey { src: r.src, dst: r.dst })
+                .entry(PairKey {
+                    src: r.src,
+                    dst: r.dst,
+                })
                 .or_default();
             match r.outcome {
                 ProbeOutcome::Success { rtt } => match classify_rtt(rtt) {
@@ -129,8 +132,8 @@ impl SlaComputer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pingmesh_types::{ProbeKind, QosClass, SimTime};
     use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{ProbeKind, QosClass, SimTime};
 
     fn topo() -> Topology {
         Topology::build(TopologySpec::single_tiny()).unwrap()

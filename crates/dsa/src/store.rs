@@ -82,8 +82,14 @@ impl CosmosStore {
     /// discard.
     pub fn append(&mut self, stream: StreamName, batch: &[ProbeRecord], t: SimTime) -> bool {
         if !self.is_up(t) {
+            pingmesh_obs::registry()
+                .counter("pingmesh_dsa_store_rejected_batches_total")
+                .inc();
             return false;
         }
+        pingmesh_obs::registry()
+            .counter("pingmesh_dsa_store_appended_records_total")
+            .add(batch.len() as u64);
         let extents = self.streams.entry(stream).or_default();
         for &rec in batch {
             let need_new = match extents.last() {

@@ -204,7 +204,9 @@ fn head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
-fn parse_headers(lines: &mut std::str::Split<'_, &str>) -> Result<Vec<(String, String)>, HttpError> {
+fn parse_headers(
+    lines: &mut std::str::Split<'_, &str>,
+) -> Result<Vec<(String, String)>, HttpError> {
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -248,7 +250,9 @@ pub fn parse_request_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
         .next()
         .ok_or(HttpError::Malformed("missing path"))?
         .to_string();
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported version"));
     }
@@ -272,7 +276,9 @@ pub fn parse_response_head(head: &[u8]) -> Result<(Response, usize), HttpError> 
     let mut lines = text.split("\r\n");
     let start = lines.next().ok_or(HttpError::Malformed("empty head"))?;
     let mut parts = start.split_whitespace();
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported version"));
     }
@@ -349,12 +355,26 @@ impl BodyCarrier for Response {
 
 /// Reads one request from the stream.
 pub async fn read_request<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Request, HttpError> {
-    read_message(stream, parse_request_head).await
+    let out = read_message(stream, parse_request_head).await;
+    let registry = pingmesh_obs::registry();
+    match &out {
+        Ok(_) => registry.counter("pingmesh_httpx_requests_read_total").inc(),
+        Err(_) => registry.counter("pingmesh_httpx_read_errors_total").inc(),
+    }
+    out
 }
 
 /// Reads one response from the stream.
 pub async fn read_response<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Response, HttpError> {
-    read_message(stream, parse_response_head).await
+    let out = read_message(stream, parse_response_head).await;
+    let registry = pingmesh_obs::registry();
+    match &out {
+        Ok(_) => registry
+            .counter("pingmesh_httpx_responses_read_total")
+            .inc(),
+        Err(_) => registry.counter("pingmesh_httpx_read_errors_total").inc(),
+    }
+    out
 }
 
 /// Writes a request to the stream.

@@ -7,9 +7,11 @@
 //! timestamps pop in insertion order (a strict FIFO tie-break keeps runs
 //! deterministic).
 
+use pingmesh_obs::{Counter, Gauge};
 use pingmesh_types::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 struct Entry<E> {
     time: SimTime,
@@ -53,6 +55,11 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    // Metric handles are resolved once at construction; per-op cost is
+    // one atomic add (schedule/pop run millions of times per sim).
+    scheduled_ctr: Arc<Counter>,
+    popped_ctr: Arc<Counter>,
+    depth_gauge: Arc<Gauge>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -64,10 +71,14 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
+        let registry = pingmesh_obs::registry();
         Self {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            scheduled_ctr: registry.counter("pingmesh_netsim_events_scheduled_total"),
+            popped_ctr: registry.counter("pingmesh_netsim_events_popped_total"),
+            depth_gauge: registry.gauge("pingmesh_netsim_queue_depth"),
         }
     }
 
@@ -92,12 +103,16 @@ impl<E> EventQueue<E> {
             event,
         });
         self.seq += 1;
+        self.scheduled_ctr.inc();
+        self.depth_gauge.set(self.heap.len() as f64);
     }
 
     /// Pops the next event and advances the clock to it.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         self.heap.pop().map(|e| {
             self.now = e.time;
+            self.popped_ctr.inc();
+            self.depth_gauge.set(self.heap.len() as f64);
             Scheduled {
                 time: e.time,
                 event: e.event,

@@ -243,13 +243,15 @@ impl Faults {
             match f.kind {
                 FaultKind::Down => return Some(Verdict::DropVisible),
                 FaultKind::BlackholeIp { frac }
-                    if Self::bucket(tuple.addr_pair_hash(), Self::switch_salt(sw)) < frac => {
-                        return Some(Verdict::DropSilent);
-                    }
+                    if Self::bucket(tuple.addr_pair_hash(), Self::switch_salt(sw)) < frac =>
+                {
+                    return Some(Verdict::DropSilent);
+                }
                 FaultKind::BlackholePort { frac }
-                    if Self::bucket(tuple.ecmp_hash(), Self::switch_salt(sw)) < frac => {
-                        return Some(Verdict::DropSilent);
-                    }
+                    if Self::bucket(tuple.ecmp_hash(), Self::switch_salt(sw)) < frac =>
+                {
+                    return Some(Verdict::DropSilent);
+                }
                 _ => {}
             }
         }
@@ -258,12 +260,7 @@ impl Faults {
 
     /// Probabilistic drop probabilities of the active faults at `t`:
     /// `(silent_prob, visible_prob)` for a packet with `payload_bytes`.
-    pub fn random_drop_probs(
-        &self,
-        sw: SwitchId,
-        payload_bytes: u32,
-        t: SimTime,
-    ) -> (f64, f64) {
+    pub fn random_drop_probs(&self, sw: SwitchId, payload_bytes: u32, t: SimTime) -> (f64, f64) {
         let mut silent = 0.0f64;
         let mut visible = 0.0f64;
         for f in self.faults_on(sw, t) {
@@ -350,7 +347,11 @@ mod tests {
             },
         );
         let verdicts: HashSet<_> = (1000..1100u16)
-            .map(|sp| faults.deterministic_verdict(sw, &tuple(sp), at(1)).is_some())
+            .map(|sp| {
+                faults
+                    .deterministic_verdict(sw, &tuple(sp), at(1))
+                    .is_some()
+            })
             .collect();
         assert_eq!(verdicts.len(), 2, "some ports must pass, some must drop");
     }

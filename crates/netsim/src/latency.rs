@@ -63,8 +63,7 @@ impl LoadSchedule {
                 if period.as_micros() == 0 {
                     return low;
                 }
-                let phase = (t.as_micros() % period.as_micros()) as f64
-                    / period.as_micros() as f64;
+                let phase = (t.as_micros() % period.as_micros()) as f64 / period.as_micros() as f64;
                 if phase < duty.clamp(0.0, 1.0) {
                     high
                 } else {

@@ -20,12 +20,12 @@
 use crate::faults::{Faults, Verdict};
 use crate::latency::{DcProfile, InterDcMatrix};
 use crate::rng::chance;
+use pingmesh_topology::{Path, Router, Topology, VipTable};
 use pingmesh_types::constants::{TCP_SYN_RETRIES, TCP_SYN_TIMEOUT};
 use pingmesh_types::{
     DcId, DeviceId, FiveTuple, ProbeKind, ProbeOutcome, QosClass, ServerId, SimDuration, SimTime,
     SwitchId,
 };
-use pingmesh_topology::{Path, Router, Topology, VipTable};
 use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng};
 use std::collections::HashMap;
@@ -71,6 +71,10 @@ pub struct SimNet {
     faults: Faults,
     counters: HashMap<SwitchId, SwitchCounters>,
     rng: SmallRng,
+    // Cached metric handles: probe_qos is the hot path, so per-probe
+    // observability cost must stay at a couple of atomic adds.
+    probes_ctr: Arc<pingmesh_obs::Counter>,
+    timeouts_ctr: Arc<pingmesh_obs::Counter>,
 }
 
 impl SimNet {
@@ -91,6 +95,8 @@ impl SimNet {
             faults: Faults::new(),
             counters: HashMap::new(),
             rng: SmallRng::seed_from_u64(seed),
+            probes_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probes_total"),
+            timeouts_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probe_timeouts_total"),
         }
     }
 
@@ -236,7 +242,11 @@ impl SimNet {
             }
         }
         if src_dc != dst_dc {
-            us += 2.0 * self.interdc.one_way(src_dc.index(), dst_dc.index()).as_micros() as f64;
+            us += 2.0
+                * self
+                    .interdc
+                    .one_way(src_dc.index(), dst_dc.index())
+                    .as_micros() as f64;
         }
         // One hiccup draw per probe, on the busier (source) host profile.
         us += src_profile.sample_hiccup_us(&mut self.rng);
@@ -263,6 +273,25 @@ impl SimNet {
     /// probes see the scavenger queue's inflated queuing delay.
     #[allow(clippy::too_many_arguments)]
     pub fn probe_qos(
+        &mut self,
+        src: ServerId,
+        target_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        kind: ProbeKind,
+        qos: QosClass,
+        t: SimTime,
+    ) -> ProbeAttempt {
+        self.probes_ctr.inc();
+        let attempt = self.probe_qos_inner(src, target_ip, src_port, dst_port, kind, qos, t);
+        if matches!(attempt.outcome, ProbeOutcome::Timeout) {
+            self.timeouts_ctr.inc();
+        }
+        attempt
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe_qos_inner(
         &mut self,
         src: ServerId,
         target_ip: Ipv4Addr,
@@ -309,11 +338,9 @@ impl SimNet {
             // Burst correlation: after a random loss, the retry is more
             // likely to be lost too (paper §4.2's justification for
             // counting a 9 s connect as one drop).
-            let burst_kill =
-                prev_attempt_randomly_dropped && chance(&mut self.rng, burst_corr);
-            let syn_ok = !burst_kill
-                && dst_up
-                && self.packet_survives_tuple(&fwd, &tuple, 0, t + wait);
+            let burst_kill = prev_attempt_randomly_dropped && chance(&mut self.rng, burst_corr);
+            let syn_ok =
+                !burst_kill && dst_up && self.packet_survives_tuple(&fwd, &tuple, 0, t + wait);
             let synack_ok =
                 syn_ok && self.packet_survives_tuple(&rev, &tuple.reversed(), 0, t + wait);
             if syn_ok && synack_ok {
@@ -349,8 +376,8 @@ impl SimNet {
             let mut delivered = false;
             for _ in 0..=DATA_RETRIES {
                 let data_ok = self.packet_survives_tuple(&fwd, &tuple, payload, t);
-                let echo_ok = data_ok
-                    && self.packet_survives_tuple(&rev, &tuple.reversed(), payload, t);
+                let echo_ok =
+                    data_ok && self.packet_survives_tuple(&rev, &tuple.reversed(), payload, t);
                 if data_ok && echo_ok {
                     delivered = true;
                     break;
@@ -469,7 +496,14 @@ mod tests {
             .rtt()
             .unwrap();
         let pay = n
-            .probe(a, ip, 40_001, 8_100, ProbeKind::TcpPayload(1_000), SimTime(0))
+            .probe(
+                a,
+                ip,
+                40_001,
+                8_100,
+                ProbeKind::TcpPayload(1_000),
+                SimTime(0),
+            )
             .outcome
             .rtt()
             .unwrap();
@@ -635,7 +669,10 @@ mod tests {
                     .is_success()
             })
             .count();
-        assert!(before > 10, "faulty spine should fail many probes: {before}");
+        assert!(
+            before > 10,
+            "faulty spine should fail many probes: {before}"
+        );
         n.faults_mut().isolate_switch(spine);
         let after: usize = (0..200u16)
             .filter(|i| {
@@ -685,16 +722,32 @@ mod tests {
         let mut pay_delayed = 0;
         for i in 0..300u16 {
             let r = n.probe(a, ip, 46_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(0));
-            if r.outcome.rtt().is_some_and(|x| x > SimDuration::from_millis(100)) {
+            if r.outcome
+                .rtt()
+                .is_some_and(|x| x > SimDuration::from_millis(100))
+            {
                 syn_delayed += 1;
             }
-            let r = n.probe(a, ip, 48_000 + i, 8_100, ProbeKind::TcpPayload(4_096), SimTime(0));
-            if r.outcome.rtt().is_some_and(|x| x > SimDuration::from_millis(100)) {
+            let r = n.probe(
+                a,
+                ip,
+                48_000 + i,
+                8_100,
+                ProbeKind::TcpPayload(4_096),
+                SimTime(0),
+            );
+            if r.outcome
+                .rtt()
+                .is_some_and(|x| x > SimDuration::from_millis(100))
+            {
                 pay_delayed += 1;
             }
         }
         assert_eq!(syn_delayed, 0, "SYN packets carry no payload");
-        assert!(pay_delayed > 50, "payload probes must suffer: {pay_delayed}");
+        assert!(
+            pay_delayed > 50,
+            "payload probes must suffer: {pay_delayed}"
+        );
     }
 
     #[test]
@@ -711,12 +764,28 @@ mod tests {
         let mut sum_low = 0u64;
         for i in 0..400u16 {
             let hi = n
-                .probe_qos(a, ip, 50_000 + i, 8_100, ProbeKind::TcpSyn, QosClass::High, SimTime(0))
+                .probe_qos(
+                    a,
+                    ip,
+                    50_000 + i,
+                    8_100,
+                    ProbeKind::TcpSyn,
+                    QosClass::High,
+                    SimTime(0),
+                )
                 .outcome
                 .rtt()
                 .unwrap();
             let lo = n
-                .probe_qos(a, ip, 52_000 + i, 8_101, ProbeKind::TcpSyn, QosClass::Low, SimTime(0))
+                .probe_qos(
+                    a,
+                    ip,
+                    52_000 + i,
+                    8_101,
+                    ProbeKind::TcpSyn,
+                    QosClass::Low,
+                    SimTime(0),
+                )
                 .outcome
                 .rtt()
                 .unwrap();

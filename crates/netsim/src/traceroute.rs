@@ -181,7 +181,10 @@ mod tests {
             !suspects.is_empty(),
             "the bad spine must show up as a suspect"
         );
-        assert_eq!(suspects[0].0, bad_spine, "top suspect must be the bad spine");
+        assert_eq!(
+            suspects[0].0, bad_spine,
+            "top suspect must be the bad spine"
+        );
         // No other switch should exceed the threshold.
         assert!(suspects.iter().skip(1).all(|(sw, _)| *sw == bad_spine));
     }

@@ -220,11 +220,7 @@ impl RealAgent {
 
     fn absorb(
         &mut self,
-        (entry, peer, rtt): (
-            pingmesh_types::PinglistEntry,
-            ServerId,
-            Option<Duration>,
-        ),
+        (entry, peer, rtt): (pingmesh_types::PinglistEntry, ServerId, Option<Duration>),
     ) {
         let outcome = match rtt {
             Some(d) => ProbeOutcome::Success {
@@ -322,11 +318,8 @@ mod tests {
 
     #[tokio::test]
     async fn full_loop_fetch_probe_upload() {
-        let cluster = LocalCluster::start(
-            TopologySpec::single_tiny(),
-            GeneratorConfig::default(),
-        )
-        .await;
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
         let mut agent = cluster.agent(ServerId(0));
         agent.poll_controller().await;
         assert!(!agent.is_stopped());
@@ -342,11 +335,8 @@ mod tests {
 
     #[tokio::test]
     async fn controller_loss_fail_closes_after_three_polls() {
-        let cluster = LocalCluster::start(
-            TopologySpec::single_tiny(),
-            GeneratorConfig::default(),
-        )
-        .await;
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
         let mut agent = cluster.agent(ServerId(1));
         agent.poll_controller().await;
         assert!(agent.peer_count() > 0);
@@ -366,11 +356,8 @@ mod tests {
 
     #[tokio::test]
     async fn run_loop_probes_until_shutdown_and_flushes() {
-        let cluster = LocalCluster::start(
-            TopologySpec::single_tiny(),
-            GeneratorConfig::default(),
-        )
-        .await;
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
         let agent = cluster.agent(ServerId(3));
         let (tx, rx) = tokio::sync::watch::channel(false);
         let handle = tokio::spawn(agent.run(
@@ -393,11 +380,8 @@ mod tests {
 
     #[tokio::test]
     async fn upload_outage_discards_after_retries() {
-        let cluster = LocalCluster::start(
-            TopologySpec::single_tiny(),
-            GeneratorConfig::default(),
-        )
-        .await;
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
         let mut agent = cluster.agent(ServerId(2));
         agent.poll_controller().await;
         agent.probe_round_once().await;

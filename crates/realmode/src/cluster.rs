@@ -123,11 +123,8 @@ mod tests {
 
     #[tokio::test]
     async fn cluster_starts_all_services() {
-        let cluster = LocalCluster::start(
-            TopologySpec::single_tiny(),
-            GeneratorConfig::default(),
-        )
-        .await;
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
         assert_eq!(cluster.directory().len(), cluster.topology().server_count());
         // The controller serves a pinglist over real HTTP.
         let pl = pingmesh_controller::fetch_pinglist(cluster.controller_addr(), ServerId(0))
@@ -141,11 +138,8 @@ mod tests {
 
     #[tokio::test]
     async fn multiple_agents_share_the_deployment() {
-        let cluster = LocalCluster::start(
-            TopologySpec::single_tiny(),
-            GeneratorConfig::default(),
-        )
-        .await;
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
         let mut total = 0u64;
         for s in [ServerId(0), ServerId(5), ServerId(9)] {
             let mut a = cluster.agent(s);

@@ -10,6 +10,11 @@
 //!   success; `503` while the store is marked down (drives the agents'
 //!   retry-then-discard path).
 //! * `GET /stats` — JSON `{records, logical_bytes, physical_bytes}`.
+//! * `GET /metrics` — Prometheus-style text encoding of the global
+//!   [`pingmesh_obs`] registry snapshot.
+//! * `GET /events?since=SEQ` — JSON-lines dump of buffered events with
+//!   sequence numbers greater than `SEQ` (`since=0` or no query: all
+//!   currently buffered events).
 
 use parking_lot::Mutex;
 use pingmesh_dsa::store::{CosmosStore, StreamName};
@@ -76,9 +81,29 @@ impl Collector {
 
     /// Handles one parsed request (pure; unit-testable without sockets).
     pub fn respond(&self, req: &Request) -> Response {
-        match (req.method.as_str(), req.path.as_str()) {
+        let registry = pingmesh_obs::registry();
+        let (path, query) = match req.path.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (req.path.as_str(), None),
+        };
+        // Fixed route set keeps metric label cardinality bounded even when
+        // clients request arbitrary paths.
+        let route = match path {
+            "/upload" => "upload",
+            "/stats" => "stats",
+            "/metrics" => "metrics",
+            "/events" => "events",
+            _ => "other",
+        };
+        registry
+            .counter_with("pingmesh_realmode_requests_total", &[("route", route)])
+            .inc();
+        match (req.method.as_str(), path) {
             ("POST", "/upload") => {
                 if !self.accepting.load(Ordering::SeqCst) {
+                    registry
+                        .counter("pingmesh_realmode_uploads_rejected_total")
+                        .inc();
                     return Response::unavailable();
                 }
                 let Ok(records) = serde_json::from_slice::<Vec<ProbeRecord>>(&req.body) else {
@@ -96,6 +121,9 @@ impl Collector {
                 // The upload timestamp is the newest record's; the real
                 // store cares only about content timestamps.
                 let t = records.iter().map(|r| r.ts).max().unwrap_or(SimTime::ZERO);
+                registry
+                    .counter("pingmesh_realmode_uploaded_records_total")
+                    .add(records.len() as u64);
                 store.append(stream, &records, t);
                 Response::ok(b"stored".to_vec())
             }
@@ -104,6 +132,33 @@ impl Collector {
                 let mut resp = Response::ok(body);
                 resp.headers
                     .push(("content-type".into(), "application/json".into()));
+                resp
+            }
+            ("GET", "/metrics") => {
+                let body = pingmesh_obs::encode::snapshot_to_prometheus(&registry.snapshot());
+                let mut resp = Response::ok(body.into_bytes());
+                resp.headers
+                    .push(("content-type".into(), "text/plain; version=0.0.4".into()));
+                resp
+            }
+            ("GET", "/events") => {
+                // `?since=SEQ` returns only events with seq > SEQ, so a
+                // scraper can poll incrementally. Malformed values are 400
+                // rather than silently treated as zero.
+                let since = match query
+                    .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("since=")))
+                {
+                    Some(v) => match v.parse::<u64>() {
+                        Ok(n) => n,
+                        Err(_) => return Response::bad_request("bad since= value"),
+                    },
+                    None => 0,
+                };
+                let evs = pingmesh_obs::events().snapshot_since(since);
+                let body = pingmesh_obs::encode::events_to_jsonl(&evs);
+                let mut resp = Response::ok(body.into_bytes());
+                resp.headers
+                    .push(("content-type".into(), "application/x-ndjson".into()));
                 resp
             }
             _ => Response::not_found(),
@@ -215,7 +270,8 @@ mod tests {
     fn malformed_and_unknown_requests() {
         let c = Collector::new();
         assert_eq!(
-            c.respond(&Request::post("/upload", b"not json".to_vec())).status,
+            c.respond(&Request::post("/upload", b"not json".to_vec()))
+                .status,
             400
         );
         assert_eq!(c.respond(&Request::get("/nope")).status, 404);
@@ -240,6 +296,72 @@ mod tests {
         assert_eq!(c.respond(&req).status, 200);
     }
 
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let c = Collector::new();
+        // Touch a metric through the normal path first so the exposition
+        // is non-trivial.
+        let batch = vec![rec(1)];
+        let req = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+        assert_eq!(c.respond(&req).status, 200);
+        let resp = c.respond(&Request::get("/metrics"));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("pingmesh_realmode_requests_total"));
+        assert!(text.contains("pingmesh_realmode_uploaded_records_total"));
+        assert!(text.contains("# TYPE"));
+    }
+
+    #[test]
+    fn events_endpoint_filters_by_since() {
+        pingmesh_obs::set_enabled(true);
+        let c = Collector::new();
+        let before = pingmesh_obs::events().last_seq();
+        pingmesh_obs::emit!(Info, "realmode.test", "events_endpoint_probe", "n" => 1u64);
+        let resp = c.respond(&Request::get(&format!("/events?since={before}")));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("events_endpoint_probe"), "body: {body}");
+        // Everything has been seen: the incremental poll comes back empty.
+        let after = pingmesh_obs::events().last_seq();
+        let resp = c.respond(&Request::get(&format!("/events?since={after}")));
+        assert!(!String::from_utf8(resp.body)
+            .unwrap()
+            .contains("events_endpoint_probe"));
+        // Malformed cursor is a client error.
+        assert_eq!(c.respond(&Request::get("/events?since=xyz")).status, 400);
+    }
+
+    #[tokio::test]
+    async fn metrics_and_events_scrape_over_real_sockets() {
+        pingmesh_obs::set_enabled(true);
+        let c = Collector::new();
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(serve_collector(listener, c.clone()));
+
+        upload_records(addr, &[rec(1), rec(2)]).await.unwrap();
+        pingmesh_obs::emit!(Info, "realmode.test", "scrape_marker");
+
+        async fn get(addr: SocketAddr, path: &str) -> Response {
+            let mut stream = TcpStream::connect(addr).await.unwrap();
+            pingmesh_httpx::write_request(&mut stream, &Request::get(path))
+                .await
+                .unwrap();
+            pingmesh_httpx::read_response(&mut stream).await.unwrap()
+        }
+
+        let metrics = get(addr, "/metrics").await;
+        assert_eq!(metrics.status, 200);
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("pingmesh_realmode_uploaded_records_total"));
+
+        let events = get(addr, "/events?since=0").await;
+        assert_eq!(events.status, 200);
+        let body = String::from_utf8(events.body).unwrap();
+        assert!(body.contains("scrape_marker"), "body: {body}");
+    }
+
     #[tokio::test]
     async fn upload_over_real_sockets() {
         let c = Collector::new();
@@ -253,7 +375,10 @@ mod tests {
         assert_eq!(stats.records, 100);
         // And the shared store is directly scannable for analysis.
         assert_eq!(
-            c.store().lock().scan_all_window(SimTime(0), SimTime(1_000)).count(),
+            c.store()
+                .lock()
+                .scan_all_window(SimTime(0), SimTime(1_000))
+                .count(),
             100
         );
     }

@@ -5,9 +5,7 @@
 //! (all of DC0's pods, then DC1's, …) so that ranges describe containment.
 
 use crate::spec::TopologySpec;
-use pingmesh_types::{
-    DcId, PingmeshError, PodId, PodsetId, ServerId, SwitchId, SwitchTier,
-};
+use pingmesh_types::{DcId, PingmeshError, PodId, PodsetId, ServerId, SwitchId, SwitchTier};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -159,6 +157,15 @@ impl Topology {
             });
         }
 
+        pingmesh_obs::registry()
+            .counter("pingmesh_topology_builds_total")
+            .inc();
+        pingmesh_obs::emit!(Info, "topology.model", "topology_built",
+            "dcs" => dcs.len() as u64,
+            "podsets" => podsets.len() as u64,
+            "pods" => pods.len() as u64,
+            "servers" => servers.len() as u64,
+        );
         Ok(Self {
             spec,
             dcs,
@@ -304,10 +311,7 @@ impl Topology {
     /// The DC a switch belongs to.
     pub fn dc_of_switch(&self, sw: SwitchId) -> Option<DcId> {
         match sw.tier {
-            SwitchTier::Tor => self
-                .pods
-                .get(sw.index as usize)
-                .map(|p| p.dc),
+            SwitchTier::Tor => self.pods.get(sw.index as usize).map(|p| p.dc),
             SwitchTier::Leaf => self
                 .leaf_podset
                 .get(sw.index as usize)

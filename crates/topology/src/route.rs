@@ -338,7 +338,11 @@ mod tests {
             // hops 0..=3 (ToR, Leaf, Spine, Border) live in the source DC,
             // hops 4..=7 (Border, Spine, Leaf, ToR) in the destination DC.
             for (i, hop) in sw.iter().enumerate() {
-                let expect = if i < 4 { t.server(a).dc } else { t.server(b).dc };
+                let expect = if i < 4 {
+                    t.server(a).dc
+                } else {
+                    t.server(b).dc
+                };
                 assert_eq!(t.dc_of_switch(*hop), Some(expect), "hop {i}");
             }
         }

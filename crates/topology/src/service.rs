@@ -35,10 +35,7 @@ impl ServiceMap {
         servers: impl IntoIterator<Item = ServerId>,
     ) -> Result<ServiceId, PingmeshError> {
         let mut seen = HashSet::new();
-        let list: Vec<ServerId> = servers
-            .into_iter()
-            .filter(|s| seen.insert(*s))
-            .collect();
+        let list: Vec<ServerId> = servers.into_iter().filter(|s| seen.insert(*s)).collect();
         if list.is_empty() {
             return Err(PingmeshError::InvalidConfig(format!(
                 "service {name} has no servers"

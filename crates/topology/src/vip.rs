@@ -133,7 +133,10 @@ mod tests {
             counts[d1.index()] += 1;
         }
         for &c in &counts {
-            assert!((700..=1_300).contains(&c), "unbalanced dispatch: {counts:?}");
+            assert!(
+                (700..=1_300).contains(&c),
+                "unbalanced dispatch: {counts:?}"
+            );
         }
     }
 
@@ -141,7 +144,10 @@ mod tests {
     fn dispatch_to_unknown_vip_is_none() {
         let t = VipTable::new();
         assert_eq!(
-            t.dispatch(Ipv4Addr::new(172, 16, 0, 0), &tuple(1, Ipv4Addr::new(172, 16, 0, 0))),
+            t.dispatch(
+                Ipv4Addr::new(172, 16, 0, 0),
+                &tuple(1, Ipv4Addr::new(172, 16, 0, 0))
+            ),
             None
         );
     }

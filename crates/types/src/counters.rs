@@ -35,6 +35,7 @@ pub enum RttClass {
 
 /// Classifies an RTT into the paper's 3 s / 9 s signature bands.
 pub fn classify_rtt(rtt: SimDuration) -> RttClass {
+    crate::telemetry::RTTS_CLASSIFIED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let in_band = |center: SimDuration| {
         let lo = center.as_micros().saturating_sub(RETRY_BAND.as_micros());
         let hi = center.as_micros() + RETRY_BAND.as_micros();
@@ -156,7 +157,10 @@ mod tests {
 
     #[test]
     fn classify_rtt_bands() {
-        assert_eq!(classify_rtt(SimDuration::from_micros(250)), RttClass::Normal);
+        assert_eq!(
+            classify_rtt(SimDuration::from_micros(250)),
+            RttClass::Normal
+        );
         assert_eq!(
             classify_rtt(SimDuration::from_micros(3_000_250)),
             RttClass::OneDrop
@@ -174,6 +178,53 @@ mod tests {
             classify_rtt(SimDuration::from_millis(4_401)),
             RttClass::Normal
         );
+    }
+
+    #[test]
+    fn classify_rtt_band_edges_are_inclusive() {
+        // One-drop band is exactly [1.6 s, 4.4 s] (3 s ± 1.4 s), inclusive.
+        assert_eq!(
+            classify_rtt(SimDuration::from_millis(1_600)),
+            RttClass::OneDrop,
+            "lower edge 1.6s is in the one-drop band"
+        );
+        assert_eq!(
+            classify_rtt(SimDuration::from_millis(4_400)),
+            RttClass::OneDrop,
+            "upper edge 4.4s is in the one-drop band"
+        );
+        // Two-drop band is exactly [7.6 s, 10.4 s] (9 s ± 1.4 s), inclusive.
+        assert_eq!(
+            classify_rtt(SimDuration::from_millis(7_600)),
+            RttClass::TwoDrops,
+            "lower edge 7.6s is in the two-drop band"
+        );
+        assert_eq!(
+            classify_rtt(SimDuration::from_millis(10_400)),
+            RttClass::TwoDrops,
+            "upper edge 10.4s is in the two-drop band"
+        );
+        // One microsecond outside each edge falls out of the band.
+        for (us, expect) in [
+            (1_600_000 - 1, RttClass::Normal),
+            (4_400_000 + 1, RttClass::Normal),
+            (7_600_000 - 1, RttClass::Normal),
+            (10_400_000 + 1, RttClass::Normal),
+        ] {
+            assert_eq!(
+                classify_rtt(SimDuration::from_micros(us)),
+                expect,
+                "rtt {us}us must be outside every retry band"
+            );
+        }
+        // The gap between the bands (4.4 s, 7.6 s) is all Normal.
+        for ms in [4_401u64, 5_000, 6_000, 7_000, 7_599] {
+            assert_eq!(
+                classify_rtt(SimDuration::from_millis(ms)),
+                RttClass::Normal,
+                "{ms}ms sits in the inter-band gap"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
+        crate::telemetry::HISTOGRAMS_CREATED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Self {
             counts: vec![0; BUCKETS],
             total: 0,
@@ -136,7 +137,8 @@ impl LatencyHistogram {
 
     /// Mean of recorded samples, if any.
     pub fn mean(&self) -> Option<SimDuration> {
-        (self.total > 0).then(|| SimDuration::from_micros((self.sum_us / self.total as u128) as u64))
+        (self.total > 0)
+            .then(|| SimDuration::from_micros((self.sum_us / self.total as u128) as u64))
     }
 
     /// Quantile query. `q` in [0, 1]; e.g. `0.99` for P99. Returns the
@@ -203,6 +205,7 @@ impl LatencyHistogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        crate::telemetry::HISTOGRAM_MERGES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += *b;
         }
@@ -240,6 +243,29 @@ mod tests {
             let v = h.quantile(q).unwrap().as_micros();
             assert_eq!(v, 250, "q={q} gave {v}");
         }
+    }
+
+    #[test]
+    fn p50_p99_with_zero_one_and_many_samples() {
+        // Zero samples: both helpers are None.
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        // One sample: both collapse to that sample exactly.
+        h.record(us(321));
+        assert_eq!(h.p50().unwrap().as_micros(), 321);
+        assert_eq!(h.p99().unwrap().as_micros(), 321);
+        // Many samples: p50 tracks the middle, p99 the tail, within the
+        // histogram's ~4.4% bucket error.
+        let mut m = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            m.record(us(v));
+        }
+        let p50 = m.p50().unwrap().as_micros() as f64;
+        let p99 = m.p99().unwrap().as_micros() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.05, "p99 {p99}");
+        assert!(p50 < p99);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod id;
 pub mod net;
 pub mod pinglist;
 pub mod probe;
+pub mod telemetry;
 pub mod time;
 
 pub use counters::{AgentCounters, CounterSnapshot};

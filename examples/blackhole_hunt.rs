@@ -111,9 +111,7 @@ fn main() {
     );
     // After our customers' complaints stopped (paper: "our customers did
     // not complain about packet black-holes anymore"), probes flow again:
-    let b = topo
-        .nth_server_of_pod(PodId(2), 0)
-        .expect("peer exists");
+    let b = topo.nth_server_of_pod(PodId(2), 0).expect("peer exists");
     let now = o.now();
     let after = o
         .net_mut()

@@ -48,11 +48,7 @@ fn fresh() -> Orchestrator {
 
 fn show(mut o: Orchestrator, label: &str) {
     o.run_until(SimTime::ZERO + SimDuration::from_mins(40));
-    let agg = WindowAggregate::build(
-        o.pipeline()
-            .store
-            .scan_all_window(SimTime::ZERO, o.now()),
-    );
+    let agg = WindowAggregate::build(o.pipeline().store.scan_all_window(SimTime::ZERO, o.now()));
     let m = HeatmapMatrix::from_aggregate(&agg, o.net().topology(), DcId(0));
     println!("--- {label} ---");
     print!("{}", render_ansi(&m));

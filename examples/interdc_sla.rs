@@ -64,11 +64,7 @@ fn main() {
     println!("running 2 virtual hours...");
     o.run_until(SimTime::ZERO + SimDuration::from_hours(2));
 
-    let agg = WindowAggregate::build(
-        o.pipeline()
-            .store
-            .scan_all_window(SimTime::ZERO, o.now()),
-    );
+    let agg = WindowAggregate::build(o.pipeline().store.scan_all_window(SimTime::ZERO, o.now()));
 
     println!("\ninter-DC latency (selected probers, complete graph over DCs):");
     for dc in topo.dcs() {
@@ -105,9 +101,7 @@ fn main() {
     let vip_probes: u64 = agg
         .pairs
         .iter()
-        .filter(|(k, _)| {
-            topo.server(k.dst).pod == PodId(0) && topo.server(k.src).pod != PodId(0)
-        })
+        .filter(|(k, _)| topo.server(k.dst).pod == PodId(0) && topo.server(k.src).pod != PodId(0))
         .map(|(_, v)| v.total())
         .sum();
     println!("\nVIP monitoring: {vip_probes} probes landed on {vip} DIPs (pod0)");

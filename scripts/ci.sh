@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full CI gate for the workspace. Run from anywhere; exits non-zero on the
+# first failing step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "cargo build --release (workspace)"
+cargo build --release --workspace
+
+step "cargo test -q (workspace)"
+cargo test -q --workspace
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy -D warnings (workspace, all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+printf '\nCI gate passed.\n'

@@ -1,0 +1,307 @@
+//! Offline shim for the subset of criterion this workspace uses: a plain
+//! timing harness with criterion's API shape. Reports mean ns/iteration
+//! to stdout; no statistics, plots, or baselines.
+//!
+//! When invoked with `--test` (as `cargo test` does for harness=false
+//! bench targets) each benchmark body runs once, unmeasured, so the
+//! tier-1 test suite stays fast while still exercising the bench code.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls. The shim times one
+/// routine call per setup call regardless, so the variants are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh input for every iteration.
+    PerIteration,
+}
+
+/// Units-of-work annotation for a benchmark (recorded, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long measurement runs per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.config, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with units of work per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_one(&full, self.config, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// Run once, unmeasured (`--test`).
+    Check,
+    /// Warm up, then time `iters` calls and report.
+    Measure { iters: u64 },
+}
+
+/// Passed to each benchmark closure; times the hot callable.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Check => {
+                black_box(routine());
+            }
+            Mode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.total += start.elapsed();
+                self.timed_iters += iters;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Check => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { iters } => {
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    self.total += start.elapsed();
+                }
+                self.timed_iters += iters;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    config: Config,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if test_mode() {
+        let mut b = Bencher {
+            mode: Mode::Check,
+            total: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        println!("bench {name}: ok (check mode)");
+        return;
+    }
+
+    // Calibrate: run singles until warm_up_time elapses to estimate cost.
+    let warm_start = Instant::now();
+    let mut calib_iters = 0u64;
+    while warm_start.elapsed() < config.warm_up_time || calib_iters == 0 {
+        let mut b = Bencher {
+            mode: Mode::Measure { iters: 1 },
+            total: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        calib_iters += 1;
+        if calib_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / calib_iters.max(1);
+    let budget_ns = config.measurement_time.as_nanos() as u64 / config.sample_size.max(1) as u64;
+    let iters_per_sample = (budget_ns / per_iter.max(1)).clamp(1, 10_000_000);
+
+    let mut b = Bencher {
+        mode: Mode::Measure {
+            iters: iters_per_sample,
+        },
+        total: Duration::ZERO,
+        timed_iters: 0,
+    };
+    for _ in 0..config.sample_size {
+        f(&mut b);
+    }
+    let ns = b.total.as_nanos() as f64 / b.timed_iters.max(1) as f64;
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name}: {ns:.1} ns/iter ({} iters){thr}",
+        b.timed_iters
+    );
+}
+
+/// Declares a benchmark group runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            mode: Mode::Measure { iters: 100 },
+            total: Duration::ZERO,
+            timed_iters: 0,
+        };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.timed_iters, 100);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher {
+            mode: Mode::Measure { iters: 10 },
+            total: Duration::ZERO,
+            timed_iters: 0,
+        };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.timed_iters, 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The real serde's visitor-based data model is replaced by a direct
+//! JSON-value model: [`Serialize`] lowers a type to a [`Value`] tree and
+//! [`Deserialize`] lifts it back. The derive macros (re-exported from the
+//! in-tree `serde_derive` shim) generate impls against these traits with
+//! the same external JSON representation serde_json would produce:
+//! newtype structs are transparent, unit enum variants are strings,
+//! data-carrying variants are single-key objects, and `Option` fields
+//! treat a missing key as `None`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+pub mod value;
+
+pub use value::{Number, Object, Value};
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Error for a value of the wrong shape.
+    pub fn expected(what: &str, while_parsing: &str) -> Self {
+        DeError(format!("expected {what} while parsing {while_parsing}"))
+    }
+
+    /// Error for a required object key that is absent.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// Error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the JSON value representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses from a JSON value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Parses from an optional object field. The default requires the key
+    /// to be present; `Option<T>` overrides this so a missing key reads as
+    /// `None` (matching serde's derive behaviour).
+    fn from_field(v: Option<&Value>, name: &str) -> Result<Self, DeError> {
+        match v {
+            Some(v) => Self::from_value(v),
+            None => Err(DeError::missing(name)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline shim of serde's derive macros.
+//!
+//! Parses the item definition directly from the [`proc_macro::TokenStream`]
+//! (the build is fully offline, so `syn`/`quote` are unavailable) and
+//! generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits. Supported shapes — exactly what this workspace contains:
+//!
+//! * structs with named fields (`#[serde(skip)]` honoured);
+//! * tuple structs (single-field newtypes are transparent, as in serde);
+//! * `#[serde(transparent)]` (same behaviour as a newtype);
+//! * enums with unit, newtype, tuple, and struct variants, using serde's
+//!   externally-tagged JSON representation.
+//!
+//! Generic types and other `#[serde(...)]` attributes are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String, // field name, or tuple index as a string
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        transparent: bool,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Collects `transparent` / `skip` flags from a `#[serde(...)]` attribute
+/// body; any other serde attribute is unsupported.
+fn scan_serde_attr(
+    body: TokenStream,
+    transparent: &mut bool,
+    skip: &mut bool,
+) -> Result<(), String> {
+    for tt in body {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "transparent" => *transparent = true,
+            TokenTree::Ident(id) if id.to_string() == "skip" => *skip = true,
+            TokenTree::Punct(_) => {}
+            other => return Err(format!("unsupported #[serde(...)] attribute: {other}")),
+        }
+    }
+    Ok(())
+}
+
+/// Consumes leading attributes at `*i`, returning (transparent, skip) flags
+/// found in `#[serde(...)]` among them.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<(bool, bool), String> {
+    let mut transparent = false;
+    let mut skip = false;
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(body)) = inner.get(1) {
+                    scan_serde_attr(body.stream(), &mut transparent, &mut skip)?;
+                }
+            }
+        }
+        *i += 2;
+    }
+    Ok((transparent, skip))
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a brace/paren group body on top-level commas. Angle brackets
+/// are bare puncts in a token stream (not nested groups), so commas
+/// inside generic arguments like `HashMap<K, V>` must be tracked by
+/// `<`/`>` depth and left alone.
+fn split_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                out.last_mut().unwrap().push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                out.last_mut().unwrap().push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => out.push(Vec::new()),
+            _ => out.last_mut().unwrap().push(tt),
+        }
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_commas(body) {
+        let mut i = 0;
+        let (_, skip) = skip_attrs(&chunk, &mut i)?;
+        skip_vis(&chunk, &mut i);
+        let Some(TokenTree::Ident(name)) = chunk.get(i) else {
+            return Err("expected field name".into());
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let (mut transparent, _) = skip_attrs(&tokens, &mut i)?;
+    skip_vis(&tokens, &mut i);
+    // Attributes can also appear between visibility and the keyword.
+    let (t2, _) = skip_attrs(&tokens, &mut i)?;
+    transparent |= t2;
+
+    let Some(TokenTree::Ident(kw)) = tokens.get(i) else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        return Err("expected type name".into());
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name} is not supported by the serde shim"
+            ));
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(split_commas(g.stream()).len())
+                }
+                _ => Shape::Unit,
+            };
+            Ok(Item::Struct {
+                name,
+                transparent,
+                shape,
+            })
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                return Err("expected enum body".into());
+            };
+            let mut variants = Vec::new();
+            for chunk in split_commas(g.stream()) {
+                let mut vi = 0;
+                skip_attrs(&chunk, &mut vi)?;
+                let Some(TokenTree::Ident(vname)) = chunk.get(vi) else {
+                    return Err("expected variant name".into());
+                };
+                let shape = match chunk.get(vi + 1) {
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                        Shape::Named(parse_named_fields(vg.stream())?)
+                    }
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(split_commas(vg.stream()).len())
+                    }
+                    _ => Shape::Unit,
+                };
+                variants.push(Variant {
+                    name: vname.to_string(),
+                    shape,
+                });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------- Serialize
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            shape,
+        } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                    if *transparent && live.len() == 1 {
+                        format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+                    } else {
+                        let mut s = String::from("let mut obj = ::serde::Object::new();\n");
+                        for f in &live {
+                            s.push_str(&format!(
+                                "obj.insert({n:?}, ::serde::Serialize::to_value(&self.{n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        s.push_str("::serde::Value::Object(obj)");
+                        s
+                    }
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".into(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "::serde::Value::Null".into(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n let mut obj = ::serde::Object::new();\n obj.insert({vn:?}, ::serde::Serialize::to_value(__f0));\n ::serde::Value::Object(obj)\n }}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bl}) => {{\n let mut obj = ::serde::Object::new();\n obj.insert({vn:?}, ::serde::Value::Array(vec![{il}]));\n ::serde::Value::Object(obj)\n }}\n",
+                            bl = binds.join(", "),
+                            il = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binds: Vec<String> = live.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut inner = ::serde::Object::new();\n",
+                        );
+                        for f in &live {
+                            inner.push_str(&format!(
+                                "inner.insert({n:?}, ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bl} }} => {{\n {inner} let mut obj = ::serde::Object::new();\n obj.insert({vn:?}, ::serde::Value::Object(inner));\n ::serde::Value::Object(obj)\n }}\n",
+                            bl = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n match self {{\n {arms} }}\n }}\n}}"
+            )
+        }
+    }
+}
+
+// -------------------------------------------------------------- Deserialize
+
+fn gen_named_ctor(fields: &[Field], obj_expr: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_field({obj_expr}.get({n:?}), {n:?})?,\n",
+                n = f.name
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            shape,
+        } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                    if *transparent && live.len() == 1 {
+                        let skipped: String = fields
+                            .iter()
+                            .filter(|f| f.skip)
+                            .map(|f| format!("{}: ::core::default::Default::default(),\n", f.name))
+                            .collect();
+                        format!(
+                            "::core::result::Result::Ok({name} {{ {n}: ::serde::Deserialize::from_value(v)?,\n {skipped} }})",
+                            n = live[0].name
+                        )
+                    } else {
+                        format!(
+                            "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", {name:?}))?;\n ::core::result::Result::Ok({name} {{\n {ctor} }})",
+                            ctor = gen_named_ctor(fields, "obj")
+                        )
+                    }
+                }
+                Shape::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                        .collect();
+                    format!(
+                        "let arr = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", {name:?}))?;\n if arr.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", {name:?})); }}\n ::core::result::Result::Ok({name}({il}))",
+                        il = items.join(", ")
+                    )
+                }
+                Shape::Unit => format!("::core::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(val)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n let arr = val.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", {vn:?}))?;\n if arr.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", {vn:?})); }}\n ::core::result::Result::Ok({name}::{vn}({il}))\n }}\n",
+                            il = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => data_arms.push_str(&format!(
+                        "{vn:?} => {{\n let inner = val.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", {vn:?}))?;\n ::core::result::Result::Ok({name}::{vn} {{\n {ctor} }})\n }}\n",
+                        ctor = gen_named_ctor(fields, "inner")
+                    )),
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n match v {{\n ::serde::Value::String(s) => match s.as_str() {{\n {unit_arms} other => ::core::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n }},\n ::serde::Value::Object(o) if o.len() == 1 => {{\n let (k, val) = o.iter().next().unwrap();\n match k.as_str() {{\n {data_arms} other => ::core::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n }}\n }}\n _ => ::core::result::Result::Err(::serde::DeError::expected(\"variant string or single-key object\", {name:?})),\n }}\n }}\n}}"
+            )
+        }
+    }
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => error(&e),
+    }
+}

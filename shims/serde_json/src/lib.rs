@@ -1,0 +1,439 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! `to_string` / `to_string_pretty` / `to_vec` / `from_str` / `from_slice`
+//! and [`Value`] with lenient indexing.
+//!
+//! Works over the `serde` shim's value model: serialization lowers to a
+//! [`Value`] tree and encodes it; deserialization parses into a [`Value`]
+//! tree and lifts it. Output conventions match serde_json where observable:
+//! string escaping, `null` for `None`, externally tagged enums, and
+//! shortest-round-trip float formatting.
+
+#![forbid(unsafe_code)]
+
+pub use serde::value::{Number, Object, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+/// Error type for both serialization and parsing (always a message).
+pub type Error = DeError;
+
+// ------------------------------------------------------------------ encode
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_into(n: &Number, out: &mut String) {
+    match *n {
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::I64(v) => out.push_str(&v.to_string()),
+        // `{:?}` is Rust's shortest round-trip float form and keeps a
+        // trailing `.0` on integral values, matching serde_json.
+        Number::F64(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn encode_into(v: &Value, out: &mut String, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => number_into(n, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                encode_into(item, out, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push(']');
+        }
+        Value::Object(obj) => {
+            if obj.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in obj.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                encode_into(val, out, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    encode_into(&value.to_value(), &mut out, None);
+    Ok(out)
+}
+
+/// Serializes to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    encode_into(&value.to_value(), &mut out, Some(0));
+    Ok(out)
+}
+
+/// Serializes to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+// ------------------------------------------------------------------- parse
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        DeError(format!("json parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected byte `{}`", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: only BMP escapes are emitted
+                            // by our encoder; decode pairs for robustness.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let lo_hex = self
+                                        .bytes
+                                        .get(self.pos + 2..self.pos + 6)
+                                        .ok_or_else(|| self.err("truncated surrogate"))?;
+                                    let lo_hex = std::str::from_utf8(lo_hex)
+                                        .map_err(|_| self.err("bad surrogate"))?;
+                                    let lo = u32::from_str_radix(lo_hex, 16)
+                                        .map_err(|_| self.err("bad surrogate"))?;
+                                    self.pos += 6;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid codepoint"))?);
+                        }
+                        other => return Err(self.err(&format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        let num = if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                Number::U64(u)
+            } else if let Ok(i) = text.parse::<i64>() {
+                Number::I64(i)
+            } else {
+                Number::F64(text.parse::<f64>().map_err(|_| self.err("bad number"))?)
+            }
+        } else {
+            Number::F64(text.parse::<f64>().map_err(|_| self.err("bad number"))?)
+        };
+        Ok(Value::Number(num))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut obj = Object::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(obj));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            obj.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(obj));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON value tree from a string.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse_value(s)?)
+}
+
+/// Deserializes a `T` from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|_| DeError("non-utf8 json".into()))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&17u64).unwrap(), "17");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(from_str::<u64>("17").unwrap(), 17);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(to_string(&o).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("5").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = parse_value(r#"{"a": [1, {"b": "x"}], "n": 2.5}"#).unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1]["b"].as_str(), Some("x"));
+        assert_eq!(v["n"].as_f64(), Some(2.5));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = parse_value(r#"{"a":[1,2]}"#).unwrap();
+        let pretty = {
+            let mut out = String::new();
+            super::encode_into(&v, &mut out, Some(0));
+            out
+        };
+        assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let s = "héllo \"wörld\" \t ❤";
+        let enc = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&enc).unwrap(), s);
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("nul").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(from_str::<u64>("\"no\"").is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! The executor core: a global pool of worker threads polling tasks from a
+//! shared injector queue, with a wake-coalescing per-task state machine.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+
+// Task states. Wakes during RUNNING move to NOTIFIED so the worker re-polls
+// instead of racing a concurrent re-schedule.
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+pub(crate) struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    aborted: AtomicBool,
+    on_cancel: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        injector().push(self.clone());
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or finished: nothing to do.
+                _ => return,
+            }
+        }
+    }
+}
+
+struct Injector {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+}
+
+fn injector() -> &'static Injector {
+    static INJECTOR: OnceLock<Injector> = OnceLock::new();
+    INJECTOR.get_or_init(|| Injector {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    })
+}
+
+impl Injector {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+
+    fn pop_blocking(&self) -> Arc<Task> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(t) = q.pop_front() {
+                return t;
+            }
+            q = self.available.wait(q).unwrap();
+        }
+    }
+}
+
+pub(crate) fn ensure_workers() {
+    static STARTED: OnceLock<()> = OnceLock::new();
+    STARTED.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 8);
+        for i in 0..n {
+            std::thread::Builder::new()
+                .name(format!("tokio-shim-worker-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn worker thread");
+        }
+    });
+}
+
+fn worker_loop() {
+    loop {
+        let task = injector().pop_blocking();
+        // The spawn wrapper catches user panics per-poll; this outer guard
+        // only protects the worker from bugs in the shim itself.
+        let _ = catch_unwind(AssertUnwindSafe(|| run_task(task)));
+    }
+}
+
+fn run_task(task: Arc<Task>) {
+    task.state.store(RUNNING, Ordering::Release);
+    loop {
+        if task.aborted.load(Ordering::Acquire) {
+            *task.future.lock().unwrap() = None;
+            task.state.store(DONE, Ordering::Release);
+            if let Some(cb) = task.on_cancel.lock().unwrap().take() {
+                cb();
+            }
+            return;
+        }
+        let waker = Waker::from(task.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = task.future.lock().unwrap();
+        let Some(fut) = slot.as_mut() else {
+            task.state.store(DONE, Ordering::Release);
+            return;
+        };
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *slot = None;
+                drop(slot);
+                task.state.store(DONE, Ordering::Release);
+                return;
+            }
+            Poll::Pending => {
+                drop(slot);
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                // A wake arrived while polling (NOTIFIED): poll again.
+                task.state.store(RUNNING, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// Error returned by [`JoinHandle`] when a task panicked or was aborted.
+pub struct JoinError {
+    panicked: bool,
+}
+
+impl JoinError {
+    /// True if the task panicked (as opposed to being aborted).
+    pub fn is_panic(&self) -> bool {
+        self.panicked
+    }
+
+    /// True if the task was aborted before completing.
+    pub fn is_cancelled(&self) -> bool {
+        !self.panicked
+    }
+}
+
+impl std::fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.panicked {
+            write!(f, "JoinError::Panic")
+        } else {
+            write!(f, "JoinError::Cancelled")
+        }
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.panicked {
+            write!(f, "task panicked")
+        } else {
+            write!(f, "task was cancelled")
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinInner<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+pub(crate) struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+}
+
+impl<T> JoinState<T> {
+    fn new() -> Self {
+        JoinState {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                waker: None,
+                finished: false,
+            }),
+        }
+    }
+
+    fn complete(&self, r: Result<T, JoinError>) {
+        let mut g = self.inner.lock().unwrap();
+        if g.finished {
+            return;
+        }
+        g.finished = true;
+        g.result = Some(r);
+        let waker = g.waker.take();
+        drop(g);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Owned handle to a spawned task; awaiting it yields the task's output.
+/// Dropping the handle detaches the task (it keeps running).
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+    task: Arc<Task>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Requests cancellation: the task's future is dropped at the next
+    /// scheduling point and `await`ing the handle yields a cancelled error.
+    pub fn abort(&self) {
+        self.task.aborted.store(true, Ordering::Release);
+        self.task.wake_by_ref();
+    }
+
+    /// True once the task has produced a result (or was cancelled).
+    pub fn is_finished(&self) -> bool {
+        self.state.inner.lock().unwrap().finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut g = self.state.inner.lock().unwrap();
+        if let Some(r) = g.result.take() {
+            return Poll::Ready(r);
+        }
+        if g.finished {
+            // Polled again after the result was taken.
+            return Poll::Ready(Err(JoinError { panicked: false }));
+        }
+        g.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Spawns a future onto the global worker pool.
+pub fn spawn<F>(f: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    ensure_workers();
+    let state = Arc::new(JoinState::new());
+    let on_ok = state.clone();
+    let mut inner = Box::pin(f);
+    let wrapper = std::future::poll_fn(move |cx| {
+        match catch_unwind(AssertUnwindSafe(|| inner.as_mut().poll(cx))) {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(v)) => {
+                on_ok.complete(Ok(v));
+                Poll::Ready(())
+            }
+            Err(_) => {
+                on_ok.complete(Err(JoinError { panicked: true }));
+                Poll::Ready(())
+            }
+        }
+    });
+    let on_cancel = state.clone();
+    let task = Arc::new(Task {
+        future: Mutex::new(Some(Box::pin(wrapper))),
+        state: AtomicU8::new(SCHEDULED),
+        aborted: AtomicBool::new(false),
+        on_cancel: Mutex::new(Some(Box::new(move || {
+            on_cancel.complete(Err(JoinError { panicked: false }));
+        }))),
+    });
+    injector().push(task.clone());
+    JoinHandle { state, task }
+}
+
+struct Parker {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        *self.ready.lock().unwrap() = true;
+        self.cv.notify_one();
+    }
+}
+
+/// Drives a future to completion on the calling thread; spawned tasks run
+/// on the global worker pool.
+pub fn block_on<F: Future>(f: F) -> F::Output {
+    ensure_workers();
+    let parker = Arc::new(Parker {
+        ready: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(parker.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut f = std::pin::pin!(f);
+    loop {
+        match f.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                let mut ready = parker.ready.lock().unwrap();
+                while !*ready {
+                    ready = parker.cv.wait(ready).unwrap();
+                }
+                *ready = false;
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Async byte-stream traits, extension combinators, and an in-memory
+//! duplex pipe. The trait signatures are simplified relative to real tokio
+//! (`&mut self`, plain byte slices) — every consumer in this workspace goes
+//! through the `AsyncReadExt`/`AsyncWriteExt` combinators, which match.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Nonblocking byte reads.
+pub trait AsyncRead {
+    /// Reads into `buf`, returning how many bytes were read (0 = EOF).
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>>;
+}
+
+/// Nonblocking byte writes.
+pub trait AsyncWrite {
+    /// Writes from `buf`, returning how many bytes were accepted.
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>>;
+
+    /// Flushes buffered data to the underlying transport.
+    fn poll_flush(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+// ------------------------------------------------------------ combinators
+
+/// Future for [`AsyncReadExt::read`].
+pub struct Read<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a mut [u8],
+}
+
+impl<T: AsyncRead + ?Sized> Future for Read<'_, T> {
+    type Output = io::Result<usize>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = &mut *self;
+        me.io.poll_read(cx, me.buf)
+    }
+}
+
+/// Future for [`AsyncReadExt::read_exact`].
+pub struct ReadExact<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<T: AsyncRead + ?Sized> Future for ReadExact<'_, T> {
+    type Output = io::Result<usize>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = &mut *self;
+        while me.pos < me.buf.len() {
+            match me.io.poll_read(cx, &mut me.buf[me.pos..]) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "early eof",
+                    )))
+                }
+                Poll::Ready(Ok(n)) => me.pos += n,
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(me.buf.len()))
+    }
+}
+
+/// Future for [`AsyncReadExt::read_u32`].
+pub struct ReadU32<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: [u8; 4],
+    pos: usize,
+}
+
+impl<T: AsyncRead + ?Sized> Future for ReadU32<'_, T> {
+    type Output = io::Result<u32>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = &mut *self;
+        while me.pos < 4 {
+            match me.io.poll_read(cx, &mut me.buf[me.pos..]) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "early eof",
+                    )))
+                }
+                Poll::Ready(Ok(n)) => me.pos += n,
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(u32::from_be_bytes(me.buf)))
+    }
+}
+
+/// Reads bytes from an async source.
+pub trait AsyncReadExt: AsyncRead {
+    /// Reads some bytes into `buf` (0 = EOF).
+    fn read<'a>(&'a mut self, buf: &'a mut [u8]) -> Read<'a, Self> {
+        Read { io: self, buf }
+    }
+
+    /// Reads exactly `buf.len()` bytes or fails with `UnexpectedEof`.
+    fn read_exact<'a>(&'a mut self, buf: &'a mut [u8]) -> ReadExact<'a, Self> {
+        ReadExact {
+            io: self,
+            buf,
+            pos: 0,
+        }
+    }
+
+    /// Reads a big-endian `u32`.
+    fn read_u32(&mut self) -> ReadU32<'_, Self> {
+        ReadU32 {
+            io: self,
+            buf: [0; 4],
+            pos: 0,
+        }
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+/// Future for [`AsyncWriteExt::write_all`].
+pub struct WriteAll<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<T: AsyncWrite + ?Sized> Future for WriteAll<'_, T> {
+    type Output = io::Result<()>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = &mut *self;
+        while me.pos < me.buf.len() {
+            match me.io.poll_write(cx, &me.buf[me.pos..]) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write returned zero bytes",
+                    )))
+                }
+                Poll::Ready(Ok(n)) => me.pos += n,
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Future for [`AsyncWriteExt::write_u32`].
+pub struct WriteU32<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: [u8; 4],
+    pos: usize,
+}
+
+impl<T: AsyncWrite + ?Sized> Future for WriteU32<'_, T> {
+    type Output = io::Result<()>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = &mut *self;
+        while me.pos < 4 {
+            let buf = me.buf;
+            match me.io.poll_write(cx, &buf[me.pos..]) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write returned zero bytes",
+                    )))
+                }
+                Poll::Ready(Ok(n)) => me.pos += n,
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Future for [`AsyncWriteExt::flush`].
+pub struct Flush<'a, T: ?Sized> {
+    io: &'a mut T,
+}
+
+impl<T: AsyncWrite + ?Sized> Future for Flush<'_, T> {
+    type Output = io::Result<()>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.io.poll_flush(cx)
+    }
+}
+
+/// Writes bytes to an async sink.
+pub trait AsyncWriteExt: AsyncWrite {
+    /// Writes the entire buffer.
+    fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> WriteAll<'a, Self> {
+        WriteAll {
+            io: self,
+            buf,
+            pos: 0,
+        }
+    }
+
+    /// Writes a big-endian `u32`.
+    fn write_u32(&mut self, v: u32) -> WriteU32<'_, Self> {
+        WriteU32 {
+            io: self,
+            buf: v.to_be_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Flushes the sink.
+    fn flush(&mut self) -> Flush<'_, Self> {
+        Flush { io: self }
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+// ----------------------------------------------------------------- duplex
+
+struct Pipe {
+    buf: VecDeque<u8>,
+    cap: usize,
+    closed: bool,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+}
+
+impl Pipe {
+    fn new(cap: usize) -> Arc<Mutex<Pipe>> {
+        Arc::new(Mutex::new(Pipe {
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+            closed: false,
+            read_waker: None,
+            write_waker: None,
+        }))
+    }
+
+    fn close(&mut self) {
+        self.closed = true;
+        if let Some(w) = self.read_waker.take() {
+            w.wake();
+        }
+        if let Some(w) = self.write_waker.take() {
+            w.wake();
+        }
+    }
+}
+
+/// One endpoint of an in-memory bidirectional byte stream.
+pub struct DuplexStream {
+    read: Arc<Mutex<Pipe>>,
+    write: Arc<Mutex<Pipe>>,
+}
+
+/// Creates a connected pair of in-memory byte streams with `cap` bytes of
+/// buffer in each direction.
+pub fn duplex(cap: usize) -> (DuplexStream, DuplexStream) {
+    let a = Pipe::new(cap);
+    let b = Pipe::new(cap);
+    (
+        DuplexStream {
+            read: a.clone(),
+            write: b.clone(),
+        },
+        DuplexStream { read: b, write: a },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        let mut p = self.read.lock().unwrap();
+        if !p.buf.is_empty() {
+            let n = buf.len().min(p.buf.len());
+            for b in buf.iter_mut().take(n) {
+                *b = p.buf.pop_front().unwrap();
+            }
+            if let Some(w) = p.write_waker.take() {
+                w.wake();
+            }
+            return Poll::Ready(Ok(n));
+        }
+        if p.closed {
+            return Poll::Ready(Ok(0));
+        }
+        p.read_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        let mut p = self.write.lock().unwrap();
+        if p.closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed",
+            )));
+        }
+        let space = p.cap.saturating_sub(p.buf.len());
+        if space == 0 {
+            p.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        p.buf.extend(&buf[..n]);
+        if let Some(w) = p.read_waker.take() {
+            w.wake();
+        }
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        self.read.lock().unwrap().close();
+        self.write.lock().unwrap().close();
+    }
+}

@@ -1,0 +1,163 @@
+//! TCP built on nonblocking std sockets. Readiness is approximated by
+//! short timer-driven retries rather than epoll — adequate for the
+//! loopback traffic this workspace drives, and entirely std.
+
+use crate::io::{AsyncRead, AsyncWrite};
+use crate::timer;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Retry cadence for socket readiness polling.
+const READ_RETRY: Duration = Duration::from_micros(250);
+const ACCEPT_RETRY: Duration = Duration::from_millis(1);
+
+/// A nonblocking TCP connection.
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+struct ConnectSlot {
+    result: Mutex<Option<io::Result<std::net::TcpStream>>>,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl TcpStream {
+    /// Connects to `addr`. The blocking `connect(2)` runs on a helper
+    /// thread so this future stays cancellable (e.g. under `timeout`).
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no addresses to connect to",
+            ));
+        }
+        let slot = Arc::new(ConnectSlot {
+            result: Mutex::new(None),
+            waker: Mutex::new(None),
+        });
+        let slot2 = slot.clone();
+        std::thread::Builder::new()
+            .name("tokio-shim-connect".into())
+            .spawn(move || {
+                let r = std::net::TcpStream::connect(&addrs[..]);
+                *slot2.result.lock().unwrap() = Some(r);
+                if let Some(w) = slot2.waker.lock().unwrap().take() {
+                    w.wake();
+                }
+            })
+            .map_err(|e| io::Error::other(format!("spawn connect helper: {e}")))?;
+        let stream = std::future::poll_fn(|cx| {
+            if let Some(r) = slot.result.lock().unwrap().take() {
+                return Poll::Ready(r);
+            }
+            *slot.waker.lock().unwrap() = Some(cx.waker().clone());
+            // Re-check: the helper may have finished between the first
+            // check and waker registration (the lost-wake window).
+            if let Some(r) = slot.result.lock().unwrap().take() {
+                return Poll::Ready(r);
+            }
+            Poll::Pending
+        })
+        .await?;
+        stream.set_nonblocking(true)?;
+        Ok(TcpStream { inner: stream })
+    }
+
+    /// Sets TCP_NODELAY.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// Local socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Remote socket address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        match (&self.inner).read(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                timer::register(Instant::now() + READ_RETRY, cx.waker().clone());
+                Poll::Pending
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        match (&self.inner).write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                timer::register(Instant::now() + READ_RETRY, cx.waker().clone());
+                Poll::Pending
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        // Kernel TCP sockets have no userspace buffer to flush.
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// A nonblocking TCP listener.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr` in nonblocking mode.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Local socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts one connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        std::future::poll_fn(|cx| match self.inner.accept() {
+            Ok((stream, addr)) => Poll::Ready(
+                stream
+                    .set_nonblocking(true)
+                    .map(|()| (TcpStream { inner: stream }, addr)),
+            ),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                timer::register(Instant::now() + ACCEPT_RETRY, cx.waker().clone());
+                Poll::Pending
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}

@@ -1,0 +1,138 @@
+//! Synchronization primitives: currently just `watch`.
+
+/// A single-value broadcast channel: receivers observe the latest value
+/// and can await changes.
+pub mod watch {
+    use std::future::Future;
+    use std::ops::Deref;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+    use std::task::{Context, Poll, Waker};
+
+    struct Shared<T> {
+        value: RwLock<T>,
+        version: AtomicU64,
+        wakers: Mutex<Vec<Waker>>,
+    }
+
+    /// Sending half: replaces the value and notifies receivers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half: reads the latest value, awaits changes.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+        seen: u64,
+    }
+
+    /// Creates a watch channel holding `init`.
+    pub fn channel<T>(init: T) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            value: RwLock::new(init),
+            version: AtomicU64::new(0),
+            wakers: Mutex::new(Vec::new()),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared, seen: 0 },
+        )
+    }
+
+    /// Error returned by [`Sender::send`]; never produced by this shim
+    /// (sends succeed even with no receivers), kept for API parity.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Stores a new value and wakes all waiting receivers.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            *self.shared.value.write().unwrap() = value;
+            self.shared.version.fetch_add(1, Ordering::Release);
+            let wakers: Vec<Waker> = self.shared.wakers.lock().unwrap().drain(..).collect();
+            for w in wakers {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    /// Error returned by [`Receiver::changed`] when the sender is gone;
+    /// never produced by this shim, kept for API parity.
+    #[derive(Debug)]
+    pub struct RecvError(());
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "watch channel closed")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Read guard over the current value.
+    pub struct Ref<'a, T>(RwLockReadGuard<'a, T>);
+
+    impl<T> Deref for Ref<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    /// Future returned by [`Receiver::changed`].
+    pub struct Changed<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for Changed<'_, T> {
+        type Output = Result<(), RecvError>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let rx = &mut *self.rx;
+            let current = rx.shared.version.load(Ordering::Acquire);
+            if current != rx.seen {
+                rx.seen = current;
+                return Poll::Ready(Ok(()));
+            }
+            rx.shared.wakers.lock().unwrap().push(cx.waker().clone());
+            // Close the lost-wake window: re-check after registering.
+            let current = rx.shared.version.load(Ordering::Acquire);
+            if current != rx.seen {
+                rx.seen = current;
+                return Poll::Ready(Ok(()));
+            }
+            Poll::Pending
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Borrows the latest value.
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref(self.shared.value.read().unwrap())
+        }
+
+        /// Completes when a value newer than the last-seen one is sent.
+        pub fn changed(&mut self) -> Changed<'_, T> {
+            Changed { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: self.shared.clone(),
+                seen: self.seen,
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Task utilities: `spawn`, `yield_now`, `JoinSet`.
+
+pub use crate::exec::{spawn, JoinError, JoinHandle};
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Yields back to the scheduler once, then resumes.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+
+    impl Future for YieldNow {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    YieldNow(false).await
+}
+
+/// A dynamic collection of spawned tasks awaited as they complete.
+pub struct JoinSet<T> {
+    handles: Vec<JoinHandle<T>>,
+}
+
+impl<T: Send + 'static> JoinSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        JoinSet {
+            handles: Vec::new(),
+        }
+    }
+
+    /// Number of tasks still tracked by the set.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True if no tasks are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Spawns a task into the set.
+    pub fn spawn<F>(&mut self, f: F)
+    where
+        F: Future<Output = T> + Send + 'static,
+    {
+        self.handles.push(spawn(f));
+    }
+
+    /// Waits for the next task to finish; `None` when the set is empty.
+    pub fn join_next(&mut self) -> JoinNext<'_, T> {
+        JoinNext { set: self }
+    }
+}
+
+impl<T: Send + 'static> Default for JoinSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Future returned by [`JoinSet::join_next`].
+pub struct JoinNext<'a, T> {
+    set: &'a mut JoinSet<T>,
+}
+
+impl<T> Future for JoinNext<'_, T> {
+    type Output = Option<Result<T, JoinError>>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let handles = &mut self.set.handles;
+        if handles.is_empty() {
+            return Poll::Ready(None);
+        }
+        for i in 0..handles.len() {
+            if let Poll::Ready(r) = Pin::new(&mut handles[i]).poll(cx) {
+                handles.swap_remove(i);
+                return Poll::Ready(Some(r));
+            }
+        }
+        Poll::Pending
+    }
+}

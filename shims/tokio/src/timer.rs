@@ -1,0 +1,92 @@
+//! A single timer thread owning a min-heap of (deadline, waker) entries.
+//! There is no cancellation: stale entries produce a spurious wake, which
+//! the task state machine coalesces harmlessly.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::Waker;
+use std::time::Instant;
+
+struct Entry {
+    at: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+// Reverse ordering so BinaryHeap pops the earliest deadline first.
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+struct TimerShared {
+    heap: Mutex<BinaryHeap<Entry>>,
+    cv: Condvar,
+    seq: AtomicU64,
+}
+
+fn shared() -> &'static TimerShared {
+    static TIMER: OnceLock<TimerShared> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("tokio-shim-timer".into())
+            .spawn(timer_loop)
+            .expect("spawn timer thread");
+        TimerShared {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+        }
+    })
+}
+
+/// Arranges for `waker` to be woken at (or shortly after) `at`.
+pub(crate) fn register(at: Instant, waker: Waker) {
+    let t = shared();
+    let seq = t.seq.fetch_add(1, Ordering::Relaxed);
+    t.heap.lock().unwrap().push(Entry { at, seq, waker });
+    t.cv.notify_one();
+}
+
+fn timer_loop() {
+    let t = shared();
+    let mut heap = t.heap.lock().unwrap();
+    loop {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        while heap.peek().is_some_and(|e| e.at <= now) {
+            due.push(heap.pop().unwrap().waker);
+        }
+        if !due.is_empty() {
+            drop(heap);
+            for w in due {
+                w.wake();
+            }
+            heap = t.heap.lock().unwrap();
+            continue;
+        }
+        heap = match heap.peek() {
+            Some(e) => {
+                let wait = e.at.saturating_duration_since(now);
+                t.cv.wait_timeout(heap, wait).unwrap().0
+            }
+            None => t.cv.wait(heap).unwrap(),
+        };
+    }
+}

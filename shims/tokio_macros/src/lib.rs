@@ -1,0 +1,88 @@
+//! Offline shim for `#[tokio::main]` and `#[tokio::test]`.
+//!
+//! Transforms `async fn f() { body }` into `fn f() { ::tokio::block_on_sync(async move { body }) }`,
+//! prepending `#[::core::prelude::v1::test]` for the test attribute. Attribute
+//! arguments (e.g. `flavor = "current_thread"`) are accepted and ignored —
+//! the shim runtime has a single flavor.
+
+use proc_macro::{Delimiter, Group, Ident, Punct, Spacing, Span, TokenStream, TokenTree};
+
+fn transform(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Find the last top-level brace group (the fn body) and the `async`
+    // keyword; everything else passes through untouched.
+    let mut body_idx = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            if g.delimiter() == Delimiter::Brace {
+                body_idx = Some(i);
+            }
+        }
+    }
+    let Some(body_idx) = body_idx else {
+        return err("expected a function with a body");
+    };
+
+    let mut out = TokenStream::new();
+    if is_test {
+        // `#[test]` — full path so it works regardless of imports.
+        out.extend([
+            TokenTree::Punct(Punct::new('#', Spacing::Alone)),
+            TokenTree::Group(Group::new(
+                Delimiter::Bracket,
+                "::core::prelude::v1::test".parse().unwrap(),
+            )),
+        ]);
+    }
+
+    for (i, t) in tokens.into_iter().enumerate() {
+        if i == body_idx {
+            let TokenTree::Group(body) = t else {
+                unreachable!()
+            };
+            // Assemble `{ ::tokio::block_on_sync(async move { body }) }`.
+            let mut arg = TokenStream::new();
+            arg.extend("async move".parse::<TokenStream>().unwrap());
+            arg.extend([TokenTree::Group(Group::new(
+                Delimiter::Brace,
+                body.stream(),
+            ))]);
+            let mut new_body = TokenStream::new();
+            new_body.extend("::tokio::block_on_sync".parse::<TokenStream>().unwrap());
+            new_body.extend([TokenTree::Group(Group::new(Delimiter::Parenthesis, arg))]);
+            out.extend([TokenTree::Group(Group::new(Delimiter::Brace, new_body))]);
+        } else if matches!(&t, TokenTree::Ident(id) if id.to_string() == "async") {
+            // Drop the `async` qualifier: the emitted fn is synchronous.
+        } else {
+            out.extend([t]);
+        }
+    }
+    out
+}
+
+fn err(msg: &str) -> TokenStream {
+    let mut out = TokenStream::new();
+    out.extend([
+        TokenTree::Ident(Ident::new("compile_error", Span::call_site())),
+        TokenTree::Punct(Punct::new('!', Spacing::Alone)),
+        TokenTree::Group(Group::new(
+            Delimiter::Parenthesis,
+            format!("{msg:?}").parse().unwrap(),
+        )),
+        TokenTree::Punct(Punct::new(';', Spacing::Alone)),
+    ]);
+    out
+}
+
+/// Shim for `#[tokio::test]`: run the async test body on the shim runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, true)
+}
+
+/// Shim for `#[tokio::main]`: run the async main body on the shim runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, false)
+}

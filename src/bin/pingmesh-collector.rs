@@ -23,9 +23,7 @@ fn main() {
                     .expect("numeric interval")
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: pingmesh-collector --listen ADDR [--stats-interval-secs N]"
-                );
+                println!("usage: pingmesh-collector --listen ADDR [--stats-interval-secs N]");
                 return;
             }
             other => {

@@ -36,13 +36,14 @@ fn parse_args() -> Result<Args, String> {
             "--payload-probes" => args.payload_probes = true,
             "--qos-low" => args.qos_low = true,
             "--write-default-topology" => {
-                args.write_default =
-                    Some(it.next().ok_or("--write-default-topology expects FILE")?)
+                args.write_default = Some(it.next().ok_or("--write-default-topology expects FILE")?)
             }
             "--help" | "-h" => {
-                return Err("usage: pingmesh-controller --listen ADDR [--topology FILE] \
+                return Err(
+                    "usage: pingmesh-controller --listen ADDR [--topology FILE] \
                             [--payload-probes] [--qos-low] | --write-default-topology FILE"
-                    .into());
+                        .into(),
+                );
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }

@@ -35,10 +35,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--hours" => {
                 args.minutes = value("--hours")?
@@ -55,10 +52,12 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--inject" => args.inject = Some(value("--inject")?),
             "--help" | "-h" => {
-                return Err("usage: pingmesh-sim [--hours N | --minutes N] [--dcs N] [--seed N] \
+                return Err(
+                    "usage: pingmesh-sim [--hours N | --minutes N] [--dcs N] [--seed N] \
                             [--tiny] [--json FILE] \
                             [--inject spine-silent|tor-blackhole|podset-down]"
-                    .into());
+                        .into(),
+                );
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
@@ -182,10 +181,11 @@ fn main() {
     }
 
     println!("\n=== latency patterns (latest) ===");
-    let agg = pingmesh::dsa::agg::WindowAggregate::build(o.pipeline().store.scan_all_window(
-        o.now() - SimDuration::from_mins(30),
-        o.now(),
-    ));
+    let agg = pingmesh::dsa::agg::WindowAggregate::build(
+        o.pipeline()
+            .store
+            .scan_all_window(o.now() - SimDuration::from_mins(30), o.now()),
+    );
     for dc in topo.dcs() {
         let m = HeatmapMatrix::from_aggregate(&agg, &topo, dc);
         let verdict = pingmesh::dsa::classify_pattern(&m);
@@ -199,7 +199,10 @@ fn main() {
         println!("  none");
     }
     for a in raised {
-        println!("  {} {:?} {:?} value={:.2e}", a.at, a.scope, a.kind, a.value);
+        println!(
+            "  {} {:?} {:?} value={:.2e}",
+            a.at, a.scope, a.kind, a.value
+        );
     }
 
     println!("\n=== findings & repairs ===");

@@ -7,3 +7,6 @@ pub use pingmesh_core::*;
 
 /// Real-socket deployment mode (localhost clusters with actual packets).
 pub use pingmesh_realmode as realmode;
+
+/// Observability substrate: events, spans, metrics, exporters.
+pub use pingmesh_obs as obs;

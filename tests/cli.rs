@@ -31,7 +31,11 @@ fn pingmesh_sim_runs_a_tiny_healthy_scenario() {
         .args(["--tiny", "--minutes", "25", "--seed", "7"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("=== network SLA"));
     assert!(stdout.contains("drop_rate="));
@@ -69,10 +73,7 @@ fn pingmesh_controller_writes_and_accepts_topology() {
     std::fs::create_dir_all(&dir).unwrap();
     let topo_file = dir.join("topo.json");
     let out = Command::new(env!("CARGO_BIN_EXE_pingmesh-controller"))
-        .args([
-            "--write-default-topology",
-            topo_file.to_str().unwrap(),
-        ])
+        .args(["--write-default-topology", topo_file.to_str().unwrap()])
         .output()
         .expect("spawn");
     assert!(out.status.success());

@@ -243,10 +243,7 @@ fn store_outage_triggers_retry_then_discard_without_memory_growth() {
     o.run_until(SimTime::ZERO + SimDuration::from_hours(1));
     // Some agents discarded data (bounded memory!), and the system kept
     // working afterwards.
-    let discarded: u64 = topo
-        .servers()
-        .map(|s| o.agent(s).discarded_total())
-        .sum();
+    let discarded: u64 = topo.servers().map(|s| o.agent(s).discarded_total()).sum();
     assert!(discarded > 0, "outage must cause discards");
     assert!(
         o.pipeline().store.record_count() > 0,

@@ -1,4 +1,9 @@
-//! Property-based tests over the core invariants.
+//! Randomized property tests over the core invariants.
+//!
+//! These were originally proptest strategies; the offline build has no
+//! proptest, so the same properties run over a deterministic seeded
+//! generator (SplitMix64). Each property checks the same invariants over
+//! 64 generated cases, and failures print the offending case seed.
 
 use pingmesh::controller::{from_xml, to_xml, GeneratorConfig, PinglistGenerator};
 use pingmesh::topology::{DcSpec, Router, Topology, TopologySpec};
@@ -6,97 +11,135 @@ use pingmesh::types::{
     FiveTuple, LatencyHistogram, PingTarget, Pinglist, PinglistEntry, ProbeKind, QosClass,
     ServerId, SimDuration, SwitchTier, VipId,
 };
-use proptest::prelude::*;
 
-fn arb_spec() -> impl Strategy<Value = TopologySpec> {
-    // Small but varied deployments: 1-3 DCs with independent shapes.
-    prop::collection::vec(
-        (1u32..4, 1u32..5, 1u32..6, 1u32..4, 1u32..5, 1u32..3).prop_map(
-            |(podsets, pods, servers, leaves, spines, borders)| DcSpec {
-                name: "dc".into(),
-                podsets,
-                pods_per_podset: pods,
-                servers_per_pod: servers,
-                leaves_per_podset: leaves,
-                spines,
-                borders,
-            },
-        ),
-        1..4,
-    )
-    .prop_map(|dcs| TopologySpec { dcs })
+const CASES: u64 = 64;
+
+/// SplitMix64: tiny, seedable, good-enough mixing for test-case generation.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_spec(g: &mut Gen) -> TopologySpec {
+    // Small but varied deployments: 1-3 DCs with independent shapes.
+    let dcs = (0..g.range(1, 4))
+        .map(|_| DcSpec {
+            name: "dc".into(),
+            podsets: g.range(1, 4) as u32,
+            pods_per_podset: g.range(1, 5) as u32,
+            servers_per_pod: g.range(1, 6) as u32,
+            leaves_per_podset: g.range(1, 4) as u32,
+            spines: g.range(1, 5) as u32,
+            borders: g.range(1, 3) as u32,
+        })
+        .collect();
+    TopologySpec { dcs }
+}
 
-    #[test]
-    fn topology_containment_invariants(spec in arb_spec()) {
-        let topo = Topology::build(spec).unwrap();
+#[test]
+fn topology_containment_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let topo = Topology::build(arb_spec(&mut g)).unwrap();
         // IPs unique and reversible; containment chains agree.
         let mut seen = std::collections::HashSet::new();
         for s in topo.servers() {
             let info = topo.server(s);
-            prop_assert!(seen.insert(info.ip));
-            prop_assert_eq!(topo.server_by_ip(info.ip), Some(s));
-            prop_assert_eq!(topo.pod(info.pod).podset, info.podset);
-            prop_assert_eq!(topo.podset(info.podset).dc, info.dc);
-            prop_assert!(topo.pod(info.pod).servers.contains(&s.0));
+            assert!(seen.insert(info.ip), "case {case}: duplicate ip");
+            assert_eq!(topo.server_by_ip(info.ip), Some(s), "case {case}");
+            assert_eq!(topo.pod(info.pod).podset, info.podset, "case {case}");
+            assert_eq!(topo.podset(info.podset).dc, info.dc, "case {case}");
+            assert!(topo.pod(info.pod).servers.contains(&s.0), "case {case}");
         }
         // Per-DC ranges tile the global server space.
         let total: usize = topo.dcs().map(|d| topo.servers_in_dc(d).count()).sum();
-        prop_assert_eq!(total, topo.server_count());
+        assert_eq!(total, topo.server_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn ecmp_paths_are_well_formed(spec in arb_spec(), src_port in 1024u16.., salt in any::<u32>()) {
-        let topo = Topology::build(spec).unwrap();
+#[test]
+fn ecmp_paths_are_well_formed() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x1000 + case);
+        let topo = Topology::build(arb_spec(&mut g)).unwrap();
         let router = Router::new(&topo);
         let n = topo.server_count() as u32;
+        let salt = g.next_u64() as u32;
+        let src_port = g.range(1024, u16::MAX as u64 + 1) as u16;
         let a = ServerId(salt % n);
         let b = ServerId((salt / 7) % n);
         let tuple = FiveTuple::tcp(topo.ip_of(a), src_port, topo.ip_of(b), 8100);
         let path = router.resolve(a, b, &tuple);
         // Endpoints are the servers themselves.
-        prop_assert_eq!(path.hops.first(), Some(&a.into()));
-        prop_assert_eq!(path.hops.last(), Some(&b.into()));
+        assert_eq!(path.hops.first(), Some(&a.into()), "case {case}");
+        assert_eq!(path.hops.last(), Some(&b.into()), "case {case}");
         // Deterministic.
-        prop_assert_eq!(router.resolve(a, b, &tuple), path.clone());
+        assert_eq!(router.resolve(a, b, &tuple), path, "case {case}");
         // Structure: tier sequence is a palindrome of the expected shape
         // and every switch belongs to the right DC.
         let tiers: Vec<SwitchTier> = path.switches().map(|s| s.tier).collect();
         let rev: Vec<SwitchTier> = tiers.iter().rev().copied().collect();
-        prop_assert_eq!(&tiers, &rev, "tier sequence must be symmetric");
+        assert_eq!(tiers, rev, "case {case}: tier sequence must be symmetric");
         for sw in path.switches() {
             let dc = topo.dc_of_switch(sw);
-            prop_assert!(dc == Some(topo.server(a).dc) || dc == Some(topo.server(b).dc));
+            assert!(
+                dc == Some(topo.server(a).dc) || dc == Some(topo.server(b).dc),
+                "case {case}"
+            );
         }
         // No switch repeats on a loop-free path.
         let set: std::collections::HashSet<_> = path.switches().collect();
-        prop_assert_eq!(set.len(), path.switches().count());
+        assert_eq!(set.len(), path.switches().count(), "case {case}");
     }
+}
 
-    #[test]
-    fn pinglist_generation_invariants(spec in arb_spec()) {
-        let topo = Topology::build(spec).unwrap();
+#[test]
+fn pinglist_generation_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x2000 + case);
+        let topo = Topology::build(arb_spec(&mut g)).unwrap();
         let generator = PinglistGenerator::new(GeneratorConfig::default());
         let set = generator.generate_all(&topo, 3);
-        prop_assert_eq!(set.lists.len(), topo.server_count());
+        assert_eq!(set.lists.len(), topo.server_count(), "case {case}");
         for pl in &set.lists {
             let me = pl.server;
             for e in &pl.entries {
                 // Hard floors hold straight out of the generator.
-                prop_assert!(e.interval >= pingmesh::types::constants::MIN_PROBE_INTERVAL);
+                assert!(
+                    e.interval >= pingmesh::types::constants::MIN_PROBE_INTERVAL,
+                    "case {case}"
+                );
                 match e.target {
                     PingTarget::Server { id, ip } => {
-                        prop_assert_ne!(id, me, "no self-ping");
-                        prop_assert_eq!(topo.ip_of(id), ip, "target ip matches id");
+                        assert_ne!(id, me, "case {case}: no self-ping");
+                        assert_eq!(topo.ip_of(id), ip, "case {case}: target ip matches id");
                         let a = topo.server(me);
                         let b = topo.server(id);
                         // The intra-DC rule: cross-pod same-DC peers share
                         // the in-pod index.
                         if a.dc == b.dc && a.pod != b.pod {
-                            prop_assert_eq!(a.index_in_pod, b.index_in_pod);
+                            assert_eq!(a.index_in_pod, b.index_in_pod, "case {case}");
                         }
                     }
                     PingTarget::Vip { .. } => {}
@@ -113,18 +156,24 @@ proptest! {
                         let reciprocated = back.entries.iter().any(|e2| {
                             matches!(e2.target, PingTarget::Server { id: rid, .. } if rid == me)
                         });
-                        prop_assert!(reciprocated, "intra-pod pinglist not symmetric");
+                        assert!(
+                            reciprocated,
+                            "case {case}: intra-pod pinglist not symmetric"
+                        );
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn histogram_quantiles_track_exact_quantiles(
-        mut samples in prop::collection::vec(1u64..10_000_000, 100..2_000),
-        q in 0.0f64..1.0
-    ) {
+#[test]
+fn histogram_quantiles_track_exact_quantiles() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x3000 + case);
+        let len = g.range(100, 2_000) as usize;
+        let mut samples: Vec<u64> = (0..len).map(|_| g.range(1, 10_000_000)).collect();
+        let q = g.f64_unit();
         let mut h = LatencyHistogram::new();
         for &s in &samples {
             h.record(SimDuration::from_micros(s));
@@ -135,82 +184,147 @@ proptest! {
         let est = h.quantile(q).unwrap().as_micros() as f64;
         // Log-bucketed histogram: ≤ ~5% relative error (bucket width),
         // plus clamping to the observed min/max.
-        prop_assert!(
+        assert!(
             (est - exact).abs() / exact <= 0.05,
-            "q={} exact={} est={}", q, exact, est
+            "case {case}: q={q} exact={exact} est={est}"
         );
     }
+}
 
-    #[test]
-    fn histogram_merge_is_equivalent_to_union(
-        a in prop::collection::vec(1u64..1_000_000, 1..500),
-        b in prop::collection::vec(1u64..1_000_000, 1..500),
-    ) {
+#[test]
+fn histogram_merge_is_equivalent_to_union() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x4000 + case);
+        let a: Vec<u64> = (0..g.range(1, 500))
+            .map(|_| g.range(1, 1_000_000))
+            .collect();
+        let b: Vec<u64> = (0..g.range(1, 500))
+            .map(|_| g.range(1, 1_000_000))
+            .collect();
         let mut ha = LatencyHistogram::new();
         let mut hb = LatencyHistogram::new();
         let mut hu = LatencyHistogram::new();
-        for &x in &a { ha.record(SimDuration::from_micros(x)); hu.record(SimDuration::from_micros(x)); }
-        for &x in &b { hb.record(SimDuration::from_micros(x)); hu.record(SimDuration::from_micros(x)); }
+        for &x in &a {
+            ha.record(SimDuration::from_micros(x));
+            hu.record(SimDuration::from_micros(x));
+        }
+        for &x in &b {
+            hb.record(SimDuration::from_micros(x));
+            hu.record(SimDuration::from_micros(x));
+        }
         ha.merge(&hb);
-        prop_assert_eq!(ha, hu);
+        assert_eq!(ha, hu, "case {case}");
     }
+}
 
-    #[test]
-    fn pinglist_xml_roundtrips(entries in prop::collection::vec(
-        (0u32..1000, 1u16..u16::MAX, 0u32..3, 0u32..2, 10u64..10_000).prop_map(
-            |(peer, port, kind, qos, interval_s)| PinglistEntry {
-                target: if kind == 2 && peer % 5 == 0 {
-                    PingTarget::Vip { id: VipId(peer), ip: std::net::Ipv4Addr::new(172, 16, 0, (peer % 256) as u8) }
-                } else {
-                    PingTarget::Server { id: ServerId(peer), ip: std::net::Ipv4Addr::new(10, 0, (peer / 256) as u8, (peer % 256) as u8) }
-                },
-                port,
-                kind: match kind { 0 => ProbeKind::TcpSyn, 1 => ProbeKind::TcpPayload(800 + peer % 400), _ => ProbeKind::Http },
-                qos: if qos == 0 { QosClass::High } else { QosClass::Low },
-                interval: SimDuration::from_secs(interval_s),
-            }
-        ), 0..50), server in any::<u32>(), generation in any::<u64>())
-    {
-        let pl = Pinglist { server: ServerId(server), generation, entries };
+#[test]
+fn pinglist_xml_roundtrips() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x5000 + case);
+        let entries: Vec<PinglistEntry> = (0..g.range(0, 50))
+            .map(|_| {
+                let peer = g.range(0, 1000) as u32;
+                let port = g.range(1, u16::MAX as u64) as u16;
+                let kind = g.range(0, 3) as u32;
+                let qos = g.range(0, 2) as u32;
+                let interval_s = g.range(10, 10_000);
+                PinglistEntry {
+                    target: if kind == 2 && peer.is_multiple_of(5) {
+                        PingTarget::Vip {
+                            id: VipId(peer),
+                            ip: std::net::Ipv4Addr::new(172, 16, 0, (peer % 256) as u8),
+                        }
+                    } else {
+                        PingTarget::Server {
+                            id: ServerId(peer),
+                            ip: std::net::Ipv4Addr::new(
+                                10,
+                                0,
+                                (peer / 256) as u8,
+                                (peer % 256) as u8,
+                            ),
+                        }
+                    },
+                    port,
+                    kind: match kind {
+                        0 => ProbeKind::TcpSyn,
+                        1 => ProbeKind::TcpPayload(800 + peer % 400),
+                        _ => ProbeKind::Http,
+                    },
+                    qos: if qos == 0 {
+                        QosClass::High
+                    } else {
+                        QosClass::Low
+                    },
+                    interval: SimDuration::from_secs(interval_s),
+                }
+            })
+            .collect();
+        let pl = Pinglist {
+            server: ServerId(g.next_u64() as u32),
+            generation: g.next_u64(),
+            entries,
+        };
         let xml = to_xml(&pl);
         let back = from_xml(&xml).unwrap();
-        prop_assert_eq!(pl, back);
+        assert_eq!(pl, back, "case {case}");
     }
+}
 
-    #[test]
-    fn xml_parser_never_panics_on_garbage(garbage in ".{0,400}") {
-        // from_xml must reject or accept, never panic — agents parse
-        // bytes that crossed a network.
+#[test]
+fn xml_parser_never_panics_on_garbage() {
+    // from_xml must reject or accept, never panic — agents parse bytes
+    // that crossed a network.
+    const ALPHABET: &[u8] = b"<>/=\"' \n\tPinglistservrgnatoqoskindporl0123456789&;#xAZ\xc3\xa9-_.";
+    for case in 0..CASES {
+        let mut g = Gen::new(0x6000 + case);
+        let len = g.range(0, 400) as usize;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| ALPHABET[g.range(0, ALPHABET.len() as u64) as usize])
+            .collect();
+        let garbage = String::from_utf8_lossy(&bytes).into_owned();
         let _ = from_xml(&garbage);
         let framed = format!("<Pinglist server=\"1\" generation=\"2\">{garbage}</Pinglist>");
         let _ = from_xml(&framed);
     }
+}
 
-    #[test]
-    fn simnet_probes_are_deterministic_per_seed(seed in any::<u64>()) {
-        use pingmesh::netsim::{DcProfile, SimNet};
-        use pingmesh::types::{ProbeKind, SimTime};
-        let spec = TopologySpec::single_tiny();
-        let topo = std::sync::Arc::new(Topology::build(spec).unwrap());
-        let run = |seed: u64| {
-            let mut net = SimNet::new(topo.clone(), vec![DcProfile::us_west()], seed);
-            let a = ServerId(0);
-            let ip = topo.ip_of(ServerId(17));
-            (0..50u16)
-                .map(|i| {
-                    net.probe(a, ip, 40_000 + i, 8_100, ProbeKind::TcpSyn, SimTime(i as u64))
-                        .outcome
-                })
-                .collect::<Vec<_>>()
-        };
-        prop_assert_eq!(run(seed), run(seed));
+#[test]
+fn simnet_probes_are_deterministic_per_seed() {
+    use pingmesh::netsim::{DcProfile, SimNet};
+    use pingmesh::types::{ProbeKind, SimTime};
+    let spec = TopologySpec::single_tiny();
+    let topo = std::sync::Arc::new(Topology::build(spec).unwrap());
+    let run = |seed: u64| {
+        let mut net = SimNet::new(topo.clone(), vec![DcProfile::us_west()], seed);
+        let a = ServerId(0);
+        let ip = topo.ip_of(ServerId(17));
+        (0..50u16)
+            .map(|i| {
+                net.probe(
+                    a,
+                    ip,
+                    40_000 + i,
+                    8_100,
+                    ProbeKind::TcpSyn,
+                    SimTime(i as u64),
+                )
+                .outcome
+            })
+            .collect::<Vec<_>>()
+    };
+    for case in 0..CASES {
+        let seed = Gen::new(0x7000 + case).next_u64();
+        assert_eq!(run(seed), run(seed), "case {case}");
     }
+}
 
-    #[test]
-    fn ecmp_hash_is_uniform_enough(
-        base_port in 1024u16..60_000,
-        buckets in 2u64..16,
-    ) {
+#[test]
+fn ecmp_hash_is_uniform_enough() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x8000 + case);
+        let base_port = g.range(1024, 60_000) as u16;
+        let buckets = g.range(2, 16);
         let ip_a = std::net::Ipv4Addr::new(10, 0, 0, 1);
         let ip_b = std::net::Ipv4Addr::new(10, 0, 7, 9);
         let n = 4_000u32;
@@ -221,8 +335,10 @@ proptest! {
         }
         let expect = n as f64 / buckets as f64;
         for &c in &counts {
-            prop_assert!((c as f64) > expect * 0.6 && (c as f64) < expect * 1.4,
-                "bucket {} vs expectation {}", c, expect);
+            assert!(
+                (c as f64) > expect * 0.6 && (c as f64) < expect * 1.4,
+                "case {case}: bucket {c} vs expectation {expect}"
+            );
         }
     }
 }

@@ -2,9 +2,7 @@
 //! TCP/HTTP probers exchanging actual packets over localhost.
 
 use pingmesh::agent::real::{http_ping, serve_echo, serve_http, tcp_ping};
-use pingmesh::controller::{
-    fetch_pinglist, serve, GeneratorConfig, PinglistGenerator, WebState,
-};
+use pingmesh::controller::{fetch_pinglist, serve, GeneratorConfig, PinglistGenerator, WebState};
 use pingmesh::topology::{Topology, TopologySpec};
 use pingmesh::types::{PingTarget, ProbeKind, ServerId};
 use std::sync::Arc;
