@@ -13,11 +13,14 @@ use crate::config::AgentConfig;
 use pingmesh_types::{ProbeRecord, SimTime};
 use std::collections::VecDeque;
 
-/// A batch handed to the uploader, with retry bookkeeping.
-#[derive(Debug, Clone)]
+/// Bookkeeping for a batch currently in the uploader's hands. The records
+/// themselves are owned by the caller for the whole retry cycle (handed
+/// out by [`ResultBuffer::begin_upload`]), so failed uploads no longer
+/// clone the batch.
+#[derive(Debug, Clone, Copy)]
 pub struct PendingUpload {
-    /// The records in the batch.
-    pub records: Vec<ProbeRecord>,
+    /// Number of records in the in-flight batch.
+    pub len: usize,
     /// Upload attempts made so far.
     pub attempts: u32,
 }
@@ -30,6 +33,10 @@ pub struct ResultBuffer {
     oldest: Option<SimTime>,
     bytes: usize,
     pending: Option<PendingUpload>,
+    /// Recycled batch capacity: an empty `Vec` returned via
+    /// [`ResultBuffer::recycle`], swapped in on the next `begin_upload` so
+    /// steady-state uploads reuse one allocation.
+    scratch: Vec<ProbeRecord>,
     /// Records dropped (buffer overflow or upload give-up).
     discarded: u64,
     /// Capped local log: newest lines win.
@@ -46,6 +53,7 @@ impl ResultBuffer {
             oldest: None,
             bytes: 0,
             pending: None,
+            scratch: Vec::new(),
             discarded: 0,
             log: VecDeque::new(),
             log_bytes: 0,
@@ -123,39 +131,51 @@ impl ResultBuffer {
                 .is_some_and(|o| now.since(o) >= self.config.upload_max_age)
     }
 
-    /// Cuts the current records into a pending batch and returns a clone
-    /// of it for the uploader. Returns `None` if a batch is already
-    /// pending or nothing is buffered.
+    /// Cuts the current records into a batch owned by the caller for the
+    /// whole retry cycle. The internal buffer swaps onto recycled scratch
+    /// capacity, so steady-state uploads allocate nothing. Returns `None`
+    /// if a batch is already pending or nothing is buffered.
     pub fn begin_upload(&mut self) -> Option<Vec<ProbeRecord>> {
         if self.pending.is_some() || self.records.is_empty() {
             return None;
         }
-        let records = std::mem::take(&mut self.records);
+        debug_assert!(self.scratch.is_empty());
+        let records = std::mem::replace(&mut self.records, std::mem::take(&mut self.scratch));
         self.bytes = 0;
         self.oldest = None;
         self.pending = Some(PendingUpload {
-            records: records.clone(),
+            len: records.len(),
             attempts: 1,
         });
         Some(records)
     }
 
-    /// Reports the uploader's result. On failure, the batch stays pending
-    /// until the retry budget is exhausted, then it is discarded. Returns
-    /// the batch to retry, if any.
-    pub fn on_upload_result(&mut self, ok: bool) -> Option<Vec<ProbeRecord>> {
-        let mut p = self.pending.take()?;
+    /// Reports the uploader's result. Returns `true` if the caller should
+    /// retry with the batch it already holds: on failure the batch stays
+    /// pending until the retry budget is exhausted, then it is discarded
+    /// (and the caller should [`ResultBuffer::recycle`] it).
+    pub fn on_upload_result(&mut self, ok: bool) -> bool {
+        let Some(mut p) = self.pending.take() else {
+            return false;
+        };
         if ok {
-            return None;
+            return false;
         }
         if p.attempts > self.config.upload_retries {
-            self.discarded += p.records.len() as u64;
-            return None;
+            self.discarded += p.len as u64;
+            return false;
         }
         p.attempts += 1;
-        let again = p.records.clone();
         self.pending = Some(p);
-        Some(again)
+        true
+    }
+
+    /// Returns a finished batch's capacity for reuse by the next upload.
+    pub fn recycle(&mut self, mut batch: Vec<ProbeRecord>) {
+        batch.clear();
+        if batch.capacity() > self.scratch.capacity() {
+            self.scratch = batch;
+        }
     }
 
     /// Records uploaded successfully? (Used by counters.)
@@ -238,7 +258,7 @@ mod tests {
         assert!(!b.upload_due(SimTime(100)));
         assert!(b.begin_upload().is_none());
         // Success clears the pending slot.
-        assert!(b.on_upload_result(true).is_none());
+        assert!(!b.on_upload_result(true));
         assert!(b.upload_due(SimTime(100)));
     }
 
@@ -250,13 +270,40 @@ mod tests {
         }
         let batch = b.begin_upload().unwrap();
         assert_eq!(batch.len(), 3);
-        // retries allowed: 2 → attempts 2 and 3 hand the batch back.
-        assert!(b.on_upload_result(false).is_some());
-        assert!(b.on_upload_result(false).is_some());
+        // retries allowed: 2 → attempts 2 and 3 ask the caller to retry
+        // the batch it already holds.
+        assert!(b.on_upload_result(false));
+        assert!(b.on_upload_result(false));
         // third failure exhausts the budget: discard.
-        assert!(b.on_upload_result(false).is_none());
+        assert!(!b.on_upload_result(false));
         assert_eq!(b.discarded(), 3);
         assert!(!b.has_pending());
+        b.recycle(batch);
+    }
+
+    #[test]
+    fn recycled_capacity_is_reused_without_reallocating() {
+        let mut b = ResultBuffer::new(small_config());
+        let cycle = |b: &mut ResultBuffer| {
+            for i in 0..3 {
+                b.push(rec(i));
+            }
+            let batch = b.begin_upload().unwrap();
+            assert_eq!(batch.len(), 3);
+            assert!(!b.on_upload_result(true));
+            let ptr = batch.as_ptr();
+            b.recycle(batch);
+            ptr
+        };
+        // A recycled batch becomes the accumulation buffer of the next
+        // cycle and is handed back the cycle after: at steady state the
+        // same two allocations ping-pong forever.
+        let a = cycle(&mut b);
+        let bp = cycle(&mut b);
+        for _ in 0..8 {
+            assert_eq!(cycle(&mut b), a);
+            assert_eq!(cycle(&mut b), bp);
+        }
     }
 
     #[test]
@@ -291,7 +338,7 @@ mod tests {
     #[test]
     fn upload_result_without_pending_is_noop() {
         let mut b = ResultBuffer::new(small_config());
-        assert!(b.on_upload_result(false).is_none());
+        assert!(!b.on_upload_result(false));
         assert_eq!(b.discarded(), 0);
     }
 }

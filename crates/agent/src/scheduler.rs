@@ -101,6 +101,14 @@ impl ProbeScheduler {
     /// `now + interval`.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<DueProbe> {
         let mut due = Vec::new();
+        self.pop_due_into(now, &mut due);
+        due
+    }
+
+    /// Like [`ProbeScheduler::pop_due`], but appends into a caller-owned
+    /// buffer so a recycled scratch `Vec` makes the steady-state wake path
+    /// allocation-free.
+    pub fn pop_due_into(&mut self, now: SimTime, out: &mut Vec<DueProbe>) {
         while let Some(&Reverse((t, idx))) = self.heap.peek() {
             if t > now {
                 break;
@@ -109,13 +117,12 @@ impl ProbeScheduler {
             let entry = self.entries[idx];
             let src_port = self.fresh_port();
             self.heap.push(Reverse((now + entry.interval, idx)));
-            due.push(DueProbe {
+            out.push(DueProbe {
                 entry_index: idx,
                 entry,
                 src_port,
             });
         }
-        due
     }
 }
 

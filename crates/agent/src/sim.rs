@@ -78,6 +78,9 @@ pub struct Agent {
     // Last cumulative buffer-discard count folded into the fleet metric
     // (the windowed counter resets, so the delta needs its own baseline).
     discarded_seen: u64,
+    // Recycled wake-path buffer: handed out by `due_probes`, returned by
+    // `recycle_due`, so steady-state wakes don't allocate.
+    due_scratch: Vec<DueProbe>,
 }
 
 impl Agent {
@@ -93,6 +96,7 @@ impl Agent {
             generation: 0,
             sanitized_entries: 0,
             discarded_seen: 0,
+            due_scratch: Vec::new(),
         }
     }
 
@@ -180,11 +184,25 @@ impl Agent {
 
     /// Probes due at `now`. Empty while fail-closed (the scheduler is
     /// cleared on stop, but double-check for safety).
+    ///
+    /// The returned `Vec` is the agent's recycled wake-path scratch; hand
+    /// it back via [`Agent::recycle_due`] after draining so the next wake
+    /// reuses its capacity instead of allocating.
     pub fn due_probes(&mut self, now: SimTime) -> Vec<DueProbe> {
-        if self.guard.is_stopped() {
-            return Vec::new();
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        if !self.guard.is_stopped() {
+            self.scheduler.pop_due_into(now, &mut due);
         }
-        self.scheduler.pop_due(now)
+        due
+    }
+
+    /// Returns a drained `due_probes` buffer for reuse on the next wake.
+    pub fn recycle_due(&mut self, mut due: Vec<DueProbe>) {
+        due.clear();
+        if due.capacity() > self.due_scratch.capacity() {
+            self.due_scratch = due;
+        }
     }
 
     /// Feeds a probe's network outcome back: updates counters and buffers
@@ -236,10 +254,12 @@ impl Agent {
         batch
     }
 
-    /// Reports the uploader's verdict; returns a batch to retry, if any.
-    pub fn on_upload_result(&mut self, ok: bool) -> Option<Vec<ProbeRecord>> {
+    /// Reports the uploader's verdict; returns `true` if the caller
+    /// should retry the batch it already holds (see
+    /// [`crate::buffer::ResultBuffer::on_upload_result`]).
+    pub fn on_upload_result(&mut self, ok: bool) -> bool {
         let retry = self.buffer.on_upload_result(ok);
-        if !ok && retry.is_some() {
+        if !ok && retry {
             metrics().upload_retries.inc();
         }
         self.counters.records_discarded = self.buffer.discarded();
@@ -249,6 +269,11 @@ impl Agent {
             metrics().records_discarded.add(newly);
         }
         retry
+    }
+
+    /// Returns a finished upload batch's capacity for reuse.
+    pub fn recycle_batch(&mut self, batch: Vec<ProbeRecord>) {
+        self.buffer.recycle(batch);
     }
 
     /// Marks bytes as uploaded (called by the orchestrator on success).

@@ -1,0 +1,483 @@
+//! Hot-path performance baseline: resolver, pinglist generation, window
+//! aggregation, and an end-to-end orchestrator run, recorded as JSON.
+//!
+//! The probe hot path was rebuilt around precomputed route tables, an
+//! inline hop array, and scoped-thread parallelism. This binary pins the
+//! claims down as numbers:
+//!
+//! - **resolver**: ns/call of the zero-allocation resolver against the
+//!   pre-refactor collect-into-`Vec` resolver (reimplemented below,
+//!   verbatim), plus a counting-allocator proof that a resolve call
+//!   performs **zero** heap allocations.
+//! - **pinglist**: `generate_all` servers/sec, serial vs parallel.
+//! - **aggregate**: `WindowAggregate` records/sec, serial vs parallel
+//!   (and a bit-equality check between the two results).
+//! - **end_to_end**: wall-clock of a full simulated deployment.
+//!
+//! Usage: `cargo run --release -p pingmesh-bench --bin hotpath [--smoke]
+//! [--check] [--out PATH]`. The full run writes `BENCH_hotpath.json` at
+//! the repo root; `--smoke` shrinks every dimension for CI and writes
+//! `target/BENCH_hotpath.smoke.json` instead. `--check` exits non-zero
+//! if an acceptance gate fails (resolver not allocation-free; in full
+//! mode also resolver speedup < 3x or pinglist speedup < 2x when ≥2
+//! threads are available).
+
+use pingmesh_bench::{header, small_dc_spec, two_dc_scenario};
+use pingmesh_core::controller::{GeneratorConfig, PinglistGenerator};
+use pingmesh_core::dsa::agg::WindowAggregate;
+use pingmesh_core::topology::{DcSpec, Router, ServiceMap, Topology, TopologySpec};
+use pingmesh_core::types::{
+    DeviceId, FiveTuple, ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId, SimDuration,
+    SimTime, SwitchId,
+};
+use pingmesh_core::{Orchestrator, OrchestratorConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counts every heap allocation in the process, so the resolver section
+/// can prove a resolve call never touches the allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The pre-refactor resolver, verbatim: collects every ECMP candidate set
+/// into a `Vec` per call and returns the hops as a `Vec`. This is the
+/// baseline the route-table resolver is measured against. (The same code
+/// doubles as the golden reference in `pingmesh-topology`'s tests; here
+/// it is the *timing* baseline.)
+mod legacy {
+    use super::*;
+
+    fn mix(h: u64, salt: u64) -> u64 {
+        let mut z = h ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    const UP_LEAF: u64 = 0x01;
+    const UP_SPINE: u64 = 0x02;
+    const UP_BORDER: u64 = 0x03;
+    const DOWN_BORDER: u64 = 0x04;
+    const DOWN_SPINE: u64 = 0x05;
+    const DOWN_LEAF: u64 = 0x06;
+
+    fn pick<T: Copy>(items: &[T], hash: u64, s: u64) -> T {
+        items[(mix(hash, s) % items.len() as u64) as usize]
+    }
+
+    fn pick_sw(
+        items: &[SwitchId],
+        hash: u64,
+        s: u64,
+        excluded: &dyn Fn(SwitchId) -> bool,
+    ) -> SwitchId {
+        let avail: Vec<SwitchId> = items.iter().copied().filter(|&x| !excluded(x)).collect();
+        if avail.is_empty() {
+            pick(items, hash, s)
+        } else {
+            pick(&avail, hash, s)
+        }
+    }
+
+    pub fn resolve(t: &Topology, src: ServerId, dst: ServerId, tuple: &FiveTuple) -> Vec<DeviceId> {
+        // The fault-free path the simulator takes on every probe: the
+        // exclusion closure is a no-op, but (as before the refactor) it is
+        // dyn-dispatched and the candidate set is still filter-collected.
+        let excluded: &dyn Fn(SwitchId) -> bool = &|_| false;
+        let s = *t.server(src);
+        let d = *t.server(dst);
+        let h = tuple.ecmp_hash();
+        let mut hops: Vec<DeviceId> = Vec::with_capacity(10);
+        hops.push(src.into());
+        if src == dst {
+            return hops;
+        }
+        hops.push(t.tor_of_pod(s.pod).into());
+        if s.pod == d.pod {
+            hops.push(dst.into());
+            return hops;
+        }
+        if s.podset == d.podset {
+            let leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
+            hops.push(pick_sw(&leaves, h, UP_LEAF, excluded).into());
+            hops.push(t.tor_of_pod(d.pod).into());
+            hops.push(dst.into());
+            return hops;
+        }
+        if s.dc == d.dc {
+            let up_leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
+            hops.push(pick_sw(&up_leaves, h, UP_LEAF, excluded).into());
+            let spines: Vec<SwitchId> = t.spines_of_dc(s.dc).collect();
+            hops.push(pick_sw(&spines, h, UP_SPINE, excluded).into());
+            let down_leaves: Vec<SwitchId> = t.leaves_of_podset(d.podset).collect();
+            hops.push(pick_sw(&down_leaves, h, DOWN_LEAF, excluded).into());
+            hops.push(t.tor_of_pod(d.pod).into());
+            hops.push(dst.into());
+            return hops;
+        }
+        let up_leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
+        hops.push(pick_sw(&up_leaves, h, UP_LEAF, excluded).into());
+        let up_spines: Vec<SwitchId> = t.spines_of_dc(s.dc).collect();
+        hops.push(pick_sw(&up_spines, h, UP_SPINE, excluded).into());
+        let up_borders: Vec<SwitchId> = t.borders_of_dc(s.dc).collect();
+        hops.push(pick_sw(&up_borders, h, UP_BORDER, excluded).into());
+        let down_borders: Vec<SwitchId> = t.borders_of_dc(d.dc).collect();
+        hops.push(pick_sw(&down_borders, h, DOWN_BORDER, excluded).into());
+        let down_spines: Vec<SwitchId> = t.spines_of_dc(d.dc).collect();
+        hops.push(pick_sw(&down_spines, h, DOWN_SPINE, excluded).into());
+        let down_leaves: Vec<SwitchId> = t.leaves_of_podset(d.podset).collect();
+        hops.push(pick_sw(&down_leaves, h, DOWN_LEAF, excluded).into());
+        hops.push(t.tor_of_pod(d.pod).into());
+        hops.push(dst.into());
+        hops
+    }
+}
+
+struct Args {
+    smoke: bool,
+    check: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        check: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--check" => args.check = true,
+            "--out" => args.out = it.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// A resolver workload mixing every path scope: loopback, intra-pod,
+/// intra-podset, intra-DC and inter-DC pairs, each with varied ports so
+/// ECMP decisions spread.
+fn resolver_cases(topo: &Topology, n: usize) -> Vec<(ServerId, ServerId, FiveTuple)> {
+    let servers: Vec<ServerId> = topo.servers().collect();
+    let stride = (servers.len() / 7).max(1);
+    let mut cases = Vec::with_capacity(n);
+    let mut port = 32_768u16;
+    let mut i = 0usize;
+    while cases.len() < n {
+        let a = servers[i % servers.len()];
+        let b = servers[(i * stride + i / servers.len()) % servers.len()];
+        port = port.wrapping_add(7).max(1_024);
+        cases.push((
+            a,
+            b,
+            FiveTuple::tcp(topo.ip_of(a), port, topo.ip_of(b), 8_100),
+        ));
+        i += 1;
+    }
+    cases
+}
+
+fn time_ns<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let start = Instant::now();
+    let sink = f();
+    (start.elapsed().as_nanos() as f64, sink)
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = pingmesh_par::max_threads();
+    header(
+        "hotpath",
+        if args.smoke {
+            "probe hot-path baseline (smoke)"
+        } else {
+            "probe hot-path baseline"
+        },
+    );
+    println!("  threads available: {threads}");
+
+    // --- resolver: legacy vs zero-allocation, plus the allocation proof.
+    let topo = Arc::new(
+        Topology::build(TopologySpec {
+            dcs: vec![DcSpec::medium("DC1"), DcSpec::medium("DC2")],
+        })
+        .expect("valid spec"),
+    );
+    let router = Router::new(&topo);
+    let case_count = if args.smoke { 2_000 } else { 20_000 };
+    let reps = if args.smoke { 5 } else { 25 };
+    let cases = resolver_cases(&topo, case_count);
+    let calls = (case_count * reps) as u64;
+
+    // Warm both paths once so first-touch effects don't skew either side.
+    for (a, b, tu) in &cases {
+        black_box(legacy::resolve(&topo, *a, *b, tu).len());
+        black_box(router.resolve(*a, *b, tu).link_count());
+    }
+
+    let (legacy_ns, legacy_sink) = time_ns(|| {
+        let mut sink = 0u64;
+        for _ in 0..reps {
+            for (a, b, tu) in &cases {
+                sink += legacy::resolve(&topo, *a, *b, tu).len() as u64;
+            }
+        }
+        sink
+    });
+
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let (new_ns, new_sink) = time_ns(|| {
+        let mut sink = 0u64;
+        for _ in 0..reps {
+            for (a, b, tu) in &cases {
+                sink += router.resolve(*a, *b, tu).hops.len() as u64;
+            }
+        }
+        sink
+    });
+    let resolver_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(legacy_sink, new_sink, "path lengths diverged");
+
+    let legacy_ns_per_call = legacy_ns / calls as f64;
+    let ns_per_call = new_ns / calls as f64;
+    let resolver_speedup = legacy_ns_per_call / ns_per_call;
+    println!(
+        "  resolver       legacy {legacy_ns_per_call:>8.1} ns/call   new {ns_per_call:>8.1} ns/call   speedup {resolver_speedup:.2}x   allocs/call {}",
+        resolver_allocs as f64 / calls as f64
+    );
+
+    // --- pinglist generation: serial vs parallel over the same topology.
+    let generator = PinglistGenerator::new(GeneratorConfig::default());
+    let servers = topo.server_count() as u64;
+    let gen_reps = if args.smoke { 1 } else { 3 };
+    // Warm both code paths (and the page cache) before timing either.
+    black_box(generator.generate_all_threads(&topo, 0, 1).lists.len());
+    black_box(
+        generator
+            .generate_all_threads(&topo, 0, threads)
+            .lists
+            .len(),
+    );
+    let (serial_gen_ns, serial_entries) = time_ns(|| {
+        let mut sink = 0u64;
+        for g in 0..gen_reps {
+            let set = generator.generate_all_threads(&topo, g, 1);
+            sink += set
+                .lists
+                .iter()
+                .map(|l| l.entries.len() as u64)
+                .sum::<u64>();
+        }
+        sink
+    });
+    let (par_gen_ns, par_entries) = time_ns(|| {
+        let mut sink = 0u64;
+        for g in 0..gen_reps {
+            let set = generator.generate_all_threads(&topo, g, threads);
+            sink += set
+                .lists
+                .iter()
+                .map(|l| l.entries.len() as u64)
+                .sum::<u64>();
+        }
+        sink
+    });
+    assert_eq!(serial_entries, par_entries, "pinglist entries diverged");
+    let serial_srv_per_sec = (servers * gen_reps) as f64 / (serial_gen_ns / 1e9);
+    let par_srv_per_sec = (servers * gen_reps) as f64 / (par_gen_ns / 1e9);
+    let gen_speedup = par_srv_per_sec / serial_srv_per_sec;
+    println!(
+        "  pinglist_gen   serial {serial_srv_per_sec:>8.0} srv/s    parallel {par_srv_per_sec:>8.0} srv/s    speedup {gen_speedup:.2}x"
+    );
+
+    // --- window aggregation: serial vs parallel over one synthetic corpus.
+    let record_count = if args.smoke { 50_000u64 } else { 400_000 };
+    let records: Vec<ProbeRecord> = (0..record_count)
+        .map(|i| {
+            let src = ServerId((i % servers) as u32);
+            let dst = ServerId(((i * 7 + 13) % servers) as u32);
+            let s = topo.server(src);
+            let d = topo.server(dst);
+            ProbeRecord {
+                ts: SimTime(i),
+                src,
+                dst,
+                src_pod: s.pod,
+                dst_pod: d.pod,
+                src_podset: s.podset,
+                dst_podset: d.podset,
+                src_dc: s.dc,
+                dst_dc: d.dc,
+                kind: ProbeKind::TcpSyn,
+                qos: QosClass::High,
+                src_port: 40_000,
+                dst_port: 8_100,
+                outcome: if i % 1_000 == 0 {
+                    ProbeOutcome::Timeout
+                } else {
+                    ProbeOutcome::Success {
+                        rtt: SimDuration::from_micros(200 + i % 300),
+                    }
+                },
+            }
+        })
+        .collect();
+    black_box(WindowAggregate::build(records.iter()).pairs.len());
+    let serial_start = Instant::now();
+    let serial_agg = WindowAggregate::build(records.iter());
+    let serial_agg_ns = serial_start.elapsed().as_nanos() as f64;
+    let par_start = Instant::now();
+    let par_agg = WindowAggregate::build_par_threads(&records, threads);
+    let par_agg_ns = par_start.elapsed().as_nanos() as f64;
+    assert_eq!(serial_agg, par_agg, "parallel aggregation diverged");
+    let serial_rec_per_sec = record_count as f64 / (serial_agg_ns / 1e9);
+    let par_rec_per_sec = record_count as f64 / (par_agg_ns / 1e9);
+    let agg_speedup = par_rec_per_sec / serial_rec_per_sec;
+    println!(
+        "  aggregation    serial {serial_rec_per_sec:>8.0} rec/s    parallel {par_rec_per_sec:>8.0} rec/s    speedup {agg_speedup:.2}x"
+    );
+
+    // --- end to end: a full simulated deployment, wall-clock.
+    let sim_mins = if args.smoke { 5u64 } else { 30 };
+    let e2e_start = Instant::now();
+    let mut o = if args.smoke {
+        Orchestrator::new(
+            Arc::new(
+                Topology::build(TopologySpec {
+                    dcs: vec![small_dc_spec()],
+                })
+                .expect("valid spec"),
+            ),
+            vec![pingmesh_core::netsim::DcProfile::us_west()],
+            ServiceMap::new(),
+            OrchestratorConfig::default(),
+        )
+    } else {
+        two_dc_scenario(OrchestratorConfig::default())
+    };
+    let agg = pingmesh_bench::run_and_aggregate(
+        &mut o,
+        SimTime::ZERO + SimDuration::from_mins(sim_mins),
+        SimDuration::from_mins(10),
+    );
+    let e2e_wall_ms = e2e_start.elapsed().as_millis() as u64;
+    let e2e_records: u64 = agg.pairs.values().map(|p| p.total()).sum();
+    println!(
+        "  end_to_end     {sim_mins} sim-min, {e2e_records} probe results in {e2e_wall_ms} ms wall"
+    );
+
+    // --- write the baseline.
+    let out_path = args.out.clone().unwrap_or_else(|| {
+        if args.smoke {
+            "target/BENCH_hotpath.smoke.json".to_string()
+        } else {
+            "BENCH_hotpath.json".to_string()
+        }
+    });
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"pingmesh-bench-hotpath/1\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"threads\": {threads},\n",
+            "  \"resolver\": {{\n",
+            "    \"calls\": {calls},\n",
+            "    \"legacy_ns_per_call\": {legacy:.1},\n",
+            "    \"ns_per_call\": {new:.1},\n",
+            "    \"speedup\": {rspeed:.2},\n",
+            "    \"allocs_per_call\": {allocs}\n",
+            "  }},\n",
+            "  \"pinglist\": {{\n",
+            "    \"servers\": {servers},\n",
+            "    \"serial_servers_per_sec\": {sgen:.0},\n",
+            "    \"parallel_servers_per_sec\": {pgen:.0},\n",
+            "    \"speedup\": {gspeed:.2}\n",
+            "  }},\n",
+            "  \"aggregate\": {{\n",
+            "    \"records\": {records},\n",
+            "    \"serial_records_per_sec\": {sagg:.0},\n",
+            "    \"parallel_records_per_sec\": {pagg:.0},\n",
+            "    \"speedup\": {aspeed:.2}\n",
+            "  }},\n",
+            "  \"end_to_end\": {{\n",
+            "    \"sim_minutes\": {simm},\n",
+            "    \"wall_ms\": {wall},\n",
+            "    \"probe_results\": {e2e}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        smoke = args.smoke,
+        threads = threads,
+        calls = calls,
+        legacy = legacy_ns_per_call,
+        new = ns_per_call,
+        rspeed = resolver_speedup,
+        allocs = resolver_allocs as f64 / calls as f64,
+        servers = servers,
+        sgen = serial_srv_per_sec,
+        pgen = par_srv_per_sec,
+        gspeed = gen_speedup,
+        records = record_count,
+        sagg = serial_rec_per_sec,
+        pagg = par_rec_per_sec,
+        aspeed = agg_speedup,
+        simm = sim_mins,
+        wall = e2e_wall_ms,
+        e2e = e2e_records,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write baseline");
+    println!("  baseline written to {out_path}");
+
+    // --- acceptance gates.
+    if args.check {
+        let mut ok = true;
+        let mut gate = |name: &str, pass: bool| {
+            println!("  [{}] {name}", if pass { "ok" } else { "FAIL" });
+            ok &= pass;
+        };
+        gate(
+            "resolve path performs zero heap allocations",
+            resolver_allocs == 0,
+        );
+        if !args.smoke {
+            // Timing gates only on the full run: smoke workloads are too
+            // small for stable ratios.
+            gate("resolver >= 3x faster than legacy", resolver_speedup >= 3.0);
+            if threads >= 2 {
+                gate("generate_all >= 2x faster with threads", gen_speedup >= 2.0);
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -302,7 +302,7 @@ impl Orchestrator {
             return;
         }
         let due = self.agents[s.index()].due_probes(now);
-        for probe in due {
+        for probe in &due {
             let target_ip = match probe.entry.target {
                 PingTarget::Server { ip, .. } | PingTarget::Vip { ip, .. } => ip,
             };
@@ -316,12 +316,15 @@ impl Orchestrator {
                 now,
             );
             self.outputs.probes_run += 1;
-            self.agents[s.index()].record_outcome(&probe, attempt.dst, attempt.outcome, now);
+            self.agents[s.index()].record_outcome(probe, attempt.dst, attempt.outcome, now);
         }
+        self.agents[s.index()].recycle_due(due);
         // Upload path: batch triggers + synchronous retry-then-discard.
+        // The agent owns the batch bookkeeping; we own the batch itself
+        // and hand its capacity back afterwards.
         if self.agents[s.index()].upload_due(now) {
             let dc = self.net.topology().server(s).dc;
-            if let Some(mut batch) = self.agents[s.index()].begin_upload() {
+            if let Some(batch) = self.agents[s.index()].begin_upload() {
                 loop {
                     let ok = self.pipeline.store.append(StreamName { dc }, &batch, now);
                     if ok {
@@ -330,11 +333,11 @@ impl Orchestrator {
                         self.agents[s.index()].on_upload_result(true);
                         break;
                     }
-                    match self.agents[s.index()].on_upload_result(false) {
-                        Some(again) => batch = again,
-                        None => break, // retries exhausted: discarded
+                    if !self.agents[s.index()].on_upload_result(false) {
+                        break; // retries exhausted: discarded
                     }
                 }
+                self.agents[s.index()].recycle_batch(batch);
             }
         }
         if let Some(t) = self.agents[s.index()].next_wakeup() {

@@ -47,7 +47,7 @@ pub struct HistKey {
 }
 
 /// Per-server outcome accumulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServerStats {
     /// Aggregate outcome counts over all of the server's probes.
     pub stats: PairStats,
@@ -56,7 +56,7 @@ pub struct ServerStats {
 }
 
 /// The aggregate of one analysis window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowAggregate {
     /// Records folded in.
     pub record_count: u64,
@@ -79,6 +79,37 @@ impl WindowAggregate {
         let mut agg = WindowAggregate::default();
         for r in records {
             agg.fold(r);
+        }
+        agg
+    }
+
+    /// Below this record count the chunked build runs serially: spawning
+    /// threads costs more than folding the window.
+    const MIN_PAR_RECORDS: usize = 4_096;
+
+    /// Builds the aggregate from a window's records, sharding the fold
+    /// across all available cores (dShark-style map/merge: each worker
+    /// folds a contiguous chunk, chunks merge in order). Every counter in
+    /// the aggregate is a commutative sum and `merge` is applied in chunk
+    /// order, so the result is identical to [`WindowAggregate::build`]
+    /// for any thread count.
+    pub fn build_par(records: &[ProbeRecord]) -> Self {
+        Self::build_par_threads(records, pingmesh_par::max_threads())
+    }
+
+    /// [`WindowAggregate::build_par`] with an explicit worker-thread count
+    /// (`1` = fully serial).
+    pub fn build_par_threads(records: &[ProbeRecord], threads: usize) -> Self {
+        if threads <= 1 || records.len() < Self::MIN_PAR_RECORDS {
+            return Self::build(records);
+        }
+        let chunks =
+            pingmesh_par::par_chunks_threads(threads, records, |chunk: &[ProbeRecord]| {
+                Self::build(chunk)
+            });
+        let mut agg = WindowAggregate::default();
+        for chunk in &chunks {
+            agg.merge(chunk);
         }
         agg
     }
@@ -334,6 +365,53 @@ mod tests {
         assert_eq!(s0.stats.failed, 1);
         assert_eq!(s0.latency.count(), 1);
         assert_eq!(agg.per_server[&ServerId(1)].stats.ok, 1);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_seeded_100k_corpus() {
+        // Seeded xorshift64 so the corpus is reproducible without a rand
+        // dependency; mixes scopes, RTT classes, and failures.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let records: Vec<ProbeRecord> = (0..100_000)
+            .map(|_| {
+                let r = next();
+                let src = (r % 64) as u32;
+                let dst = ((r >> 6) % 64) as u32;
+                let src_pod = src / 4;
+                let dst_pod = dst / 4;
+                let dst_dc = ((r >> 12) % 2) as u32;
+                let outcome = match (r >> 16) % 10 {
+                    0 => ProbeOutcome::Timeout,
+                    1 => ok(3_000_000 + (r >> 20) % 1_000),
+                    2 => ok(9_000_000 + (r >> 20) % 1_000),
+                    _ => ok(150 + (r >> 20) % 5_000),
+                };
+                rec(
+                    src,
+                    dst,
+                    src_pod,
+                    dst_pod,
+                    src_pod / 2,
+                    dst_pod / 2,
+                    dst_dc,
+                    outcome,
+                )
+            })
+            .collect();
+        assert!(records.len() >= WindowAggregate::MIN_PAR_RECORDS);
+        let serial = WindowAggregate::build(&records);
+        assert_eq!(serial.record_count, 100_000);
+        for threads in [1, 2, 3, 7, 16] {
+            let par = WindowAggregate::build_par_threads(&records, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        assert_eq!(WindowAggregate::build_par(&records), serial);
     }
 
     #[test]

@@ -96,15 +96,13 @@ impl SilentDropDetector {
         if s.is_empty() {
             return None;
         }
-        let tail: Vec<f64> = s
+        let mut tail: Vec<f64> = s
             .iter()
             .rev()
             .take(self.config.baseline_windows)
             .map(|&(_, r)| r)
             .collect();
-        let mut sorted = tail.clone();
-        sorted.sort_by(f64::total_cmp);
-        Some(sorted[sorted.len() / 2])
+        pingmesh_types::quantile::quantile_f64_in_place(&mut tail, 0.5)
     }
 
     /// Folds one window of one DC; returns an incident if the drop rate

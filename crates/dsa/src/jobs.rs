@@ -227,11 +227,11 @@ impl Pipeline {
                 for (&svc, sla) in &rep.per_service {
                     insert(ScopeKey::Service(svc), sla);
                 }
-                // Alerts over this window's rows.
-                let rows: Vec<SlaRow> = self.db.window_rows(tick.window_start).copied().collect();
-                out.alerts = self.alerter.check(rows.iter());
+                // Alerts over this window's rows, borrowed straight from
+                // the DB (db and alerter are disjoint fields).
+                out.alerts = self.alerter.check(self.db.window_rows(tick.window_start));
                 // Pattern per DC + silent-drop incident detection.
-                let agg = WindowAggregate::build(records.iter());
+                let agg = WindowAggregate::build_par(&records);
                 for dc in self.topo.dcs() {
                     let matrix = HeatmapMatrix::from_aggregate(&agg, &self.topo, dc);
                     out.patterns.insert(dc, classify_pattern(&matrix));
@@ -244,7 +244,7 @@ impl Pipeline {
                 }
             }
             JobKind::Hourly => {
-                let agg = WindowAggregate::build(records.iter());
+                let agg = WindowAggregate::build_par(&records);
                 out.blackholes = Some(self.blackhole.detect(&agg, &self.topo));
             }
             JobKind::Daily => {

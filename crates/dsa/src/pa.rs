@@ -70,7 +70,10 @@ impl PerfCounterAggregator {
                 p99s.push(p99.as_micros());
             }
         }
-        p99s.sort_unstable();
+        let p99_max_us = p99s.iter().copied().max().unwrap_or(0);
+        let p99_median_us = pingmesh_types::quantile::quantile_in_place(&mut p99s, 0.5)
+            .copied()
+            .unwrap_or(0);
         let sample = FleetSample {
             ts,
             agents,
@@ -81,8 +84,8 @@ impl PerfCounterAggregator {
             } else {
                 weighted_drops / succeeded as f64
             },
-            p99_median_us: p99s.get(p99s.len() / 2).copied().unwrap_or(0),
-            p99_max_us: p99s.last().copied().unwrap_or(0),
+            p99_median_us,
+            p99_max_us,
         };
         self.series.entry(dc).or_default().push(sample);
         sample

@@ -45,8 +45,7 @@ pub fn daily_report(
             / samples.max(1) as f64;
         let median_p99 = {
             let mut p99s: Vec<u64> = rows.iter().map(|r| r.p99_us).collect();
-            p99s.sort_unstable();
-            p99s[p99s.len() / 2]
+            *pingmesh_types::quantile::quantile_in_place(&mut p99s, 0.5).expect("non-empty rows")
         };
         let worst = rows
             .iter()

@@ -182,8 +182,7 @@ impl SimNet {
         if chance(&mut self.rng, p_host_src) || chance(&mut self.rng, p_host_dst) {
             return false;
         }
-        let switches: Vec<SwitchId> = path.switches().collect();
-        for sw in switches {
+        for sw in path.switches() {
             if let Some(v) = self.faults.deterministic_verdict(sw, tuple, t) {
                 match v {
                     Verdict::DropVisible => self.bump(sw, |c| c.visible_discards += 1),

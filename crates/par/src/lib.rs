@@ -1,0 +1,233 @@
+//! Minimal scoped fork-join parallelism for the Pingmesh workspace.
+//!
+//! The build environment is fully offline, so `rayon` is unavailable; the
+//! two embarrassingly-parallel stages of the pipeline (pinglist generation
+//! across servers, aggregation across record chunks) only need a tiny
+//! slice of it anyway: split a work list into contiguous chunks, run each
+//! chunk on its own scoped thread, and join results **in chunk order** so
+//! the output is deterministic — identical to a serial run — regardless of
+//! thread count or scheduling.
+//!
+//! Built on [`std::thread::scope`], so borrowed (non-`'static`) inputs
+//! work and panics propagate to the caller. No thread pool is kept alive
+//! between calls; for the coarse-grained stages this crate serves, thread
+//! spawn cost (~10 µs) is noise.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, floored at 1 (if the OS won't say, fall back to serial).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `len` work items into at most `threads` contiguous chunk ranges
+/// covering `0..len` in order. The first `len % threads` chunks get one
+/// extra item, so sizes differ by at most one.
+fn chunk_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1).min(len.max(1));
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Maps `f` over `items` on up to [`max_threads`] scoped threads,
+/// returning results in input order. See [`par_map_threads`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(max_threads(), items, f)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped threads, returning
+/// `vec![f(&items[0]), f(&items[1]), …]` — the exact output a serial map
+/// would produce, in the same order, regardless of `threads`.
+///
+/// `threads <= 1` (or a single-item input) runs inline on the caller's
+/// thread with no spawning at all.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let ranges = chunk_ranges(items.len(), threads);
+    let f = &f;
+    let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || items[r].iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        // Join in spawn order: chunk i's results land at position i, so
+        // concatenation reproduces input order deterministically.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunk_results {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Applies `f` to contiguous chunks of `items` (one chunk per thread, up
+/// to [`max_threads`]), returning the per-chunk results in chunk order.
+/// See [`par_chunks_threads`].
+pub fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    par_chunks_threads(max_threads(), items, f)
+}
+
+/// Applies `f` to at most `threads` contiguous chunks of `items`,
+/// returning per-chunk results ordered by chunk position (chunk 0 covers
+/// the start of `items`). Chunk sizes differ by at most one item.
+///
+/// The caller reduces the chunk results; folding them **in order** with an
+/// associative merge reproduces the serial fold exactly.
+///
+/// `threads <= 1` or an empty input produces a single chunk computed
+/// inline.
+pub fn par_chunks_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let ranges = chunk_ranges(items.len(), threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(&items[r])))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_chunks worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_tile_the_input() {
+        for len in [0usize, 1, 2, 7, 16, 100, 101] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, threads);
+                assert!(ranges.len() <= threads.max(1));
+                let mut next = 0;
+                let (mut min, mut max) = (usize::MAX, 0);
+                for r in &ranges {
+                    assert_eq!(r.start, next, "len={len} threads={threads}");
+                    next = r.end;
+                    min = min.min(r.len());
+                    max = max.max(r.len());
+                }
+                assert_eq!(next, len);
+                if len >= threads {
+                    assert!(max - min <= 1, "unbalanced: len={len} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            assert_eq!(par_map_threads(threads, &items, |x| x * x), expect);
+        }
+        assert_eq!(par_map(&items, |x| x * x), expect);
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_threads(8, &empty, |x| *x).is_empty());
+        assert_eq!(par_map_threads(8, &[5u32], |x| x + 1), vec![6]);
+        assert_eq!(par_map_threads(0, &[1u32, 2], |x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn par_map_borrows_non_static_state() {
+        let offset = 100u64; // lives on this stack frame
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map_threads(4, &items, |x| x + offset);
+        assert_eq!(out[31], 131);
+    }
+
+    #[test]
+    fn par_chunks_ordered_fold_matches_serial() {
+        // Concatenation is associative but NOT commutative, so this fails
+        // if chunks ever come back out of order.
+        let items: Vec<u32> = (0..1000).collect();
+        let serial = items
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        for threads in [1, 2, 5, 16] {
+            let chunks = par_chunks_threads(threads, &items, |c| {
+                c.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            });
+            assert!(chunks.len() <= threads.max(1));
+            assert_eq!(chunks.join(","), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_empty_input_yields_one_empty_chunk() {
+        let empty: Vec<u32> = vec![];
+        let out = par_chunks_threads(8, &empty, <[u32]>::len);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map_threads(4, &items, |x| {
+            assert!(*x != 5, "boom");
+            *x
+        });
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -29,8 +29,8 @@ pub mod service;
 pub mod spec;
 pub mod vip;
 
-pub use model::Topology;
-pub use route::{Path, Router};
+pub use model::{RouteTables, Topology};
+pub use route::{Path, Router, MAX_HOPS};
 pub use service::ServiceMap;
 pub use spec::{DcSpec, TopologySpec};
 pub use vip::VipTable;

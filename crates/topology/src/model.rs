@@ -66,6 +66,33 @@ pub struct DcInfo {
     pub borders: Range<u32>,
 }
 
+/// Precomputed per-tier switch-id tables backing the ECMP hot path.
+///
+/// The resolver needs "the leaves of podset X" / "the spines of DC Y" on
+/// every single probe; materializing each tier's `SwitchId`s once at build
+/// time lets those queries return immutable slices (entities are numbered
+/// contiguously, so a scope is always a subrange) instead of collecting an
+/// iterator per call.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTables {
+    /// All leaf switch ids, in global leaf-index order.
+    leaves: Vec<SwitchId>,
+    /// All spine switch ids, in global spine-index order.
+    spines: Vec<SwitchId>,
+    /// All border router ids, in global border-index order.
+    borders: Vec<SwitchId>,
+}
+
+impl RouteTables {
+    fn build(leaf_count: usize, spine_count: usize, border_count: usize) -> Self {
+        Self {
+            leaves: (0..leaf_count as u32).map(SwitchId::leaf).collect(),
+            spines: (0..spine_count as u32).map(SwitchId::spine).collect(),
+            borders: (0..border_count as u32).map(SwitchId::border).collect(),
+        }
+    }
+}
+
 /// The materialized deployment topology.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -81,6 +108,8 @@ pub struct Topology {
     spine_dc: Vec<DcId>,
     /// DC owning each border (global border index → dc).
     border_dc: Vec<DcId>,
+    /// Materialized switch-id tables for allocation-free scope queries.
+    routes: RouteTables,
 }
 
 impl Topology {
@@ -166,6 +195,7 @@ impl Topology {
             "pods" => pods.len() as u64,
             "servers" => servers.len() as u64,
         );
+        let routes = RouteTables::build(leaf_podset.len(), spine_dc.len(), border_dc.len());
         Ok(Self {
             spec,
             dcs,
@@ -176,6 +206,7 @@ impl Topology {
             leaf_podset,
             spine_dc,
             border_dc,
+            routes,
         })
     }
 
@@ -285,20 +316,39 @@ impl Topology {
 
     /// Leaf switches of a podset.
     pub fn leaves_of_podset(&self, podset: PodsetId) -> impl Iterator<Item = SwitchId> + '_ {
-        self.podsets[podset.index()]
-            .leaves
-            .clone()
-            .map(SwitchId::leaf)
+        self.leaf_slice_of_podset(podset).iter().copied()
     }
 
     /// Spine switches of a DC.
     pub fn spines_of_dc(&self, dc: DcId) -> impl Iterator<Item = SwitchId> + '_ {
-        self.dcs[dc.index()].spines.clone().map(SwitchId::spine)
+        self.spine_slice_of_dc(dc).iter().copied()
     }
 
     /// Border routers of a DC.
     pub fn borders_of_dc(&self, dc: DcId) -> impl Iterator<Item = SwitchId> + '_ {
-        self.dcs[dc.index()].borders.clone().map(SwitchId::border)
+        self.border_slice_of_dc(dc).iter().copied()
+    }
+
+    /// Leaf switches of a podset, as a precomputed slice. Allocation-free;
+    /// this is the form the ECMP resolver consumes on every probe.
+    #[inline]
+    pub fn leaf_slice_of_podset(&self, podset: PodsetId) -> &[SwitchId] {
+        let r = &self.podsets[podset.index()].leaves;
+        &self.routes.leaves[r.start as usize..r.end as usize]
+    }
+
+    /// Spine switches of a DC, as a precomputed slice.
+    #[inline]
+    pub fn spine_slice_of_dc(&self, dc: DcId) -> &[SwitchId] {
+        let r = &self.dcs[dc.index()].spines;
+        &self.routes.spines[r.start as usize..r.end as usize]
+    }
+
+    /// Border routers of a DC, as a precomputed slice.
+    #[inline]
+    pub fn border_slice_of_dc(&self, dc: DcId) -> &[SwitchId] {
+        let r = &self.dcs[dc.index()].borders;
+        &self.routes.borders[r.start as usize..r.end as usize]
     }
 
     /// The podset a leaf switch belongs to.
@@ -436,6 +486,22 @@ mod tests {
         }
         assert_eq!(t.pod_of_tor(SwitchId::leaf(0)), None);
         assert_eq!(t.pod_of_tor(SwitchId::tor(10_000)), None);
+    }
+
+    #[test]
+    fn route_table_slices_match_iterator_accessors() {
+        let t = two_dc_topology();
+        for ps in 0..t.podset_count() as u32 {
+            let from_iter: Vec<_> = t.leaves_of_podset(PodsetId(ps)).collect();
+            assert_eq!(t.leaf_slice_of_podset(PodsetId(ps)), &from_iter[..]);
+            assert!(!from_iter.is_empty());
+        }
+        for dc in t.dcs() {
+            let spines: Vec<_> = t.spines_of_dc(dc).collect();
+            assert_eq!(t.spine_slice_of_dc(dc), &spines[..]);
+            let borders: Vec<_> = t.borders_of_dc(dc).collect();
+            assert_eq!(t.border_slice_of_dc(dc), &borders[..]);
+        }
     }
 
     #[test]

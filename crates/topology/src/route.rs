@@ -12,14 +12,22 @@
 //! black-holes kill a connection rather than one packet.
 
 use crate::model::Topology;
-use pingmesh_types::{DeviceId, FiveTuple, ServerId, SwitchId};
+use pingmesh_types::{DeviceId, FiveTuple, InlineVec, ServerId, SwitchId};
+
+/// Upper bound on devices per path, fixed by the Clos structure: the
+/// longest case (inter-DC) is src + ToR/Leaf/Spine/Border + Border/Spine/
+/// Leaf/ToR + dst = 10 devices.
+pub const MAX_HOPS: usize = 10;
 
 /// A resolved forwarding path: the ordered devices a packet traverses,
 /// including both endpoint servers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Hops are stored inline (`InlineVec`), so resolving a path performs no
+/// heap allocation and `Path` is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Path {
     /// Devices from source server to destination server, inclusive.
-    pub hops: Vec<DeviceId>,
+    pub hops: InlineVec<DeviceId, MAX_HOPS>,
 }
 
 impl Path {
@@ -95,19 +103,31 @@ impl<'a> Router<'a> {
         items[(mix(hash, s) % items.len() as u64) as usize]
     }
 
+    /// ECMP choice among `items` minus the excluded switches, without
+    /// materializing the filtered candidate set: count the survivors, take
+    /// the hash modulo that count, then walk to the k-th survivor. This is
+    /// element-for-element identical to collecting the survivors into a
+    /// `Vec` and indexing it, but allocation-free.
     #[inline]
-    fn pick_sw(
+    fn pick_sw<F: Fn(SwitchId) -> bool>(
         items: &[SwitchId],
         hash: u64,
         s: u64,
-        excluded: &dyn Fn(SwitchId) -> bool,
+        excluded: &F,
     ) -> SwitchId {
-        let avail: Vec<SwitchId> = items.iter().copied().filter(|&x| !excluded(x)).collect();
-        if avail.is_empty() {
-            Self::pick(items, hash, s)
-        } else {
-            Self::pick(&avail, hash, s)
+        let avail = items.iter().filter(|&&x| !excluded(x)).count();
+        if avail == 0 {
+            // Every candidate is excluded: the fabric has no alternative,
+            // keep the original choice.
+            return Self::pick(items, hash, s);
         }
+        let k = (mix(hash, s) % avail as u64) as usize;
+        items
+            .iter()
+            .copied()
+            .filter(|&x| !excluded(x))
+            .nth(k)
+            .expect("k < survivor count")
     }
 
     /// Resolves the exact path taken by a packet with the given five-tuple
@@ -126,18 +146,22 @@ impl<'a> Router<'a> {
     /// packet drops were gone after we isolated the switch from serving
     /// live traffic"). If *every* candidate at a tier is excluded the
     /// original choice is kept (the fabric has no alternative).
-    pub fn resolve_excluding(
+    ///
+    /// This is the innermost loop of probe simulation; candidate sets come
+    /// from the topology's precomputed route tables and the hop list is
+    /// inline, so a call performs zero heap allocations.
+    pub fn resolve_excluding<F: Fn(SwitchId) -> bool>(
         &self,
         src: ServerId,
         dst: ServerId,
         tuple: &FiveTuple,
-        excluded: &dyn Fn(SwitchId) -> bool,
+        excluded: &F,
     ) -> Path {
         let t = self.topo;
         let s = *t.server(src);
         let d = *t.server(dst);
         let h = tuple.ecmp_hash();
-        let mut hops: Vec<DeviceId> = Vec::with_capacity(10);
+        let mut hops: InlineVec<DeviceId, MAX_HOPS> = InlineVec::new();
         hops.push(src.into());
 
         if src == dst {
@@ -156,8 +180,8 @@ impl<'a> Router<'a> {
 
         if s.podset == d.podset {
             // Intra-podset: ToR -> Leaf (ECMP) -> ToR.
-            let leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
-            hops.push(Self::pick_sw(&leaves, h, salt::UP_LEAF, excluded).into());
+            let leaves = t.leaf_slice_of_podset(s.podset);
+            hops.push(Self::pick_sw(leaves, h, salt::UP_LEAF, excluded).into());
             hops.push(t.tor_of_pod(d.pod).into());
             hops.push(dst.into());
             return Path { hops };
@@ -165,12 +189,12 @@ impl<'a> Router<'a> {
 
         if s.dc == d.dc {
             // Intra-DC: ToR -> Leaf -> Spine (ECMP) -> Leaf -> ToR.
-            let up_leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
-            hops.push(Self::pick_sw(&up_leaves, h, salt::UP_LEAF, excluded).into());
-            let spines: Vec<SwitchId> = t.spines_of_dc(s.dc).collect();
-            hops.push(Self::pick_sw(&spines, h, salt::UP_SPINE, excluded).into());
-            let down_leaves: Vec<SwitchId> = t.leaves_of_podset(d.podset).collect();
-            hops.push(Self::pick_sw(&down_leaves, h, salt::DOWN_LEAF, excluded).into());
+            let up_leaves = t.leaf_slice_of_podset(s.podset);
+            hops.push(Self::pick_sw(up_leaves, h, salt::UP_LEAF, excluded).into());
+            let spines = t.spine_slice_of_dc(s.dc);
+            hops.push(Self::pick_sw(spines, h, salt::UP_SPINE, excluded).into());
+            let down_leaves = t.leaf_slice_of_podset(d.podset);
+            hops.push(Self::pick_sw(down_leaves, h, salt::DOWN_LEAF, excluded).into());
             hops.push(t.tor_of_pod(d.pod).into());
             hops.push(dst.into());
             return Path { hops };
@@ -178,18 +202,18 @@ impl<'a> Router<'a> {
 
         // Inter-DC: up through the source fabric, across the long-haul
         // link between border routers, down through the destination fabric.
-        let up_leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
-        hops.push(Self::pick_sw(&up_leaves, h, salt::UP_LEAF, excluded).into());
-        let up_spines: Vec<SwitchId> = t.spines_of_dc(s.dc).collect();
-        hops.push(Self::pick_sw(&up_spines, h, salt::UP_SPINE, excluded).into());
-        let up_borders: Vec<SwitchId> = t.borders_of_dc(s.dc).collect();
-        hops.push(Self::pick_sw(&up_borders, h, salt::UP_BORDER, excluded).into());
-        let down_borders: Vec<SwitchId> = t.borders_of_dc(d.dc).collect();
-        hops.push(Self::pick_sw(&down_borders, h, salt::DOWN_BORDER, excluded).into());
-        let down_spines: Vec<SwitchId> = t.spines_of_dc(d.dc).collect();
-        hops.push(Self::pick_sw(&down_spines, h, salt::DOWN_SPINE, excluded).into());
-        let down_leaves: Vec<SwitchId> = t.leaves_of_podset(d.podset).collect();
-        hops.push(Self::pick_sw(&down_leaves, h, salt::DOWN_LEAF, excluded).into());
+        let up_leaves = t.leaf_slice_of_podset(s.podset);
+        hops.push(Self::pick_sw(up_leaves, h, salt::UP_LEAF, excluded).into());
+        let up_spines = t.spine_slice_of_dc(s.dc);
+        hops.push(Self::pick_sw(up_spines, h, salt::UP_SPINE, excluded).into());
+        let up_borders = t.border_slice_of_dc(s.dc);
+        hops.push(Self::pick_sw(up_borders, h, salt::UP_BORDER, excluded).into());
+        let down_borders = t.border_slice_of_dc(d.dc);
+        hops.push(Self::pick_sw(down_borders, h, salt::DOWN_BORDER, excluded).into());
+        let down_spines = t.spine_slice_of_dc(d.dc);
+        hops.push(Self::pick_sw(down_spines, h, salt::DOWN_SPINE, excluded).into());
+        let down_leaves = t.leaf_slice_of_podset(d.podset);
+        hops.push(Self::pick_sw(down_leaves, h, salt::DOWN_LEAF, excluded).into());
         hops.push(t.tor_of_pod(d.pod).into());
         hops.push(dst.into());
         Path { hops }
@@ -374,6 +398,121 @@ mod tests {
         let tu = tuple_for(&t, a, b, 999);
         let all_excluded = r.resolve_excluding(a, b, &tu, &|s| s.tier == SwitchTier::Spine);
         assert_eq!(all_excluded, r.resolve(a, b, &tu));
+    }
+
+    /// The pre-refactor resolver, verbatim: collects candidate sets into
+    /// `Vec`s per call and indexes the filtered set. Kept here as the
+    /// golden reference the zero-allocation resolver must match
+    /// hop-for-hop.
+    mod legacy {
+        use super::*;
+
+        fn pick<T: Copy>(items: &[T], hash: u64, s: u64) -> T {
+            items[(mix(hash, s) % items.len() as u64) as usize]
+        }
+
+        fn pick_sw(
+            items: &[SwitchId],
+            hash: u64,
+            s: u64,
+            excluded: &dyn Fn(SwitchId) -> bool,
+        ) -> SwitchId {
+            let avail: Vec<SwitchId> = items.iter().copied().filter(|&x| !excluded(x)).collect();
+            if avail.is_empty() {
+                pick(items, hash, s)
+            } else {
+                pick(&avail, hash, s)
+            }
+        }
+
+        pub fn resolve(
+            t: &Topology,
+            src: ServerId,
+            dst: ServerId,
+            tuple: &FiveTuple,
+            excluded: &dyn Fn(SwitchId) -> bool,
+        ) -> Vec<DeviceId> {
+            let s = *t.server(src);
+            let d = *t.server(dst);
+            let h = tuple.ecmp_hash();
+            let mut hops: Vec<DeviceId> = Vec::with_capacity(10);
+            hops.push(src.into());
+            if src == dst {
+                return hops;
+            }
+            hops.push(t.tor_of_pod(s.pod).into());
+            if s.pod == d.pod {
+                hops.push(dst.into());
+                return hops;
+            }
+            if s.podset == d.podset {
+                let leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
+                hops.push(pick_sw(&leaves, h, salt::UP_LEAF, excluded).into());
+                hops.push(t.tor_of_pod(d.pod).into());
+                hops.push(dst.into());
+                return hops;
+            }
+            if s.dc == d.dc {
+                let up_leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
+                hops.push(pick_sw(&up_leaves, h, salt::UP_LEAF, excluded).into());
+                let spines: Vec<SwitchId> = t.spines_of_dc(s.dc).collect();
+                hops.push(pick_sw(&spines, h, salt::UP_SPINE, excluded).into());
+                let down_leaves: Vec<SwitchId> = t.leaves_of_podset(d.podset).collect();
+                hops.push(pick_sw(&down_leaves, h, salt::DOWN_LEAF, excluded).into());
+                hops.push(t.tor_of_pod(d.pod).into());
+                hops.push(dst.into());
+                return hops;
+            }
+            let up_leaves: Vec<SwitchId> = t.leaves_of_podset(s.podset).collect();
+            hops.push(pick_sw(&up_leaves, h, salt::UP_LEAF, excluded).into());
+            let up_spines: Vec<SwitchId> = t.spines_of_dc(s.dc).collect();
+            hops.push(pick_sw(&up_spines, h, salt::UP_SPINE, excluded).into());
+            let up_borders: Vec<SwitchId> = t.borders_of_dc(s.dc).collect();
+            hops.push(pick_sw(&up_borders, h, salt::UP_BORDER, excluded).into());
+            let down_borders: Vec<SwitchId> = t.borders_of_dc(d.dc).collect();
+            hops.push(pick_sw(&down_borders, h, salt::DOWN_BORDER, excluded).into());
+            let down_spines: Vec<SwitchId> = t.spines_of_dc(d.dc).collect();
+            hops.push(pick_sw(&down_spines, h, salt::DOWN_SPINE, excluded).into());
+            let down_leaves: Vec<SwitchId> = t.leaves_of_podset(d.podset).collect();
+            hops.push(pick_sw(&down_leaves, h, salt::DOWN_LEAF, excluded).into());
+            hops.push(t.tor_of_pod(d.pod).into());
+            hops.push(dst.into());
+            hops
+        }
+    }
+
+    #[test]
+    fn resolver_matches_legacy_golden_on_sampled_grid() {
+        // Every (src, dst) pair over a strided server sample, three source
+        // ports each, with and without exclusions: the refactored resolver
+        // must reproduce the pre-refactor hop sequence exactly.
+        let t = topo();
+        let r = Router::new(&t);
+        let sample: Vec<ServerId> = t.servers().step_by(5).collect();
+        assert!(sample.len() >= 12, "grid too small to be meaningful");
+        let mut cases = 0u32;
+        for &a in &sample {
+            for &b in &sample {
+                for sp in [1_000u16, 22_222, 60_001] {
+                    let tu = tuple_for(&t, a, b, sp);
+                    let golden = legacy::resolve(&t, a, b, &tu, &|_| false);
+                    assert_eq!(r.resolve(a, b, &tu).hops, golden, "{a}->{b} sp={sp}");
+                    // Exclusion grid: drop one spine and one leaf per DC.
+                    let excl = |sw: SwitchId| {
+                        (sw.tier == SwitchTier::Spine || sw.tier == SwitchTier::Leaf)
+                            && sw.index % 4 == 1
+                    };
+                    let golden_x = legacy::resolve(&t, a, b, &tu, &excl);
+                    assert_eq!(
+                        r.resolve_excluding(a, b, &tu, &excl).hops,
+                        golden_x,
+                        "excluding: {a}->{b} sp={sp}"
+                    );
+                    cases += 2;
+                }
+            }
+        }
+        assert!(cases >= 1_000, "grid covered only {cases} cases");
     }
 
     #[test]

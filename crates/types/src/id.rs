@@ -162,6 +162,15 @@ impl fmt::Display for DeviceId {
     }
 }
 
+/// `Default` exists so `DeviceId` can live in fixed-capacity containers
+/// (`InlineVec`) that pre-fill dead slots; the placeholder value is never
+/// observable through the live prefix.
+impl Default for DeviceId {
+    fn default() -> Self {
+        DeviceId::Server(ServerId(0))
+    }
+}
+
 impl From<ServerId> for DeviceId {
     fn from(v: ServerId) -> Self {
         DeviceId::Server(v)

@@ -21,9 +21,11 @@ pub mod counters;
 pub mod error;
 pub mod hist;
 pub mod id;
+pub mod inline_vec;
 pub mod net;
 pub mod pinglist;
 pub mod probe;
+pub mod quantile;
 pub mod telemetry;
 pub mod time;
 
@@ -31,6 +33,7 @@ pub use counters::{AgentCounters, CounterSnapshot};
 pub use error::{PingmeshError, Result};
 pub use hist::LatencyHistogram;
 pub use id::{DcId, DeviceId, PodId, PodsetId, ServerId, ServiceId, SwitchId, SwitchTier};
+pub use inline_vec::InlineVec;
 pub use net::{FiveTuple, IpProto, QosClass, VipId};
 pub use pinglist::{PingTarget, Pinglist, PinglistEntry};
 pub use probe::{PairStats, ProbeKind, ProbeOutcome, ProbeRecord};

@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Full CI gate for the workspace. Run from anywhere; exits non-zero on the
-# first failing step.
+# first failing step. Pass --bench-smoke to also run the hot-path bench in
+# smoke mode (small workloads, acceptance gates only — no timings recorded).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
@@ -17,5 +26,10 @@ cargo fmt --check
 
 step "cargo clippy -D warnings (workspace, all targets)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  step "hotpath bench smoke (zero-allocation gate)"
+  cargo run --release -q -p pingmesh-bench --bin hotpath -- --smoke --check
+fi
 
 printf '\nCI gate passed.\n'
