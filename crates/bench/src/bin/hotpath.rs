@@ -12,23 +12,31 @@
 //! - **pinglist**: `generate_all` servers/sec, serial vs parallel.
 //! - **aggregate**: `WindowAggregate` records/sec, serial vs parallel
 //!   (and a bit-equality check between the two results).
+//! - **tick**: the streaming DSA path — ingest records/sec (appends fold
+//!   into 10-min window partials as they land), 10-min tick ms with a
+//!   record-copy counter proving the tick reads a finished partial
+//!   without copying the window, hourly tick ms, and the merge-based
+//!   hourly rollup vs the golden rebuild-from-raw (asserted bit-equal).
 //! - **end_to_end**: wall-clock of a full simulated deployment.
 //!
 //! Usage: `cargo run --release -p pingmesh-bench --bin hotpath [--smoke]
 //! [--check] [--out PATH]`. The full run writes `BENCH_hotpath.json` at
 //! the repo root; `--smoke` shrinks every dimension for CI and writes
 //! `target/BENCH_hotpath.smoke.json` instead. `--check` exits non-zero
-//! if an acceptance gate fails (resolver not allocation-free; in full
-//! mode also resolver speedup < 3x or pinglist speedup < 2x when ≥2
-//! threads are available).
+//! if an acceptance gate fails (resolver not allocation-free; a 10-min
+//! tick copying records out of the store; in full mode also resolver
+//! speedup < 3x, pinglist speedup < 2x when ≥2 threads are available,
+//! or hourly merge < 5x faster than the rebuild-from-raw path).
 
 use pingmesh_bench::{header, small_dc_spec, two_dc_scenario};
 use pingmesh_core::controller::{GeneratorConfig, PinglistGenerator};
 use pingmesh_core::dsa::agg::WindowAggregate;
+use pingmesh_core::dsa::jobs::{JobKind, JobTick, Pipeline};
+use pingmesh_core::dsa::store::{CosmosStore, StreamName};
 use pingmesh_core::topology::{DcSpec, Router, ServiceMap, Topology, TopologySpec};
 use pingmesh_core::types::{
-    DeviceId, FiveTuple, ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId, SimDuration,
-    SimTime, SwitchId,
+    DcId, DeviceId, FiveTuple, ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId,
+    SimDuration, SimTime, SwitchId,
 };
 use pingmesh_core::{Orchestrator, OrchestratorConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -361,6 +369,85 @@ fn main() {
         "  aggregation    serial {serial_rec_per_sec:>8.0} rec/s    parallel {par_rec_per_sec:>8.0} rec/s    speedup {agg_speedup:.2}x"
     );
 
+    // --- tick path: ingest-time partials + merge-based rollups. The same
+    // corpus as the aggregation section, respaced to span one hour (full)
+    // or thirty minutes (smoke) so it covers several 10-min windows with
+    // extents straddling the tick boundaries.
+    let ts_spacing_us: u64 = if args.smoke { 36_000 } else { 9_000 };
+    let tick_records: Vec<ProbeRecord> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = *r;
+            r.ts = SimTime(i as u64 * ts_spacing_us);
+            r
+        })
+        .collect();
+    let n_windows: u64 = if args.smoke { 3 } else { 6 };
+    const TEN_MIN_US: u64 = 600_000_000;
+    const HOUR_US: u64 = 3_600_000_000;
+    let mut pipeline = Pipeline::new(
+        topo.clone(),
+        ServiceMap::new(),
+        CosmosStore::with_defaults(),
+    );
+    // Ingest: appends fold each batch into the window partials as it lands.
+    let ingest_start = Instant::now();
+    for batch in tick_records.chunks(10_000) {
+        pipeline
+            .store
+            .append(StreamName { dc: DcId(0) }, batch, SimTime(0));
+    }
+    let ingest_ns = ingest_start.elapsed().as_nanos() as f64;
+    let ingest_rec_per_sec = record_count as f64 / (ingest_ns / 1e9);
+    // 10-minute ticks: each picks up a finished partial — zero record copies.
+    let copies_before = pipeline.store.record_copy_count();
+    let tick_allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let ten_start = Instant::now();
+    let mut ticked_records = 0u64;
+    for k in 0..n_windows {
+        let out = pipeline.run_tick(JobTick {
+            kind: JobKind::TenMin,
+            window_start: SimTime(k * TEN_MIN_US),
+            window_end: SimTime((k + 1) * TEN_MIN_US),
+        });
+        ticked_records += out.records;
+    }
+    let ten_min_tick_ms = ten_start.elapsed().as_secs_f64() * 1e3 / n_windows as f64;
+    let ten_min_allocs = (ALLOCATIONS.load(Ordering::Relaxed) - tick_allocs_before) / n_windows;
+    assert_eq!(ticked_records, record_count, "ticks must cover the corpus");
+    // Hourly tick: merges the enclosed 10-min partials, O(scopes).
+    let hourly_start = Instant::now();
+    let hourly_out = pipeline.run_tick(JobTick {
+        kind: JobKind::Hourly,
+        window_start: SimTime(0),
+        window_end: SimTime(HOUR_US),
+    });
+    let hourly_tick_ms = hourly_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(hourly_out.records, record_count);
+    let tick_copies = pipeline.store.record_copy_count() - copies_before;
+    // Golden reference: the merge-based hourly rollup must be bit-equal
+    // to (and much faster than) rebuilding from raw records.
+    let merge_start = Instant::now();
+    let merged = pipeline
+        .store
+        .merged_window_aggregate(SimTime(0), SimTime(HOUR_US));
+    let hourly_merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
+    let rebuild_start = Instant::now();
+    let rebuilt = pipeline.rebuild_window_aggregate(SimTime(0), SimTime(HOUR_US));
+    let hourly_rebuild_ms = rebuild_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        merged, rebuilt,
+        "merged rollup must be bit-equal to the golden rebuild"
+    );
+    let merge_speedup = hourly_rebuild_ms / hourly_merge_ms.max(1e-6);
+    println!(
+        "  tick           ingest {ingest_rec_per_sec:>8.0} rec/s    10-min {ten_min_tick_ms:.2} ms/tick (copies {tick_copies}, allocs {ten_min_allocs})    hourly {hourly_tick_ms:.2} ms"
+    );
+    println!(
+        "  tick rollup    merge {hourly_merge_ms:.2} ms vs rebuild {hourly_rebuild_ms:.2} ms   speedup {merge_speedup:.1}x   (bit-equal)"
+    );
+
     // --- end to end: a full simulated deployment, wall-clock.
     let sim_mins = if args.smoke { 5u64 } else { 30 };
     let e2e_start = Instant::now();
@@ -401,7 +488,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"pingmesh-bench-hotpath/1\",\n",
+            "  \"schema\": \"pingmesh-bench-hotpath/2\",\n",
             "  \"smoke\": {smoke},\n",
             "  \"threads\": {threads},\n",
             "  \"resolver\": {{\n",
@@ -422,6 +509,18 @@ fn main() {
             "    \"serial_records_per_sec\": {sagg:.0},\n",
             "    \"parallel_records_per_sec\": {pagg:.0},\n",
             "    \"speedup\": {aspeed:.2}\n",
+            "  }},\n",
+            "  \"tick\": {{\n",
+            "    \"records\": {records},\n",
+            "    \"ten_min_windows\": {twin},\n",
+            "    \"ingest_records_per_sec\": {tingest:.0},\n",
+            "    \"ten_min_tick_ms\": {tten:.2},\n",
+            "    \"ten_min_allocs_per_tick\": {tallocs},\n",
+            "    \"ten_min_record_copies\": {tcopies},\n",
+            "    \"hourly_tick_ms\": {thr:.2},\n",
+            "    \"hourly_merge_ms\": {tmerge:.2},\n",
+            "    \"hourly_rebuild_ms\": {trebuild:.2},\n",
+            "    \"merge_speedup\": {tspeed:.1}\n",
             "  }},\n",
             "  \"end_to_end\": {{\n",
             "    \"sim_minutes\": {simm},\n",
@@ -445,6 +544,15 @@ fn main() {
         sagg = serial_rec_per_sec,
         pagg = par_rec_per_sec,
         aspeed = agg_speedup,
+        twin = n_windows,
+        tingest = ingest_rec_per_sec,
+        tten = ten_min_tick_ms,
+        tallocs = ten_min_allocs,
+        tcopies = tick_copies,
+        thr = hourly_tick_ms,
+        tmerge = hourly_merge_ms,
+        trebuild = hourly_rebuild_ms,
+        tspeed = merge_speedup,
         simm = sim_mins,
         wall = e2e_wall_ms,
         e2e = e2e_records,
@@ -468,6 +576,10 @@ fn main() {
             "resolve path performs zero heap allocations",
             resolver_allocs == 0,
         );
+        gate(
+            "10-min/hourly ticks copy zero records out of the store",
+            tick_copies == 0,
+        );
         if !args.smoke {
             // Timing gates only on the full run: smoke workloads are too
             // small for stable ratios.
@@ -475,6 +587,10 @@ fn main() {
             if threads >= 2 {
                 gate("generate_all >= 2x faster with threads", gen_speedup >= 2.0);
             }
+            gate(
+                "hourly merge >= 5x faster than rebuild-from-raw",
+                merge_speedup >= 5.0,
+            );
         }
         if !ok {
             std::process::exit(1);

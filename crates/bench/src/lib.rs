@@ -72,8 +72,14 @@ pub fn run_and_aggregate(
         o.run_until(next);
         let scan_to = (next - lag).max(scanned_to);
         if scan_to > scanned_to {
+            // Borrowed extent slices, sharded across threads — no
+            // intermediate record collect.
+            let chunks = o
+                .pipeline()
+                .store
+                .scan_all_window_chunks(scanned_to, scan_to);
             let chunk_agg =
-                WindowAggregate::build(o.pipeline().store.scan_all_window(scanned_to, scan_to));
+                WindowAggregate::build_from_chunks(&chunks, pingmesh_par::max_threads(), None);
             agg.merge(&chunk_agg);
             // Retire with one extra lag of slack so late uploads whose
             // timestamps precede scan_to are never double-counted or lost.
@@ -85,7 +91,8 @@ pub fn run_and_aggregate(
     // Drain: run past `until` so every record probed before `until` is
     // uploaded, then fold the remainder.
     o.run_until(until + lag);
-    let tail = WindowAggregate::build(o.pipeline().store.scan_all_window(scanned_to, until));
+    let chunks = o.pipeline().store.scan_all_window_chunks(scanned_to, until);
+    let tail = WindowAggregate::build_from_chunks(&chunks, pingmesh_par::max_threads(), None);
     agg.merge(&tail);
     agg
 }

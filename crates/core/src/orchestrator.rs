@@ -206,6 +206,21 @@ impl Orchestrator {
         self.queue.now()
     }
 
+    /// The §4.3 troubleshooting drill-down over a stored window, scoped
+    /// by `filter`. Reads the store through the zero-copy chunked scan —
+    /// borrowed extent slices, no record copies — so an on-call
+    /// investigation doesn't perturb the system it is diagnosing.
+    pub fn investigate_window(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        max_flows: usize,
+        filter: impl Fn(&pingmesh_types::ProbeRecord) -> bool,
+    ) -> pingmesh_dsa::Investigation {
+        let chunks = self.pipeline.store.scan_all_window_chunks(from, to);
+        pingmesh_dsa::investigate_chunks(&chunks, self.net.topology(), max_flows, filter)
+    }
+
     /// Regenerates pinglists (e.g. after a topology/config change) and
     /// installs them on the controller cluster. Agents pick the new
     /// generation up at their next poll — the controller never pushes.
@@ -458,6 +473,21 @@ mod tests {
         assert!(row.samples > 0);
         assert!(row.p50_us > 0);
         assert!(row.drop_rate < 1e-3, "ideal profile has no drops");
+    }
+
+    #[test]
+    fn window_investigation_reads_store_without_copying() {
+        let mut o = small_orchestrator();
+        o.run_until(SimTime::ZERO + SimDuration::from_mins(25));
+        let copies0 = o.pipeline().store.record_copy_count();
+        let inv = o.investigate_window(SimTime::ZERO, o.now(), 8, |_| true);
+        assert!(inv.probes > 0, "the window has uploaded probes");
+        assert_eq!(inv.bad_probes, 0, "ideal profile has no drops");
+        assert_eq!(
+            o.pipeline().store.record_copy_count(),
+            copies0,
+            "the drill-down must use the zero-copy chunked scan"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! returns none.
 
 use crate::orchestrator::Orchestrator;
-use pingmesh_types::{SimDuration, SimTime};
+use pingmesh_types::SimDuration;
 use std::fmt;
 
 /// One watchdog finding.
@@ -119,22 +119,13 @@ impl Watchdog {
         }
 
         // Report path: is data reaching the store? Only meaningful once
-        // the system has been up long enough to upload anything.
+        // the system has been up long enough to upload anything. The
+        // newest-record probe reads extent time bounds — O(extents),
+        // no record scan or copy.
         if now.as_micros() > self.store_horizon.as_micros() {
-            let horizon_start = now - self.store_horizon;
-            let fresh = o
-                .pipeline()
-                .store
-                .scan_all_window(horizon_start, now)
-                .next()
-                .is_some();
+            let newest = o.pipeline().store.newest_ts();
+            let fresh = newest.is_some_and(|ts| now.since(ts) <= self.store_horizon);
             if !fresh {
-                let newest = o
-                    .pipeline()
-                    .store
-                    .scan_all_window(SimTime::ZERO, now)
-                    .map(|r| r.ts)
-                    .max();
                 findings.push(WatchdogFinding::StaleStore {
                     newest_age: newest.map(|ts| now.since(ts)),
                 });
@@ -172,6 +163,7 @@ mod tests {
     use crate::orchestrator::OrchestratorConfig;
     use pingmesh_netsim::DcProfile;
     use pingmesh_topology::{ServiceMap, Topology, TopologySpec};
+    use pingmesh_types::SimTime;
     use std::sync::Arc;
 
     fn orch() -> Orchestrator {

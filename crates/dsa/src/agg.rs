@@ -7,9 +7,11 @@
 //! stats, per-server stats, and the podset-pair matrices the heatmap and
 //! pattern detection consume.
 
+use pingmesh_topology::ServiceMap;
 use pingmesh_types::counters::{classify_rtt, RttClass};
 use pingmesh_types::{
-    DcId, LatencyHistogram, PairStats, PodsetId, ProbeRecord, QosClass, ServerId,
+    DcId, LatencyHistogram, PairStats, PodId, PodsetId, ProbeOutcome, ProbeRecord, QosClass,
+    ServerId, ServiceId, SimDuration,
 };
 use std::collections::HashMap;
 
@@ -46,13 +48,61 @@ pub struct HistKey {
     pub qos: QosClass,
 }
 
-/// Per-server outcome accumulation.
+/// Outcome counts plus the RTT distribution of one scope's probes — the
+/// unit of SLA accounting for servers, pods, podsets, DCs, DC pairs and
+/// services alike.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct ServerStats {
-    /// Aggregate outcome counts over all of the server's probes.
+pub struct ScopeStats {
+    /// Aggregate outcome counts over the scope's probes.
     pub stats: PairStats,
-    /// RTT distribution of the server's successful probes.
+    /// RTT distribution of the scope's successful probes.
     pub latency: LatencyHistogram,
+}
+
+/// Former name of [`ScopeStats`], kept for the per-server map.
+pub type ServerStats = ScopeStats;
+
+impl ScopeStats {
+    /// Packet drop rate (the 3 s + 9 s heuristic).
+    pub fn drop_rate(&self) -> f64 {
+        self.stats.drop_rate()
+    }
+
+    /// Median RTT.
+    pub fn p50(&self) -> Option<SimDuration> {
+        self.latency.p50()
+    }
+
+    /// 99th-percentile RTT.
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.latency.p99()
+    }
+
+    /// Folds one probe outcome.
+    pub fn fold_outcome(&mut self, outcome: ProbeOutcome) {
+        fold_pair_outcome(&mut self.stats, outcome);
+        if let ProbeOutcome::Success { rtt } = outcome {
+            self.latency.record(rtt);
+        }
+    }
+
+    /// Merges another scope's accumulation into this one.
+    pub fn merge(&mut self, other: &ScopeStats) {
+        self.stats.merge(&other.stats);
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Folds one outcome into bare pair counts (3 s / 9 s drop signature).
+pub(crate) fn fold_pair_outcome(stats: &mut PairStats, outcome: ProbeOutcome) {
+    match outcome {
+        ProbeOutcome::Success { rtt } => match classify_rtt(rtt) {
+            RttClass::Normal => stats.ok += 1,
+            RttClass::OneDrop => stats.rtt_3s += 1,
+            RttClass::TwoDrops => stats.rtt_9s += 1,
+        },
+        ProbeOutcome::Timeout | ProbeOutcome::Refused => stats.failed += 1,
+    }
 }
 
 /// The aggregate of one analysis window.
@@ -66,6 +116,17 @@ pub struct WindowAggregate {
     pub pairs: HashMap<PairKey, PairStats>,
     /// Outcome stats per probing server.
     pub per_server: HashMap<ServerId, ServerStats>,
+    /// Outcome stats per pod (of the probing server).
+    pub per_pod: HashMap<PodId, ScopeStats>,
+    /// Outcome stats per podset (of the probing server).
+    pub per_podset: HashMap<PodsetId, ScopeStats>,
+    /// Outcome stats per data center (of the probing server).
+    pub per_dc: HashMap<DcId, ScopeStats>,
+    /// Outcome stats per (source DC, destination DC); inter-DC probes only.
+    pub per_dc_pair: HashMap<(DcId, DcId), ScopeStats>,
+    /// Outcome stats per service — only populated when folding with a
+    /// [`ServiceMap`] (see [`WindowAggregate::fold_with_services`]).
+    pub per_service: HashMap<ServiceId, ScopeStats>,
     /// P99-relevant histogram per (src podset, dst podset), intra-DC only
     /// — the heatmap input.
     pub podset_matrix: HashMap<(PodsetId, PodsetId), LatencyHistogram>,
@@ -76,9 +137,27 @@ pub struct WindowAggregate {
 impl WindowAggregate {
     /// Builds the aggregate from a window's records.
     pub fn build<'a>(records: impl IntoIterator<Item = &'a ProbeRecord>) -> Self {
+        Self::build_with(records, None)
+    }
+
+    /// [`WindowAggregate::build`], optionally attributing each record to
+    /// the services covering both endpoints.
+    pub fn build_with<'a>(
+        records: impl IntoIterator<Item = &'a ProbeRecord>,
+        services: Option<&ServiceMap>,
+    ) -> Self {
         let mut agg = WindowAggregate::default();
-        for r in records {
-            agg.fold(r);
+        match services {
+            Some(s) => {
+                for r in records {
+                    agg.fold_with_services(r, s);
+                }
+            }
+            None => {
+                for r in records {
+                    agg.fold(r);
+                }
+            }
         }
         agg
     }
@@ -100,16 +179,67 @@ impl WindowAggregate {
     /// [`WindowAggregate::build_par`] with an explicit worker-thread count
     /// (`1` = fully serial).
     pub fn build_par_threads(records: &[ProbeRecord], threads: usize) -> Self {
+        Self::build_par_threads_with(records, threads, None)
+    }
+
+    /// [`WindowAggregate::build_par_threads`] with optional per-service
+    /// attribution. Bit-equal to [`WindowAggregate::build_with`] for any
+    /// thread count.
+    pub fn build_par_threads_with(
+        records: &[ProbeRecord],
+        threads: usize,
+        services: Option<&ServiceMap>,
+    ) -> Self {
         if threads <= 1 || records.len() < Self::MIN_PAR_RECORDS {
-            return Self::build(records);
+            return Self::build_with(records, services);
         }
         let chunks =
             pingmesh_par::par_chunks_threads(threads, records, |chunk: &[ProbeRecord]| {
-                Self::build(chunk)
+                Self::build_with(chunk, services)
             });
         let mut agg = WindowAggregate::default();
         for chunk in &chunks {
             agg.merge(chunk);
+        }
+        agg
+    }
+
+    /// Builds the aggregate from borrowed extent slices (the zero-copy
+    /// scan form, see `CosmosStore::scan_all_window_chunks`) without ever
+    /// concatenating records: slices are sharded across threads into
+    /// contiguous groups of near-equal total record count and each group
+    /// folds in place, so the only allocations are the per-group
+    /// aggregates. Bit-equal to folding the slices serially in order.
+    pub fn build_from_chunks(
+        chunks: &[&[ProbeRecord]],
+        threads: usize,
+        services: Option<&ServiceMap>,
+    ) -> Self {
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        let fold_group = |group: &[&[ProbeRecord]]| {
+            let mut agg = WindowAggregate::default();
+            for chunk in group {
+                for r in *chunk {
+                    match services {
+                        Some(s) => agg.fold_with_services(r, s),
+                        None => agg.fold(r),
+                    }
+                }
+            }
+            agg
+        };
+        if threads <= 1 || total < Self::MIN_PAR_RECORDS {
+            return fold_group(chunks);
+        }
+        let groups = pingmesh_par::par_weighted_groups_threads(
+            threads,
+            chunks,
+            |c| c.len() as u64,
+            fold_group,
+        );
+        let mut agg = WindowAggregate::default();
+        for g in &groups {
+            agg.merge(g);
         }
         agg
     }
@@ -133,43 +263,44 @@ impl WindowAggregate {
                 dst: r.dst,
             })
             .or_default();
-        let server = self.per_server.entry(r.src).or_default();
-        match r.outcome {
-            pingmesh_types::ProbeOutcome::Success { rtt } => {
-                match classify_rtt(rtt) {
-                    RttClass::Normal => {
-                        pair.ok += 1;
-                        server.stats.ok += 1;
-                    }
-                    RttClass::OneDrop => {
-                        pair.rtt_3s += 1;
-                        server.stats.rtt_3s += 1;
-                    }
-                    RttClass::TwoDrops => {
-                        pair.rtt_9s += 1;
-                        server.stats.rtt_9s += 1;
-                    }
-                }
-                server.latency.record(rtt);
-                self.hists
-                    .entry(HistKey {
-                        dc: r.src_dc,
-                        scope,
-                        payload: r.kind.has_payload(),
-                        qos: r.qos,
-                    })
+        fold_pair_outcome(pair, r.outcome);
+        self.per_server
+            .entry(r.src)
+            .or_default()
+            .fold_outcome(r.outcome);
+        self.per_pod
+            .entry(r.src_pod)
+            .or_default()
+            .fold_outcome(r.outcome);
+        self.per_podset
+            .entry(r.src_podset)
+            .or_default()
+            .fold_outcome(r.outcome);
+        self.per_dc
+            .entry(r.src_dc)
+            .or_default()
+            .fold_outcome(r.outcome);
+        if r.is_inter_dc() {
+            self.per_dc_pair
+                .entry((r.src_dc, r.dst_dc))
+                .or_default()
+                .fold_outcome(r.outcome);
+        }
+        if let ProbeOutcome::Success { rtt } = r.outcome {
+            self.hists
+                .entry(HistKey {
+                    dc: r.src_dc,
+                    scope,
+                    payload: r.kind.has_payload(),
+                    qos: r.qos,
+                })
+                .or_default()
+                .record(rtt);
+            if !r.is_inter_dc() {
+                self.podset_matrix
+                    .entry((r.src_podset, r.dst_podset))
                     .or_default()
                     .record(rtt);
-                if !r.is_inter_dc() {
-                    self.podset_matrix
-                        .entry((r.src_podset, r.dst_podset))
-                        .or_default()
-                        .record(rtt);
-                }
-            }
-            pingmesh_types::ProbeOutcome::Timeout | pingmesh_types::ProbeOutcome::Refused => {
-                pair.failed += 1;
-                server.stats.failed += 1;
             }
         }
         if !r.is_inter_dc() {
@@ -177,13 +308,21 @@ impl WindowAggregate {
                 .podset_pairs
                 .entry((r.src_podset, r.dst_podset))
                 .or_default();
-            match r.outcome {
-                pingmesh_types::ProbeOutcome::Success { rtt } => match classify_rtt(rtt) {
-                    RttClass::Normal => ps.ok += 1,
-                    RttClass::OneDrop => ps.rtt_3s += 1,
-                    RttClass::TwoDrops => ps.rtt_9s += 1,
-                },
-                _ => ps.failed += 1,
+            fold_pair_outcome(ps, r.outcome);
+        }
+    }
+
+    /// Folds one record, additionally attributing it to every service
+    /// that covers both endpoints (a probe counts toward a service when
+    /// source and destination both host it).
+    pub fn fold_with_services(&mut self, r: &ProbeRecord, services: &ServiceMap) {
+        self.fold(r);
+        for &svc in services.services_on(r.src) {
+            if services.covers_pair(svc, r.src, r.dst) {
+                self.per_service
+                    .entry(svc)
+                    .or_default()
+                    .fold_outcome(r.outcome);
             }
         }
     }
@@ -201,9 +340,22 @@ impl WindowAggregate {
             self.pairs.entry(*k).or_default().merge(p);
         }
         for (k, s) in &other.per_server {
-            let e = self.per_server.entry(*k).or_default();
-            e.stats.merge(&s.stats);
-            e.latency.merge(&s.latency);
+            self.per_server.entry(*k).or_default().merge(s);
+        }
+        for (k, s) in &other.per_pod {
+            self.per_pod.entry(*k).or_default().merge(s);
+        }
+        for (k, s) in &other.per_podset {
+            self.per_podset.entry(*k).or_default().merge(s);
+        }
+        for (k, s) in &other.per_dc {
+            self.per_dc.entry(*k).or_default().merge(s);
+        }
+        for (k, s) in &other.per_dc_pair {
+            self.per_dc_pair.entry(*k).or_default().merge(s);
+        }
+        for (k, s) in &other.per_service {
+            self.per_service.entry(*k).or_default().merge(s);
         }
         for (k, h) in &other.podset_matrix {
             self.podset_matrix.entry(*k).or_default().merge(h);
@@ -367,18 +519,17 @@ mod tests {
         assert_eq!(agg.per_server[&ServerId(1)].stats.ok, 1);
     }
 
-    #[test]
-    fn parallel_build_matches_serial_on_seeded_100k_corpus() {
+    fn seeded_corpus(n: u64) -> Vec<ProbeRecord> {
         // Seeded xorshift64 so the corpus is reproducible without a rand
         // dependency; mixes scopes, RTT classes, and failures.
         let mut state = 0x1234_5678_9abc_def0u64;
-        let mut next = || {
+        let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
             state
         };
-        let records: Vec<ProbeRecord> = (0..100_000)
+        (0..n)
             .map(|_| {
                 let r = next();
                 let src = (r % 64) as u32;
@@ -403,7 +554,12 @@ mod tests {
                     outcome,
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_seeded_100k_corpus() {
+        let records = seeded_corpus(100_000);
         assert!(records.len() >= WindowAggregate::MIN_PAR_RECORDS);
         let serial = WindowAggregate::build(&records);
         assert_eq!(serial.record_count, 100_000);
@@ -412,6 +568,46 @@ mod tests {
             assert_eq!(par, serial, "threads={threads}");
         }
         assert_eq!(WindowAggregate::build_par(&records), serial);
+    }
+
+    #[test]
+    fn scope_maps_fold_by_source_scope() {
+        let records = vec![
+            rec(0, 2, 0, 1, 0, 0, 0, ok(260)),
+            rec(0, 3, 0, 2, 0, 1, 0, ProbeOutcome::Timeout),
+            rec(1, 2, 0, 1, 0, 0, 1, ok(60_000)), // inter-DC
+        ];
+        let agg = WindowAggregate::build(&records);
+        assert_eq!(agg.per_pod[&PodId(0)].stats.ok, 2);
+        assert_eq!(agg.per_pod[&PodId(0)].stats.failed, 1);
+        assert_eq!(agg.per_dc[&DcId(0)].stats.ok, 2);
+        assert_eq!(agg.per_dc[&DcId(0)].latency.count(), 2);
+        assert_eq!(agg.per_dc_pair.len(), 1);
+        assert_eq!(agg.per_dc_pair[&(DcId(0), DcId(1))].stats.ok, 1);
+        assert!(agg.per_service.is_empty());
+    }
+
+    #[test]
+    fn chunked_build_matches_contiguous_for_any_split() {
+        let records = seeded_corpus(20_000);
+        let serial = WindowAggregate::build(&records);
+        // Irregular split: slice lengths 1, 2, 4, ... then the remainder.
+        let mut chunks: Vec<&[ProbeRecord]> = Vec::new();
+        let mut start = 0usize;
+        let mut len = 1usize;
+        while start < records.len() {
+            let end = (start + len).min(records.len());
+            chunks.push(&records[start..end]);
+            start = end;
+            len *= 2;
+        }
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                WindowAggregate::build_from_chunks(&chunks, threads, None),
+                serial,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -163,6 +163,18 @@ pub fn investigate<'a>(
     inv
 }
 
+/// [`investigate`] over the zero-copy chunked scan form (borrowed extent
+/// sub-slices from `CosmosStore::scan_all_window_chunks`) — drills down
+/// without copying the window's records out of the store.
+pub fn investigate_chunks(
+    chunks: &[&[ProbeRecord]],
+    topo: &Topology,
+    max_flows: usize,
+    filter: impl Fn(&ProbeRecord) -> bool,
+) -> Investigation {
+    investigate(chunks.iter().copied().flatten(), topo, max_flows, filter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +241,25 @@ mod tests {
         assert_eq!(flow.dst_port, 8_100);
         assert_eq!(stats.failed, 10);
         assert!(inv.scale_summary().contains("11 of 111 probes bad"));
+    }
+
+    #[test]
+    fn chunked_drill_down_matches_contiguous() {
+        let t = topo();
+        let mut records = Vec::new();
+        for i in 0..10u16 {
+            records.push(rec(&t, 2, 9, 41_000 + i, ProbeOutcome::Timeout));
+        }
+        for i in 0..20u16 {
+            records.push(rec(&t, 0, 1, 40_000 + i, ok(250)));
+        }
+        let whole = investigate(&records, &t, 8, |_| true);
+        let chunks: Vec<&[ProbeRecord]> = vec![&records[..7], &records[7..23], &records[23..]];
+        let chunked = investigate_chunks(&chunks, &t, 8, |_| true);
+        assert_eq!(chunked.probes, whole.probes);
+        assert_eq!(chunked.bad_probes, whole.bad_probes);
+        assert_eq!(chunked.affected_sources, whole.affected_sources);
+        assert_eq!(chunked.suspect_flows, whole.suspect_flows);
     }
 
     #[test]

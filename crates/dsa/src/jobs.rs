@@ -21,7 +21,7 @@ use crate::db::{ResultsDb, ScopeKey, SlaRow};
 use crate::detect::blackhole::{BlackholeDetector, BlackholeFinding};
 use crate::detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
 use crate::detect::silent::{SilentDropDetector, SilentDropFinding};
-use crate::sla::{ScopeSla, SlaComputer};
+use crate::sla::ScopeSla;
 use crate::store::CosmosStore;
 use pingmesh_types::{DcId, SimDuration, SimTime};
 
@@ -145,7 +145,7 @@ pub struct TickOutput {
 /// The standard Pingmesh analysis pipeline over a store.
 pub struct Pipeline {
     topo: Arc<Topology>,
-    services: ServiceMap,
+    services: Arc<ServiceMap>,
     /// The record store being analyzed.
     pub store: CosmosStore,
     /// The results database fed by the 10-minute job.
@@ -163,7 +163,11 @@ pub struct Pipeline {
 impl Pipeline {
     /// Creates a pipeline with default detectors and a 2-month retention
     /// horizon ("We keep Pingmesh historical data for 2 months").
-    pub fn new(topo: Arc<Topology>, services: ServiceMap, store: CosmosStore) -> Self {
+    pub fn new(topo: Arc<Topology>, services: ServiceMap, mut store: CosmosStore) -> Self {
+        let services = Arc::new(services);
+        // The store folds per-service scopes into its ingest-time window
+        // partials; give it the map (refolding anything appended early).
+        store.set_service_map(services.clone());
         Self {
             topo,
             services,
@@ -181,24 +185,43 @@ impl Pipeline {
 
     /// The service map used for per-service SLAs.
     pub fn services(&self) -> &ServiceMap {
-        &self.services
+        self.services.as_ref()
+    }
+
+    /// Golden reference for the merge-based hot path: copy the window's
+    /// records out of the store and rebuild the aggregate from raw. The
+    /// ticks never call this — it exists so tests and benches can assert
+    /// [`CosmosStore::merged_window_aggregate`] is bit-equal to a rebuild
+    /// (and it bumps `pingmesh_dsa_tick_record_copies_total`, proving the
+    /// hot path stayed copy-free by contrast).
+    pub fn rebuild_window_aggregate(&self, from: SimTime, to: SimTime) -> WindowAggregate {
+        let records = self.store.collect_window_records(from, to);
+        WindowAggregate::build_par_threads_with(
+            &records,
+            pingmesh_par::max_threads(),
+            Some(self.services.as_ref()),
+        )
     }
 
     /// Runs the job set of one tick.
+    ///
+    /// Every cadence reads the window through the store's ingest-time
+    /// partials: the 10-minute job picks up one finished partial per
+    /// stream, hourly/daily merge the enclosed partials — O(scopes ×
+    /// windows) with zero per-record copies.
     pub fn run_tick(&mut self, tick: JobTick) -> TickOutput {
         let started = std::time::Instant::now();
         let mut out = TickOutput::default();
-        let records: Vec<pingmesh_types::ProbeRecord> = self
+        let agg = self
             .store
-            .scan_all_window(tick.window_start, tick.window_end)
-            .copied()
-            .collect();
-        out.records = records.len() as u64;
+            .merged_window_aggregate(tick.window_start, tick.window_end);
+        out.records = agg.record_count;
 
         match tick.kind {
             JobKind::TenMin => {
-                // SLA rollups → DB rows.
-                let rep = SlaComputer.compute(&records, &self.topo, &self.services);
+                // SLA rollups → DB rows, straight off the merged
+                // aggregate's per-scope summaries (same numbers
+                // `SlaComputer::compute_from_aggregate` reports).
                 let mut insert = |scope: ScopeKey, sla: &ScopeSla| {
                     self.db.insert(SlaRow {
                         window_start: tick.window_start,
@@ -209,29 +232,29 @@ impl Pipeline {
                         samples: sla.stats.successful(),
                     });
                 };
-                for (&dc, sla) in &rep.per_dc {
+                for (&dc, sla) in &agg.per_dc {
                     insert(ScopeKey::Dc(dc), sla);
                 }
-                for (&(a, b), sla) in &rep.per_dc_pair {
+                for (&(a, b), sla) in &agg.per_dc_pair {
                     insert(ScopeKey::DcPair(a, b), sla);
                 }
-                for (&ps, sla) in &rep.per_podset {
+                for (&ps, sla) in &agg.per_podset {
                     insert(ScopeKey::Podset(ps), sla);
                 }
-                for (&p, sla) in &rep.per_pod {
+                for (&p, sla) in &agg.per_pod {
                     insert(ScopeKey::Pod(p), sla);
                 }
-                for (&s, sla) in &rep.per_server {
+                for (&s, sla) in &agg.per_server {
                     insert(ScopeKey::Server(s), sla);
                 }
-                for (&svc, sla) in &rep.per_service {
+                for (&svc, sla) in &agg.per_service {
                     insert(ScopeKey::Service(svc), sla);
                 }
                 // Alerts over this window's rows, borrowed straight from
                 // the DB (db and alerter are disjoint fields).
                 out.alerts = self.alerter.check(self.db.window_rows(tick.window_start));
-                // Pattern per DC + silent-drop incident detection.
-                let agg = WindowAggregate::build_par(&records);
+                // Pattern per DC + silent-drop incident detection, off
+                // the same aggregate the SLA rows came from.
                 for dc in self.topo.dcs() {
                     let matrix = HeatmapMatrix::from_aggregate(&agg, &self.topo, dc);
                     out.patterns.insert(dc, classify_pattern(&matrix));
@@ -244,7 +267,6 @@ impl Pipeline {
                 }
             }
             JobKind::Hourly => {
-                let agg = WindowAggregate::build_par(&records);
                 out.blackholes = Some(self.blackhole.detect(&agg, &self.topo));
             }
             JobKind::Daily => {
@@ -422,6 +444,71 @@ mod tests {
             0,
             "old extent retired"
         );
+    }
+
+    #[test]
+    fn ticks_merge_partials_without_copying_and_match_rebuild() {
+        let t = topo();
+        let mut services = ServiceMap::new();
+        // Probes go src → src+5, so (0, 5) pairs are service-covered.
+        services
+            .register("search", [ServerId(0), ServerId(5)])
+            .unwrap();
+        // Extent cap of 750 vs 1000 records per 10-min window: extents
+        // straddle every tick boundary.
+        let mut store = CosmosStore::new(750, 1);
+        let records: Vec<ProbeRecord> = (0..6_000u64)
+            .map(|i| rec(&t, (i % 32) as u32, ((i + 5) % 32) as u32, i * 600_000, 260))
+            .collect();
+        store.append(
+            StreamName {
+                dc: pingmesh_types::DcId(0),
+            },
+            &records,
+            SimTime(0),
+        );
+        let mut p = Pipeline::new(t.clone(), services, store);
+        let copies0 = p.store.record_copy_count();
+        const W: u64 = 600_000_000;
+        for k in 0..6u64 {
+            let out = p.run_tick(JobTick {
+                kind: JobKind::TenMin,
+                window_start: SimTime(k * W),
+                window_end: SimTime((k + 1) * W),
+            });
+            // Straddling extents contribute each record to exactly one
+            // window: every tick sees exactly its 1000 records.
+            assert_eq!(out.records, 1_000, "window {k}");
+        }
+        let hourly = p.run_tick(JobTick {
+            kind: JobKind::Hourly,
+            window_start: SimTime(0),
+            window_end: SimTime(6 * W),
+        });
+        assert_eq!(hourly.records, 6_000);
+        assert_eq!(
+            p.store.record_copy_count(),
+            copies0,
+            "hot ticks must not copy records out of the store"
+        );
+        // The merge-based hot path is bit-equal to the golden rebuild.
+        let merged = p.store.merged_window_aggregate(SimTime(0), SimTime(6 * W));
+        let raw = p.store.collect_window_records(SimTime(0), SimTime(6 * W));
+        for threads in [1, 2, 8] {
+            let rebuilt =
+                WindowAggregate::build_par_threads_with(&raw, threads, Some(p.services()));
+            assert_eq!(merged, rebuilt, "threads={threads}");
+        }
+        assert_eq!(
+            merged,
+            p.rebuild_window_aggregate(SimTime(0), SimTime(6 * W))
+        );
+        assert!(
+            p.store.record_copy_count() > copies0,
+            "the golden path does copy — the counter works"
+        );
+        // Per-service rows landed in the DB off the same aggregate.
+        assert!(merged.per_service.len() == 1);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! parallel Perfcounter Aggregator path delivers coarse counters with
 //! 5-minute latency. This crate reproduces each piece:
 //!
-//! * [`store`] — append-only extent store (the Cosmos stand-in),
-//! * [`agg`] — the single-pass window aggregation every job consumes,
+//! * [`store`] — append-only extent store (the Cosmos stand-in) that
+//!   also folds every accepted batch into per-(stream, 10-min-window)
+//!   partial aggregates at ingest and serves zero-copy chunked scans,
+//! * [`agg`] — the mergeable window aggregation every job consumes
+//!   (built once per record at ingest; coarser windows merge partials),
 //! * [`jobs`] — the job manager with 10-min / 1-h / 1-day cadences,
 //! * [`sla`] — network SLA computation at server / pod / podset / DC /
 //!   service scopes (§4.3),
@@ -36,15 +39,15 @@ pub mod sla;
 pub mod store;
 pub mod viz;
 
-pub use agg::{PairKey, WindowAggregate};
+pub use agg::{PairKey, ScopeStats, WindowAggregate};
 pub use alert::{Alert, AlertKind, Alerter};
 pub use db::{ResultsDb, ScopeKey, SlaRow};
 pub use detect::blackhole::{BlackholeDetector, BlackholeFinding};
 pub use detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
 pub use detect::silent::{SilentDropDetector, SilentDropFinding};
-pub use investigate::{investigate, Investigation, SuspectFlow};
+pub use investigate::{investigate, investigate_chunks, Investigation, SuspectFlow};
 pub use jobs::{JobKind, JobManager, JobTick, Pipeline, TickOutput};
 pub use pa::PerfCounterAggregator;
 pub use report::daily_report;
 pub use sla::{ScopeSla, SlaComputer};
-pub use store::{CosmosStore, StreamName};
+pub use store::{CosmosStore, StreamName, PARTIAL_WINDOW};

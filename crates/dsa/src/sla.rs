@@ -5,58 +5,28 @@
 //! Network SLA can then be tracked at different scopes including per
 //! server, per pod/podset, per service, per data center, by using the
 //! Pingmesh data."
+//!
+//! Since the ingest-time aggregation refactor the per-scope summaries are
+//! the same mergeable [`ScopeStats`] the store's window partials fold at
+//! upload time, so the 10-minute job derives its report from a finished
+//! [`WindowAggregate`] in O(scopes) via [`SlaComputer::compute_from_aggregate`]
+//! instead of re-walking raw records. The per-record
+//! [`SlaComputer::compute`] path is kept as the golden reference.
 
-use crate::agg::PairKey;
+use crate::agg::{fold_pair_outcome, PairKey, ScopeStats, WindowAggregate};
 use pingmesh_topology::{ServiceMap, Topology};
-use pingmesh_types::counters::{classify_rtt, RttClass};
-use pingmesh_types::{
-    DcId, LatencyHistogram, PairStats, PodId, PodsetId, ProbeOutcome, ProbeRecord, ServerId,
-    ServiceId, SimDuration,
-};
+use pingmesh_types::{DcId, PairStats, PodId, PodsetId, ProbeRecord, ServerId, ServiceId};
 use std::collections::HashMap;
 
 /// SLA metrics of one scope over one window.
-#[derive(Debug, Clone, Default)]
-pub struct ScopeSla {
-    /// Outcome counts.
-    pub stats: PairStats,
-    /// RTT distribution of successful probes.
-    pub latency: LatencyHistogram,
-}
-
-impl ScopeSla {
-    /// Packet drop rate (the 3 s + 9 s heuristic).
-    pub fn drop_rate(&self) -> f64 {
-        self.stats.drop_rate()
-    }
-
-    /// Median RTT.
-    pub fn p50(&self) -> Option<SimDuration> {
-        self.latency.p50()
-    }
-
-    /// 99th-percentile RTT.
-    pub fn p99(&self) -> Option<SimDuration> {
-        self.latency.p99()
-    }
-
-    fn fold(&mut self, outcome: ProbeOutcome) {
-        match outcome {
-            ProbeOutcome::Success { rtt } => {
-                match classify_rtt(rtt) {
-                    RttClass::Normal => self.stats.ok += 1,
-                    RttClass::OneDrop => self.stats.rtt_3s += 1,
-                    RttClass::TwoDrops => self.stats.rtt_9s += 1,
-                }
-                self.latency.record(rtt);
-            }
-            ProbeOutcome::Timeout | ProbeOutcome::Refused => self.stats.failed += 1,
-        }
-    }
-}
+///
+/// Alias of the mergeable [`ScopeStats`] summary that the ingest-time
+/// window partials fold, so SLA rows, pattern classification, and
+/// silent-drop detection all read the same numbers.
+pub type ScopeSla = ScopeStats;
 
 /// SLAs of every scope over one window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SlaReport {
     /// Per probing server.
     pub per_server: HashMap<ServerId, ScopeSla>,
@@ -91,18 +61,27 @@ impl SlaComputer {
     ) -> SlaReport {
         let mut rep = SlaReport::default();
         for r in records {
-            rep.per_server.entry(r.src).or_default().fold(r.outcome);
-            rep.per_pod.entry(r.src_pod).or_default().fold(r.outcome);
+            rep.per_server
+                .entry(r.src)
+                .or_default()
+                .fold_outcome(r.outcome);
+            rep.per_pod
+                .entry(r.src_pod)
+                .or_default()
+                .fold_outcome(r.outcome);
             rep.per_podset
                 .entry(r.src_podset)
                 .or_default()
-                .fold(r.outcome);
-            rep.per_dc.entry(r.src_dc).or_default().fold(r.outcome);
+                .fold_outcome(r.outcome);
+            rep.per_dc
+                .entry(r.src_dc)
+                .or_default()
+                .fold_outcome(r.outcome);
             if r.is_inter_dc() {
                 rep.per_dc_pair
                     .entry((r.src_dc, r.dst_dc))
                     .or_default()
-                    .fold(r.outcome);
+                    .fold_outcome(r.outcome);
             }
             let pair = rep
                 .per_pair
@@ -111,21 +90,35 @@ impl SlaComputer {
                     dst: r.dst,
                 })
                 .or_default();
-            match r.outcome {
-                ProbeOutcome::Success { rtt } => match classify_rtt(rtt) {
-                    RttClass::Normal => pair.ok += 1,
-                    RttClass::OneDrop => pair.rtt_3s += 1,
-                    RttClass::TwoDrops => pair.rtt_9s += 1,
-                },
-                _ => pair.failed += 1,
-            }
+            fold_pair_outcome(pair, r.outcome);
             for &svc in services.services_on(r.src) {
                 if services.covers_pair(svc, r.src, r.dst) {
-                    rep.per_service.entry(svc).or_default().fold(r.outcome);
+                    rep.per_service
+                        .entry(svc)
+                        .or_default()
+                        .fold_outcome(r.outcome);
                 }
             }
         }
         rep
+    }
+
+    /// Derive the window's report from an already-folded
+    /// [`WindowAggregate`] — O(scopes) map clones, no raw-record pass.
+    ///
+    /// Bit-equal to [`SlaComputer::compute`] over the same records,
+    /// provided the aggregate was folded with the same service map
+    /// (per-service scopes are only present when it was).
+    pub fn compute_from_aggregate(&self, agg: &WindowAggregate) -> SlaReport {
+        SlaReport {
+            per_server: agg.per_server.clone(),
+            per_pod: agg.per_pod.clone(),
+            per_podset: agg.per_podset.clone(),
+            per_dc: agg.per_dc.clone(),
+            per_dc_pair: agg.per_dc_pair.clone(),
+            per_service: agg.per_service.clone(),
+            per_pair: agg.pairs.clone(),
+        }
     }
 }
 
@@ -133,7 +126,7 @@ impl SlaComputer {
 mod tests {
     use super::*;
     use pingmesh_topology::TopologySpec;
-    use pingmesh_types::{ProbeKind, QosClass, SimTime};
+    use pingmesh_types::{ProbeKind, ProbeOutcome, QosClass, SimDuration, SimTime};
 
     fn topo() -> Topology {
         Topology::build(TopologySpec::single_tiny()).unwrap()
@@ -267,5 +260,26 @@ mod tests {
         let rep = SlaComputer.compute(&[], &t, &ServiceMap::new());
         assert!(rep.per_server.is_empty());
         assert!(rep.per_dc.is_empty());
+    }
+
+    #[test]
+    fn report_from_aggregate_matches_per_record_compute() {
+        let t = topo();
+        let mut services = ServiceMap::new();
+        services
+            .register("search", [ServerId(0), ServerId(1), ServerId(4)])
+            .unwrap();
+        let records = vec![
+            rec(&t, 0, 1, ok(200)),
+            rec(&t, 0, 1, ok(3_000_400)),
+            rec(&t, 0, 5, ProbeOutcome::Timeout),
+            rec(&t, 4, 1, ok(9_000_250)),
+            rec(&t, 4, 0, ok(260)),
+            rec(&t, 5, 2, ProbeOutcome::Refused),
+        ];
+        let golden = SlaComputer.compute(&records, &t, &services);
+        let agg = WindowAggregate::build_with(&records, Some(&services));
+        let derived = SlaComputer.compute_from_aggregate(&agg);
+        assert_eq!(derived, golden);
     }
 }

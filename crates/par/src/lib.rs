@@ -135,6 +135,76 @@ where
     })
 }
 
+/// Splits `items` into at most `threads` contiguous groups of near-equal
+/// total `weight`, covering the whole input in order. Groups are cut
+/// greedily at the points where the cumulative weight crosses the next
+/// `total / threads` boundary, so no group is ever empty and sizes track
+/// the weight distribution rather than the item count.
+fn weighted_ranges<T, W>(items: &[T], threads: usize, weight: &W) -> Vec<std::ops::Range<usize>>
+where
+    W: Fn(&T) -> u64,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let total: u128 = items.iter().map(|i| weight(i) as u128).sum();
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut cum: u128 = 0;
+    for (i, item) in items.iter().enumerate() {
+        cum += weight(item) as u128;
+        // Cut when this group has reached its share, keeping enough items
+        // for the remaining groups to be non-empty.
+        let groups_done = out.len() as u128;
+        let target = total * (groups_done + 1) / threads as u128;
+        let remaining_groups = threads - out.len();
+        if cum >= target && items.len() - (i + 1) >= remaining_groups - 1 && out.len() < threads - 1
+        {
+            out.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    out.push(start..items.len());
+    out
+}
+
+/// Applies `f` to at most `threads` contiguous groups of `items`, where
+/// group boundaries balance the total `weight` (not the item count), and
+/// returns per-group results in input order. This is [`par_chunks_threads`]
+/// for heterogeneous work items — e.g. borrowed record slices of wildly
+/// different lengths coming out of a zero-copy extent scan: sharding by
+/// slice *count* would let one jumbo extent dominate a thread while the
+/// others idle.
+///
+/// Folding the group results **in order** with an associative merge
+/// reproduces the serial fold exactly, regardless of `threads`.
+pub fn par_weighted_groups_threads<T, R, F, W>(
+    threads: usize,
+    items: &[T],
+    weight: W,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+    W: Fn(&T) -> u64,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let ranges = weighted_ranges(items, threads, &weight);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(&items[r])))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_weighted_groups worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +284,60 @@ mod tests {
         let empty: Vec<u32> = vec![];
         let out = par_chunks_threads(8, &empty, <[u32]>::len);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn weighted_ranges_tile_and_balance() {
+        // Heavily skewed weights: one jumbo item among many light ones.
+        let items: Vec<u64> = [vec![100_000u64], vec![10; 99]].concat();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let ranges = weighted_ranges(&items, threads, &|&w| w);
+            assert!(!ranges.is_empty() && ranges.len() <= threads.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "threads={threads}");
+                assert!(!r.is_empty(), "threads={threads}");
+                next = r.end;
+            }
+            assert_eq!(next, items.len());
+            if threads >= 2 {
+                // The jumbo item must end up alone in its group.
+                assert_eq!(ranges[0], 0..1, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_weighted_groups_ordered_fold_matches_serial() {
+        let slices: Vec<Vec<u32>> = (0..40).map(|i| (0..(i % 7) * 50).collect()).collect();
+        let refs: Vec<&[u32]> = slices.iter().map(Vec::as_slice).collect();
+        let serial: Vec<u32> = refs.iter().flat_map(|s| s.iter().copied()).collect();
+        for threads in [1, 2, 3, 8] {
+            let groups = par_weighted_groups_threads(
+                threads,
+                &refs,
+                |s| s.len() as u64,
+                |group: &[&[u32]]| {
+                    group
+                        .iter()
+                        .flat_map(|s| s.iter().copied())
+                        .collect::<Vec<u32>>()
+                },
+            );
+            let joined: Vec<u32> = groups.into_iter().flatten().collect();
+            assert_eq!(joined, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_weighted_groups_degenerate_inputs() {
+        let empty: Vec<Vec<u32>> = vec![];
+        let out =
+            par_weighted_groups_threads(8, &empty, |v: &Vec<u32>| v.len() as u64, |g| g.len());
+        assert_eq!(out, vec![0]);
+        let one = [vec![1u32, 2]];
+        let out = par_weighted_groups_threads(8, &one, |v| v.len() as u64, |g| g.len());
+        assert_eq!(out, vec![1]);
     }
 
     #[test]

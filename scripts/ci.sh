@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Full CI gate for the workspace. Run from anywhere; exits non-zero on the
 # first failing step. Pass --bench-smoke to also run the hot-path bench in
-# smoke mode (small workloads, acceptance gates only — no timings recorded).
+# smoke mode (small workloads, acceptance gates only — no timings recorded):
+# it fails if a resolve call allocates, if a 10-min/hourly tick copies a
+# record out of the store, or if the merged hourly rollup is not bit-equal
+# to the golden rebuild-from-raw.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,7 +31,7 @@ step "cargo clippy -D warnings (workspace, all targets)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [ "$BENCH_SMOKE" = 1 ]; then
-  step "hotpath bench smoke (zero-allocation gate)"
+  step "hotpath bench smoke (zero-allocation + zero-copy tick gates)"
   cargo run --release -q -p pingmesh-bench --bin hotpath -- --smoke --check
 fi
 
