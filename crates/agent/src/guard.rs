@@ -167,6 +167,29 @@ mod tests {
     }
 
     #[test]
+    fn resume_rearms_the_full_failure_budget() {
+        // The §3.4.2 recovery guarantee: a fail-closed agent that receives
+        // a valid pinglist leaves the stopped state with its consecutive-
+        // failure counter back at zero — it gets the full budget of 3
+        // fresh failures before stopping again, not a hair trigger.
+        let mut g = SafetyGuard::new();
+        for _ in 0..CONTROLLER_FAILURES_BEFORE_STOP {
+            g.on_controller_failure();
+        }
+        assert!(g.is_stopped());
+        assert_eq!(g.on_pinglist_received(), GuardDecision::Continue);
+        assert!(!g.is_stopped());
+        assert_eq!(g.failures(), 0);
+        // Two more failures stay under the threshold…
+        g.on_controller_failure();
+        g.on_controller_failure();
+        assert!(!g.is_stopped());
+        // …and the third stops again.
+        assert_eq!(g.on_controller_failure(), GuardDecision::StopProbing);
+        assert!(g.is_stopped());
+    }
+
+    #[test]
     fn empty_controller_stops_immediately() {
         let mut g = SafetyGuard::new();
         assert_eq!(g.on_empty_controller(), GuardDecision::StopProbing);

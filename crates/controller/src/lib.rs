@@ -26,5 +26,5 @@ pub mod xml;
 
 pub use genalgo::{GeneratorConfig, PinglistGenerator, PinglistSet};
 pub use slb::{ControllerCluster, SimController};
-pub use web::{fetch_pinglist, serve, WebState};
+pub use web::{fetch_pinglist, fetch_pinglist_with, serve, WebState};
 pub use xml::{from_xml, to_xml};

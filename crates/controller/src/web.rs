@@ -118,19 +118,36 @@ pub async fn serve(listener: TcpListener, state: Arc<WebState>) {
 
 /// Agent-side client: fetches the pinglist for `server` from a controller
 /// (or SLB VIP) address. `Ok(None)` means the controller answered but has
-/// no pinglist for us — the agent must fail-close.
+/// no pinglist for us — the agent must fail-close. Every phase (connect,
+/// write, read) is bounded by the httpx default deadline.
 pub async fn fetch_pinglist(
     addr: SocketAddr,
     server: ServerId,
 ) -> Result<Option<Pinglist>, PingmeshError> {
-    let mut stream = TcpStream::connect(addr)
+    fetch_pinglist_with(addr, server, pingmesh_httpx::DEFAULT_IO_TIMEOUT).await
+}
+
+/// Like [`fetch_pinglist`], with an explicit per-phase `deadline`:
+/// connect, request write, and response read each get at most `deadline`,
+/// so one stalled controller socket can never hang an agent. A deadline
+/// expiry surfaces as [`PingmeshError::Timeout`], anything else about an
+/// unreachable replica as [`PingmeshError::ControllerUnavailable`].
+pub async fn fetch_pinglist_with(
+    addr: SocketAddr,
+    server: ServerId,
+    deadline: std::time::Duration,
+) -> Result<Option<Pinglist>, PingmeshError> {
+    let mut stream = tokio::time::timeout(deadline, TcpStream::connect(addr))
         .await
+        .map_err(|_| PingmeshError::Timeout(format!("connect to controller {addr}")))?
         .map_err(|e| PingmeshError::ControllerUnavailable(e.to_string()))?;
     let req = pingmesh_httpx::Request::get(&format!("/pinglist/{}", server.0));
-    pingmesh_httpx::write_request(&mut stream, &req)
+    pingmesh_httpx::write_request_with(&mut stream, &req, deadline)
         .await
-        .map_err(|e| PingmeshError::ControllerUnavailable(e.to_string()))?;
-    let resp = read_request_response(&mut stream).await?;
+        .map_err(|e| http_err(e, "pinglist request"))?;
+    let resp = pingmesh_httpx::read_response_with(&mut stream, deadline)
+        .await
+        .map_err(|e| http_err(e, "pinglist response"))?;
     match resp.status {
         200 => {
             let text = String::from_utf8(resp.body)
@@ -142,12 +159,11 @@ pub async fn fetch_pinglist(
     }
 }
 
-async fn read_request_response(
-    stream: &mut TcpStream,
-) -> Result<pingmesh_httpx::Response, PingmeshError> {
-    pingmesh_httpx::read_response(stream)
-        .await
-        .map_err(|e| PingmeshError::ControllerUnavailable(e.to_string()))
+fn http_err(e: pingmesh_httpx::HttpError, what: &str) -> PingmeshError {
+    match e {
+        pingmesh_httpx::HttpError::Timeout => PingmeshError::Timeout(what.to_string()),
+        other => PingmeshError::ControllerUnavailable(other.to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +225,31 @@ mod tests {
         assert!(none.is_none());
 
         server.abort();
+    }
+
+    #[tokio::test]
+    async fn fetch_from_stalled_controller_times_out_not_hangs() {
+        // A controller that accepts and then goes silent must burn the
+        // caller's deadline, nothing more.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let holder = tokio::spawn(async move {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = listener.accept().await {
+                held.push(stream); // accept and never answer
+            }
+        });
+        let t0 = std::time::Instant::now();
+        let err = fetch_pinglist_with(addr, ServerId(0), std::time::Duration::from_millis(250))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, PingmeshError::Timeout(_)), "{err}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(3),
+            "stalled socket must not hang the agent: {:?}",
+            t0.elapsed()
+        );
+        holder.abort();
     }
 
     #[tokio::test]

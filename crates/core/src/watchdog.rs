@@ -40,6 +40,23 @@ pub enum WatchdogFinding {
     PaSilent,
 }
 
+impl WatchdogFinding {
+    /// Short static class label — stable across payload values, suitable
+    /// as a bounded-cardinality metric label.
+    pub fn class(&self) -> &'static str {
+        match self {
+            WatchdogFinding::NoPinglistsServed => "no_pinglists",
+            WatchdogFinding::ControllerClusterDown => "controller_down",
+            WatchdogFinding::AgentsStopped(_) => "agents_stopped",
+            WatchdogFinding::ControllerViolatedSafetyLimits(_) => "unsafe_pinglist",
+            WatchdogFinding::StaleStore { .. } => "stale_store",
+            WatchdogFinding::StaleSlaRows => "stale_sla",
+            WatchdogFinding::RecordsDiscarded(_) => "records_discarded",
+            WatchdogFinding::PaSilent => "pa_silent",
+        }
+    }
+}
+
 impl fmt::Display for WatchdogFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::time::Duration;
 use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
 
 /// Maximum accepted head (request/status line + headers) size.
@@ -22,6 +23,12 @@ pub const MAX_HEAD: usize = 16 * 1024;
 /// Maximum accepted body size (pinglists are small; probe payloads are
 /// capped at 64 KB by the agent anyway).
 pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Default per-message deadline applied by the plain [`read_request`] /
+/// [`read_response`] / write helpers. Generous — it exists so that *no*
+/// codec call can hang a task forever against a stalled peer; latency-
+/// sensitive callers pass their own deadline via the `*_with` variants.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Errors from the codec.
 #[derive(Debug)]
@@ -32,6 +39,9 @@ pub enum HttpError {
     TooLarge,
     /// Peer closed the connection mid-message.
     UnexpectedEof,
+    /// The per-call deadline expired before the message completed (e.g.
+    /// a slowloris peer dripping bytes, or a stalled socket).
+    Timeout,
     /// Underlying transport error.
     Io(std::io::Error),
 }
@@ -42,6 +52,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Malformed(what) => write!(f, "malformed http: {what}"),
             HttpError::TooLarge => write!(f, "http message too large"),
             HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::Timeout => write!(f, "deadline expired mid-message"),
             HttpError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -353,9 +364,36 @@ impl BodyCarrier for Response {
     }
 }
 
-/// Reads one request from the stream.
+/// Races a codec future against `deadline`, mapping expiry to
+/// [`HttpError::Timeout`] and counting it.
+async fn bounded<T>(
+    deadline: Duration,
+    fut: impl std::future::Future<Output = Result<T, HttpError>>,
+) -> Result<T, HttpError> {
+    match tokio::time::timeout(deadline, fut).await {
+        Ok(r) => r,
+        Err(_) => {
+            pingmesh_obs::registry()
+                .counter("pingmesh_httpx_timeouts_total")
+                .inc();
+            Err(HttpError::Timeout)
+        }
+    }
+}
+
+/// Reads one request from the stream, bounded by [`DEFAULT_IO_TIMEOUT`].
 pub async fn read_request<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Request, HttpError> {
-    let out = read_message(stream, parse_request_head).await;
+    read_request_with(stream, DEFAULT_IO_TIMEOUT).await
+}
+
+/// Reads one request from the stream; the whole message (head + body)
+/// must arrive within `deadline` or the call fails with
+/// [`HttpError::Timeout`] instead of hanging.
+pub async fn read_request_with<S: AsyncRead + Unpin>(
+    stream: &mut S,
+    deadline: Duration,
+) -> Result<Request, HttpError> {
+    let out = bounded(deadline, read_message(stream, parse_request_head)).await;
     let registry = pingmesh_obs::registry();
     match &out {
         Ok(_) => registry.counter("pingmesh_httpx_requests_read_total").inc(),
@@ -364,9 +402,18 @@ pub async fn read_request<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Reques
     out
 }
 
-/// Reads one response from the stream.
+/// Reads one response from the stream, bounded by [`DEFAULT_IO_TIMEOUT`].
 pub async fn read_response<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Response, HttpError> {
-    let out = read_message(stream, parse_response_head).await;
+    read_response_with(stream, DEFAULT_IO_TIMEOUT).await
+}
+
+/// Reads one response from the stream; the whole message must arrive
+/// within `deadline` or the call fails with [`HttpError::Timeout`].
+pub async fn read_response_with<S: AsyncRead + Unpin>(
+    stream: &mut S,
+    deadline: Duration,
+) -> Result<Response, HttpError> {
+    let out = bounded(deadline, read_message(stream, parse_response_head)).await;
     let registry = pingmesh_obs::registry();
     match &out {
         Ok(_) => registry
@@ -377,24 +424,49 @@ pub async fn read_response<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Respo
     out
 }
 
-/// Writes a request to the stream.
+/// Writes a request to the stream, bounded by [`DEFAULT_IO_TIMEOUT`].
 pub async fn write_request<S: AsyncWrite + Unpin>(
     stream: &mut S,
     req: &Request,
 ) -> Result<(), HttpError> {
-    stream.write_all(&req.to_bytes()).await?;
-    stream.flush().await?;
-    Ok(())
+    write_request_with(stream, req, DEFAULT_IO_TIMEOUT).await
 }
 
-/// Writes a response to the stream.
+/// Writes a request to the stream within `deadline` (a peer that stops
+/// draining its receive window cannot wedge the writer).
+pub async fn write_request_with<S: AsyncWrite + Unpin>(
+    stream: &mut S,
+    req: &Request,
+    deadline: Duration,
+) -> Result<(), HttpError> {
+    bounded(deadline, async {
+        stream.write_all(&req.to_bytes()).await?;
+        stream.flush().await?;
+        Ok(())
+    })
+    .await
+}
+
+/// Writes a response to the stream, bounded by [`DEFAULT_IO_TIMEOUT`].
 pub async fn write_response<S: AsyncWrite + Unpin>(
     stream: &mut S,
     resp: &Response,
 ) -> Result<(), HttpError> {
-    stream.write_all(&resp.to_bytes()).await?;
-    stream.flush().await?;
-    Ok(())
+    write_response_with(stream, resp, DEFAULT_IO_TIMEOUT).await
+}
+
+/// Writes a response to the stream within `deadline`.
+pub async fn write_response_with<S: AsyncWrite + Unpin>(
+    stream: &mut S,
+    resp: &Response,
+    deadline: Duration,
+) -> Result<(), HttpError> {
+    bounded(deadline, async {
+        stream.write_all(&resp.to_bytes()).await?;
+        stream.flush().await?;
+        Ok(())
+    })
+    .await
 }
 
 #[cfg(test)]
@@ -482,6 +554,109 @@ mod tests {
         });
         let err = read_response(&mut server).await.unwrap_err();
         assert!(matches!(err, HttpError::UnexpectedEof), "{err}");
+    }
+
+    #[tokio::test]
+    async fn slowloris_header_drip_hits_the_deadline() {
+        // A peer dripping one header byte at a time must burn the caller's
+        // deadline, not its patience: the read fails with Timeout.
+        let (mut client, mut server) = tokio::io::duplex(64);
+        let writer = tokio::spawn(async move {
+            for b in b"GET / HTTP/1.1\r\nx-slow: 1\r\n".iter() {
+                if client.write_all(&[*b]).await.is_err() {
+                    return;
+                }
+                let _ = client.flush().await;
+                tokio::time::sleep(Duration::from_millis(40)).await;
+            }
+            // Never send the terminating \r\n\r\n.
+            tokio::time::sleep(Duration::from_secs(5)).await;
+        });
+        let t0 = std::time::Instant::now();
+        let err = read_request_with(&mut server, Duration::from_millis(200))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Timeout), "{err}");
+        assert!(t0.elapsed() < Duration::from_secs(3), "must not hang");
+        writer.abort();
+    }
+
+    #[tokio::test]
+    async fn content_length_beyond_body_times_out_on_open_connection() {
+        // The head promises 100 bytes; only 5 arrive and the connection
+        // stays open. The reader must give up at its deadline.
+        let (mut client, mut server) = tokio::io::duplex(256);
+        let holder = tokio::spawn(async move {
+            client
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\nshort")
+                .await
+                .unwrap();
+            client.flush().await.unwrap();
+            // Keep the connection open (no EOF) well past the deadline.
+            tokio::time::sleep(Duration::from_secs(5)).await;
+        });
+        let t0 = std::time::Instant::now();
+        let err = read_response_with(&mut server, Duration::from_millis(200))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Timeout), "{err}");
+        assert!(t0.elapsed() < Duration::from_secs(3), "must not hang");
+        holder.abort();
+    }
+
+    #[tokio::test]
+    async fn content_length_beyond_body_is_eof_on_close() {
+        // Same truncated body, but the peer closes: UnexpectedEof, not a
+        // deadline burn.
+        let (mut client, mut server) = tokio::io::duplex(256);
+        tokio::spawn(async move {
+            client
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\nshort")
+                .await
+                .unwrap();
+            // client drops: EOF
+        });
+        let err = read_response_with(&mut server, Duration::from_secs(5))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof), "{err}");
+    }
+
+    #[tokio::test]
+    async fn oversized_head_is_rejected_at_the_boundary() {
+        // A head that never terminates is cut off at MAX_HEAD with
+        // TooLarge — before the deadline has to fire.
+        let (mut client, mut server) = tokio::io::duplex(4096);
+        let writer = tokio::spawn(async move {
+            let junk = vec![b'a'; MAX_HEAD + 4096];
+            let _ = client.write_all(b"GET / HTTP/1.1\r\nx: ").await;
+            let _ = client.write_all(&junk).await;
+            let _ = client.flush().await;
+            tokio::time::sleep(Duration::from_secs(5)).await;
+        });
+        let err = read_request_with(&mut server, Duration::from_secs(5))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge), "{err}");
+        writer.abort();
+    }
+
+    #[tokio::test]
+    async fn oversized_body_is_rejected_at_the_boundary() {
+        // content-length over MAX_BODY is rejected from the head alone,
+        // without reading (or allocating) the body.
+        let (mut client, mut server) = tokio::io::duplex(4096);
+        let head = format!(
+            "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        tokio::spawn(async move {
+            let _ = client.write_all(head.as_bytes()).await;
+        });
+        let err = read_response_with(&mut server, Duration::from_secs(5))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge), "{err}");
     }
 
     #[tokio::test]

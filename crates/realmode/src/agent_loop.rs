@@ -14,11 +14,12 @@
 //! clamped to the hard 10-second floor); [`RealAgent::probe_round_once`]
 //! runs a single round immediately for demos and tests.
 
-use crate::collector::upload_records;
+use crate::backoff::Backoff;
+use crate::collector::upload_records_with;
 use crate::directory::PeerDirectory;
+use crate::vip::ControllerVip;
 use pingmesh_agent::guard::SafetyGuard;
 use pingmesh_agent::real::{http_ping, tcp_ping};
-use pingmesh_controller::fetch_pinglist;
 use pingmesh_topology::Topology;
 use pingmesh_types::constants::{MIN_PROBE_INTERVAL, UPLOAD_RETRIES};
 use pingmesh_types::{
@@ -47,12 +48,19 @@ pub enum Addressing {
 pub struct RealAgentConfig {
     /// This agent's server identity.
     pub me: ServerId,
-    /// The controller (or SLB VIP) address.
-    pub controller: SocketAddr,
+    /// The controller VIP: one or more replica addresses, round-robined
+    /// with per-poll failover (paper §3.3.2's SLB, client-side).
+    pub controller: ControllerVip,
     /// The collector address records are uploaded to.
     pub collector: SocketAddr,
     /// Per-probe timeout.
     pub probe_timeout: Duration,
+    /// Per-phase deadline for every control-plane call (connect, request
+    /// write, response read — against controller replicas and collector).
+    pub call_deadline: Duration,
+    /// Seed for the jittered retry/poll backoff. Runs with the same seed
+    /// retry on an identical schedule.
+    pub backoff_seed: u64,
     /// Upload when this many records are buffered.
     pub upload_batch: usize,
     /// Max probes in flight at once (the paper's agent spreads load
@@ -63,13 +71,27 @@ pub struct RealAgentConfig {
 }
 
 impl RealAgentConfig {
-    /// Sensible defaults for a localhost deployment.
+    /// Sensible defaults for a localhost deployment with an unreplicated
+    /// controller.
     pub fn new(me: ServerId, controller: SocketAddr, collector: SocketAddr) -> Self {
+        Self::with_controllers(me, vec![controller], collector)
+    }
+
+    /// Defaults with several controller replicas behind one logical VIP.
+    pub fn with_controllers(
+        me: ServerId,
+        controllers: Vec<SocketAddr>,
+        collector: SocketAddr,
+    ) -> Self {
         Self {
             me,
-            controller,
+            controller: ControllerVip::new(controllers),
             collector,
             probe_timeout: Duration::from_secs(2),
+            call_deadline: Duration::from_secs(5),
+            // Decorrelate agents so a fleet doesn't retry in lockstep,
+            // while staying reproducible for a given server id.
+            backoff_seed: 0x5EED ^ me.0 as u64,
             upload_batch: 500,
             max_inflight: 32,
             addressing: Addressing::Directory,
@@ -111,6 +133,12 @@ impl RealAgent {
         self.config.me
     }
 
+    /// Mutable access to the configuration — drills retarget controllers
+    /// and tighten deadlines on a live agent.
+    pub fn config_mut(&mut self) -> &mut RealAgentConfig {
+        &mut self.config
+    }
+
     /// Whether the agent is fail-closed.
     pub fn is_stopped(&self) -> bool {
         self.guard.is_stopped()
@@ -137,9 +165,20 @@ impl RealAgent {
         SimTime(self.epoch.elapsed().as_micros() as u64)
     }
 
-    /// Polls the controller once, applying the fail-closed rules.
+    /// Polls the controller VIP once, applying the fail-closed rules.
+    ///
+    /// Stale-pinglist grace: a failed poll before the §3.4.2 threshold
+    /// keeps the cached pinglist — the agent probes stale rather than go
+    /// dark during a short controller blip. Only crossing the threshold
+    /// (or an explicit "no pinglist" answer) drops the peers.
     pub async fn poll_controller(&mut self) {
-        match fetch_pinglist(self.config.controller, self.config.me).await {
+        let was_stopped = self.guard.is_stopped();
+        let fetched = self
+            .config
+            .controller
+            .fetch_pinglist(self.config.me, self.config.call_deadline)
+            .await;
+        match fetched {
             Ok(Some(mut pl)) => {
                 SafetyGuard::sanitize(&mut pl);
                 self.guard.on_pinglist_received();
@@ -156,6 +195,23 @@ impl RealAgent {
                     self.pinglist = None;
                 }
             }
+        }
+        match (was_stopped, self.guard.is_stopped()) {
+            (false, true) => {
+                pingmesh_obs::registry()
+                    .counter("pingmesh_realmode_fail_closed_transitions_total")
+                    .inc();
+                pingmesh_obs::emit!(Warn, "realmode.agent", "fail_closed",
+                    "server" => self.config.me.0 as u64);
+            }
+            (true, false) => {
+                pingmesh_obs::registry()
+                    .counter("pingmesh_realmode_resumes_total")
+                    .inc();
+                pingmesh_obs::emit!(Info, "realmode.agent", "resumed",
+                    "server" => self.config.me.0 as u64);
+            }
+            _ => {}
         }
     }
 
@@ -256,19 +312,30 @@ impl RealAgent {
             return;
         }
         let batch = std::mem::take(&mut self.buffer);
+        let mut backoff = Backoff::control_plane(self.config.backoff_seed);
         for attempt in 0..=UPLOAD_RETRIES {
-            match upload_records(self.config.collector, &batch).await {
+            match upload_records_with(self.config.collector, &batch, self.config.call_deadline)
+                .await
+            {
                 Ok(()) => {
                     self.counters.bytes_uploaded +=
                         batch.iter().map(|r| r.wire_size() as u64).sum::<u64>();
                     return;
                 }
-                Err(_) if attempt < UPLOAD_RETRIES => {
-                    tokio::time::sleep(Duration::from_millis(50)).await;
+                Err(e) if attempt < UPLOAD_RETRIES => {
+                    let registry = pingmesh_obs::registry();
+                    registry.counter("pingmesh_realmode_retries_total").inc();
+                    if matches!(e, pingmesh_types::PingmeshError::Timeout(_)) {
+                        registry.counter("pingmesh_realmode_timeouts_total").inc();
+                    }
+                    tokio::time::sleep(backoff.next_delay()).await;
                 }
                 Err(_) => {
                     self.discarded += batch.len() as u64;
                     self.counters.records_discarded = self.discarded;
+                    pingmesh_obs::registry()
+                        .counter("pingmesh_realmode_discarded_records_total")
+                        .add(batch.len() as u64);
                     return;
                 }
             }
@@ -288,6 +355,10 @@ impl RealAgent {
         let floor = Duration::from_micros(MIN_PROBE_INTERVAL.as_micros());
         let round_interval = round_interval.max(floor);
         let mut next_poll = Instant::now();
+        // While the controller is failing, re-poll on a capped jittered
+        // backoff instead of the full poll interval — the agent recovers
+        // quickly after an outage without hammering a struggling VIP.
+        let mut poll_backoff = Backoff::control_plane(self.config.backoff_seed);
         let mut shutdown = shutdown;
         loop {
             if *shutdown.borrow() {
@@ -295,7 +366,12 @@ impl RealAgent {
             }
             if Instant::now() >= next_poll {
                 self.poll_controller().await;
-                next_poll = Instant::now() + poll_interval;
+                next_poll = if self.guard.failures() > 0 {
+                    Instant::now() + poll_backoff.next_delay()
+                } else {
+                    poll_backoff.reset();
+                    Instant::now() + poll_interval
+                };
             }
             self.probe_round_once().await;
             self.flush(false).await;
@@ -345,13 +421,76 @@ mod tests {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap()
         };
-        agent.config.controller = dead;
+        agent.config.controller = ControllerVip::single(dead);
+        agent.poll_controller().await;
+        agent.poll_controller().await;
+        // Stale-pinglist grace: below the threshold the cached list is
+        // kept and the agent still probes.
+        assert!(!agent.is_stopped());
+        assert!(agent.peer_count() > 0);
+        agent.poll_controller().await;
+        assert!(agent.is_stopped());
+        assert_eq!(agent.peer_count(), 0);
+        assert_eq!(agent.probe_round_once().await, 0);
+    }
+
+    #[tokio::test]
+    async fn fail_closed_agent_resumes_on_valid_pinglist() {
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
+        let mut agent = cluster.agent(ServerId(4));
+        let live = agent.config.controller.clone();
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        agent.config.controller = ControllerVip::single(dead);
         for _ in 0..3 {
             agent.poll_controller().await;
         }
         assert!(agent.is_stopped());
-        assert_eq!(agent.peer_count(), 0);
-        assert_eq!(agent.probe_round_once().await, 0);
+        let resumes_before = pingmesh_obs::registry()
+            .counter("pingmesh_realmode_resumes_total")
+            .get();
+        // Controller comes back: one successful poll re-arms the guard
+        // (failure budget back to zero) and probing resumes.
+        agent.config.controller = live;
+        agent.poll_controller().await;
+        assert!(!agent.is_stopped());
+        assert_eq!(agent.guard.failures(), 0);
+        assert!(agent.peer_count() > 0);
+        assert!(agent.probe_round_once().await > 0);
+        let resumes_after = pingmesh_obs::registry()
+            .counter("pingmesh_realmode_resumes_total")
+            .get();
+        assert_eq!(resumes_after, resumes_before + 1);
+    }
+
+    #[tokio::test]
+    async fn agent_fails_over_across_controller_replicas() {
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut config = RealAgentConfig::with_controllers(
+            ServerId(6),
+            vec![dead, cluster.controller_addr()],
+            cluster.collector_addr(),
+        );
+        config.call_deadline = Duration::from_secs(2);
+        let mut agent = RealAgent::new(
+            config,
+            cluster.topology().clone(),
+            cluster.directory().clone(),
+        );
+        // Every poll succeeds despite the dead replica in rotation.
+        for _ in 0..3 {
+            agent.poll_controller().await;
+            assert!(!agent.is_stopped());
+            assert!(agent.peer_count() > 0);
+        }
     }
 
     #[tokio::test]
@@ -386,9 +525,41 @@ mod tests {
         agent.poll_controller().await;
         agent.probe_round_once().await;
         cluster.collector().set_accepting(false);
+        let retries_before = pingmesh_obs::registry()
+            .counter("pingmesh_realmode_retries_total")
+            .get();
+        let t0 = Instant::now();
         agent.flush(true).await;
         assert!(agent.discarded() > 0, "retries exhausted must discard");
         // Memory is bounded: the buffer is empty again.
         assert!(agent.buffer.is_empty());
+        // Retries are spaced by jittered exponential backoff, not fired
+        // back-to-back: 3 retries with a 50 ms base wait at least
+        // 25 + 50 + 100 ms worst-jitter-low, so well over 100 ms total.
+        let retries_after = pingmesh_obs::registry()
+            .counter("pingmesh_realmode_retries_total")
+            .get();
+        assert_eq!(retries_after, retries_before + u64::from(UPLOAD_RETRIES));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(100),
+            "backoff must actually delay: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[tokio::test]
+    async fn flush_backoff_schedule_is_seed_deterministic() {
+        // Two agents with the same seed produce the same retry delays.
+        let a = Backoff::control_plane(42).next_delay();
+        let b = Backoff::control_plane(42).next_delay();
+        assert_eq!(a, b);
+        let c = Backoff::control_plane(43).next_delay();
+        // Different seeds *may* collide on one draw, but the full
+        // 4-delay schedule must differ.
+        let seq = |seed| {
+            let mut bo = Backoff::control_plane(seed);
+            (0..4).map(|_| bo.next_delay()).collect::<Vec<_>>()
+        };
+        assert_ne!(seq(42), seq(43), "{a:?} {b:?} {c:?}");
     }
 }

@@ -1,0 +1,158 @@
+//! Capped exponential backoff with deterministic, seeded jitter.
+//!
+//! Every retry loop in realmode (pinglist polls, record uploads) spaces
+//! its attempts with this policy instead of retrying back-to-back. The
+//! jitter matters at fleet scale: when a collector or controller comes
+//! back after an outage, thousands of agents would otherwise retry in the
+//! same millisecond and knock it over again (the classic thundering
+//! herd). Each agent derives its seed from its server id, so the fleet
+//! decorrelates while any single agent's behaviour stays exactly
+//! reproducible — a requirement for the deterministic chaos drill.
+//!
+//! Implemented on `std` only (one xorshift64* generator), per the
+//! workspace's no-crates.io constraint.
+
+use std::time::Duration;
+
+/// Folds an arbitrary seed into a valid xorshift64* state (never zero).
+pub(crate) fn seed_state(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Advances an xorshift64* state, returning the next pseudo-random u64.
+pub(crate) fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Backoff policy: delays grow `base * 2^attempt`, capped at `cap`, and
+/// each delay is "full-jittered" — drawn uniformly from
+/// `[delay/2, delay]` — so retries spread out instead of synchronizing.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A policy starting at `base`, never exceeding `cap`, jittered by a
+    /// generator seeded with `seed` (same seed ⇒ same delay sequence).
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            rng: seed_state(seed),
+        }
+    }
+
+    /// Default control-plane policy: 50 ms base, 2 s cap.
+    pub fn control_plane(seed: u64) -> Self {
+        Self::new(Duration::from_millis(50), Duration::from_secs(2), seed)
+    }
+
+    /// Number of delays handed out since creation or the last
+    /// [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay to sleep before retrying: exponential in the number
+    /// of attempts so far, capped, jittered into `[delay/2, delay]`.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 * base saturates any cap we use
+        self.attempt = self.attempt.saturating_add(1);
+        let uncapped = self
+            .base
+            .checked_mul(1u32 << exp)
+            .unwrap_or(Duration::MAX)
+            .min(self.cap);
+        let micros = uncapped.as_micros() as u64;
+        if micros == 0 {
+            return Duration::ZERO;
+        }
+        let half = micros / 2;
+        let jittered = half + next_u64(&mut self.rng) % (micros - half + 1);
+        Duration::from_micros(jittered)
+    }
+
+    /// Re-arms the policy after a success: the next failure starts back
+    /// at the base delay.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Backoff::control_plane(42);
+        let mut b = Backoff::control_plane(42);
+        let sa: Vec<_> = (0..16).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..16).map(|_| b.next_delay()).collect();
+        assert_eq!(sa, sb, "fixed seed must reproduce the exact delays");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = Backoff::control_plane(1);
+        let mut b = Backoff::control_plane(2);
+        let sa: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+        assert_ne!(sa, sb, "different agents must not retry in lockstep");
+    }
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500), 7);
+        let mut prev_ceiling = Duration::ZERO;
+        for attempt in 0..12 {
+            let d = b.next_delay();
+            let ceiling = Duration::from_millis(10)
+                .checked_mul(1 << attempt.min(20))
+                .unwrap_or(Duration::MAX)
+                .min(Duration::from_millis(500));
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            assert!(
+                d >= ceiling / 2,
+                "attempt {attempt}: {d:?} below jitter floor {:?}",
+                ceiling / 2
+            );
+            assert!(ceiling >= prev_ceiling, "ceiling must be monotone");
+            prev_ceiling = ceiling;
+        }
+        // Deep into the sequence the cap is in force.
+        assert!(b.next_delay() <= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn reset_rearms_the_base_delay() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(10), 3);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempts(), 6);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        // First post-reset delay is back in the base bracket.
+        assert!(b.next_delay() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut b = Backoff::control_plane(0);
+        // Must not get stuck at zero or panic.
+        let d1 = b.next_delay();
+        let d2 = b.next_delay();
+        assert!(d1 > Duration::ZERO && d2 > Duration::ZERO);
+    }
+}

@@ -2,13 +2,20 @@
 //!
 //! [`LocalCluster::start`] spins up, over actual TCP sockets:
 //!
-//! * the controller web service with generated pinglists,
+//! * one or more controller web-service replicas with generated
+//!   pinglists (behind a client-side VIP, per [`ClusterOptions`]),
 //! * the record collector,
 //! * one TCP-echo responder and one HTTP responder per topology server
 //!   (registered in the shared [`PeerDirectory`]), and
 //! * hands out fully wired [`RealAgent`]s on demand.
+//!
+//! With [`ClusterOptions::chaos`] every control-plane endpoint sits
+//! behind a [`ChaosProxy`], so a drill can kill, stall, degrade, and
+//! restore the controller replicas and the collector independently at
+//! runtime — the real-socket twin of the simulator's down-windows.
 
 use crate::agent_loop::{RealAgent, RealAgentConfig};
+use crate::chaos::{ChaosHandle, ChaosProxy};
 use crate::collector::{serve_collector, Collector};
 use crate::directory::{PeerDirectory, PeerEndpoints};
 use pingmesh_agent::real::{serve_echo, serve_http};
@@ -19,35 +26,98 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use tokio::net::TcpListener;
 
+/// Deployment shape knobs for [`LocalCluster::start_with`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Controller web-service replicas behind the (client-side) VIP.
+    pub controller_replicas: usize,
+    /// Put every controller replica and the collector behind a
+    /// [`ChaosProxy`] so faults can be injected at runtime.
+    pub chaos: bool,
+    /// Seed driving every chaos proxy's probabilistic decisions.
+    pub seed: u64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            controller_replicas: 1,
+            chaos: false,
+            seed: 0,
+        }
+    }
+}
+
 /// Handles to a running localhost deployment.
 pub struct LocalCluster {
     topo: Arc<Topology>,
-    controller_addr: SocketAddr,
-    controller_state: Arc<WebState>,
+    controller_addrs: Vec<SocketAddr>,
+    controller_states: Vec<Arc<WebState>>,
+    controller_proxies: Vec<ChaosProxy>,
     collector_addr: SocketAddr,
     collector: Collector,
+    collector_proxy: Option<ChaosProxy>,
     directory: PeerDirectory,
 }
 
 impl LocalCluster {
     /// Builds the topology, generates pinglists, starts every service and
-    /// responder. All tasks are detached; they die with the runtime.
+    /// responder with default options (one replica, no chaos). All tasks
+    /// are detached; they die with the runtime.
     pub async fn start(spec: TopologySpec, generator_config: GeneratorConfig) -> Self {
+        Self::start_with(spec, generator_config, ClusterOptions::default()).await
+    }
+
+    /// [`LocalCluster::start`] with explicit [`ClusterOptions`].
+    pub async fn start_with(
+        spec: TopologySpec,
+        generator_config: GeneratorConfig,
+        options: ClusterOptions,
+    ) -> Self {
+        assert!(options.controller_replicas >= 1, "need ≥1 replica");
         let topo = Arc::new(Topology::build(spec).expect("valid topology"));
 
-        // Controller.
+        // Controller replicas. Each replica is stateless and serves an
+        // identically generated pinglist set (the generator is
+        // deterministic for a given topology), mirroring the paper's
+        // "set of servers behind one VIP".
         let generator = PinglistGenerator::new(generator_config);
-        let controller_state = Arc::new(WebState::new());
-        controller_state.set_pinglists(generator.generate_all(&topo, 1));
-        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
-        let controller_addr = listener.local_addr().expect("addr");
-        tokio::spawn(serve(listener, controller_state.clone()));
+        let mut controller_addrs = Vec::new();
+        let mut controller_states = Vec::new();
+        let mut controller_proxies = Vec::new();
+        for i in 0..options.controller_replicas {
+            let state = Arc::new(WebState::new());
+            state.set_pinglists(generator.generate_all(&topo, 1));
+            let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+            let upstream = listener.local_addr().expect("addr");
+            tokio::spawn(serve(listener, state.clone()));
+            let agent_facing = if options.chaos {
+                let proxy = ChaosProxy::start(upstream, options.seed.wrapping_add(i as u64))
+                    .await
+                    .expect("proxy");
+                let addr = proxy.addr();
+                controller_proxies.push(proxy);
+                addr
+            } else {
+                upstream
+            };
+            controller_addrs.push(agent_facing);
+            controller_states.push(state);
+        }
 
         // Collector.
         let collector = Collector::new();
         let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
-        let collector_addr = listener.local_addr().expect("addr");
+        let upstream = listener.local_addr().expect("addr");
         tokio::spawn(serve_collector(listener, collector.clone()));
+        let (collector_addr, collector_proxy) = if options.chaos {
+            let proxy = ChaosProxy::start(upstream, options.seed.wrapping_add(0x1000))
+                .await
+                .expect("proxy");
+            (proxy.addr(), Some(proxy))
+        } else {
+            (upstream, None)
+        };
 
         // Responders for every server.
         let directory = PeerDirectory::new();
@@ -69,10 +139,12 @@ impl LocalCluster {
 
         Self {
             topo,
-            controller_addr,
-            controller_state,
+            controller_addrs,
+            controller_states,
+            controller_proxies,
             collector_addr,
             collector,
+            collector_proxy,
             directory,
         }
     }
@@ -82,17 +154,32 @@ impl LocalCluster {
         &self.topo
     }
 
-    /// The controller's address (for agents or manual fetches).
+    /// The first controller replica's agent-facing address.
     pub fn controller_addr(&self) -> SocketAddr {
-        self.controller_addr
+        self.controller_addrs[0]
     }
 
-    /// The controller's state handle (swap/clear pinglists at runtime).
+    /// Agent-facing addresses of every controller replica.
+    pub fn controller_addrs(&self) -> &[SocketAddr] {
+        &self.controller_addrs
+    }
+
+    /// The first replica's state handle (swap/clear pinglists at runtime).
     pub fn controller_state(&self) -> &Arc<WebState> {
-        &self.controller_state
+        &self.controller_states[0]
     }
 
-    /// The collector's address.
+    /// State handle of replica `i`.
+    pub fn controller_state_of(&self, i: usize) -> &Arc<WebState> {
+        &self.controller_states[i]
+    }
+
+    /// Chaos control for controller replica `i` (chaos mode only).
+    pub fn controller_chaos(&self, i: usize) -> &ChaosHandle {
+        self.controller_proxies[i].handle()
+    }
+
+    /// The collector's agent-facing address.
     pub fn collector_addr(&self) -> SocketAddr {
         self.collector_addr
     }
@@ -102,15 +189,28 @@ impl LocalCluster {
         &self.collector
     }
 
+    /// Chaos control for the collector path (chaos mode only).
+    pub fn collector_chaos(&self) -> &ChaosHandle {
+        self.collector_proxy
+            .as_ref()
+            .expect("cluster started without chaos")
+            .handle()
+    }
+
     /// The shared peer directory.
     pub fn directory(&self) -> &PeerDirectory {
         &self.directory
     }
 
-    /// A fully wired agent for one of the topology's servers.
+    /// A fully wired agent for one of the topology's servers, configured
+    /// with every controller replica behind its VIP.
     pub fn agent(&self, server: ServerId) -> RealAgent {
         RealAgent::new(
-            RealAgentConfig::new(server, self.controller_addr, self.collector_addr),
+            RealAgentConfig::with_controllers(
+                server,
+                self.controller_addrs.clone(),
+                self.collector_addr,
+            ),
             self.topo.clone(),
             self.directory.clone(),
         )
@@ -149,5 +249,38 @@ mod tests {
         }
         assert_eq!(cluster.collector().stats().records, total);
         assert!(total > 0);
+    }
+
+    #[tokio::test]
+    async fn replicated_chaos_cluster_serves_through_proxies() {
+        let cluster = LocalCluster::start_with(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+            ClusterOptions {
+                controller_replicas: 2,
+                chaos: true,
+                seed: 11,
+            },
+        )
+        .await;
+        assert_eq!(cluster.controller_addrs().len(), 2);
+        // Both replicas answer through their proxies.
+        for &addr in cluster.controller_addrs() {
+            let pl = pingmesh_controller::fetch_pinglist(addr, ServerId(0))
+                .await
+                .unwrap()
+                .unwrap();
+            assert!(!pl.entries.is_empty());
+        }
+        // The proxies counted the traffic.
+        assert!(cluster.controller_chaos(0).connections() > 0);
+        assert!(cluster.controller_chaos(1).connections() > 0);
+        // An agent probes and uploads through the collector proxy.
+        let mut a = cluster.agent(ServerId(1));
+        a.poll_controller().await;
+        assert!(a.probe_round_once().await > 0);
+        a.flush(true).await;
+        assert!(cluster.collector().stats().records > 0);
+        assert!(cluster.collector_chaos().connections() > 0);
     }
 }

@@ -186,21 +186,35 @@ pub async fn serve_collector(listener: TcpListener, collector: Collector) {
 }
 
 /// Agent-side upload client: POSTs a record batch to the collector.
+/// Bounded by the httpx default deadline per phase.
 pub async fn upload_records(
     addr: SocketAddr,
     records: &[ProbeRecord],
 ) -> Result<(), PingmeshError> {
+    upload_records_with(addr, records, pingmesh_httpx::DEFAULT_IO_TIMEOUT).await
+}
+
+/// Like [`upload_records`], with an explicit per-phase `deadline`:
+/// connect, request write, and response read each get at most `deadline`,
+/// so a stalled or black-holed collector can never wedge an agent's
+/// upload path. Deadline expiry surfaces as [`PingmeshError::Timeout`].
+pub async fn upload_records_with(
+    addr: SocketAddr,
+    records: &[ProbeRecord],
+    deadline: std::time::Duration,
+) -> Result<(), PingmeshError> {
     let body = serde_json::to_vec(records).map_err(|e| PingmeshError::Parse(e.to_string()))?;
-    let mut stream = TcpStream::connect(addr)
+    let mut stream = tokio::time::timeout(deadline, TcpStream::connect(addr))
         .await
+        .map_err(|_| PingmeshError::Timeout(format!("connect to collector {addr}")))?
         .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
     let req = Request::post("/upload", body);
-    pingmesh_httpx::write_request(&mut stream, &req)
+    pingmesh_httpx::write_request_with(&mut stream, &req, deadline)
         .await
-        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
-    let resp = pingmesh_httpx::read_response(&mut stream)
+        .map_err(|e| upload_err(e, "upload request"))?;
+    let resp = pingmesh_httpx::read_response_with(&mut stream, deadline)
         .await
-        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+        .map_err(|e| upload_err(e, "upload response"))?;
     if resp.status == 200 {
         Ok(())
     } else {
@@ -211,18 +225,34 @@ pub async fn upload_records(
     }
 }
 
-/// Fetches collector statistics.
+/// Fetches collector statistics (default deadline per phase).
 pub async fn fetch_stats(addr: SocketAddr) -> Result<CollectorStats, PingmeshError> {
-    let mut stream = TcpStream::connect(addr)
+    fetch_stats_with(addr, pingmesh_httpx::DEFAULT_IO_TIMEOUT).await
+}
+
+/// Like [`fetch_stats`], with an explicit per-phase `deadline`.
+pub async fn fetch_stats_with(
+    addr: SocketAddr,
+    deadline: std::time::Duration,
+) -> Result<CollectorStats, PingmeshError> {
+    let mut stream = tokio::time::timeout(deadline, TcpStream::connect(addr))
         .await
+        .map_err(|_| PingmeshError::Timeout(format!("connect to collector {addr}")))?
         .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
-    pingmesh_httpx::write_request(&mut stream, &Request::get("/stats"))
+    pingmesh_httpx::write_request_with(&mut stream, &Request::get("/stats"), deadline)
         .await
-        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
-    let resp = pingmesh_httpx::read_response(&mut stream)
+        .map_err(|e| upload_err(e, "stats request"))?;
+    let resp = pingmesh_httpx::read_response_with(&mut stream, deadline)
         .await
-        .map_err(|e| PingmeshError::UploadFailed(e.to_string()))?;
+        .map_err(|e| upload_err(e, "stats response"))?;
     serde_json::from_slice(&resp.body).map_err(|e| PingmeshError::Parse(e.to_string()))
+}
+
+fn upload_err(e: pingmesh_httpx::HttpError, what: &str) -> PingmeshError {
+    match e {
+        pingmesh_httpx::HttpError::Timeout => PingmeshError::Timeout(what.to_string()),
+        other => PingmeshError::UploadFailed(other.to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +411,31 @@ mod tests {
                 .count(),
             100
         );
+    }
+
+    #[tokio::test]
+    async fn upload_to_stalled_collector_times_out_not_hangs() {
+        // A collector that accepts and never reads must cost the agent at
+        // most its per-phase deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let holder = tokio::spawn(async move {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = listener.accept().await {
+                held.push(stream);
+            }
+        });
+        let t0 = std::time::Instant::now();
+        let err = upload_records_with(addr, &[rec(1)], std::time::Duration::from_millis(250))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, PingmeshError::Timeout(_)), "{err}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(3),
+            "{:?}",
+            t0.elapsed()
+        );
+        holder.abort();
     }
 
     #[tokio::test]

@@ -17,11 +17,19 @@
 #![forbid(unsafe_code)]
 
 pub mod agent_loop;
+pub mod backoff;
+pub mod chaos;
 pub mod cluster;
 pub mod collector;
 pub mod directory;
+pub mod vip;
+pub mod watchdog;
 
 pub use agent_loop::{RealAgent, RealAgentConfig};
-pub use cluster::LocalCluster;
+pub use backoff::Backoff;
+pub use chaos::{ChaosHandle, ChaosProxy, Toxic};
+pub use cluster::{ClusterOptions, LocalCluster};
 pub use collector::{serve_collector, upload_records, Collector};
 pub use directory::PeerDirectory;
+pub use vip::ControllerVip;
+pub use watchdog::RealWatchdog;

@@ -1,0 +1,244 @@
+//! Real-socket deployment watchdog (paper §3.5).
+//!
+//! "All the components of Pingmesh have watchdogs to watch whether they
+//! are running correctly or not." The simulator's
+//! [`pingmesh_core::Watchdog`] audits virtual state; [`RealWatchdog`] is
+//! its real-socket twin: it probes the live control plane over actual
+//! TCP — through whatever chaos proxies sit in front of it, so it sees
+//! exactly what the agents see — and reports the same machine-readable
+//! [`WatchdogFinding`]s.
+//!
+//! Checks performed per [`RealWatchdog::check`]:
+//!
+//! * every controller replica's `/health`, each bounded by the
+//!   watchdog's own call deadline → [`ControllerClusterDown`] when none
+//!   answers, [`NoPinglistsServed`] when replicas answer but serve no
+//!   pinglist;
+//! * agent fail-closed state and discard counters →
+//!   [`AgentsStopped`] / [`RecordsDiscarded`];
+//! * collector ingest progress: the record count must grow within the
+//!   store horizon while agents are probing → [`StaleStore`].
+//!
+//! Every finding increments
+//! `pingmesh_realmode_watchdog_findings_total{class}`.
+//!
+//! [`ControllerClusterDown`]: WatchdogFinding::ControllerClusterDown
+//! [`NoPinglistsServed`]: WatchdogFinding::NoPinglistsServed
+//! [`AgentsStopped`]: WatchdogFinding::AgentsStopped
+//! [`RecordsDiscarded`]: WatchdogFinding::RecordsDiscarded
+//! [`StaleStore`]: WatchdogFinding::StaleStore
+
+use crate::agent_loop::RealAgent;
+use crate::cluster::LocalCluster;
+use pingmesh_core::WatchdogFinding;
+use pingmesh_types::{ServerId, SimDuration};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Watchdog over a live real-socket deployment. Stateful: store-progress
+/// tracking compares consecutive checks.
+#[derive(Debug)]
+pub struct RealWatchdog {
+    /// Ingest must make progress within this horizon (while probing).
+    pub store_horizon: Duration,
+    /// Per-phase deadline for the watchdog's own health probes.
+    pub call_deadline: Duration,
+    last_records: u64,
+    last_progress: Instant,
+    last_discarded: u64,
+}
+
+impl RealWatchdog {
+    /// A watchdog with the given freshness horizon. Progress tracking
+    /// starts now.
+    pub fn new(store_horizon: Duration) -> Self {
+        Self {
+            store_horizon,
+            call_deadline: Duration::from_secs(2),
+            last_records: 0,
+            last_progress: Instant::now(),
+            last_discarded: 0,
+        }
+    }
+
+    /// Probes one replica's `/health` through its agent-facing address.
+    async fn replica_healthy(&self, addr: SocketAddr) -> bool {
+        let connect =
+            tokio::time::timeout(self.call_deadline, tokio::net::TcpStream::connect(addr));
+        let Ok(Ok(mut stream)) = connect.await else {
+            return false;
+        };
+        let req = pingmesh_httpx::Request::get("/health");
+        if pingmesh_httpx::write_request_with(&mut stream, &req, self.call_deadline)
+            .await
+            .is_err()
+        {
+            return false;
+        }
+        matches!(
+            pingmesh_httpx::read_response_with(&mut stream, self.call_deadline).await,
+            Ok(resp) if resp.status == 200
+        )
+    }
+
+    /// Audits the deployment: controller replicas over the wire, agents
+    /// and the collector through their local handles. Findings are also
+    /// counted in the global metrics registry.
+    pub async fn check(
+        &mut self,
+        cluster: &LocalCluster,
+        agents: &[&RealAgent],
+    ) -> Vec<WatchdogFinding> {
+        let mut findings = Vec::new();
+
+        // Controller health, as seen through the chaos proxies.
+        let mut any_up = false;
+        for &addr in cluster.controller_addrs() {
+            if self.replica_healthy(addr).await {
+                any_up = true;
+                break;
+            }
+        }
+        if !any_up {
+            findings.push(WatchdogFinding::ControllerClusterDown);
+        } else {
+            // At least one replica answers; does it serve pinglists? A
+            // probe for any known server id suffices — 503 means the
+            // fleet stop switch is thrown.
+            let probe = cluster.topology().servers().next().unwrap_or(ServerId(0));
+            let served = pingmesh_controller::fetch_pinglist_with(
+                cluster.controller_addr(),
+                probe,
+                self.call_deadline,
+            )
+            .await;
+            if matches!(served, Ok(None)) {
+                findings.push(WatchdogFinding::NoPinglistsServed);
+            }
+        }
+
+        // Agent health.
+        let stopped = agents.iter().filter(|a| a.is_stopped()).count();
+        if stopped > 0 {
+            findings.push(WatchdogFinding::AgentsStopped(stopped));
+        }
+        // Agent discard totals are cumulative; report only records lost
+        // since the previous check, so a healed upload path clears the
+        // finding instead of carrying the outage's tally forever.
+        let discarded: u64 = agents.iter().map(|a| a.discarded()).sum();
+        if discarded > self.last_discarded {
+            findings.push(WatchdogFinding::RecordsDiscarded(
+                discarded - self.last_discarded,
+            ));
+        }
+        self.last_discarded = discarded;
+
+        // Report path: records must keep arriving while anyone probes.
+        let records = cluster.collector().stats().records;
+        let probing = stopped < agents.len();
+        if records > self.last_records {
+            self.last_records = records;
+            self.last_progress = Instant::now();
+        } else if probing && self.last_progress.elapsed() > self.store_horizon {
+            findings.push(WatchdogFinding::StaleStore {
+                newest_age: Some(SimDuration::from_micros(
+                    self.last_progress.elapsed().as_micros() as u64,
+                )),
+            });
+        } else if !probing {
+            // Nothing probing: staleness is expected, don't double-report
+            // it on top of AgentsStopped. Reset the clock so recovery is
+            // judged from the resume, not the outage.
+            self.last_progress = Instant::now();
+        }
+
+        let registry = pingmesh_obs::registry();
+        for f in &findings {
+            registry
+                .counter_with(
+                    "pingmesh_realmode_watchdog_findings_total",
+                    &[("class", f.class())],
+                )
+                .inc();
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::Toxic;
+    use crate::cluster::ClusterOptions;
+    use pingmesh_controller::GeneratorConfig;
+    use pingmesh_topology::TopologySpec;
+
+    #[tokio::test]
+    async fn healthy_cluster_has_no_findings() {
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
+        let mut agent = cluster.agent(ServerId(0));
+        agent.poll_controller().await;
+        agent.probe_round_once().await;
+        agent.flush(true).await;
+        let mut wd = RealWatchdog::new(Duration::from_secs(60));
+        let findings = wd.check(&cluster, &[&agent]).await;
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[tokio::test]
+    async fn stalled_controller_and_stopped_agents_are_reported() {
+        let cluster = LocalCluster::start_with(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+            ClusterOptions {
+                controller_replicas: 1,
+                chaos: true,
+                seed: 3,
+            },
+        )
+        .await;
+        let mut agent = cluster.agent(ServerId(1));
+        agent.poll_controller().await;
+        // Kill the only controller replica; the agent fail-closes after
+        // three polls and the watchdog sees both conditions.
+        cluster.controller_chaos(0).set_toxic(Toxic::Refuse);
+        for _ in 0..3 {
+            agent.poll_controller().await;
+        }
+        assert!(agent.is_stopped());
+        let mut wd = RealWatchdog::new(Duration::from_secs(60));
+        wd.call_deadline = Duration::from_millis(500);
+        let findings = wd.check(&cluster, &[&agent]).await;
+        assert!(
+            findings.contains(&WatchdogFinding::ControllerClusterDown),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, WatchdogFinding::AgentsStopped(1))),
+            "{findings:?}"
+        );
+        // Restore: the findings clear on the next check.
+        cluster.controller_chaos(0).set_toxic(Toxic::Pass);
+        agent.poll_controller().await;
+        assert!(!agent.is_stopped());
+        let findings = wd.check(&cluster, &[&agent]).await;
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[tokio::test]
+    async fn cleared_pinglists_surface_as_no_pinglists_served() {
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
+        cluster.controller_state().clear_pinglists();
+        let agent = cluster.agent(ServerId(2));
+        let mut wd = RealWatchdog::new(Duration::from_secs(60));
+        let findings = wd.check(&cluster, &[&agent]).await;
+        assert!(
+            findings.contains(&WatchdogFinding::NoPinglistsServed),
+            "{findings:?}"
+        );
+    }
+}

@@ -16,6 +16,10 @@ pub enum PingmeshError {
     ControllerUnavailable(String),
     /// Uploading latency data to the store failed.
     UploadFailed(String),
+    /// A control-plane call exceeded its deadline (connect, read, or
+    /// write). Distinguished from `ControllerUnavailable`/`UploadFailed`
+    /// so retry policies can account timeouts separately.
+    Timeout(String),
     /// A wire-format document could not be parsed.
     Parse(String),
     /// Underlying socket / IO failure (real-socket mode).
@@ -31,6 +35,7 @@ impl fmt::Display for PingmeshError {
                 write!(f, "controller unavailable: {s}")
             }
             PingmeshError::UploadFailed(s) => write!(f, "upload failed: {s}"),
+            PingmeshError::Timeout(s) => write!(f, "deadline exceeded: {s}"),
             PingmeshError::Parse(s) => write!(f, "parse error: {s}"),
             PingmeshError::Io(e) => write!(f, "io error: {e}"),
         }

@@ -4,14 +4,18 @@
 # smoke mode (small workloads, acceptance gates only — no timings recorded):
 # it fails if a resolve call allocates, if a 10-min/hourly tick copies a
 # record out of the store, or if the merged hourly rollup is not bit-equal
-# to the golden rebuild-from-raw.
+# to the golden rebuild-from-raw. Pass --chaos-smoke to also run the
+# seeded end-to-end chaos drill (replica kill → collector stall → total
+# controller outage → restore) under a hard wall-clock cap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+CHAOS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --chaos-smoke) CHAOS_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -33,6 +37,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "$BENCH_SMOKE" = 1 ]; then
   step "hotpath bench smoke (zero-allocation + zero-copy tick gates)"
   cargo run --release -q -p pingmesh-bench --bin hotpath -- --smoke --check
+fi
+
+if [ "$CHAOS_SMOKE" = 1 ]; then
+  step "chaos drill smoke (seeded, 120 s wall-clock cap)"
+  # The drill itself asserts a 60 s budget; the outer timeout is the
+  # backstop against a hang the in-test deadlines somehow miss.
+  timeout 120 cargo test --release -q --test chaos_drill
 fi
 
 printf '\nCI gate passed.\n'

@@ -206,6 +206,39 @@ mod tests {
     }
 
     #[test]
+    fn split_halves_and_shutdown_propagate() {
+        block_on_sync(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            // Server: echo one 4-byte message, then half-close the write
+            // side so the client sees EOF even though the read half (a
+            // clone of the same fd) is still alive.
+            crate::spawn(async move {
+                let (s, _) = listener.accept().await.unwrap();
+                let (mut r, mut w) = s.into_split().unwrap();
+                let mut buf = [0u8; 4];
+                r.read_exact(&mut buf).await.unwrap();
+                w.write_all(&buf).await.unwrap();
+                w.shutdown_now(std::net::Shutdown::Write).unwrap();
+                // Hold the read half open past the client's EOF check.
+                crate::time::sleep(Duration::from_millis(200)).await;
+                drop(r);
+            });
+            let mut c = crate::net::TcpStream::connect(addr).await.unwrap();
+            c.write_all(b"ping").await.unwrap();
+            let mut back = [0u8; 4];
+            c.read_exact(&mut back).await.unwrap();
+            assert_eq!(&back, b"ping");
+            // The server's shutdown must deliver EOF promptly.
+            let n = crate::time::timeout(Duration::from_secs(2), c.read(&mut back))
+                .await
+                .expect("EOF within deadline")
+                .unwrap();
+            assert_eq!(n, 0);
+        });
+    }
+
+    #[test]
     fn tcp_echo_over_shim() {
         block_on_sync(async {
             let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();

@@ -72,6 +72,26 @@ impl TcpStream {
         self.inner.set_nodelay(nodelay)
     }
 
+    /// Shuts down the read, write, or both halves of this connection
+    /// (maps directly to `shutdown(2)`). Unlike dropping a clone of the
+    /// stream, a shutdown takes effect on the underlying socket
+    /// immediately, so the peer observes the half-close even while other
+    /// handles to the same fd are still alive.
+    pub fn shutdown_now(&self, how: std::net::Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+
+    /// Splits the stream into independently owned read and write halves
+    /// (each a `dup`ed handle to the same socket), so two tasks can pump
+    /// opposite directions concurrently.
+    pub fn into_split(self) -> io::Result<(OwnedReadHalf, OwnedWriteHalf)> {
+        let clone = self.inner.try_clone()?;
+        Ok((
+            OwnedReadHalf { inner: clone },
+            OwnedWriteHalf { inner: self.inner },
+        ))
+    }
+
     /// Local socket address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.inner.local_addr()
@@ -118,6 +138,61 @@ impl AsyncWrite for TcpStream {
 
     fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         // Kernel TCP sockets have no userspace buffer to flush.
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// The read half of a split [`TcpStream`].
+pub struct OwnedReadHalf {
+    inner: std::net::TcpStream,
+}
+
+impl AsyncRead for OwnedReadHalf {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        match (&self.inner).read(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                timer::register(Instant::now() + READ_RETRY, cx.waker().clone());
+                Poll::Pending
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// The write half of a split [`TcpStream`].
+pub struct OwnedWriteHalf {
+    inner: std::net::TcpStream,
+}
+
+impl OwnedWriteHalf {
+    /// Shuts down part of the connection; see [`TcpStream::shutdown_now`].
+    pub fn shutdown_now(&self, how: std::net::Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl AsyncWrite for OwnedWriteHalf {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        match (&self.inner).write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                timer::register(Instant::now() + READ_RETRY, cx.waker().clone());
+                Poll::Pending
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         Poll::Ready(Ok(()))
     }
 }

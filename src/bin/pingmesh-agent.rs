@@ -4,11 +4,14 @@
 //! (`pingmesh-controller`, `pingmesh-collector`, `pingmesh-agent`).
 //!
 //! ```text
-//! pingmesh-agent --server ID --controller ADDR --collector ADDR
+//! pingmesh-agent --server ID --controller ADDR [--controller ADDR ...]
+//!                --collector ADDR
 //!                [--listen-echo ADDR] [--listen-http ADDR]
 //!                [--topology FILE] [--round-secs N] [--poll-secs N]
 //! ```
 //!
+//! `--controller` may be repeated: the agent round-robins its polls over
+//! the replicas and fails over past dead ones, like the paper's SLB VIP.
 //! Addresses in the pinglist are probed directly (production behaviour).
 //! Probe rounds are clamped to the hard-coded 10-second floor.
 //!
@@ -28,7 +31,7 @@ use std::time::Duration;
 
 struct Args {
     server: u32,
-    controller: SocketAddr,
+    controllers: Vec<SocketAddr>,
     collector: SocketAddr,
     listen_echo: String,
     listen_http: String,
@@ -39,7 +42,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut server = None;
-    let mut controller = None;
+    let mut controllers = Vec::new();
     let mut collector = None;
     let mut listen_echo = "0.0.0.0:8100".to_string();
     let mut listen_http = "0.0.0.0:8180".to_string();
@@ -52,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--server" => server = Some(value("--server")?.parse().map_err(|e| format!("{e}"))?),
             "--controller" => {
-                controller = Some(value("--controller")?.parse().map_err(|e| format!("{e}"))?)
+                controllers.push(value("--controller")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--collector" => {
                 collector = Some(value("--collector")?.parse().map_err(|e| format!("{e}"))?)
@@ -68,16 +71,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: pingmesh-agent --server ID --controller ADDR \
-                            --collector ADDR [--listen-echo ADDR] [--listen-http ADDR] \
+                            [--controller ADDR ...] --collector ADDR \
+                            [--listen-echo ADDR] [--listen-http ADDR] \
                             [--topology FILE] [--round-secs N] [--poll-secs N]"
                     .into());
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
+    let server = server.ok_or("--server is required")?;
+    if controllers.is_empty() {
+        return Err("--controller is required (repeat it for replicas)".into());
+    }
     Ok(Args {
-        server: server.ok_or("--server is required")?,
-        controller: controller.ok_or("--controller is required")?,
+        server,
+        controllers,
         collector: collector.ok_or("--collector is required")?,
         listen_echo,
         listen_http,
@@ -147,16 +155,16 @@ fn main() {
         tokio::spawn(serve_http(http));
 
         // The client part: the always-on probe loop.
-        let mut config = RealAgentConfig::new(
+        let mut config = RealAgentConfig::with_controllers(
             ServerId(args.server),
-            args.controller,
+            args.controllers.clone(),
             args.collector,
         );
         config.addressing = Addressing::Direct;
         let agent = RealAgent::new(config, topo, PeerDirectory::new());
         println!(
-            "agent srv{} probing via controller {} / collector {} (rounds every {}s, polls every {}s)",
-            args.server, args.controller, args.collector, args.round_secs, args.poll_secs
+            "agent srv{} probing via controllers {:?} / collector {} (rounds every {}s, polls every {}s)",
+            args.server, args.controllers, args.collector, args.round_secs, args.poll_secs
         );
         let (_tx, rx) = tokio::sync::watch::channel(false);
         // Runs until killed; _tx is held so the channel stays open.

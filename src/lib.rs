@@ -10,3 +10,6 @@ pub use pingmesh_realmode as realmode;
 
 /// Observability substrate: events, spans, metrics, exporters.
 pub use pingmesh_obs as obs;
+
+/// Minimal HTTP/1.1 framing shared by the real-socket services.
+pub use pingmesh_httpx as httpx;

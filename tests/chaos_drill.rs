@@ -1,0 +1,242 @@
+//! End-to-end chaos drill over real sockets.
+//!
+//! A miniature Pingmesh fleet (two controller replicas + collector, all
+//! behind fault-injecting proxies) runs while the drill kills, stalls,
+//! and restores control-plane endpoints, asserting the paper's
+//! robustness story (§3.3.2, §3.4.2, §3.5) end to end:
+//!
+//! 1. **Healthy baseline** — agents fetch, probe, upload; watchdog clean.
+//! 2. **One replica killed** — the client-side VIP fails over; nobody
+//!    fail-closes, every poll stays deadline-bounded.
+//! 3. **Collector stalled** — uploads time out, retry on jittered
+//!    backoff, then discard; agents keep probing with bounded memory.
+//! 4. **Total controller outage** — agents fail-close after exactly 3
+//!    polls each, every poll deadline-bounded; watchdog surfaces
+//!    `ControllerClusterDown` + `AgentsStopped`.
+//! 5. **Restore** — one successful poll resumes every agent, records
+//!    flow again, watchdog findings clear.
+//!
+//! Every transition is also visible in the metrics registry, and the
+//! drill finishes by scraping the collector's real `/metrics` endpoint
+//! and asserting the new counters appear in the Prometheus exposition.
+//!
+//! Deterministic under the fixed seed: the only probabilistic machinery
+//! (proxy jitter, flaky rolls, backoff jitter) is seeded, and no toxic
+//! used here is probabilistic.
+
+use pingmesh::controller::GeneratorConfig;
+use pingmesh::realmode::{ClusterOptions, LocalCluster, RealAgent, RealWatchdog, Toxic};
+use pingmesh::topology::TopologySpec;
+use pingmesh::types::ServerId;
+use pingmesh::WatchdogFinding;
+use std::time::{Duration, Instant};
+
+/// Per-phase control-plane deadline for the drill's agents. Small, so a
+/// stalled endpoint costs little wall-clock; every bound below derives
+/// from it.
+const CALL_DEADLINE: Duration = Duration::from_millis(300);
+
+fn counter(name: &str) -> u64 {
+    pingmesh::obs::registry().counter(name).get()
+}
+
+async fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    let mut stream = tokio::net::TcpStream::connect(addr).await.expect("connect");
+    pingmesh::httpx::write_request(&mut stream, &pingmesh::httpx::Request::get("/metrics"))
+        .await
+        .expect("write");
+    let resp = pingmesh::httpx::read_response(&mut stream)
+        .await
+        .expect("read");
+    assert_eq!(resp.status, 200);
+    String::from_utf8(resp.body).expect("utf8 metrics")
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn chaos_drill_kill_stall_restore() {
+    let drill_start = Instant::now();
+    let cluster = LocalCluster::start_with(
+        TopologySpec::single_tiny(),
+        GeneratorConfig::default(),
+        ClusterOptions {
+            controller_replicas: 2,
+            chaos: true,
+            seed: 42,
+        },
+    )
+    .await;
+
+    let mut agents: Vec<RealAgent> = [ServerId(0), ServerId(3), ServerId(7)]
+        .into_iter()
+        .map(|s| cluster.agent(s))
+        .collect();
+    for a in &mut agents {
+        a.config_mut().call_deadline = CALL_DEADLINE;
+    }
+    let mut watchdog = RealWatchdog::new(Duration::from_secs(60));
+    watchdog.call_deadline = CALL_DEADLINE;
+
+    // ── Phase 1: healthy baseline ────────────────────────────────────
+    for a in &mut agents {
+        a.poll_controller().await;
+        assert!(!a.is_stopped());
+        assert!(a.probe_round_once().await > 0, "baseline probes");
+        a.flush(true).await;
+    }
+    let baseline_records = cluster.collector().stats().records;
+    assert!(baseline_records > 0, "baseline records stored");
+    {
+        let refs: Vec<&RealAgent> = agents.iter().collect();
+        let findings = watchdog.check(&cluster, &refs).await;
+        assert!(findings.is_empty(), "healthy fleet: {findings:?}");
+    }
+
+    // ── Phase 2: replica 0 killed — VIP failover keeps the fleet fed ─
+    cluster.controller_chaos(0).set_toxic(Toxic::Refuse);
+    let failovers_before = counter("pingmesh_realmode_failovers_total");
+    for a in &mut agents {
+        // Two polls so every agent's round-robin cursor crosses the dead
+        // replica at least once.
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            a.poll_controller().await;
+            assert!(
+                t0.elapsed() < 2 * CALL_DEADLINE + Duration::from_secs(1),
+                "poll must stay deadline-bounded during a replica outage: {:?}",
+                t0.elapsed()
+            );
+            assert!(!a.is_stopped(), "failover must prevent fail-close");
+            assert!(a.peer_count() > 0);
+        }
+    }
+    assert!(
+        counter("pingmesh_realmode_failovers_total") >= failovers_before + agents.len() as u64,
+        "every agent failed over past the dead replica"
+    );
+
+    // ── Phase 3: collector stalls — bounded retries, then discard ────
+    cluster.collector_chaos().set_toxic(Toxic::Stall);
+    let retries_before = counter("pingmesh_realmode_retries_total");
+    let timeouts_before = counter("pingmesh_realmode_timeouts_total");
+    {
+        let a = &mut agents[0];
+        assert!(a.probe_round_once().await > 0);
+        let t0 = Instant::now();
+        a.flush(true).await;
+        // 4 attempts × deadline + 3 jittered backoff sleeps (≤ 350 ms
+        // total at the 50 ms base) — nowhere near the stall ceiling.
+        assert!(
+            t0.elapsed() < 4 * CALL_DEADLINE + Duration::from_secs(2),
+            "flush must be retry-bounded, not stall-bound: {:?}",
+            t0.elapsed()
+        );
+        assert!(a.discarded() > 0, "retries exhausted must discard");
+    }
+    assert!(counter("pingmesh_realmode_retries_total") > retries_before);
+    assert!(counter("pingmesh_realmode_timeouts_total") > timeouts_before);
+    {
+        let refs: Vec<&RealAgent> = agents.iter().collect();
+        let findings = watchdog.check(&cluster, &refs).await;
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, WatchdogFinding::RecordsDiscarded(_))),
+            "watchdog must surface the unhealthy upload path: {findings:?}"
+        );
+    }
+
+    // ── Phase 4: total controller outage — fleet fail-closes ────────
+    cluster.controller_chaos(0).set_toxic(Toxic::Stall);
+    cluster.controller_chaos(1).set_toxic(Toxic::Stall);
+    let fail_closed_before = counter("pingmesh_realmode_fail_closed_transitions_total");
+    for a in &mut agents {
+        for poll in 0..3 {
+            let t0 = Instant::now();
+            a.poll_controller().await;
+            assert!(
+                t0.elapsed() < 2 * CALL_DEADLINE + Duration::from_secs(1),
+                "poll {poll} must stay deadline-bounded with every replica stalled: {:?}",
+                t0.elapsed()
+            );
+        }
+        assert!(a.is_stopped(), "3 failed polls fail-close the agent");
+        assert_eq!(
+            a.probe_round_once().await,
+            0,
+            "fail-closed agents don't probe"
+        );
+    }
+    assert_eq!(
+        counter("pingmesh_realmode_fail_closed_transitions_total"),
+        fail_closed_before + agents.len() as u64,
+        "each agent records exactly one fail-close transition"
+    );
+    {
+        let refs: Vec<&RealAgent> = agents.iter().collect();
+        let findings = watchdog.check(&cluster, &refs).await;
+        assert!(
+            findings.contains(&WatchdogFinding::ControllerClusterDown),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, WatchdogFinding::AgentsStopped(n) if *n == agents.len())),
+            "{findings:?}"
+        );
+    }
+
+    // ── Phase 5: restore — the fleet resumes per §3.4.2 ──────────────
+    cluster.controller_chaos(0).set_toxic(Toxic::Pass);
+    cluster.controller_chaos(1).set_toxic(Toxic::Pass);
+    cluster.collector_chaos().set_toxic(Toxic::Pass);
+    let resumes_before = counter("pingmesh_realmode_resumes_total");
+    for a in &mut agents {
+        a.poll_controller().await;
+        assert!(
+            !a.is_stopped(),
+            "one valid pinglist resumes a stopped agent"
+        );
+        assert!(a.probe_round_once().await > 0, "probing resumes");
+        a.flush(true).await;
+    }
+    assert_eq!(
+        counter("pingmesh_realmode_resumes_total"),
+        resumes_before + agents.len() as u64
+    );
+    assert!(
+        cluster.collector().stats().records > baseline_records,
+        "records flow again after restore"
+    );
+    {
+        let refs: Vec<&RealAgent> = agents.iter().collect();
+        let findings = watchdog.check(&cluster, &refs).await;
+        assert!(findings.is_empty(), "recovered fleet: {findings:?}");
+    }
+
+    // ── Epilogue: the whole story is visible on /metrics ─────────────
+    let text = scrape_metrics(cluster.collector_addr()).await;
+    for metric in [
+        "pingmesh_realmode_failovers_total",
+        "pingmesh_realmode_retries_total",
+        "pingmesh_realmode_timeouts_total",
+        "pingmesh_realmode_fail_closed_transitions_total",
+        "pingmesh_realmode_resumes_total",
+        "pingmesh_realmode_discarded_records_total",
+        "pingmesh_realmode_watchdog_findings_total",
+        "pingmesh_chaos_faults_injected_total",
+        "pingmesh_chaos_toxic_set_total",
+    ] {
+        assert!(
+            text.contains(metric),
+            "{metric} missing from Prometheus exposition"
+        );
+    }
+
+    // The drill is an always-on-service test, not a soak: hard cap.
+    assert!(
+        drill_start.elapsed() < Duration::from_secs(60),
+        "drill exceeded its wall-clock budget: {:?}",
+        drill_start.elapsed()
+    );
+}
