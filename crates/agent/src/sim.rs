@@ -75,6 +75,14 @@ pub struct Agent {
     counters: AgentCounters,
     generation: u64,
     sanitized_entries: u64,
+    // Lifetime probe accounting (never reset, unlike the PA window
+    // counters): every outcome fed back through `record_outcome` lands in
+    // `probes_observed`, and the subset whose target did not resolve to a
+    // physical server (so no record was produced) in `unresolved_probes`.
+    // The correctness harness balances the fleet's conservation equation
+    // (observed = stored + buffered + discarded + unresolved) on these.
+    probes_observed: u64,
+    unresolved_probes: u64,
     // Last cumulative buffer-discard count folded into the fleet metric
     // (the windowed counter resets, so the delta needs its own baseline).
     discarded_seen: u64,
@@ -95,6 +103,8 @@ impl Agent {
             counters: AgentCounters::new(),
             generation: 0,
             sanitized_entries: 0,
+            probes_observed: 0,
+            unresolved_probes: 0,
             discarded_seen: 0,
             due_scratch: Vec::new(),
         }
@@ -218,7 +228,11 @@ impl Agent {
     ) {
         self.counters.observe(outcome);
         metrics().probes_sent.inc();
-        let Some(dst) = dst else { return };
+        self.probes_observed += 1;
+        let Some(dst) = dst else {
+            self.unresolved_probes += 1;
+            return;
+        };
         let s = self.topo.server(self.server);
         let d = self.topo.server(dst);
         self.buffer.push(ProbeRecord {
@@ -285,6 +299,29 @@ impl Agent {
     /// counter window resets every collection; this one never does).
     pub fn discarded_total(&self) -> u64 {
         self.buffer.discarded()
+    }
+
+    /// Lifetime count of probe outcomes fed back through
+    /// [`Agent::record_outcome`].
+    pub fn probes_observed(&self) -> u64 {
+        self.probes_observed
+    }
+
+    /// Lifetime count of probes whose target never resolved to a physical
+    /// server — counted but recordless (the conservation ledger's
+    /// "evaporated" column).
+    pub fn unresolved_probes(&self) -> u64 {
+        self.unresolved_probes
+    }
+
+    /// Records currently buffered, awaiting a future upload.
+    pub fn buffered_records(&self) -> u64 {
+        self.buffer.len() as u64
+    }
+
+    /// Whether an upload batch is in the uploader's hands right now.
+    pub fn has_pending_upload(&self) -> bool {
+        self.buffer.has_pending()
     }
 
     /// Live counters.

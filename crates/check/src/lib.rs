@@ -1,0 +1,63 @@
+//! # pingmesh-check — the deterministic correctness harness
+//!
+//! A seeded scenario fuzzer for the whole sim pipeline. One `u64` seed
+//! expands into a [`ScenarioSpec`] — topology shape, probe cadences,
+//! agent tunables, store geometry, and a fault schedule — which
+//! [`run_scenario`] drives end to end (topology → pinglists → probes
+//! against a faulted network → agent upload → store ingest → DSA
+//! ticks) before checking every invariant oracle in [`oracle`]:
+//!
+//! 1. probe conservation (nothing the fleet observed vanishes),
+//! 2. CRDT laws + shard-partition independence of window aggregates,
+//! 3. quantile monotonicity and histogram-vs-exact agreement,
+//! 4. SLA row consistency and scope-family count sums,
+//! 5. zero-copy scan equivalence.
+//!
+//! Failing seeds are [`shrink`]-able to a minimal spec and printed as a
+//! ready-to-paste regression test ([`regression_snippet`]); pin those
+//! tests in the crate that owns the bug. The `pingmesh-fuzz` binary
+//! runs seed campaigns and the CI smoke gate (`scripts/ci.sh
+//! --fuzz-smoke`).
+//!
+//! Everything is deterministic: the harness draws from its own
+//! [`rng::XorShift`] (independent of the netsim RNG it audits), so the
+//! same seed always produces the same scenario, the same run, and the
+//! same verdict — a failing seed from CI reproduces locally, bit for
+//! bit.
+
+pub mod oracle;
+pub mod rng;
+pub mod run;
+pub mod scenario;
+pub mod shrink;
+
+pub use oracle::Violation;
+pub use run::{run_scenario, RunReport};
+pub use scenario::ScenarioSpec;
+pub use shrink::{regression_snippet, shrink};
+
+/// Outcome of a seed campaign: every report, plus the shrunk spec of the
+/// first failure (if any).
+#[derive(Debug)]
+pub struct Campaign {
+    /// One report per seed, in seed order.
+    pub reports: Vec<RunReport>,
+    /// Minimal failing spec for the first failing seed.
+    pub shrunk: Option<ScenarioSpec>,
+}
+
+/// Runs `seeds` scenarios starting at seed 0. Stops shrinking after the
+/// first failure (later failures stay in the reports, unshrunk).
+pub fn run_campaign(seeds: u64, smoke: bool) -> Campaign {
+    let mut reports = Vec::with_capacity(seeds as usize);
+    let mut shrunk = None;
+    for seed in 0..seeds {
+        let spec = ScenarioSpec::generate(seed, smoke);
+        let report = run_scenario(&spec);
+        if !report.violations.is_empty() && shrunk.is_none() {
+            shrunk = Some(shrink::shrink(&spec));
+        }
+        reports.push(report);
+    }
+    Campaign { reports, shrunk }
+}

@@ -1,0 +1,482 @@
+//! Invariant oracles.
+//!
+//! Each oracle inspects the quiesced state of one run and returns the
+//! invariant violations it found. Oracles never mutate the run (the
+//! CRDT oracle builds *new* stores and aggregates from copies); a clean
+//! run returns no violations from any of them.
+//!
+//! The five families, per the harness design:
+//!
+//! 1. **Probe conservation** — every probe an agent observed is stored,
+//!    still buffered, discarded, or was unresolvable; nothing vanishes.
+//! 2. **CRDT laws** — window aggregates and latency histograms merge
+//!    commutatively and associatively, and re-ingesting the same records
+//!    shuffled into different batches/extents/streams yields a bit-equal
+//!    merged aggregate (shard-partition independence). The store's
+//!    merge-based rollup equals a from-raw rebuild at 1, 2, and max
+//!    worker threads.
+//! 3. **Quantile sanity** — histogram quantiles are monotone in `q`,
+//!    stay inside `[min, max]`, and track the exact nearest-rank
+//!    quantile of the raw samples to within one log-bucket.
+//! 4. **SLA row consistency** — drop rates are finite and in `[0, 1]`,
+//!    p50 ≤ p99, and every per-scope family's outcome counts sum to the
+//!    aggregate's record count.
+//! 5. **Zero-copy scan equivalence** — chunked scans concatenate to
+//!    exactly the record-copy scan, without bumping the copy counter.
+
+use crate::rng::XorShift;
+use crate::scenario::ScenarioSpec;
+use pingmesh_core::Orchestrator;
+use pingmesh_dsa::{CosmosStore, ScopeStats, StreamName, WindowAggregate, PARTIAL_WINDOW};
+use pingmesh_types::quantile::quantile_in_place;
+use pingmesh_types::{DcId, ProbeRecord, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One invariant violation: which oracle tripped, and on what.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Oracle family, e.g. `"conservation"`.
+    pub oracle: String,
+    /// Human-readable description with the offending numbers.
+    pub detail: String,
+}
+
+fn violation(oracle: &str, detail: String) -> Violation {
+    Violation {
+        oracle: oracle.to_string(),
+        detail,
+    }
+}
+
+/// Smallest 10-min-aligned time strictly after every stored record.
+fn aligned_end(orch: &Orchestrator) -> SimTime {
+    let w = PARTIAL_WINDOW.as_micros();
+    SimTime((orch.now().0 / w + 1) * w)
+}
+
+/// Oracle 1: probe conservation.
+///
+/// At quiescence: `Σ observed == probes_run` and
+/// `Σ observed == stored + Σ buffered + Σ discarded + Σ unresolved`.
+/// The upload loop is synchronous, so no batch may still be in flight.
+pub fn check_conservation(orch: &Orchestrator) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let topo = orch.net().topology().clone();
+    let mut observed = 0u64;
+    let mut buffered = 0u64;
+    let mut discarded = 0u64;
+    let mut unresolved = 0u64;
+    for s in topo.servers() {
+        let a = orch.agent(s);
+        observed += a.probes_observed();
+        buffered += a.buffered_records();
+        discarded += a.discarded_total();
+        unresolved += a.unresolved_probes();
+        if a.has_pending_upload() {
+            out.push(violation(
+                "conservation",
+                format!("server {} has an in-flight upload at quiescence", s.0),
+            ));
+        }
+    }
+    let probes_run = orch.outputs().probes_run;
+    if observed != probes_run {
+        out.push(violation(
+            "conservation",
+            format!("agents observed {observed} probes but the sim ran {probes_run}"),
+        ));
+    }
+    let stored = orch.pipeline().store.record_count();
+    let accounted = stored + buffered + discarded + unresolved;
+    if observed != accounted {
+        out.push(violation(
+            "conservation",
+            format!(
+                "observed {observed} != stored {stored} + buffered {buffered} \
+                 + discarded {discarded} + unresolved {unresolved} = {accounted}"
+            ),
+        ));
+    }
+    out
+}
+
+/// Oracle 2a: the store's merge-based window rollup is bit-equal to a
+/// from-raw rebuild at 1, 2, and max worker threads.
+pub fn check_window_partials(orch: &Orchestrator) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let end = aligned_end(orch);
+    let store = &orch.pipeline().store;
+    let merged = store.merged_window_aggregate(SimTime::ZERO, end);
+    let records = store.collect_window_records(SimTime::ZERO, end);
+    let services = orch.pipeline().services();
+    for threads in [1, 2, pingmesh_par::max_threads()] {
+        let rebuilt = WindowAggregate::build_par_threads_with(&records, threads, Some(services));
+        if rebuilt != merged {
+            out.push(violation(
+                "crdt",
+                format!(
+                    "merged partials disagree with a {threads}-thread rebuild \
+                     ({} vs {} records)",
+                    merged.record_count, rebuilt.record_count
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Oracle 2b: CRDT merge laws plus shard-partition independence — the
+/// run's records, shuffled and re-ingested in different batches into a
+/// fresh store with different extents and streams, produce a bit-equal
+/// merged aggregate.
+pub fn check_crdt_reingest(orch: &Orchestrator, spec: &ScenarioSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let end = aligned_end(orch);
+    let store = &orch.pipeline().store;
+    let services = orch.pipeline().services();
+    let mut records = store.collect_window_records(SimTime::ZERO, end);
+    if records.is_empty() {
+        return out;
+    }
+
+    // Merge laws on thirds of the record set.
+    let third = records.len().div_ceil(3);
+    let parts: Vec<WindowAggregate> = records
+        .chunks(third)
+        .map(|c| WindowAggregate::build_with(c, Some(services)))
+        .collect();
+    if parts.len() >= 2 {
+        let (a, b) = (&parts[0], &parts[1]);
+        let mut ab = a.clone();
+        ab.merge(b);
+        let mut ba = b.clone();
+        ba.merge(a);
+        if ab != ba {
+            out.push(violation(
+                "crdt",
+                "WindowAggregate::merge is not commutative".into(),
+            ));
+        }
+        if let Some(c) = parts.get(2) {
+            let mut ab_c = ab.clone();
+            ab_c.merge(c);
+            let mut bc = b.clone();
+            bc.merge(c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            if ab_c != a_bc {
+                out.push(violation(
+                    "crdt",
+                    "WindowAggregate::merge is not associative".into(),
+                ));
+            }
+        }
+    }
+
+    // Shard-partition independence: shuffle, re-batch, re-shard.
+    let mut rng = XorShift::new(spec.seed ^ 0xA5A5_5A5A_D00D_FEED);
+    rng.shuffle(&mut records);
+    let alt_cap = (spec.extent_cap as usize % 97) + 3;
+    let mut fresh = CosmosStore::new(alt_cap, 1);
+    fresh.set_service_map(Arc::new(services.clone()));
+    let dcs: Vec<DcId> = orch.net().topology().dcs().collect();
+    let batches = (spec.reingest_batches.max(1) as usize).min(records.len());
+    for chunk in records.chunks(records.len().div_ceil(batches)) {
+        let dc = dcs[(rng.next_u64() as usize) % dcs.len()];
+        fresh.append(StreamName { dc }, chunk, SimTime::ZERO);
+    }
+    let original = store.merged_window_aggregate(SimTime::ZERO, end);
+    let reingested = fresh.merged_window_aggregate(SimTime::ZERO, end);
+    if original != reingested {
+        out.push(violation(
+            "crdt",
+            format!(
+                "re-ingesting {} records in {} shuffled batches (extent cap {}) \
+                 changed the merged aggregate",
+                records.len(),
+                batches,
+                alt_cap
+            ),
+        ));
+    }
+    out
+}
+
+const Q_GRID: [f64; 9] = [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0];
+
+fn check_hist_monotone(
+    label: &str,
+    hist: &pingmesh_types::LatencyHistogram,
+    out: &mut Vec<Violation>,
+) {
+    if hist.is_empty() {
+        return;
+    }
+    let (min, max) = (hist.min().unwrap(), hist.max().unwrap());
+    let mut prev = None;
+    for q in Q_GRID {
+        let v = hist.quantile(q).expect("non-empty histogram");
+        if v < min || v > max {
+            out.push(violation(
+                "quantile",
+                format!(
+                    "{label}: quantile({q}) = {}µs outside [{}, {}]µs",
+                    v.as_micros(),
+                    min.as_micros(),
+                    max.as_micros()
+                ),
+            ));
+        }
+        if let Some(p) = prev {
+            if v < p {
+                out.push(violation(
+                    "quantile",
+                    format!("{label}: quantile({q}) decreased"),
+                ));
+            }
+        }
+        prev = Some(v);
+    }
+}
+
+/// One log-bucket is a 1/16-octave (≈4.4%) span and the histogram
+/// answers with a clamped geometric midpoint, so "within one bucket of
+/// exact" is a ≤ ~10% relative error. A couple of µs of absolute slack
+/// covers the sub-32 µs octaves where buckets are integer-quantized.
+fn within_one_bucket(hist_us: u64, exact_us: u64) -> bool {
+    let tol = (exact_us as f64 * 0.12).max(2.0);
+    (hist_us as f64 - exact_us as f64).abs() <= tol
+}
+
+/// Oracle 3: quantile monotonicity across every histogram the window
+/// produced, plus a cross-check of histogram quantiles against the exact
+/// nearest-rank quantile of the raw per-DC samples.
+pub fn check_quantiles(orch: &Orchestrator) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let end = aligned_end(orch);
+    let store = &orch.pipeline().store;
+    let agg = store.merged_window_aggregate(SimTime::ZERO, end);
+
+    for (k, h) in &agg.hists {
+        check_hist_monotone(&format!("hists[{k:?}]"), h, &mut out);
+    }
+    for (k, h) in &agg.podset_matrix {
+        check_hist_monotone(&format!("podset_matrix[{k:?}]"), h, &mut out);
+    }
+    for (dc, s) in &agg.per_dc {
+        check_hist_monotone(&format!("per_dc[{dc:?}]"), &s.latency, &mut out);
+    }
+
+    // Exact cross-check: per-DC raw successful RTTs vs the folded hist.
+    let records = store.collect_window_records(SimTime::ZERO, end);
+    for (&dc, scope) in &agg.per_dc {
+        let mut raw: Vec<u64> = records
+            .iter()
+            .filter(|r| r.src_dc == dc)
+            .filter_map(|r| r.outcome.rtt())
+            .map(|d| d.as_micros())
+            .collect();
+        if raw.is_empty() {
+            continue;
+        }
+        if raw.len() as u64 != scope.latency.count() {
+            out.push(violation(
+                "quantile",
+                format!(
+                    "per_dc[{dc:?}]: hist holds {} samples but the raw window has {}",
+                    scope.latency.count(),
+                    raw.len()
+                ),
+            ));
+            continue;
+        }
+        for q in Q_GRID {
+            let exact = *quantile_in_place(&mut raw, q).expect("non-empty");
+            let hist = scope.latency.quantile(q).expect("non-empty").as_micros();
+            if !within_one_bucket(hist, exact) {
+                out.push(violation(
+                    "quantile",
+                    format!(
+                        "per_dc[{dc:?}]: quantile({q}) hist {hist}µs vs exact {exact}µs \
+                         is more than one bucket off"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn family_total<'a, K: 'a>(m: impl IntoIterator<Item = (&'a K, &'a ScopeStats)>) -> u64 {
+    m.into_iter().map(|(_, s)| s.stats.total()).sum()
+}
+
+/// Oracle 4: SLA rows are internally consistent and every scope family's
+/// outcome counts sum back to the aggregate's record count.
+pub fn check_sla_rows(orch: &Orchestrator) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let end = aligned_end(orch);
+    let w = PARTIAL_WINDOW.as_micros();
+    let db = &orch.pipeline().db;
+    for k in 0..end.0 / w {
+        let window = SimTime(k * w);
+        for row in db.window_rows(window) {
+            if !row.drop_rate.is_finite() || !(0.0..=1.0).contains(&row.drop_rate) {
+                out.push(violation(
+                    "sla",
+                    format!(
+                        "row {:?}@{}: drop_rate {} outside [0, 1]",
+                        row.scope, window.0, row.drop_rate
+                    ),
+                ));
+            }
+            if row.p50_us > row.p99_us {
+                out.push(violation(
+                    "sla",
+                    format!(
+                        "row {:?}@{}: p50 {}µs > p99 {}µs",
+                        row.scope, window.0, row.p50_us, row.p99_us
+                    ),
+                ));
+            }
+        }
+    }
+
+    let agg = orch
+        .pipeline()
+        .store
+        .merged_window_aggregate(SimTime::ZERO, end);
+    let n = agg.record_count;
+    for (family, total) in [
+        ("per_server", family_total(&agg.per_server)),
+        ("per_pod", family_total(&agg.per_pod)),
+        ("per_podset", family_total(&agg.per_podset)),
+        ("per_dc", family_total(&agg.per_dc)),
+    ] {
+        if total != n {
+            out.push(violation(
+                "sla",
+                format!("{family} outcome counts sum to {total}, expected {n} records"),
+            ));
+        }
+    }
+    out
+}
+
+/// Oracle 5: chunked zero-copy scans concatenate to exactly the
+/// record-by-record scan — on aligned and unaligned windows — and never
+/// touch the record-copy counter.
+pub fn check_scan_equivalence(orch: &Orchestrator) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let store = &orch.pipeline().store;
+    let end = aligned_end(orch);
+    let w = PARTIAL_WINDOW.as_micros();
+    // One aligned window, one straddling window starts mid-bucket.
+    let windows = [
+        (SimTime::ZERO, end),
+        (
+            SimTime(w / 2 + 12_345),
+            SimTime(end.0.saturating_sub(w / 3)),
+        ),
+    ];
+    let topo = orch.net().topology().clone();
+    let copies_before = store.record_copy_count();
+    for (from, to) in windows {
+        let mut per_stream = 0usize;
+        for dc in topo.dcs() {
+            let s = StreamName { dc };
+            let flat: Vec<&ProbeRecord> = store
+                .scan_window_chunks(s, from, to)
+                .into_iter()
+                .flatten()
+                .collect();
+            let seq: Vec<&ProbeRecord> = store.scan_window(s, from, to).collect();
+            if flat != seq {
+                out.push(violation(
+                    "scan",
+                    format!(
+                        "stream dc{}: chunked scan of [{}, {}) yields {} records, \
+                         record scan {}  (or differing order/content)",
+                        dc.0,
+                        from.0,
+                        to.0,
+                        flat.len(),
+                        seq.len()
+                    ),
+                ));
+            }
+            per_stream += seq.len();
+        }
+        let all_chunked: usize = store
+            .scan_all_window_chunks(from, to)
+            .iter()
+            .map(|c| c.len())
+            .sum();
+        let all_seq = store.scan_all_window(from, to).count();
+        if all_chunked != all_seq || all_seq != per_stream {
+            out.push(violation(
+                "scan",
+                format!(
+                    "[{}, {}): all-stream chunked {} vs sequential {} vs per-stream {}",
+                    from.0, to.0, all_chunked, all_seq, per_stream
+                ),
+            ));
+        }
+    }
+    if store.record_copy_count() != copies_before {
+        out.push(violation(
+            "scan",
+            "chunked scans bumped the record-copy counter".into(),
+        ));
+    }
+    // The copying path must agree with the zero-copy path in content.
+    let copied = store.collect_window_records(SimTime::ZERO, end);
+    let zero_copy: Vec<ProbeRecord> = store.scan_all_window(SimTime::ZERO, end).copied().collect();
+    if copied != zero_copy {
+        out.push(violation(
+            "scan",
+            "collect_window_records disagrees with scan_all_window".into(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pingmesh_types::LatencyHistogram;
+    use pingmesh_types::SimDuration;
+
+    #[test]
+    fn hist_crdt_laws_hold_on_disjoint_corpora() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for i in 0..500u64 {
+            a.record(SimDuration::from_micros(100 + i));
+            b.record(SimDuration::from_micros(50_000 + 37 * i));
+            c.record(SimDuration::from_micros(1 + i % 40));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "histogram merge must commute");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "histogram merge must associate");
+    }
+
+    #[test]
+    fn within_one_bucket_tracks_log_bucket_width() {
+        assert!(within_one_bucket(100, 100));
+        assert!(within_one_bucket(108, 100), "4.4% bucket + midpoint");
+        assert!(!within_one_bucket(130, 100), "a 30% miss is a real bug");
+        assert!(within_one_bucket(11, 10), "small octaves get ±2µs slack");
+    }
+}

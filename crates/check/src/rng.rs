@@ -1,0 +1,90 @@
+//! The harness's own seeded generator.
+//!
+//! The fuzzer must be deterministic end to end — same seed, same
+//! scenario, same verdict — and independent of everything it checks, so
+//! it carries its own xorshift64* instead of borrowing the netsim RNG it
+//! is busy auditing.
+
+/// A self-contained xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Folds an arbitrary seed into a valid (never-zero) state.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// True with probability `permille`/1000.
+    pub fn chance(&mut self, permille: u64) -> bool {
+        self.next_u64() % 1_000 < permille
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_nonconstant() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut r = XorShift::new(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2_000 {
+            let v = r.range(2, 5);
+            assert!((2..=5).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = XorShift::new(11);
+        let mut xs: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "a 32-element shuffle virtually never fixes");
+    }
+}

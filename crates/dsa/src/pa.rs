@@ -135,7 +135,8 @@ mod tests {
         assert_eq!(s.probes_sent, 400);
         // success-weighted: (1e-4*100 + 3e-4*300)/400 = 2.5e-4
         assert!((s.drop_rate - 2.5e-4).abs() < 1e-12);
-        assert_eq!(s.p99_median_us, 1_800); // index 1 of [1200, 1800]
+        // Nearest-rank median of two samples is the first (rank ⌈1⌉).
+        assert_eq!(s.p99_median_us, 1_200);
         assert_eq!(s.p99_max_us, 1_800);
     }
 

@@ -680,6 +680,93 @@ mod tests {
     }
 
     #[test]
+    fn unsorted_extent_across_ten_min_boundary_loses_and_duplicates_nothing() {
+        // Satellite regression: the `partition_point` trim in `chunks_of`
+        // is only valid on extents whose `sorted` flag is set. This
+        // extent is appended out of order *straddling* the 10-min window
+        // boundary, so a trim that ignored the flag would both lose
+        // in-window records (those before `lo`) and leak out-of-window
+        // ones (between `lo` and `hi`).
+        let mut store = CosmosStore::new(100, 1);
+        let ts = [
+            W + 30_000_000, // second window
+            W - 10_000_000, // first window, after a later ts → unsorted
+            W + 1,          // second window, boundary + 1 µs
+            W - 1,          // first window, boundary - 1 µs
+            2 * W - 1,      // second window, right edge
+            5_000_000,      // first window, early
+            W,              // exactly on the boundary → second window
+        ];
+        let batch: Vec<ProbeRecord> = ts.iter().map(|&t| rec(t)).collect();
+        store.append(S, &batch, SimTime(0));
+        assert_eq!(store.extent_count(S), 1, "one straddling extent");
+        for (from, to) in [(0, W), (W, 2 * W), (0, 2 * W)] {
+            let (from, to) = (SimTime(from), SimTime(to));
+            let mut flat: Vec<u64> = store
+                .scan_window_chunks(S, from, to)
+                .iter()
+                .flat_map(|c| c.iter())
+                .map(|r| r.ts.as_micros())
+                .collect();
+            let mut expect: Vec<u64> = ts
+                .iter()
+                .copied()
+                .filter(|&t| t >= from.as_micros() && t < to.as_micros())
+                .collect();
+            flat.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(flat, expect, "window [{from:?}, {to:?})");
+        }
+        // The two half-windows partition the full window exactly: no
+        // record lost, none duplicated.
+        let count = |from, to| {
+            store
+                .scan_window_chunks(S, SimTime(from), SimTime(to))
+                .iter()
+                .map(|c| c.len())
+                .sum::<usize>()
+        };
+        assert_eq!(count(0, W) + count(W, 2 * W), ts.len());
+        // And chunked output stays identical to the filtered scan.
+        let flat: Vec<ProbeRecord> = store
+            .scan_window_chunks(S, SimTime(0), SimTime(W))
+            .iter()
+            .flat_map(|c| c.iter())
+            .copied()
+            .collect();
+        let scanned: Vec<ProbeRecord> = store
+            .scan_window(S, SimTime(0), SimTime(W))
+            .copied()
+            .collect();
+        assert_eq!(flat, scanned);
+    }
+
+    #[test]
+    fn sorted_extent_trim_is_exact_at_window_boundaries() {
+        // Companion to the unsorted case: a time-sorted straddling extent
+        // takes the binary-search trim, which must honour the half-open
+        // [from, to) convention exactly (a record at `to` is excluded, a
+        // record at `from` included).
+        let mut store = CosmosStore::new(100, 1);
+        let batch: Vec<ProbeRecord> = [W - 2, W - 1, W, W + 1].iter().map(|&t| rec(t)).collect();
+        store.append(S, &batch, SimTime(0));
+        let flat: Vec<u64> = store
+            .scan_window_chunks(S, SimTime(0), SimTime(W))
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|r| r.ts.as_micros())
+            .collect();
+        assert_eq!(flat, vec![W - 2, W - 1]);
+        let flat: Vec<u64> = store
+            .scan_window_chunks(S, SimTime(W), SimTime(2 * W))
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|r| r.ts.as_micros())
+            .collect();
+        assert_eq!(flat, vec![W, W + 1]);
+    }
+
+    #[test]
     fn ingest_partials_match_rebuild_on_straddling_extents() {
         // Extent cap of 7 deliberately misaligns extent boundaries with
         // the 10-min windows, so extents straddle tick bounds.

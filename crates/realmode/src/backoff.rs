@@ -41,6 +41,11 @@ pub struct Backoff {
 }
 
 impl Backoff {
+    /// Smallest delay [`Backoff::next_delay`] will ever return. Backoff
+    /// exists to shed load off a struggling endpoint; anything under a
+    /// millisecond is indistinguishable from not backing off at all.
+    pub const MIN_DELAY: Duration = Duration::from_millis(1);
+
     /// A policy starting at `base`, never exceeding `cap`, jittered by a
     /// generator seeded with `seed` (same seed ⇒ same delay sequence).
     pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
@@ -64,7 +69,12 @@ impl Backoff {
     }
 
     /// The next delay to sleep before retrying: exponential in the number
-    /// of attempts so far, capped, jittered into `[delay/2, delay]`.
+    /// of attempts so far, capped, jittered into `[delay/2, delay]`, and
+    /// floored at [`Backoff::MIN_DELAY`]. The floor is what makes a
+    /// mis-configured zero (or sub-millisecond) base safe: without it a
+    /// zero base returned `Duration::ZERO` forever and the retry loop
+    /// degenerated into a busy spin against the very endpoint it was
+    /// backing off from.
     pub fn next_delay(&mut self) -> Duration {
         let exp = self.attempt.min(20); // 2^20 * base saturates any cap we use
         self.attempt = self.attempt.saturating_add(1);
@@ -73,13 +83,14 @@ impl Backoff {
             .checked_mul(1u32 << exp)
             .unwrap_or(Duration::MAX)
             .min(self.cap);
-        let micros = uncapped.as_micros() as u64;
-        if micros == 0 {
-            return Duration::ZERO;
-        }
+        // Ceiling first (never above the cap), floor second (never below
+        // 1 ms). The cap itself is floored so the two bounds can't cross
+        // on a degenerate `cap < MIN_DELAY` policy.
+        let floor_us = Self::MIN_DELAY.as_micros() as u64;
+        let micros = (uncapped.as_micros() as u64).max(floor_us);
         let half = micros / 2;
         let jittered = half + next_u64(&mut self.rng) % (micros - half + 1);
-        Duration::from_micros(jittered)
+        Duration::from_micros(jittered.max(floor_us))
     }
 
     /// Re-arms the policy after a success: the next failure starts back
@@ -145,6 +156,57 @@ mod tests {
         assert_eq!(b.attempts(), 0);
         // First post-reset delay is back in the base bracket.
         assert!(b.next_delay() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_base_never_yields_zero_delay() {
+        // Regression: a zero base made `next_delay` return
+        // `Duration::ZERO` on every call — the retry loop busy-spun
+        // against the endpoint it was supposed to back off from.
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_secs(2), 9);
+        for i in 0..32 {
+            let d = b.next_delay();
+            assert!(d >= Backoff::MIN_DELAY, "attempt {i}: {d:?} below floor");
+            assert!(d <= Duration::from_secs(2), "attempt {i}: {d:?} over cap");
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_base_floors_at_min_delay() {
+        // Regression: a 100 µs base produced 50–100 µs jittered delays —
+        // sub-millisecond sleeps that round to "no backoff" on every
+        // timer wheel we'd run on. The floor must hold from attempt 0.
+        let mut b = Backoff::new(Duration::from_micros(100), Duration::from_secs(2), 11);
+        let d = b.next_delay();
+        assert!(d >= Backoff::MIN_DELAY, "first delay {d:?} below 1 ms");
+    }
+
+    #[test]
+    fn cap_holds_long_after_attempt_saturates() {
+        // The exponent pins at 2^20 and `attempt` saturates; the cap must
+        // keep holding arbitrarily deep into the sequence.
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(Duration::from_millis(50), cap, 13);
+        for _ in 0..10_000 {
+            let d = b.next_delay();
+            assert!(d <= cap, "{d:?} exceeds the cap");
+            assert!(d >= Backoff::MIN_DELAY);
+        }
+        assert_eq!(b.attempts(), 10_000);
+    }
+
+    #[test]
+    fn adjacent_seeds_do_not_lockstep() {
+        // Thundering-herd protection: agents seed from their server id,
+        // so *adjacent* seeds are the common case. Each neighbouring pair
+        // must disagree somewhere in its first delays.
+        for seed in 0..32u64 {
+            let mut a = Backoff::control_plane(seed);
+            let mut b = Backoff::control_plane(seed + 1);
+            let sa: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+            let sb: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+            assert_ne!(sa, sb, "seeds {seed} and {} lockstep", seed + 1);
+        }
     }
 
     #[test]

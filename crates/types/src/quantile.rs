@@ -10,11 +10,15 @@
 
 use std::cmp::Ordering;
 
-/// Nearest-rank index for quantile `q` over `n` samples:
-/// `floor(q·n)` clamped to `n-1`. For `q = 0.5` this equals `n / 2`, the
-/// index a sort-then-index median takes.
+/// Nearest-rank index for quantile `q` over `n` samples: the 1-based
+/// nearest rank `ceil(q·n)` (clamped to `[1, n]`), returned as a 0-based
+/// index. This is the same convention [`crate::hist::LatencyHistogram`]
+/// uses, so histogram and raw-sample percentiles agree up to bucket
+/// resolution. (An earlier floor-based variant disagreed with the
+/// histogram on even sample counts — e.g. the median of two samples took
+/// the *larger* one here and the smaller one in the histogram.)
 fn rank(n: usize, q: f64) -> usize {
-    ((n as f64 * q) as usize).min(n - 1)
+    ((n as f64 * q).ceil() as usize).clamp(1, n) - 1
 }
 
 /// Selects the `q`-quantile (`0.0..=1.0`, nearest-rank) of `xs` in
@@ -61,10 +65,28 @@ mod tests {
     }
 
     #[test]
-    fn median_rank_matches_len_over_two() {
+    fn median_rank_is_nearest_rank() {
+        // Nearest-rank (1-based ceil): median index = ceil(n/2) - 1.
         for n in [1usize, 2, 3, 100, 101] {
-            assert_eq!(rank(n, 0.5), n / 2, "n={n}");
+            assert_eq!(rank(n, 0.5), n.div_ceil(2) - 1, "n={n}");
         }
+        // Boundary quantiles pin the extremes for every n.
+        for n in [1usize, 2, 7, 100] {
+            assert_eq!(rank(n, 0.0), 0, "q=0 n={n}");
+            assert_eq!(rank(n, 1.0), n - 1, "q=1 n={n}");
+        }
+    }
+
+    #[test]
+    fn rank_agrees_with_histogram_convention() {
+        // Regression for the quantile-convention split: the histogram's
+        // 1-based ceil nearest rank and this module's index must select
+        // the same order statistic. n=2, q=0.5 is the smallest case the
+        // old floor-based rank got wrong (it picked index 1, the larger
+        // sample; the histogram picks rank 1, the smaller).
+        assert_eq!(rank(2, 0.5), 0);
+        let mut xs = [100u64, 100_000];
+        assert_eq!(quantile_in_place(&mut xs, 0.5), Some(&100));
     }
 
     #[test]
@@ -82,9 +104,9 @@ mod tests {
     #[test]
     fn f64_handles_nan_via_total_cmp() {
         let mut xs = vec![3.0, f64::NAN, 1.0, 2.0];
-        // NaN sorts last under total_cmp, so the median of 4 values is the
-        // rank-2 element of [1, 2, 3, NaN] = 3.0.
-        assert_eq!(quantile_f64_in_place(&mut xs, 0.5), Some(3.0));
+        // NaN sorts last under total_cmp, so the nearest-rank median of 4
+        // values is the rank-⌈2⌉ element of [1, 2, 3, NaN] = 2.0.
+        assert_eq!(quantile_f64_in_place(&mut xs, 0.5), Some(2.0));
         let mut clean = vec![5.0, 1.0, 3.0];
         assert_eq!(quantile_f64_in_place(&mut clean, 0.5), Some(3.0));
     }

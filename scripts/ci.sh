@@ -6,16 +6,24 @@
 # record out of the store, or if the merged hourly rollup is not bit-equal
 # to the golden rebuild-from-raw. Pass --chaos-smoke to also run the
 # seeded end-to-end chaos drill (replica kill → collector stall → total
-# controller outage → restore) under a hard wall-clock cap.
+# controller outage → restore) under a hard wall-clock cap. Pass
+# --fuzz-smoke to also run the deterministic correctness harness
+# (crates/check) over a fixed 50-seed scenario corpus: every invariant
+# oracle (probe conservation, CRDT laws, quantiles, SLA rows, zero-copy
+# scans) must pass and the pipeline must be run-to-run deterministic.
+# The full campaign (`pingmesh-fuzz --seeds 500`) is for bug hunts, not
+# the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
+FUZZ_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
+    --fuzz-smoke) FUZZ_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -37,6 +45,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "$BENCH_SMOKE" = 1 ]; then
   step "hotpath bench smoke (zero-allocation + zero-copy tick gates)"
   cargo run --release -q -p pingmesh-bench --bin hotpath -- --smoke --check
+fi
+
+if [ "$FUZZ_SMOKE" = 1 ]; then
+  step "fuzz smoke (50 seeded scenarios, all oracles, 60 s cap)"
+  timeout 60 cargo run --release -q -p pingmesh --bin pingmesh-fuzz -- \
+    --seeds 50 --smoke --out target/telemetry/fuzz.json
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then

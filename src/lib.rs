@@ -11,5 +11,8 @@ pub use pingmesh_realmode as realmode;
 /// Observability substrate: events, spans, metrics, exporters.
 pub use pingmesh_obs as obs;
 
+/// Deterministic correctness harness: scenario fuzzer, oracles, shrinking.
+pub use pingmesh_check as check;
+
 /// Minimal HTTP/1.1 framing shared by the real-socket services.
 pub use pingmesh_httpx as httpx;
