@@ -235,7 +235,7 @@ impl Agent {
         };
         let s = self.topo.server(self.server);
         let d = self.topo.server(dst);
-        self.buffer.push(ProbeRecord {
+        let rec = ProbeRecord {
             ts: now,
             src: self.server,
             dst,
@@ -250,7 +250,10 @@ impl Agent {
             src_port: due.src_port,
             dst_port: due.entry.port,
             outcome,
-        });
+        };
+        // Provenance: one relaxed load when nothing is armed.
+        pingmesh_obs::trace::on_probe(&rec);
+        self.buffer.push(rec);
     }
 
     /// Whether an upload should start now.

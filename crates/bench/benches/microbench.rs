@@ -13,8 +13,8 @@ use pingmesh_core::dsa::agg::WindowAggregate;
 use pingmesh_core::netsim::{DcProfile, SimNet};
 use pingmesh_core::topology::{DcSpec, Router, Topology, TopologySpec};
 use pingmesh_core::types::{
-    FiveTuple, LatencyHistogram, PodId, ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId,
-    SimDuration, SimTime,
+    DcId, FiveTuple, LatencyHistogram, PingTarget, Pinglist, PinglistEntry, PodId, PodsetId,
+    ProbeKind, ProbeOutcome, ProbeRecord, QosClass, ServerId, SimDuration, SimTime,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -217,6 +217,61 @@ fn bench_obs(c: &mut Criterion) {
     });
     let ctr = pingmesh_obs::registry().counter("pingmesh_bench_micro_total");
     c.bench_function("obs_counter_inc", |b| b.iter(|| ctr.inc()));
+
+    // Tracing acceptance, same shape as the disabled-emit proof: with a
+    // trace armed, pushing an UNSAMPLED record through `on_probe` must
+    // not touch the heap — the id recompute is stack-only FNV and the
+    // armed-table miss takes no ownership. This is the per-probe cost
+    // every agent pays on every record, sampled or not.
+    pingmesh_obs::trace::reset();
+    pingmesh_obs::trace::set_sample_mod(1);
+    let lists = vec![Pinglist {
+        server: ServerId(1),
+        generation: 1,
+        entries: vec![PinglistEntry {
+            target: PingTarget::Server {
+                id: ServerId(2),
+                ip: std::net::Ipv4Addr::new(10, 0, 0, 2),
+            },
+            port: 80,
+            kind: ProbeKind::TcpSyn,
+            qos: QosClass::High,
+            interval: SimDuration::from_secs(10),
+        }],
+    }];
+    pingmesh_obs::trace::arm_from_pinglists(&lists, Some(SimTime::ZERO));
+    pingmesh_obs::trace::set_sample_mod(1024);
+    let unsampled = ProbeRecord {
+        ts: SimTime(1),
+        src: ServerId(7),
+        dst: ServerId(8),
+        src_pod: PodId(0),
+        dst_pod: PodId(1),
+        src_podset: PodsetId(0),
+        dst_podset: PodsetId(0),
+        src_dc: DcId(0),
+        dst_dc: DcId(0),
+        kind: ProbeKind::TcpSyn,
+        qos: QosClass::High,
+        src_port: 40_000,
+        dst_port: 80,
+        outcome: ProbeOutcome::Success {
+            rtt: SimDuration::from_micros(400),
+        },
+    };
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        pingmesh_obs::trace::on_probe(&unsampled);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "unsampled trace path allocated {allocs} times in 10k probes"
+    );
+    c.bench_function("obs_trace_on_probe_unsampled", |b| {
+        b.iter(|| pingmesh_obs::trace::on_probe(&unsampled))
+    });
+    pingmesh_obs::trace::reset();
 }
 
 criterion_group! {

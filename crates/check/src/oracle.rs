@@ -23,14 +23,19 @@
 //!    aggregate's record count.
 //! 5. **Zero-copy scan equivalence** — chunked scans concatenate to
 //!    exactly the record-copy scan, without bumping the copy counter.
+//! 6. **Data-quality SLOs** — the quality job's coverage and
+//!    completeness ratios equal ground truth derived independently: the
+//!    copying scan for observed pod pairs, and the probe-conservation
+//!    ledger (`stored + discarded`) for the completeness denominator.
 
 use crate::rng::XorShift;
 use crate::scenario::ScenarioSpec;
 use pingmesh_core::Orchestrator;
 use pingmesh_dsa::{CosmosStore, ScopeStats, StreamName, WindowAggregate, PARTIAL_WINDOW};
 use pingmesh_types::quantile::quantile_in_place;
-use pingmesh_types::{DcId, ProbeRecord, SimTime};
+use pingmesh_types::{DcId, PodId, ProbeRecord, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// One invariant violation: which oracle tripped, and on what.
@@ -437,6 +442,165 @@ pub fn check_scan_equivalence(orch: &Orchestrator) -> Vec<Violation> {
         out.push(violation(
             "scan",
             "collect_window_records disagrees with scan_all_window".into(),
+        ));
+    }
+    out
+}
+
+fn observed_pairs_by_copying_scan(
+    store: &CosmosStore,
+    expected: &pingmesh_dsa::ExpectedPairs,
+    from: SimTime,
+    to: SimTime,
+) -> BTreeSet<(PodId, PodId)> {
+    store
+        .collect_window_records(from, to)
+        .iter()
+        .filter(|r| expected.contains(r.src_pod, r.dst_pod))
+        .map(|r| (r.src_pod, r.dst_pod))
+        .collect()
+}
+
+/// Oracle 6: data-quality SLO values equal ground truth.
+///
+/// Two layers:
+///
+/// * the report the last DSA tick left behind is internally consistent —
+///   its coverage numerator matches a *copying*-scan recount over the
+///   report's own window (the job itself uses the zero-copy path), its
+///   denominators match the installed expectations, and every status is
+///   the pure re-evaluation of its own value and target;
+/// * a fresh evaluation over the quiesced store agrees with the probe
+///   conservation ledger: every probe that was observed and neither
+///   unresolvable nor still buffered must be stored or discarded, so the
+///   completeness denominator is exactly `stored + discarded` and the
+///   numerator exactly `stored`.
+///
+/// The fresh evaluation republishes the SLO gauges (same values), but
+/// never mutates the run itself.
+pub fn check_quality(orch: &Orchestrator, spec: &ScenarioSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let pipeline = orch.pipeline();
+    let Some(expected) = pipeline.expected_pairs() else {
+        out.push(violation(
+            "quality",
+            "no expected pod pairs installed on the pipeline".into(),
+        ));
+        return out;
+    };
+    let expected: &pingmesh_dsa::ExpectedPairs = expected;
+    let store = &pipeline.store;
+
+    // (a) The last tick's report, if any, is internally consistent.
+    if let Some(q) = pipeline.latest_quality() {
+        if q.coverage.den != expected.len() as u64 {
+            out.push(violation(
+                "quality",
+                format!(
+                    "coverage denominator {} != {} expected pairs",
+                    q.coverage.den,
+                    expected.len()
+                ),
+            ));
+        }
+        if q.completeness.den != pipeline.scheduled_probes() {
+            out.push(violation(
+                "quality",
+                format!(
+                    "completeness denominator {} != scheduled snapshot {}",
+                    q.completeness.den,
+                    pipeline.scheduled_probes()
+                ),
+            ));
+        }
+        // No pair recount here: the report is a snapshot of the store as
+        // of the tick, and in-window records legitimately keep arriving
+        // afterwards (agents buffer up to a full window). The recount
+        // cross-check runs on the fresh quiescence-time evaluation below.
+        let recount = observed_pairs_by_copying_scan(store, expected, q.window_start, q.window_end);
+        if q.coverage.num > recount.len() as u64 {
+            out.push(violation(
+                "quality",
+                format!(
+                    "coverage numerator {} exceeds the final recount {} over [{}, {}) — \
+                     the job counted pairs that were never stored",
+                    q.coverage.num,
+                    recount.len(),
+                    q.window_start.0,
+                    q.window_end.0
+                ),
+            ));
+        }
+        for s in &q.statuses {
+            let re = pingmesh_obs::slo::evaluate(s.kind, s.value, s.target);
+            if re.healthy != s.healthy || (re.burn_rate - s.burn_rate).abs() > 1e-9 {
+                out.push(violation(
+                    "quality",
+                    format!(
+                        "status for {:?} is not a pure function of value and target",
+                        s.kind
+                    ),
+                ));
+            }
+        }
+    } else if spec.sim_minutes >= 22 && orch.outputs().probes_run > 0 {
+        // The first 10-min window folds at 20 sim-minutes (window end +
+        // ingest lag); past that a quality report must exist.
+        out.push(violation(
+            "quality",
+            format!("no quality report after {} sim-minutes", spec.sim_minutes),
+        ));
+    }
+
+    // (b) Fresh evaluation at quiescence vs the conservation ledger.
+    let topo = orch.net().topology().clone();
+    let (mut observed, mut unresolved, mut buffered, mut discarded) = (0u64, 0u64, 0u64, 0u64);
+    for s in topo.servers() {
+        let a = orch.agent(s);
+        observed += a.probes_observed();
+        unresolved += a.unresolved_probes();
+        buffered += a.buffered_records();
+        discarded += a.discarded_total();
+    }
+    let scheduled_now = observed - unresolved - buffered;
+    let report = pingmesh_dsa::quality::evaluate(
+        store,
+        expected,
+        scheduled_now,
+        orch.now(),
+        &pipeline.quality_cfg,
+    );
+    let stored = store.record_count();
+    if report.completeness.den != stored + discarded {
+        out.push(violation(
+            "quality",
+            format!(
+                "completeness denominator {} != ledger stored {stored} + discarded {discarded}",
+                report.completeness.den
+            ),
+        ));
+    }
+    if report.completeness.num != stored {
+        out.push(violation(
+            "quality",
+            format!(
+                "completeness numerator {} != stored {stored}",
+                report.completeness.num
+            ),
+        ));
+    }
+    let recount =
+        observed_pairs_by_copying_scan(store, expected, report.window_start, report.window_end);
+    if report.coverage.num != recount.len() as u64 || report.coverage.den != expected.len() as u64 {
+        out.push(violation(
+            "quality",
+            format!(
+                "quiesced coverage {}/{} != recount {}/{}",
+                report.coverage.num,
+                report.coverage.den,
+                recount.len(),
+                expected.len()
+            ),
         ));
     }
     out

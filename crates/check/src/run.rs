@@ -192,6 +192,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> RunReport {
     violations.extend(oracle::check_quantiles(&orch));
     violations.extend(oracle::check_sla_rows(&orch));
     violations.extend(oracle::check_scan_equivalence(&orch));
+    violations.extend(oracle::check_quality(&orch, spec));
 
     let reg = pingmesh_obs::registry();
     reg.counter("pingmesh_check_scenarios_total").inc();

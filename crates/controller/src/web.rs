@@ -39,8 +39,11 @@ impl WebState {
         Self::default()
     }
 
-    /// Atomically installs a new pinglist generation.
+    /// Atomically installs a new pinglist generation. Sampled entries are
+    /// armed for provenance tracing (wall-clock stamps — real-socket mode
+    /// has no shared virtual clock).
     pub fn set_pinglists(&self, set: PinglistSet) {
+        pingmesh_obs::trace::arm_from_pinglists(&set.lists, None);
         *self.lists.write() = Some(Arc::new(set));
     }
 

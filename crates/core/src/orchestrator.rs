@@ -20,7 +20,7 @@ use pingmesh_agent::{Agent, AgentConfig, ControllerPollOutcome};
 use pingmesh_controller::{ControllerCluster, GeneratorConfig, PinglistGenerator};
 use pingmesh_dsa::jobs::{JobManager, Pipeline};
 use pingmesh_dsa::store::{CosmosStore, StreamName};
-use pingmesh_dsa::{LatencyPattern, PerfCounterAggregator, SilentDropFinding};
+use pingmesh_dsa::{ExpectedPairs, LatencyPattern, PerfCounterAggregator, SilentDropFinding};
 use pingmesh_netsim::{tcp_traceroute, DcProfile, EventQueue, SimNet, TracerouteReport};
 use pingmesh_topology::{ServiceMap, Topology};
 use pingmesh_types::{DcId, PingTarget, ServerId, SimDuration, SimTime, SwitchId};
@@ -114,14 +114,21 @@ impl Orchestrator {
         let generator = PinglistGenerator::new(config.generator.clone());
         let mut cluster = ControllerCluster::new(config.controller_replicas);
         let generation = 1;
-        cluster.set_pinglists(generator.generate_all(&topo, generation));
+        let set = generator.generate_all(&topo, generation);
+        // Provenance + quality: arm sampled traces and derive the pod
+        // pairs this generation is expected to report, while the full
+        // generation is still in hand.
+        pingmesh_obs::trace::arm_from_pinglists(&set.lists, Some(SimTime::ZERO));
+        let expected = Arc::new(ExpectedPairs::from_pinglists(&topo, &set.lists));
+        cluster.set_pinglists(set);
 
         let agents: Vec<Agent> = topo
             .servers()
             .map(|s| Agent::new(s, topo.clone(), config.agent.clone()))
             .collect();
 
-        let pipeline = Pipeline::new(topo.clone(), services, CosmosStore::with_defaults());
+        let mut pipeline = Pipeline::new(topo.clone(), services, CosmosStore::with_defaults());
+        pipeline.set_expected_pairs(expected);
         let jobman = JobManager::new();
 
         let mut queue = EventQueue::new();
@@ -228,8 +235,14 @@ impl Orchestrator {
         self.generation += 1;
         self.config.generator = generator_config.clone();
         let generator = PinglistGenerator::new(generator_config);
-        self.cluster
-            .set_pinglists(generator.generate_all(self.net.topology(), self.generation));
+        let set = generator.generate_all(self.net.topology(), self.generation);
+        pingmesh_obs::trace::arm_from_pinglists(&set.lists, Some(self.queue.now()));
+        self.pipeline
+            .set_expected_pairs(Arc::new(ExpectedPairs::from_pinglists(
+                self.net.topology(),
+                &set.lists,
+            )));
+        self.cluster.set_pinglists(set);
     }
 
     /// Runs the simulation until virtual time `end` (inclusive of events
@@ -340,6 +353,7 @@ impl Orchestrator {
         if self.agents[s.index()].upload_due(now) {
             let dc = self.net.topology().server(s).dc;
             if let Some(batch) = self.agents[s.index()].begin_upload() {
+                pingmesh_obs::trace::on_upload_batch(&batch, Some(now));
                 loop {
                     let ok = self.pipeline.store.append(StreamName { dc }, &batch, now);
                     if ok {
@@ -376,6 +390,19 @@ impl Orchestrator {
     fn handle_jobs(&mut self, now: SimTime) {
         let ticks = self.jobman.due(now);
         self.queue.schedule(self.jobman.next_wakeup(), Ev::JobWake);
+        if !ticks.is_empty() {
+            // Refresh the completeness denominator from the conservation
+            // ledger: every observed probe that resolved and has left the
+            // agent's buffer should be a stored record by now — discarded
+            // records are the shortfall. (Still-buffered records are lag,
+            // not loss; they are excluded rather than counted against.)
+            let scheduled: u64 = self
+                .agents
+                .iter()
+                .map(|a| a.probes_observed() - a.unresolved_probes() - a.buffered_records())
+                .sum();
+            self.pipeline.set_scheduled_probes(scheduled);
+        }
         for tick in ticks {
             let out = self.pipeline.run_tick(tick);
             self.outputs.alerts.extend(out.alerts);

@@ -12,6 +12,7 @@
 //! returns none.
 
 use crate::orchestrator::Orchestrator;
+use pingmesh_obs::slo::SloKind;
 use pingmesh_types::SimDuration;
 use std::fmt;
 
@@ -38,6 +39,13 @@ pub enum WatchdogFinding {
     RecordsDiscarded(u64),
     /// The PA fast path has produced no samples.
     PaSilent,
+    /// A data-quality SLO (quality job, 10-min cadence) is out of target.
+    SloDegraded {
+        /// Which SLO degraded.
+        kind: SloKind,
+        /// Error-budget burn rate ×1000 (1000 = exactly at target).
+        burn_permille: u64,
+    },
 }
 
 impl WatchdogFinding {
@@ -53,6 +61,11 @@ impl WatchdogFinding {
             WatchdogFinding::StaleSlaRows => "stale_sla",
             WatchdogFinding::RecordsDiscarded(_) => "records_discarded",
             WatchdogFinding::PaSilent => "pa_silent",
+            WatchdogFinding::SloDegraded { kind, .. } => match kind {
+                SloKind::Coverage => "slo_coverage",
+                SloKind::Completeness => "slo_completeness",
+                SloKind::Freshness => "slo_freshness",
+            },
         }
     }
 }
@@ -83,6 +96,16 @@ impl fmt::Display for WatchdogFinding {
                 write!(f, "{n} records discarded by agents (upload path unhealthy)")
             }
             WatchdogFinding::PaSilent => write!(f, "the PA fast path has no samples"),
+            WatchdogFinding::SloDegraded {
+                kind,
+                burn_permille,
+            } => write!(
+                f,
+                "data-quality SLO `{}` out of target (burn rate {}.{:03}x)",
+                kind.as_str(),
+                burn_permille / 1000,
+                burn_permille % 1000,
+            ),
         }
     }
 }
@@ -168,6 +191,18 @@ impl Watchdog {
             && topo.dcs().all(|dc| o.pa().series(dc).is_empty())
         {
             findings.push(WatchdogFinding::PaSilent);
+        }
+
+        // Data-quality SLOs, straight off the latest 10-min quality job.
+        if let Some(quality) = o.pipeline().latest_quality() {
+            for status in &quality.statuses {
+                if !status.healthy {
+                    findings.push(WatchdogFinding::SloDegraded {
+                        kind: status.kind,
+                        burn_permille: (status.burn_rate * 1000.0).round().max(0.0) as u64,
+                    });
+                }
+            }
         }
 
         findings
@@ -260,6 +295,18 @@ mod tests {
             WatchdogFinding::StaleSlaRows,
             WatchdogFinding::RecordsDiscarded(10),
             WatchdogFinding::PaSilent,
+            WatchdogFinding::SloDegraded {
+                kind: SloKind::Coverage,
+                burn_permille: 2_500,
+            },
+            WatchdogFinding::SloDegraded {
+                kind: SloKind::Completeness,
+                burn_permille: 1_000,
+            },
+            WatchdogFinding::SloDegraded {
+                kind: SloKind::Freshness,
+                burn_permille: 4_000,
+            },
         ];
         let rendered: std::collections::HashSet<String> =
             all.iter().map(|f| f.to_string()).collect();

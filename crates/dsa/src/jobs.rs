@@ -21,6 +21,7 @@ use crate::db::{ResultsDb, ScopeKey, SlaRow};
 use crate::detect::blackhole::{BlackholeDetector, BlackholeFinding};
 use crate::detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
 use crate::detect::silent::{SilentDropDetector, SilentDropFinding};
+use crate::quality::{ExpectedPairs, QualityConfig, QualityReport};
 use crate::sla::ScopeSla;
 use crate::store::CosmosStore;
 use pingmesh_types::{DcId, SimDuration, SimTime};
@@ -158,6 +159,17 @@ pub struct Pipeline {
     pub silent: SilentDropDetector,
     /// Data retention horizon.
     pub retention: SimDuration,
+    /// Data-quality SLO targets for the 10-minute quality job.
+    pub quality_cfg: QualityConfig,
+    /// Pod pairs the active pinglist generation expects to report; the
+    /// quality job is skipped until the generator installs this.
+    expected: Option<Arc<ExpectedPairs>>,
+    /// Probes scheduled to have produced a stored record by now
+    /// (conservation-ledger `observed − unresolved − buffered`),
+    /// maintained by the orchestrator.
+    scheduled_probes: u64,
+    /// Most recent quality evaluation (10-min cadence).
+    latest_quality: Option<QualityReport>,
 }
 
 impl Pipeline {
@@ -180,7 +192,38 @@ impl Pipeline {
             blackhole: BlackholeDetector::default(),
             silent: SilentDropDetector::default(),
             retention: SimDuration::from_days(60),
+            quality_cfg: QualityConfig::default(),
+            expected: None,
+            scheduled_probes: 0,
+            latest_quality: None,
         }
+    }
+
+    /// Installs the expected pod-pair set of the active pinglist
+    /// generation, enabling the quality job on 10-minute ticks.
+    pub fn set_expected_pairs(&mut self, expected: Arc<ExpectedPairs>) {
+        self.expected = Some(expected);
+    }
+
+    /// The expected pod-pair set, if installed.
+    pub fn expected_pairs(&self) -> Option<&Arc<ExpectedPairs>> {
+        self.expected.as_ref()
+    }
+
+    /// Updates the scheduled-probe count the completeness SLO divides by.
+    pub fn set_scheduled_probes(&mut self, scheduled: u64) {
+        self.scheduled_probes = scheduled;
+    }
+
+    /// Scheduled-probe count currently used by the completeness SLO.
+    pub fn scheduled_probes(&self) -> u64 {
+        self.scheduled_probes
+    }
+
+    /// The most recent quality report, if a 10-minute tick has run since
+    /// [`Pipeline::set_expected_pairs`].
+    pub fn latest_quality(&self) -> Option<&QualityReport> {
+        self.latest_quality.as_ref()
     }
 
     /// The service map used for per-service SLAs.
@@ -211,6 +254,13 @@ impl Pipeline {
     /// windows) with zero per-record copies.
     pub fn run_tick(&mut self, tick: JobTick) -> TickOutput {
         let started = std::time::Instant::now();
+        // Sim-bounded span: wall duration is the tick compute, sim bounds
+        // are the window the tick covers.
+        let mut tick_span =
+            pingmesh_obs::span("dsa.jobs", "tick_window").sim_start(tick.window_start);
+        tick_span.set_sim_end(tick.window_end);
+        // The tick fires one ingest lag after its window closes.
+        let tick_now = tick.window_end + INGEST_LAG;
         let mut out = TickOutput::default();
         let agg = self
             .store
@@ -219,6 +269,7 @@ impl Pipeline {
 
         match tick.kind {
             JobKind::TenMin => {
+                pingmesh_obs::trace::on_tick(tick.window_start, tick.window_end, tick_now);
                 // SLA rollups → DB rows, straight off the merged
                 // aggregate's per-scope summaries (same numbers
                 // `SlaComputer::compute_from_aggregate` reports).
@@ -265,6 +316,27 @@ impl Pipeline {
                         out.incidents.push(finding);
                     }
                 }
+                // Quality job: Pingmesh monitors Pingmesh. Runs on the
+                // near-real-time cadence once the generator has told us
+                // what to expect. Coverage scans the window this tick
+                // just folded — the only range guaranteed fully
+                // ingested at tick time; a now-anchored horizon would
+                // count records still buffered at agents and read
+                // healthy runs as under-covered.
+                if let Some(expected) = self.expected.clone() {
+                    self.latest_quality = Some(crate::quality::evaluate_window(
+                        &self.store,
+                        &expected,
+                        self.scheduled_probes,
+                        tick.window_start,
+                        tick.window_end,
+                        tick_now,
+                        &self.quality_cfg,
+                    ));
+                }
+                // SLA rows for this window are now visible: finalize any
+                // sampled traces that were waiting on it.
+                pingmesh_obs::trace::on_sla(tick.window_start, tick.window_end, tick_now);
             }
             JobKind::Hourly => {
                 out.blackholes = Some(self.blackhole.detect(&agg, &self.topo));

@@ -34,6 +34,7 @@ pub mod detect;
 pub mod investigate;
 pub mod jobs;
 pub mod pa;
+pub mod quality;
 pub mod report;
 pub mod sla;
 pub mod store;
@@ -48,6 +49,7 @@ pub use detect::silent::{SilentDropDetector, SilentDropFinding};
 pub use investigate::{investigate, investigate_chunks, Investigation, SuspectFlow};
 pub use jobs::{JobKind, JobManager, JobTick, Pipeline, TickOutput};
 pub use pa::PerfCounterAggregator;
+pub use quality::{ExpectedPairs, QualityConfig, QualityReport, RatioSample};
 pub use report::daily_report;
 pub use sla::{ScopeSla, SlaComputer};
 pub use store::{CosmosStore, StreamName, PARTIAL_WINDOW};

@@ -139,6 +139,15 @@ impl CosmosStore {
         pingmesh_obs::registry()
             .counter("pingmesh_dsa_store_appended_records_total")
             .add(batch.len() as u64);
+        // Sim-bounded span: wall duration is the append compute; the sim
+        // bounds measure oldest-record-to-store ingest delay.
+        let mut span = pingmesh_obs::span("dsa.store", "append");
+        if let Some(oldest) = batch.iter().map(|r| r.ts).min() {
+            span = span.sim_start(oldest);
+        }
+        span.set_sim_end(t);
+        // Provenance: sampled records park here until their window ticks.
+        pingmesh_obs::trace::on_append_batch(batch, t, PARTIAL_WINDOW.as_micros());
         let extents = self.streams.entry(stream).or_default();
         for &rec in batch {
             let need_new = match extents.last() {
@@ -448,6 +457,22 @@ impl CosmosStore {
             .filter(|e| !e.records.is_empty())
             .map(|e| e.max_ts)
             .max()
+    }
+
+    /// Timestamp of the newest record per stream, from extent bounds
+    /// (O(extents)) — the freshness SLO's per-stream input.
+    pub fn newest_ts_per_stream(&self) -> Vec<(StreamName, SimTime)> {
+        self.streams
+            .iter()
+            .filter_map(|(stream, extents)| {
+                extents
+                    .iter()
+                    .filter(|e| !e.records.is_empty())
+                    .map(|e| e.max_ts)
+                    .max()
+                    .map(|ts| (*stream, ts))
+            })
+            .collect()
     }
 
     /// Number of extents in a stream.

@@ -75,6 +75,7 @@ pub struct SimNet {
     // observability cost must stay at a couple of atomic adds.
     probes_ctr: Arc<pingmesh_obs::Counter>,
     timeouts_ctr: Arc<pingmesh_obs::Counter>,
+    rtt_hist: Arc<pingmesh_obs::Histogram>,
 }
 
 impl SimNet {
@@ -97,6 +98,7 @@ impl SimNet {
             rng: SmallRng::seed_from_u64(seed),
             probes_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probes_total"),
             timeouts_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probe_timeouts_total"),
+            rtt_hist: pingmesh_obs::registry().histogram("pingmesh_netsim_probe_rtt_us"),
         }
     }
 
@@ -285,6 +287,13 @@ impl SimNet {
         let attempt = self.probe_qos_inner(src, target_ip, src_port, dst_port, kind, qos, t);
         if matches!(attempt.outcome, ProbeOutcome::Timeout) {
             self.timeouts_ctr.inc();
+        }
+        // Histogram recording takes a mutex, so unlike the counters it is
+        // gated on the observability switch.
+        if pingmesh_obs::enabled() {
+            if let ProbeOutcome::Success { rtt } = attempt.outcome {
+                self.rtt_hist.record(rtt);
+            }
         }
         attempt
     }

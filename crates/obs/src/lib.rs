@@ -32,7 +32,9 @@
 pub mod encode;
 mod event;
 mod metrics;
+pub mod slo;
 mod span;
+pub mod trace;
 
 pub use event::{Event, EventRing, Field, Level};
 pub use metrics::{
@@ -87,6 +89,24 @@ pub fn registry() -> &'static Registry {
         });
         r.callback_gauge("pingmesh_types_rtts_classified", &[], || {
             telemetry::RTTS_CLASSIFIED.load(Ordering::Relaxed) as f64
+        });
+        // Build identity and process uptime, Prometheus-style: build_info
+        // is a constant 1 whose labels carry the identity; uptime counts
+        // seconds since this registry (≈ the process) came up.
+        r.callback_gauge(
+            "pingmesh_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "commit",
+                    option_env!("PINGMESH_BUILD_COMMIT").unwrap_or("unknown"),
+                ),
+            ],
+            || 1.0,
+        );
+        let started = std::time::Instant::now();
+        r.callback_gauge("pingmesh_uptime_seconds", &[], move || {
+            started.elapsed().as_secs_f64()
         });
         r
     })

@@ -109,6 +109,7 @@ pub struct RealAgent {
     buffer: Vec<ProbeRecord>,
     counters: AgentCounters,
     discarded: u64,
+    produced: u64,
     epoch: Instant,
 }
 
@@ -124,6 +125,7 @@ impl RealAgent {
             buffer: Vec::new(),
             counters: AgentCounters::new(),
             discarded: 0,
+            produced: 0,
             epoch: Instant::now(),
         }
     }
@@ -152,6 +154,20 @@ impl RealAgent {
     /// Records discarded because uploads kept failing.
     pub fn discarded(&self) -> u64 {
         self.discarded
+    }
+
+    /// Lifetime count of probe records this agent has produced (whether
+    /// or not they were ultimately uploaded) — one side of the
+    /// completeness SLO's conservation ledger.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Records currently buffered awaiting upload. Buffered records are
+    /// lag, not loss — the completeness ledger subtracts them from the
+    /// produced side.
+    pub fn buffered(&self) -> u64 {
+        self.buffer.len() as u64
     }
 
     /// Counter snapshot for the PA path (resets the window).
@@ -287,7 +303,7 @@ impl RealAgent {
         self.counters.observe(outcome);
         let s = self.topo.server(self.config.me);
         let d = self.topo.server(peer);
-        self.buffer.push(ProbeRecord {
+        let rec = ProbeRecord {
             ts: self.now(),
             src: self.config.me,
             dst: peer,
@@ -302,7 +318,10 @@ impl RealAgent {
             src_port: 0, // the OS picked the ephemeral port
             dst_port: entry.port,
             outcome,
-        });
+        };
+        self.produced += 1;
+        pingmesh_obs::trace::on_probe(&rec);
+        self.buffer.push(rec);
     }
 
     /// Uploads the buffer if it reached the batch size; `force` flushes
@@ -312,6 +331,7 @@ impl RealAgent {
             return;
         }
         let batch = std::mem::take(&mut self.buffer);
+        pingmesh_obs::trace::on_upload_batch(&batch, Some(self.now()));
         let mut backoff = Backoff::control_plane(self.config.backoff_seed);
         for attempt in 0..=UPLOAD_RETRIES {
             match upload_records_with(self.config.collector, &batch, self.config.call_deadline)

@@ -20,6 +20,7 @@ use crate::collector::{serve_collector, Collector};
 use crate::directory::{PeerDirectory, PeerEndpoints};
 use pingmesh_agent::real::{serve_echo, serve_http};
 use pingmesh_controller::{serve, GeneratorConfig, PinglistGenerator, WebState};
+use pingmesh_dsa::ExpectedPairs;
 use pingmesh_topology::{Topology, TopologySpec};
 use pingmesh_types::ServerId;
 use std::net::SocketAddr;
@@ -51,6 +52,7 @@ impl Default for ClusterOptions {
 /// Handles to a running localhost deployment.
 pub struct LocalCluster {
     topo: Arc<Topology>,
+    generator_config: GeneratorConfig,
     controller_addrs: Vec<SocketAddr>,
     controller_states: Vec<Arc<WebState>>,
     controller_proxies: Vec<ChaosProxy>,
@@ -81,7 +83,7 @@ impl LocalCluster {
         // identically generated pinglist set (the generator is
         // deterministic for a given topology), mirroring the paper's
         // "set of servers behind one VIP".
-        let generator = PinglistGenerator::new(generator_config);
+        let generator = PinglistGenerator::new(generator_config.clone());
         let mut controller_addrs = Vec::new();
         let mut controller_states = Vec::new();
         let mut controller_proxies = Vec::new();
@@ -139,6 +141,7 @@ impl LocalCluster {
 
         Self {
             topo,
+            generator_config,
             controller_addrs,
             controller_states,
             controller_proxies,
@@ -200,6 +203,24 @@ impl LocalCluster {
     /// The shared peer directory.
     pub fn directory(&self) -> &PeerDirectory {
         &self.directory
+    }
+
+    /// The pod-pair coverage expectation for a deployment where only
+    /// `servers` run agents. The generator is deterministic for a given
+    /// topology and config, so this regenerates the same pinglists the
+    /// controller replicas serve and keeps only the named sources —
+    /// install the result with [`Collector::set_expected_pairs`] to arm
+    /// the coverage SLO.
+    ///
+    /// [`Collector::set_expected_pairs`]: crate::collector::Collector::set_expected_pairs
+    pub fn expected_pairs_for(&self, servers: &[ServerId]) -> ExpectedPairs {
+        let set = PinglistGenerator::new(self.generator_config.clone()).generate_all(&self.topo, 1);
+        let lists: Vec<_> = set
+            .lists
+            .into_iter()
+            .filter(|pl| servers.contains(&pl.server))
+            .collect();
+        ExpectedPairs::from_pinglists(&self.topo, &lists)
     }
 
     /// A fully wired agent for one of the topology's servers, configured

@@ -14,16 +14,27 @@
 //!   [`pingmesh_obs`] registry snapshot.
 //! * `GET /events?since=SEQ` — JSON-lines dump of buffered events with
 //!   sequence numbers greater than `SEQ` (`since=0` or no query: all
-//!   currently buffered events).
+//!   currently buffered events). The response carries exact drop
+//!   accounting in `x-pingmesh-events-dropped` (lifetime ring drops) and
+//!   `x-pingmesh-events-last-seq` headers, so a scraper can tell loss
+//!   from quiet.
+//! * `GET /healthz` — machine-readable pipeline health: per-stage
+//!   provenance span counts/latencies plus data-quality SLO status.
+//! * `GET /slo` — just the SLO evaluations, as a JSON array.
 
 use parking_lot::Mutex;
 use pingmesh_dsa::store::{CosmosStore, StreamName};
+use pingmesh_dsa::{ExpectedPairs, QualityConfig};
 use pingmesh_httpx::{read_request, write_response, Request, Response};
+use pingmesh_obs::slo::{self, SloKind, SloStatus};
+use pingmesh_obs::SampleValue;
 use pingmesh_types::{PingmeshError, ProbeRecord, SimTime};
 use serde::Serialize;
+use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tokio::net::{TcpListener, TcpStream};
 
 /// Collector statistics, served on `GET /stats`.
@@ -37,11 +48,66 @@ pub struct CollectorStats {
     pub physical_bytes: u64,
 }
 
+/// One SLO evaluation in the `/healthz` and `/slo` JSON surfaces.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct SloJson {
+    /// SLO kind: `coverage`, `completeness`, or `freshness`.
+    pub slo: String,
+    /// Measured value (ratio, or age in µs for freshness).
+    pub value: f64,
+    /// Configured target.
+    pub target: f64,
+    /// Whether the value meets the target.
+    pub healthy: bool,
+    /// Error-budget burn rate (1.0 = exactly at target).
+    pub burn_rate: f64,
+}
+
+/// One pipeline stage in the `/healthz` JSON surface.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct StageHealth {
+    /// Stage name (one of [`pingmesh_obs::trace::STAGES`]).
+    pub stage: String,
+    /// Provenance spans recorded for this stage so far.
+    pub spans: u64,
+    /// Median stage duration, µs (0 until a span lands).
+    pub p50_us: u64,
+    /// 99th-percentile stage duration, µs (0 until a span lands).
+    pub p99_us: u64,
+}
+
+/// The machine-readable health report served on `GET /healthz`.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct HealthReport {
+    /// True when every evaluated SLO is within target.
+    pub healthy: bool,
+    /// Every pipeline stage, in pipeline order, with span statistics.
+    pub stages: Vec<StageHealth>,
+    /// The data-quality SLO evaluations.
+    pub slos: Vec<SloJson>,
+}
+
+/// Mutable SLO inputs shared between the watchdog (which installs
+/// expectations) and the HTTP surface (which evaluates them on demand).
+struct SloState {
+    cfg: QualityConfig,
+    expected: Option<ExpectedPairs>,
+    /// Windowed `(stored, produced)` record counts, fed by the watchdog
+    /// (only it can see agent-side production counters).
+    completeness: Option<(u64, u64)>,
+}
+
 /// The collector: a shared store behind an HTTP front-end.
 #[derive(Clone)]
 pub struct Collector {
     store: Arc<Mutex<CosmosStore>>,
     accepting: Arc<AtomicBool>,
+    /// Reference point for freshness: record timestamps are agent-epoch
+    /// micros, and agents start moments after the collector, so ages
+    /// measured against this epoch overestimate by the startup skew —
+    /// pick freshness targets with a margin for it.
+    epoch: Instant,
+    slo: Arc<Mutex<SloState>>,
 }
 
 impl Default for Collector {
@@ -56,6 +122,145 @@ impl Collector {
         Self {
             store: Arc::new(Mutex::new(CosmosStore::with_defaults())),
             accepting: Arc::new(AtomicBool::new(true)),
+            epoch: Instant::now(),
+            slo: Arc::new(Mutex::new(SloState {
+                cfg: QualityConfig::default(),
+                expected: None,
+                completeness: None,
+            })),
+        }
+    }
+
+    /// Replaces the data-quality targets used by `/healthz` and `/slo`.
+    pub fn set_quality_config(&self, cfg: QualityConfig) {
+        self.slo.lock().cfg = cfg;
+    }
+
+    /// Installs the expected pod-pair set, enabling the coverage SLO.
+    pub fn set_expected_pairs(&self, expected: ExpectedPairs) {
+        self.slo.lock().expected = Some(expected);
+    }
+
+    /// Updates the windowed completeness ledger: `stored` records that
+    /// reached the store out of `produced` records agents emitted.
+    pub fn set_completeness(&self, stored: u64, produced: u64) {
+        self.slo.lock().completeness = Some((stored, produced));
+    }
+
+    /// Evaluates the data-quality SLOs against the live store right now.
+    /// Coverage requires [`Self::set_expected_pairs`], completeness
+    /// requires [`Self::set_completeness`]; freshness always evaluates
+    /// (an empty store counts as stale since the epoch). Publishes the
+    /// `pingmesh_slo_*` gauges as a side effect.
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        let now = SimTime(self.epoch.elapsed().as_micros() as u64);
+        let state = self.slo.lock();
+        let store = self.store.lock();
+        let mut out = Vec::with_capacity(3);
+        if let Some(expected) = &state.expected {
+            let horizon = state.cfg.coverage_horizon.as_micros();
+            let from = SimTime(now.as_micros().saturating_sub(horizon));
+            let mut observed: BTreeSet<(pingmesh_types::PodId, pingmesh_types::PodId)> =
+                BTreeSet::new();
+            for chunk in store.scan_all_window_chunks(from, now) {
+                for r in chunk {
+                    if expected.contains(r.src_pod, r.dst_pod) {
+                        observed.insert((r.src_pod, r.dst_pod));
+                    }
+                }
+            }
+            let value = if expected.is_empty() {
+                1.0
+            } else {
+                observed.len() as f64 / expected.len() as f64
+            };
+            out.push(slo::evaluate(
+                SloKind::Coverage,
+                value,
+                state.cfg.coverage_target,
+            ));
+        }
+        if let Some((stored, produced)) = state.completeness {
+            let value = if produced == 0 {
+                1.0
+            } else {
+                stored.min(produced) as f64 / produced as f64
+            };
+            out.push(slo::evaluate(
+                SloKind::Completeness,
+                value,
+                state.cfg.completeness_target,
+            ));
+        }
+        let newest = store.newest_ts_per_stream();
+        let registry = pingmesh_obs::registry();
+        let mut worst_age = if newest.is_empty() {
+            now.as_micros()
+        } else {
+            0
+        };
+        for (stream, ts) in &newest {
+            let age = now.as_micros().saturating_sub(ts.as_micros());
+            worst_age = worst_age.max(age);
+            let label = format!("{}", stream.dc);
+            registry
+                .gauge_with("pingmesh_dsa_freshness_us", &[("stream", label.as_str())])
+                .set(age as f64);
+        }
+        out.push(slo::evaluate(
+            SloKind::Freshness,
+            worst_age as f64,
+            state.cfg.freshness_target.as_micros() as f64,
+        ));
+        slo::publish(&out);
+        out
+    }
+
+    /// Builds the `/healthz` payload: SLO status plus a per-stage view of
+    /// the provenance-span histograms in the global registry. Stages with
+    /// no spans yet report zero counts rather than disappearing, so a
+    /// dashboard always renders the full pipeline.
+    pub fn health_report(&self) -> HealthReport {
+        let slos: Vec<SloJson> = self
+            .slo_statuses()
+            .iter()
+            .map(|s| SloJson {
+                slo: s.kind.as_str().to_string(),
+                value: s.value,
+                target: s.target,
+                healthy: s.healthy,
+                burn_rate: s.burn_rate,
+            })
+            .collect();
+        let snap = pingmesh_obs::registry().snapshot();
+        let stages = pingmesh_obs::trace::STAGES
+            .iter()
+            .map(|&stage| {
+                let sample = snap.samples.iter().find(|(id, _)| {
+                    id.name == "pingmesh_stage_duration_us"
+                        && id.labels.iter().any(|(k, v)| k == "stage" && v == stage)
+                });
+                match sample {
+                    Some((_, SampleValue::Histogram(h))) => StageHealth {
+                        stage: stage.to_string(),
+                        spans: h.count,
+                        p50_us: h.p50_us.unwrap_or(0),
+                        p99_us: h.p99_us.unwrap_or(0),
+                    },
+                    _ => StageHealth {
+                        stage: stage.to_string(),
+                        spans: 0,
+                        p50_us: 0,
+                        p99_us: 0,
+                    },
+                }
+            })
+            .collect();
+        let healthy = slos.iter().all(|s| s.healthy);
+        HealthReport {
+            healthy,
+            stages,
+            slos,
         }
     }
 
@@ -93,6 +298,8 @@ impl Collector {
             "/stats" => "stats",
             "/metrics" => "metrics",
             "/events" => "events",
+            "/healthz" => "healthz",
+            "/slo" => "slo",
             _ => "other",
         };
         registry
@@ -154,11 +361,38 @@ impl Collector {
                     },
                     None => 0,
                 };
-                let evs = pingmesh_obs::events().snapshot_since(since);
+                let ring = pingmesh_obs::events();
+                let evs = ring.snapshot_since(since);
                 let body = pingmesh_obs::encode::events_to_jsonl(&evs);
                 let mut resp = Response::ok(body.into_bytes());
                 resp.headers
                     .push(("content-type".into(), "application/x-ndjson".into()));
+                // Exact drop accounting: with these two headers a client
+                // can compute how many events it can never see as
+                // (last_seq − since) − returned_count, and attribute them
+                // to ring drops via the lifetime drop counter delta.
+                resp.headers.push((
+                    "x-pingmesh-events-dropped".into(),
+                    ring.dropped().to_string(),
+                ));
+                resp.headers.push((
+                    "x-pingmesh-events-last-seq".into(),
+                    ring.last_seq().to_string(),
+                ));
+                resp
+            }
+            ("GET", "/healthz") => {
+                let body = serde_json::to_vec(&self.health_report()).expect("healthz serialize");
+                let mut resp = Response::ok(body);
+                resp.headers
+                    .push(("content-type".into(), "application/json".into()));
+                resp
+            }
+            ("GET", "/slo") => {
+                let body = serde_json::to_vec(&self.health_report().slos).expect("slo serialize");
+                let mut resp = Response::ok(body);
+                resp.headers
+                    .push(("content-type".into(), "application/json".into()));
                 resp
             }
             _ => Response::not_found(),
@@ -340,6 +574,56 @@ mod tests {
         assert!(text.contains("pingmesh_realmode_requests_total"));
         assert!(text.contains("pingmesh_realmode_uploaded_records_total"));
         assert!(text.contains("# TYPE"));
+    }
+
+    #[test]
+    fn healthz_reports_every_stage_and_installed_slos() {
+        let c = Collector::new();
+        let resp = c.respond(&Request::get("/healthz"));
+        assert_eq!(resp.status, 200);
+        let report: HealthReport = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(report.stages.len(), pingmesh_obs::trace::STAGES.len());
+        for (st, name) in report.stages.iter().zip(pingmesh_obs::trace::STAGES) {
+            assert_eq!(st.stage, name, "stages render in pipeline order");
+        }
+        // Freshness always evaluates; the ratio SLOs appear only once
+        // their inputs are installed.
+        assert!(report.slos.iter().any(|s| s.slo == "freshness"));
+        assert!(!report.slos.iter().any(|s| s.slo == "completeness"));
+        c.set_expected_pairs(ExpectedPairs::default());
+        c.set_completeness(90, 100);
+        let resp = c.respond(&Request::get("/slo"));
+        assert_eq!(resp.status, 200);
+        let slos: Vec<SloJson> = serde_json::from_slice(&resp.body).unwrap();
+        let cov = slos.iter().find(|s| s.slo == "coverage").unwrap();
+        assert!(cov.healthy, "no expected pairs → vacuously covered");
+        let comp = slos.iter().find(|s| s.slo == "completeness").unwrap();
+        assert!((comp.value - 0.9).abs() < 1e-9);
+        assert!(!comp.healthy, "0.9 misses the default 0.95 target");
+        assert!(comp.burn_rate > 0.0);
+    }
+
+    #[test]
+    fn events_endpoint_carries_drop_accounting_headers() {
+        pingmesh_obs::set_enabled(true);
+        let c = Collector::new();
+        pingmesh_obs::emit!(Info, "realmode.test", "drop_header_probe");
+        let resp = c.respond(&Request::get("/events?since=0"));
+        assert_eq!(resp.status, 200);
+        let header = |name: &str| {
+            resp.headers
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.parse::<u64>().unwrap())
+                .unwrap_or_else(|| panic!("missing header {name}"))
+        };
+        let last_seq = header("x-pingmesh-events-last-seq");
+        assert!(last_seq >= 1);
+        assert_eq!(last_seq, pingmesh_obs::events().last_seq());
+        assert_eq!(
+            header("x-pingmesh-events-dropped"),
+            pingmesh_obs::events().dropped()
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub use agent_loop::{RealAgent, RealAgentConfig};
 pub use backoff::Backoff;
 pub use chaos::{ChaosHandle, ChaosProxy, Toxic};
 pub use cluster::{ClusterOptions, LocalCluster};
-pub use collector::{serve_collector, upload_records, Collector};
+pub use collector::{
+    serve_collector, upload_records, Collector, HealthReport, SloJson, StageHealth,
+};
 pub use directory::PeerDirectory;
 pub use vip::ControllerVip;
 pub use watchdog::RealWatchdog;

@@ -17,10 +17,16 @@
 //! * agent fail-closed state and discard counters →
 //!   [`AgentsStopped`] / [`RecordsDiscarded`];
 //! * collector ingest progress: the record count must grow within the
-//!   store horizon while agents are probing → [`StaleStore`].
+//!   store horizon while agents are probing → [`StaleStore`];
+//! * data-quality SLOs: the watchdog feeds the collector the windowed
+//!   completeness ledger (stored vs produced-minus-buffered since the
+//!   previous check) and re-evaluates every installed SLO →
+//!   [`SloDegraded`] for each one out of target.
 //!
 //! Every finding increments
 //! `pingmesh_realmode_watchdog_findings_total{class}`.
+//!
+//! [`SloDegraded`]: WatchdogFinding::SloDegraded
 //!
 //! [`ControllerClusterDown`]: WatchdogFinding::ControllerClusterDown
 //! [`NoPinglistsServed`]: WatchdogFinding::NoPinglistsServed
@@ -46,6 +52,8 @@ pub struct RealWatchdog {
     last_records: u64,
     last_progress: Instant,
     last_discarded: u64,
+    last_stored: u64,
+    last_deliverable: u64,
 }
 
 impl RealWatchdog {
@@ -58,6 +66,8 @@ impl RealWatchdog {
             last_records: 0,
             last_progress: Instant::now(),
             last_discarded: 0,
+            last_stored: 0,
+            last_deliverable: 0,
         }
     }
 
@@ -150,6 +160,30 @@ impl RealWatchdog {
             // it on top of AgentsStopped. Reset the clock so recovery is
             // judged from the resume, not the outage.
             self.last_progress = Instant::now();
+        }
+
+        // Completeness ledger: records that should have reached the store
+        // since the previous check (produced minus still-buffered —
+        // buffering is lag, not loss) versus records that actually did.
+        // The collector owns the evaluation so its `/healthz` and `/slo`
+        // endpoints and this watchdog agree by construction.
+        let produced: u64 = agents.iter().map(|a| a.produced()).sum();
+        let buffered: u64 = agents.iter().map(|a| a.buffered()).sum();
+        let deliverable = produced.saturating_sub(buffered);
+        let stored_delta = records.saturating_sub(self.last_stored);
+        let deliverable_delta = deliverable.saturating_sub(self.last_deliverable);
+        cluster
+            .collector()
+            .set_completeness(stored_delta, deliverable_delta);
+        self.last_stored = records;
+        self.last_deliverable = deliverable;
+        for status in cluster.collector().slo_statuses() {
+            if !status.healthy {
+                findings.push(WatchdogFinding::SloDegraded {
+                    kind: status.kind,
+                    burn_permille: (status.burn_rate * 1000.0).round().max(0.0) as u64,
+                });
+            }
         }
 
         let registry = pingmesh_obs::registry();

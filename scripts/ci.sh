@@ -10,20 +10,25 @@
 # --fuzz-smoke to also run the deterministic correctness harness
 # (crates/check) over a fixed 50-seed scenario corpus: every invariant
 # oracle (probe conservation, CRDT laws, quantiles, SLA rows, zero-copy
-# scans) must pass and the pipeline must be run-to-run deterministic.
-# The full campaign (`pingmesh-fuzz --seeds 500`) is for bug hunts, not
-# the gate.
+# scans, data-quality SLOs) must pass and the pipeline must be run-to-run
+# deterministic. The full campaign (`pingmesh-fuzz --seeds 500`) is for
+# bug hunts, not the gate. Pass --obs-smoke to also run the
+# self-monitoring drill: a sampled trace rides every pipeline stage,
+# /metrics parses with all `_total` counters monotone across scrapes,
+# /healthz reports every stage, and /events drop accounting is exact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
 FUZZ_SMOKE=0
+OBS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     --fuzz-smoke) FUZZ_SMOKE=1 ;;
+    --obs-smoke) OBS_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -51,6 +56,11 @@ if [ "$FUZZ_SMOKE" = 1 ]; then
   step "fuzz smoke (50 seeded scenarios, all oracles, 60 s cap)"
   timeout 60 cargo run --release -q -p pingmesh --bin pingmesh-fuzz -- \
     --seeds 50 --smoke --out target/telemetry/fuzz.json
+fi
+
+if [ "$OBS_SMOKE" = 1 ]; then
+  step "obs smoke (trace lifecycle, scrape monotonicity, drop accounting)"
+  timeout 120 cargo test --release -q --test obs_smoke
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then

@@ -1,0 +1,339 @@
+//! `pingmesh-top` — live text dashboard for a running collector: polls
+//! `GET /metrics` and renders the self-monitoring surface (pipeline
+//! stage latencies, data-quality SLOs, per-stream freshness, ingest
+//! counters) the way `top` renders processes.
+//!
+//! ```text
+//! pingmesh-top --target 127.0.0.1:8090 [--interval-secs N] [--once]
+//! ```
+//!
+//! `--once` prints a single frame and exits (useful in scripts and
+//! tests); otherwise the screen redraws every interval until ^C.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One parsed exposition sample: `name{labels} value`.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition. Comment lines are skipped;
+/// malformed lines are dropped rather than failing the frame (a scrape
+/// racing a registry update beats a dead dashboard).
+fn parse_prometheus(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match key.split_once('{') {
+            None => (key.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let Some(rest) = rest.strip_suffix('}') else {
+                    continue;
+                };
+                match parse_labels(rest) {
+                    Some(labels) => (name.to_string(), labels),
+                    None => continue,
+                }
+            }
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// Parses `k="v",k2="v2"` with JSON-style escapes inside values.
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    while chars.peek().is_some() {
+        let key: String = chars.by_ref().take_while(|c| *c != '=').collect();
+        if chars.next() != Some('"') {
+            return None;
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next()? {
+                '"' => break,
+                '\\' => match chars.next()? {
+                    'n' => value.push('\n'),
+                    'r' => value.push('\r'),
+                    't' => value.push('\t'),
+                    c => value.push(c),
+                },
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        if chars.peek() == Some(&',') {
+            chars.next();
+        }
+    }
+    Some(labels)
+}
+
+fn find<'a>(samples: &'a [Sample], name: &str, label: Option<(&str, &str)>) -> Option<&'a Sample> {
+    samples.iter().find(|s| {
+        s.name == name
+            && match label {
+                None => true,
+                Some((k, v)) => s.label(k) == Some(v),
+            }
+    })
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{us:.0}us")
+    }
+}
+
+/// Renders one dashboard frame from a parsed scrape.
+fn render(samples: &[Sample], target: &str) -> String {
+    let mut out = String::new();
+
+    let uptime = find(samples, "pingmesh_uptime_seconds", None).map_or(0.0, |s| s.value);
+    let build = find(samples, "pingmesh_build_info", None)
+        .map(|s| {
+            s.labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .unwrap_or_else(|| "unknown".into());
+    let _ = writeln!(out, "pingmesh-top — {target}  up {uptime:.0}s  [{build}]");
+
+    let _ = writeln!(out, "\n  SLO          value     healthy  burn");
+    let mut any = false;
+    for s in samples.iter().filter(|s| s.name == "pingmesh_slo_value") {
+        let Some(slo) = s.label("slo") else { continue };
+        any = true;
+        let healthy = find(samples, "pingmesh_slo_healthy", Some(("slo", slo)))
+            .is_some_and(|h| h.value > 0.0);
+        let burn =
+            find(samples, "pingmesh_slo_burn_rate", Some(("slo", slo))).map_or(0.0, |b| b.value);
+        let value = if slo == "freshness" {
+            fmt_us(s.value)
+        } else {
+            format!("{:.1}%", s.value * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "  {slo:<12} {value:<9} {}       {burn:.2}",
+            if healthy { "ok " } else { "DEG" }
+        );
+    }
+    if !any {
+        let _ = writeln!(out, "  (no SLOs evaluated yet)");
+    }
+
+    let _ = writeln!(out, "\n  stage      spans      p50        p99");
+    for stage in pingmesh::obs::trace::STAGES {
+        let sel = Some(("stage", stage));
+        let spans = find(samples, "pingmesh_stage_duration_us_count", sel).map_or(0.0, |s| s.value);
+        let p50 = find(samples, "pingmesh_stage_duration_us_p50_us", sel).map(|s| s.value);
+        let p99 = find(samples, "pingmesh_stage_duration_us_p99_us", sel).map(|s| s.value);
+        let _ = writeln!(
+            out,
+            "  {stage:<10} {spans:<10.0} {:<10} {}",
+            p50.map_or("-".into(), fmt_us),
+            p99.map_or("-".into(), fmt_us),
+        );
+    }
+
+    let fresh: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "pingmesh_dsa_freshness_us")
+        .collect();
+    if !fresh.is_empty() {
+        let _ = writeln!(out, "\n  stream freshness");
+        for s in fresh {
+            let stream = s.label("stream").unwrap_or("?");
+            let _ = writeln!(out, "  dc{stream:<4} {}", fmt_us(s.value));
+        }
+    }
+
+    // Ingest counters: sum each interesting family across its label sets.
+    let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+    for s in samples {
+        if s.name.ends_with("_total")
+            && (s.name.contains("record") || s.name.contains("request") || s.name.contains("probe"))
+        {
+            *totals.entry(s.name.as_str()).or_insert(0.0) += s.value;
+        }
+    }
+    if !totals.is_empty() {
+        let _ = writeln!(out, "\n  counters");
+        for (name, v) in totals {
+            let _ = writeln!(out, "  {name:<44} {v:.0}");
+        }
+    }
+    out
+}
+
+async fn scrape(target: &str) -> Result<String, String> {
+    let mut stream = tokio::net::TcpStream::connect(target)
+        .await
+        .map_err(|e| format!("connect {target}: {e}"))?;
+    pingmesh::httpx::write_request(&mut stream, &pingmesh::httpx::Request::get("/metrics"))
+        .await
+        .map_err(|e| format!("write: {e}"))?;
+    let resp = pingmesh::httpx::read_response(&mut stream)
+        .await
+        .map_err(|e| format!("read: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /metrics: HTTP {}", resp.status));
+    }
+    String::from_utf8(resp.body).map_err(|e| format!("non-utf8 exposition: {e}"))
+}
+
+fn main() {
+    let mut target = "127.0.0.1:8090".to_string();
+    let mut interval = 2u64;
+    let mut once = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--target" => target = it.next().expect("--target expects ADDR"),
+            "--interval-secs" => {
+                interval = it
+                    .next()
+                    .expect("--interval-secs expects N")
+                    .parse()
+                    .expect("numeric interval")
+            }
+            "--once" => once = true,
+            "--help" | "-h" => {
+                println!("usage: pingmesh-top --target ADDR [--interval-secs N] [--once]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .expect("runtime");
+    rt.block_on(async {
+        loop {
+            let frame = match scrape(&target).await {
+                Ok(text) => render(&parse_prometheus(&text), &target),
+                Err(e) if once => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+                Err(e) => format!("pingmesh-top — {target}: {e} (retrying)\n"),
+            };
+            if once {
+                print!("{frame}");
+                return;
+            }
+            // ANSI clear + home, like top(1).
+            print!("\x1b[2J\x1b[H{frame}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            tokio::time::sleep(Duration::from_secs(interval)).await;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXPO: &str = r#"# TYPE pingmesh_uptime_seconds gauge
+pingmesh_uptime_seconds 12.5
+pingmesh_build_info{version="0.1.0",profile="release"} 1
+pingmesh_slo_value{slo="coverage"} 0.97
+pingmesh_slo_healthy{slo="coverage"} 1
+pingmesh_slo_burn_rate{slo="coverage"} 0
+pingmesh_slo_value{slo="freshness"} 1500000
+pingmesh_slo_healthy{slo="freshness"} 0
+pingmesh_slo_burn_rate{slo="freshness"} 1.25
+pingmesh_stage_duration_us_count{stage="probe"} 42
+pingmesh_stage_duration_us_p50_us{stage="probe"} 800
+pingmesh_stage_duration_us_p99_us{stage="probe"} 2500000
+pingmesh_dsa_freshness_us{stream="0"} 52000
+pingmesh_realmode_records_total{dc="0"} 1000
+pingmesh_realmode_records_total{dc="1"} 500
+bogus line that is not a sample
+"#;
+
+    #[test]
+    fn parser_extracts_names_labels_values() {
+        let samples = parse_prometheus(EXPO);
+        let probe = find(
+            &samples,
+            "pingmesh_stage_duration_us_count",
+            Some(("stage", "probe")),
+        )
+        .expect("probe count");
+        assert_eq!(probe.value, 42.0);
+        let build = find(&samples, "pingmesh_build_info", None).expect("build info");
+        assert_eq!(build.label("profile"), Some("release"));
+        assert!(find(&samples, "bogus", None).is_none());
+    }
+
+    #[test]
+    fn labels_with_escapes_survive() {
+        let labels = parse_labels(r#"a="x\"y",b="z""#).expect("parse");
+        assert_eq!(
+            labels,
+            vec![("a".into(), "x\"y".into()), ("b".into(), "z".into())]
+        );
+    }
+
+    #[test]
+    fn render_shows_slos_stages_and_counter_sums() {
+        let frame = render(&parse_prometheus(EXPO), "test:1");
+        assert!(
+            frame.contains("up 12s") || frame.contains("up 13s"),
+            "{frame}"
+        );
+        assert!(frame.contains("coverage"), "{frame}");
+        assert!(frame.contains("97.0%"), "{frame}");
+        assert!(frame.contains("DEG"), "{frame}"); // degraded freshness
+        assert!(frame.contains("1.50s"), "{frame}"); // freshness value in seconds
+        for stage in pingmesh::obs::trace::STAGES {
+            assert!(frame.contains(stage), "missing stage {stage}: {frame}");
+        }
+        assert!(frame.contains("2.50s"), "p99 formatted: {frame}");
+        // Per-dc records summed across label sets.
+        assert!(frame.contains("pingmesh_realmode_records_total"), "{frame}");
+        assert!(frame.contains("1500"), "{frame}");
+    }
+}

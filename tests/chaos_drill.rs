@@ -20,14 +20,25 @@
 //! drill finishes by scraping the collector's real `/metrics` endpoint
 //! and asserting the new counters appear in the Prometheus exposition.
 //!
+//! The drill also exercises the data-quality SLO surface end to end:
+//! tight freshness/coverage targets are installed on the collector, the
+//! `/healthz` report is healthy at baseline, flips degraded during the
+//! collector stall (freshness) and the total outage (freshness +
+//! coverage), the watchdog surfaces matching `SloDegraded` findings, and
+//! everything clears after restore.
+//!
 //! Deterministic under the fixed seed: the only probabilistic machinery
 //! (proxy jitter, flaky rolls, backoff jitter) is seeded, and no toxic
 //! used here is probabilistic.
 
 use pingmesh::controller::GeneratorConfig;
-use pingmesh::realmode::{ClusterOptions, LocalCluster, RealAgent, RealWatchdog, Toxic};
+use pingmesh::dsa::QualityConfig;
+use pingmesh::obs::slo::SloKind;
+use pingmesh::realmode::{
+    ClusterOptions, HealthReport, LocalCluster, RealAgent, RealWatchdog, Toxic,
+};
 use pingmesh::topology::TopologySpec;
-use pingmesh::types::ServerId;
+use pingmesh::types::{ServerId, SimDuration};
 use pingmesh::WatchdogFinding;
 use std::time::{Duration, Instant};
 
@@ -52,9 +63,61 @@ async fn scrape_metrics(addr: std::net::SocketAddr) -> String {
     String::from_utf8(resp.body).expect("utf8 metrics")
 }
 
+/// Scrapes `/healthz` over the wire (only usable while the collector's
+/// proxy passes traffic; fault phases read the collector handle instead).
+async fn scrape_healthz(addr: std::net::SocketAddr) -> HealthReport {
+    let mut stream = tokio::net::TcpStream::connect(addr).await.expect("connect");
+    pingmesh::httpx::write_request(&mut stream, &pingmesh::httpx::Request::get("/healthz"))
+        .await
+        .expect("write");
+    let resp = pingmesh::httpx::read_response(&mut stream)
+        .await
+        .expect("read");
+    assert_eq!(resp.status, 200);
+    serde_json::from_slice(&resp.body).expect("healthz json")
+}
+
+fn slo<'a>(report: &'a HealthReport, kind: &str) -> &'a pingmesh::realmode::SloJson {
+    report
+        .slos
+        .iter()
+        .find(|s| s.slo == kind)
+        .unwrap_or_else(|| panic!("{kind} SLO missing from {report:?}"))
+}
+
+fn has_degraded(findings: &[WatchdogFinding], kind: SloKind) -> bool {
+    findings
+        .iter()
+        .any(|f| matches!(f, WatchdogFinding::SloDegraded { kind: k, .. } if *k == kind))
+}
+
+/// Dumps the self-monitoring surface for one drill phase (`--nocapture`
+/// shows it; EXPERIMENTS.md transcribes it).
+fn dump_health(phase: &str, report: &HealthReport) {
+    eprintln!("[{phase}] healthy={}", report.healthy);
+    for s in &report.slos {
+        eprintln!(
+            "[{phase}]   slo {:<12} value {:<12.6} target {:<10} healthy {} burn {:.2}",
+            s.slo, s.value, s.target, s.healthy, s.burn_rate
+        );
+    }
+    for st in &report.stages {
+        if st.spans > 0 {
+            eprintln!(
+                "[{phase}]   stage {:<8} spans {:<6} p50 {:>6}us p99 {:>6}us",
+                st.stage, st.spans, st.p50_us, st.p99_us
+            );
+        }
+    }
+}
+
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn chaos_drill_kill_stall_restore() {
     let drill_start = Instant::now();
+    // Trace every entry: the tiny mesh has too few pinglist entries for
+    // the default 1/1024 sampling to arm anything, and the drill wants
+    // real per-stage latencies on its health surface.
+    pingmesh::obs::trace::set_sample_mod(1);
     let cluster = LocalCluster::start_with(
         TopologySpec::single_tiny(),
         GeneratorConfig::default(),
@@ -66,10 +129,22 @@ async fn chaos_drill_kill_stall_restore() {
     )
     .await;
 
-    let mut agents: Vec<RealAgent> = [ServerId(0), ServerId(3), ServerId(7)]
-        .into_iter()
-        .map(|s| cluster.agent(s))
-        .collect();
+    // Arm the data-quality SLOs with drill-scale targets: records older
+    // than 2 s are stale, coverage is judged over the last 5 s, and only
+    // the three participating agents' pod pairs are expected. (The 2 s
+    // freshness target leaves margin for the collector-vs-agent epoch
+    // skew, which is milliseconds here.)
+    let agent_ids = [ServerId(0), ServerId(3), ServerId(7)];
+    cluster
+        .collector()
+        .set_expected_pairs(cluster.expected_pairs_for(&agent_ids));
+    cluster.collector().set_quality_config(QualityConfig {
+        freshness_target: SimDuration::from_secs(2),
+        coverage_horizon: SimDuration::from_secs(5),
+        ..QualityConfig::default()
+    });
+
+    let mut agents: Vec<RealAgent> = agent_ids.into_iter().map(|s| cluster.agent(s)).collect();
     for a in &mut agents {
         a.config_mut().call_deadline = CALL_DEADLINE;
     }
@@ -89,6 +164,24 @@ async fn chaos_drill_kill_stall_restore() {
         let refs: Vec<&RealAgent> = agents.iter().collect();
         let findings = watchdog.check(&cluster, &refs).await;
         assert!(findings.is_empty(), "healthy fleet: {findings:?}");
+    }
+    {
+        // The live /healthz endpoint agrees: every SLO within target,
+        // every pipeline stage listed (tick/sla stay at zero spans — the
+        // DSA tick pipeline is the simulator's; the drill's stages end at
+        // append/partial).
+        let report = scrape_healthz(cluster.collector_addr()).await;
+        dump_health("phase1-healthy", &report);
+        assert!(report.healthy, "baseline must be healthy: {report:?}");
+        for kind in ["coverage", "completeness", "freshness"] {
+            assert!(slo(&report, kind).healthy, "{kind} degraded: {report:?}");
+        }
+        assert_eq!(report.stages.len(), pingmesh::obs::trace::STAGES.len());
+        let cov = slo(&report, "coverage");
+        assert!(
+            (cov.value - 1.0).abs() < 1e-9,
+            "all expected pairs probed at baseline: {cov:?}"
+        );
     }
 
     // ── Phase 2: replica 0 killed — VIP failover keeps the fleet fed ─
@@ -143,6 +236,37 @@ async fn chaos_drill_kill_stall_restore() {
                 .any(|f| matches!(f, WatchdogFinding::RecordsDiscarded(_))),
             "watchdog must surface the unhealthy upload path: {findings:?}"
         );
+        // The discarded round is the whole completeness window: produced
+        // but never stored ⇒ the completeness SLO burns.
+        assert!(
+            has_degraded(&findings, SloKind::Completeness),
+            "discards must degrade completeness: {findings:?}"
+        );
+    }
+    // With uploads stalled no new record lands, so the newest stored
+    // record ages past the 2 s freshness target. Bounded wait: the
+    // collector handle is read directly (its HTTP front sits behind the
+    // stalled proxy — that being unreachable is the fault under test).
+    let t0 = Instant::now();
+    loop {
+        let report = cluster.collector().health_report();
+        if !slo(&report, "freshness").healthy {
+            assert!(!report.healthy, "a degraded SLO must flip /healthz");
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "freshness never degraded during the collector stall: {report:?}"
+        );
+        tokio::time::sleep(Duration::from_millis(100)).await;
+    }
+    {
+        let refs: Vec<&RealAgent> = agents.iter().collect();
+        let findings = watchdog.check(&cluster, &refs).await;
+        assert!(
+            has_degraded(&findings, SloKind::Freshness),
+            "watchdog must mirror the stale store: {findings:?}"
+        );
     }
 
     // ── Phase 4: total controller outage — fleet fail-closes ────────
@@ -185,6 +309,32 @@ async fn chaos_drill_kill_stall_restore() {
             "{findings:?}"
         );
     }
+    // Total outage: nothing probes, so the 5 s coverage horizon empties
+    // out and both coverage and freshness sit degraded together.
+    let t0 = Instant::now();
+    loop {
+        let report = cluster.collector().health_report();
+        if !slo(&report, "coverage").healthy && !slo(&report, "freshness").healthy {
+            dump_health("phase4-outage", &report);
+            assert!(!report.healthy);
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(12),
+            "coverage never degraded during the total outage: {report:?}"
+        );
+        tokio::time::sleep(Duration::from_millis(150)).await;
+    }
+    {
+        let refs: Vec<&RealAgent> = agents.iter().collect();
+        let findings = watchdog.check(&cluster, &refs).await;
+        for kind in [SloKind::Coverage, SloKind::Freshness] {
+            assert!(
+                has_degraded(&findings, kind),
+                "{kind:?} must be degraded during the outage: {findings:?}"
+            );
+        }
+    }
 
     // ── Phase 5: restore — the fleet resumes per §3.4.2 ──────────────
     cluster.controller_chaos(0).set_toxic(Toxic::Pass);
@@ -213,6 +363,20 @@ async fn chaos_drill_kill_stall_restore() {
         let findings = watchdog.check(&cluster, &refs).await;
         assert!(findings.is_empty(), "recovered fleet: {findings:?}");
     }
+    {
+        // The SLO surface clears with the fleet: /healthz (reachable
+        // again through the restored proxy) reports healthy across the
+        // board.
+        let report = scrape_healthz(cluster.collector_addr()).await;
+        dump_health("phase5-restored", &report);
+        assert!(report.healthy, "restored fleet must be healthy: {report:?}");
+        for kind in ["coverage", "completeness", "freshness"] {
+            assert!(
+                slo(&report, kind).healthy,
+                "{kind} still degraded: {report:?}"
+            );
+        }
+    }
 
     // ── Epilogue: the whole story is visible on /metrics ─────────────
     let text = scrape_metrics(cluster.collector_addr()).await;
@@ -226,6 +390,12 @@ async fn chaos_drill_kill_stall_restore() {
         "pingmesh_realmode_watchdog_findings_total",
         "pingmesh_chaos_faults_injected_total",
         "pingmesh_chaos_toxic_set_total",
+        "pingmesh_slo_value",
+        "pingmesh_slo_healthy",
+        "pingmesh_slo_burn_rate",
+        "pingmesh_dsa_freshness_us",
+        "pingmesh_build_info",
+        "pingmesh_uptime_seconds",
     ] {
         assert!(
             text.contains(metric),
