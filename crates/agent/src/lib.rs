@@ -30,9 +30,11 @@ pub mod guard;
 pub mod real;
 pub mod scheduler;
 pub mod sim;
+pub mod soa;
 
 pub use buffer::ResultBuffer;
 pub use config::AgentConfig;
 pub use guard::SafetyGuard;
 pub use scheduler::ProbeScheduler;
 pub use sim::{Agent, ControllerPollOutcome};
+pub use soa::{AgentFleet, AgentView};

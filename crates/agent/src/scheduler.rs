@@ -15,7 +15,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// First ephemeral port used by agents.
-const EPHEMERAL_LO: u16 = 32_768;
+pub(crate) const EPHEMERAL_LO: u16 = 32_768;
 
 /// A probe that is due now.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,7 +72,7 @@ impl ProbeScheduler {
         self.entries.len()
     }
 
-    fn phase_of(server: ServerId, idx: usize, interval_us: u64) -> u64 {
+    pub(crate) fn phase_of(server: ServerId, idx: usize, interval_us: u64) -> u64 {
         if interval_us == 0 {
             return 0;
         }

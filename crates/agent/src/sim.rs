@@ -26,17 +26,17 @@ use std::sync::{Arc, OnceLock};
 
 /// Fleet-wide agent metrics. Thousands of [`Agent`] instances share these
 /// handles, so they are resolved once; each touch is an atomic add.
-struct AgentMetrics {
-    probes_sent: Arc<pingmesh_obs::Counter>,
-    guard_trips: Arc<pingmesh_obs::Counter>,
-    sanitized: Arc<pingmesh_obs::Counter>,
-    uploads_started: Arc<pingmesh_obs::Counter>,
-    upload_retries: Arc<pingmesh_obs::Counter>,
-    records_discarded: Arc<pingmesh_obs::Counter>,
-    upload_batch_size: Arc<pingmesh_obs::Histogram>,
+pub(crate) struct AgentMetrics {
+    pub(crate) probes_sent: Arc<pingmesh_obs::Counter>,
+    pub(crate) guard_trips: Arc<pingmesh_obs::Counter>,
+    pub(crate) sanitized: Arc<pingmesh_obs::Counter>,
+    pub(crate) uploads_started: Arc<pingmesh_obs::Counter>,
+    pub(crate) upload_retries: Arc<pingmesh_obs::Counter>,
+    pub(crate) records_discarded: Arc<pingmesh_obs::Counter>,
+    pub(crate) upload_batch_size: Arc<pingmesh_obs::Histogram>,
 }
 
-fn metrics() -> &'static AgentMetrics {
+pub(crate) fn metrics() -> &'static AgentMetrics {
     static M: OnceLock<AgentMetrics> = OnceLock::new();
     M.get_or_init(|| {
         let r = pingmesh_obs::registry();

@@ -1,0 +1,658 @@
+//! Struct-of-arrays agent fleet: the hot-state layout used at scale.
+//!
+//! [`crate::sim::Agent`] keeps each agent's schedule in its own
+//! `BinaryHeap` behind its own allocations — fine for hundreds of agents,
+//! but a 100k-agent simulation turns every wake into a pointer chase
+//! through 100k scattered heaps. [`AgentFleet`] holds the same state
+//! flattened into parallel arenas (the same move `InlineVec` made for
+//! `Path.hops`):
+//!
+//! * all pinglist entries live in one `Vec<PinglistEntry>` arena, each
+//!   agent owning a contiguous [`Segment`] of it;
+//! * per-entry next-due times live in a parallel `Vec<SimTime>` arena, so
+//!   a due-scan is a cache-linear sweep of one agent's segment;
+//! * per-agent scalars (cached next wake, ephemeral port cursor,
+//!   generation, lifetime ledgers) are plain `Vec`s indexed by the fleet
+//!   index.
+//!
+//! Behaviour is identical to `Agent` (the differential test below drives
+//! both through the same script): same sanitize/guard transitions, same
+//! deterministic probe phases, same port rotation, same due order
+//! (`(due time, entry index)` — the heap's pop order). The sharded
+//! orchestrator gives each shard its own `AgentFleet` over its podset's
+//! servers, so fleets are mutated thread-locally and need no locks.
+
+use crate::buffer::ResultBuffer;
+use crate::config::AgentConfig;
+use crate::guard::{GuardDecision, SafetyGuard};
+use crate::scheduler::{DueProbe, ProbeScheduler, EPHEMERAL_LO};
+use crate::sim::{metrics, ControllerPollOutcome};
+use pingmesh_topology::Topology;
+use pingmesh_types::{
+    AgentCounters, CounterSnapshot, Pinglist, ProbeOutcome, ProbeRecord, ServerId, SimTime,
+};
+use std::sync::Arc;
+
+/// "No wake pending" sentinel in the `next_wake` arena (scans stay
+/// branch-free: the min of an empty segment is simply the sentinel).
+const NEVER: SimTime = SimTime(u64::MAX);
+
+/// One agent's slice of the entry/due arenas.
+#[derive(Debug, Clone, Copy, Default)]
+struct Segment {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// The flattened agent fleet. Every per-agent operation takes the agent's
+/// fleet index (assigned by [`AgentFleet::push_server`], dense from 0).
+pub struct AgentFleet {
+    topo: Arc<Topology>,
+    config: AgentConfig,
+    servers: Vec<ServerId>,
+    // --- hot state: arenas + per-agent scalars ---
+    segs: Vec<Segment>,
+    entries: Vec<pingmesh_types::PinglistEntry>,
+    due: Vec<SimTime>,
+    next_wake: Vec<SimTime>,
+    next_port: Vec<u16>,
+    generation: Vec<u64>,
+    // --- cold per-agent state ---
+    guards: Vec<SafetyGuard>,
+    buffers: Vec<ResultBuffer>,
+    counters: Vec<AgentCounters>,
+    sanitized_entries: Vec<u64>,
+    probes_observed: Vec<u64>,
+    unresolved_probes: Vec<u64>,
+    discarded_seen: Vec<u64>,
+    // Recycled wake-path scratch (calls within a shard are sequential, so
+    // one per fleet suffices): due picks and the output buffer.
+    picks_scratch: Vec<(SimTime, u32)>,
+    due_scratch: Vec<DueProbe>,
+}
+
+impl AgentFleet {
+    /// Creates an empty fleet.
+    pub fn new(topo: Arc<Topology>, config: AgentConfig) -> Self {
+        Self {
+            topo,
+            config,
+            servers: Vec::new(),
+            segs: Vec::new(),
+            entries: Vec::new(),
+            due: Vec::new(),
+            next_wake: Vec::new(),
+            next_port: Vec::new(),
+            generation: Vec::new(),
+            guards: Vec::new(),
+            buffers: Vec::new(),
+            counters: Vec::new(),
+            sanitized_entries: Vec::new(),
+            probes_observed: Vec::new(),
+            unresolved_probes: Vec::new(),
+            discarded_seen: Vec::new(),
+            picks_scratch: Vec::new(),
+            due_scratch: Vec::new(),
+        }
+    }
+
+    /// Adds an idle agent for `server`; returns its fleet index.
+    pub fn push_server(&mut self, server: ServerId) -> usize {
+        let idx = self.servers.len();
+        self.servers.push(server);
+        self.segs.push(Segment::default());
+        self.next_wake.push(NEVER);
+        self.next_port.push(EPHEMERAL_LO);
+        self.generation.push(0);
+        self.guards.push(SafetyGuard::new());
+        self.buffers.push(ResultBuffer::new(self.config.clone()));
+        self.counters.push(AgentCounters::new());
+        self.sanitized_entries.push(0);
+        self.probes_observed.push(0);
+        self.unresolved_probes.push(0);
+        self.discarded_seen.push(0);
+        idx
+    }
+
+    /// Number of agents in the fleet.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The server of agent `idx`.
+    pub fn server(&self, idx: usize) -> ServerId {
+        self.servers[idx]
+    }
+
+    /// Active pinglist generation of agent `idx` (0 = none yet).
+    pub fn generation(&self, idx: usize) -> u64 {
+        self.generation[idx]
+    }
+
+    /// Whether agent `idx` is fail-closed (not probing).
+    pub fn is_stopped(&self, idx: usize) -> bool {
+        self.guards[idx].is_stopped()
+    }
+
+    /// Number of peers agent `idx` currently schedules.
+    pub fn peer_count(&self, idx: usize) -> usize {
+        self.segs[idx].len as usize
+    }
+
+    /// Entries the guard had to clamp over agent `idx`'s lifetime.
+    pub fn sanitized_entries(&self, idx: usize) -> u64 {
+        self.sanitized_entries[idx]
+    }
+
+    fn note_guard_trip(&self, idx: usize, reason: &'static str, now: SimTime) {
+        metrics().guard_trips.inc();
+        pingmesh_obs::emit_sim!(now; Warn, "agent.guard", "guard_trip",
+            "server" => self.servers[idx].0 as u64, "reason" => reason);
+    }
+
+    /// Installs a pinglist into agent `idx`'s arena segment: in place when
+    /// the segment has capacity, else at the arena tail (the old slice is
+    /// abandoned — reinstalls are rare, one per pinglist generation).
+    fn install(&mut self, idx: usize, pl: &Pinglist, now: SimTime) {
+        let server = self.servers[idx];
+        let n = pl.entries.len();
+        let seg = &mut self.segs[idx];
+        let grow = n as u32 > seg.cap;
+        if grow {
+            seg.start = self.entries.len() as u32;
+            seg.cap = n as u32;
+            self.entries.reserve(n);
+            self.due.reserve(n);
+        }
+        seg.len = n as u32;
+        let start = seg.start as usize;
+        let mut min_due = NEVER;
+        for (i, e) in pl.entries.iter().enumerate() {
+            let phase = ProbeScheduler::phase_of(server, i, e.interval.as_micros());
+            let due = now + pingmesh_types::SimDuration(phase);
+            if grow {
+                self.entries.push(*e);
+                self.due.push(due);
+            } else {
+                self.entries[start + i] = *e;
+                self.due[start + i] = due;
+            }
+            min_due = min_due.min(due);
+        }
+        self.next_wake[idx] = min_due;
+    }
+
+    fn clear_schedule(&mut self, idx: usize) {
+        self.segs[idx].len = 0;
+        self.next_wake[idx] = NEVER;
+    }
+
+    /// Folds a controller poll result into agent `idx` (same transitions
+    /// as [`crate::sim::Agent::on_controller_poll`]).
+    pub fn on_controller_poll(&mut self, idx: usize, outcome: ControllerPollOutcome, now: SimTime) {
+        let was_stopped = self.guards[idx].is_stopped();
+        match outcome {
+            ControllerPollOutcome::Pinglist(mut pl) => {
+                let clamped = SafetyGuard::sanitize(&mut pl) as u64;
+                if clamped > 0 {
+                    metrics().sanitized.add(clamped);
+                    pingmesh_obs::emit_sim!(now; Warn, "agent.guard", "entries_sanitized",
+                        "server" => self.servers[idx].0 as u64, "entries" => clamped);
+                }
+                self.sanitized_entries[idx] += clamped;
+                self.guards[idx].on_pinglist_received();
+                if pl.generation != self.generation[idx] {
+                    self.generation[idx] = pl.generation;
+                    self.install(idx, &pl, now);
+                }
+            }
+            ControllerPollOutcome::NoPinglist => {
+                if self.guards[idx].on_empty_controller() == GuardDecision::StopProbing {
+                    if !was_stopped {
+                        self.note_guard_trip(idx, "no_pinglist", now);
+                    }
+                    self.clear_schedule(idx);
+                    self.generation[idx] = 0;
+                }
+            }
+            ControllerPollOutcome::Unreachable => {
+                if self.guards[idx].on_controller_failure() == GuardDecision::StopProbing {
+                    if !was_stopped {
+                        self.note_guard_trip(idx, "controller_unreachable", now);
+                    }
+                    self.clear_schedule(idx);
+                    self.generation[idx] = 0;
+                }
+            }
+        }
+    }
+
+    /// When agent `idx` next needs to act.
+    pub fn next_wakeup(&self, idx: usize) -> Option<SimTime> {
+        let t = self.next_wake[idx];
+        (t != NEVER).then_some(t)
+    }
+
+    /// Probes of agent `idx` due at `now`: a linear sweep of the agent's
+    /// due segment, emitted in the legacy heap's pop order
+    /// `(due time, entry index)` so port assignment matches `Agent`
+    /// exactly. Hand the buffer back via [`AgentFleet::recycle_due`].
+    pub fn due_probes(&mut self, idx: usize, now: SimTime) -> Vec<DueProbe> {
+        let mut out = std::mem::take(&mut self.due_scratch);
+        out.clear();
+        if self.guards[idx].is_stopped() {
+            return out;
+        }
+        let seg = self.segs[idx];
+        let (start, len) = (seg.start as usize, seg.len as usize);
+        let mut picks = std::mem::take(&mut self.picks_scratch);
+        picks.clear();
+        for i in 0..len {
+            let t = self.due[start + i];
+            if t <= now {
+                picks.push((t, i as u32));
+            }
+        }
+        picks.sort_unstable();
+        for &(_, i) in picks.iter() {
+            let i = i as usize;
+            let entry = self.entries[start + i];
+            let p = self.next_port[idx];
+            self.next_port[idx] = if p == u16::MAX { EPHEMERAL_LO } else { p + 1 };
+            self.due[start + i] = now + entry.interval;
+            out.push(DueProbe {
+                entry_index: i,
+                entry,
+                src_port: p,
+            });
+        }
+        if !picks.is_empty() {
+            let mut min_due = NEVER;
+            for i in 0..len {
+                min_due = min_due.min(self.due[start + i]);
+            }
+            self.next_wake[idx] = min_due;
+        }
+        picks.clear();
+        self.picks_scratch = picks;
+        out
+    }
+
+    /// Returns a drained `due_probes` buffer for reuse on the next wake.
+    pub fn recycle_due(&mut self, mut due: Vec<DueProbe>) {
+        due.clear();
+        if due.capacity() > self.due_scratch.capacity() {
+            self.due_scratch = due;
+        }
+    }
+
+    /// Feeds a probe's network outcome back into agent `idx` (same
+    /// bookkeeping as [`crate::sim::Agent::record_outcome`]).
+    pub fn record_outcome(
+        &mut self,
+        idx: usize,
+        due: &DueProbe,
+        dst: Option<ServerId>,
+        outcome: ProbeOutcome,
+        now: SimTime,
+    ) {
+        self.counters[idx].observe(outcome);
+        metrics().probes_sent.inc();
+        self.probes_observed[idx] += 1;
+        let Some(dst) = dst else {
+            self.unresolved_probes[idx] += 1;
+            return;
+        };
+        let src = self.servers[idx];
+        let s = self.topo.server(src);
+        let d = self.topo.server(dst);
+        let rec = ProbeRecord {
+            ts: now,
+            src,
+            dst,
+            src_pod: s.pod,
+            dst_pod: d.pod,
+            src_podset: s.podset,
+            dst_podset: d.podset,
+            src_dc: s.dc,
+            dst_dc: d.dc,
+            kind: due.entry.kind,
+            qos: due.entry.qos,
+            src_port: due.src_port,
+            dst_port: due.entry.port,
+            outcome,
+        };
+        pingmesh_obs::trace::on_probe(&rec);
+        self.buffers[idx].push(rec);
+    }
+
+    /// Whether agent `idx` should start an upload now.
+    pub fn upload_due(&self, idx: usize, now: SimTime) -> bool {
+        self.buffers[idx].upload_due(now)
+    }
+
+    /// Starts an upload for agent `idx`; returns the batch.
+    pub fn begin_upload(&mut self, idx: usize) -> Option<Vec<ProbeRecord>> {
+        let batch = self.buffers[idx].begin_upload();
+        if let Some(b) = &batch {
+            metrics().uploads_started.inc();
+            metrics().upload_batch_size.record_micros(b.len() as u64);
+        }
+        batch
+    }
+
+    /// Reports the uploader's verdict for agent `idx`; returns `true` if
+    /// the caller should retry the batch it already holds.
+    pub fn on_upload_result(&mut self, idx: usize, ok: bool) -> bool {
+        let retry = self.buffers[idx].on_upload_result(ok);
+        if !ok && retry {
+            metrics().upload_retries.inc();
+        }
+        self.counters[idx].records_discarded = self.buffers[idx].discarded();
+        let newly = self.buffers[idx]
+            .discarded()
+            .saturating_sub(self.discarded_seen[idx]);
+        if newly > 0 {
+            self.discarded_seen[idx] = self.buffers[idx].discarded();
+            metrics().records_discarded.add(newly);
+        }
+        retry
+    }
+
+    /// Returns a finished upload batch's capacity to agent `idx`.
+    pub fn recycle_batch(&mut self, idx: usize, batch: Vec<ProbeRecord>) {
+        self.buffers[idx].recycle(batch);
+    }
+
+    /// Marks bytes as uploaded for agent `idx`.
+    pub fn note_uploaded(&mut self, idx: usize, bytes: u64) {
+        self.counters[idx].bytes_uploaded += bytes;
+    }
+
+    /// Cumulative records agent `idx` discarded over its lifetime.
+    pub fn discarded_total(&self, idx: usize) -> u64 {
+        self.buffers[idx].discarded()
+    }
+
+    /// Lifetime probe outcomes fed back into agent `idx`.
+    pub fn probes_observed(&self, idx: usize) -> u64 {
+        self.probes_observed[idx]
+    }
+
+    /// Lifetime unresolved (recordless) probes of agent `idx`.
+    pub fn unresolved_probes(&self, idx: usize) -> u64 {
+        self.unresolved_probes[idx]
+    }
+
+    /// Records agent `idx` currently buffers.
+    pub fn buffered_records(&self, idx: usize) -> u64 {
+        self.buffers[idx].len() as u64
+    }
+
+    /// Whether agent `idx` has an upload batch in flight.
+    pub fn has_pending_upload(&self, idx: usize) -> bool {
+        self.buffers[idx].has_pending()
+    }
+
+    /// Live counters of agent `idx`.
+    pub fn counters(&self, idx: usize) -> &AgentCounters {
+        &self.counters[idx]
+    }
+
+    /// PA collection for agent `idx`: snapshot and reset the window.
+    pub fn collect_counters(&mut self, idx: usize) -> CounterSnapshot {
+        let snap = self.counters[idx].snapshot();
+        self.counters[idx].reset_window();
+        snap
+    }
+
+    /// A read-only single-agent view (the accessor surface `Agent` had,
+    /// minus `&mut` operations — what oracles and watchdogs consume).
+    pub fn view(&self, idx: usize) -> AgentView<'_> {
+        AgentView { fleet: self, idx }
+    }
+}
+
+/// Read-only view of one agent in an [`AgentFleet`], method-compatible
+/// with the accessor surface of [`crate::sim::Agent`] so fleet-wide
+/// invariant checks (`orch.agent(s).probes_observed()` …) are agnostic to
+/// the storage layout.
+#[derive(Clone, Copy)]
+pub struct AgentView<'a> {
+    fleet: &'a AgentFleet,
+    idx: usize,
+}
+
+impl AgentView<'_> {
+    /// The server this agent runs on.
+    pub fn server(&self) -> ServerId {
+        self.fleet.server(self.idx)
+    }
+
+    /// Active pinglist generation (0 = none yet).
+    pub fn generation(&self) -> u64 {
+        self.fleet.generation(self.idx)
+    }
+
+    /// Whether the agent is fail-closed (not probing).
+    pub fn is_stopped(&self) -> bool {
+        self.fleet.is_stopped(self.idx)
+    }
+
+    /// Number of peers currently scheduled.
+    pub fn peer_count(&self) -> usize {
+        self.fleet.peer_count(self.idx)
+    }
+
+    /// Entries the guard had to clamp over this agent's lifetime.
+    pub fn sanitized_entries(&self) -> u64 {
+        self.fleet.sanitized_entries(self.idx)
+    }
+
+    /// When the agent next needs to act.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.fleet.next_wakeup(self.idx)
+    }
+
+    /// Lifetime probe outcomes fed back.
+    pub fn probes_observed(&self) -> u64 {
+        self.fleet.probes_observed(self.idx)
+    }
+
+    /// Lifetime unresolved (recordless) probes.
+    pub fn unresolved_probes(&self) -> u64 {
+        self.fleet.unresolved_probes(self.idx)
+    }
+
+    /// Records currently buffered.
+    pub fn buffered_records(&self) -> u64 {
+        self.fleet.buffered_records(self.idx)
+    }
+
+    /// Whether an upload batch is in flight.
+    pub fn has_pending_upload(&self) -> bool {
+        self.fleet.has_pending_upload(self.idx)
+    }
+
+    /// Cumulative records discarded.
+    pub fn discarded_total(&self) -> u64 {
+        self.fleet.discarded_total(self.idx)
+    }
+
+    /// Live counters.
+    pub fn counters(&self) -> &AgentCounters {
+        self.fleet.counters(self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Agent;
+    use pingmesh_topology::TopologySpec;
+    use pingmesh_types::{PingTarget, PinglistEntry, ProbeKind, QosClass, SimDuration};
+    use std::net::Ipv4Addr;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::build(TopologySpec::single_tiny()).unwrap())
+    }
+
+    fn pinglist(server: ServerId, generation: u64, n: usize) -> Pinglist {
+        Pinglist {
+            server,
+            generation,
+            entries: (0..n)
+                .map(|i| PinglistEntry {
+                    target: PingTarget::Server {
+                        id: ServerId(1 + i as u32),
+                        ip: Ipv4Addr::new(10, 0, 0, 1 + i as u8),
+                    },
+                    port: 8100,
+                    kind: ProbeKind::TcpSyn,
+                    qos: QosClass::High,
+                    interval: SimDuration::from_secs(10 + i as u64),
+                })
+                .collect(),
+        }
+    }
+
+    /// The load-bearing test: a fleet agent and a legacy `Agent` driven
+    /// through the same script must agree on everything observable —
+    /// wake times, due probes (order and ports), counters, ledgers.
+    #[test]
+    fn fleet_agent_matches_legacy_agent_step_for_step() {
+        let topo = topo();
+        let mut legacy = Agent::new(ServerId(0), topo.clone(), AgentConfig::default());
+        let mut fleet = AgentFleet::new(topo, AgentConfig::default());
+        let idx = fleet.push_server(ServerId(0));
+
+        let polls = [
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 1, 5)),
+            ControllerPollOutcome::Unreachable,
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 1, 5)), // same gen: no reinstall
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 2, 3)), // shrink in place
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 3, 7)), // grow to tail
+        ];
+        let mut now = SimTime::ZERO;
+        for poll in polls {
+            legacy.on_controller_poll(poll.clone(), now);
+            fleet.on_controller_poll(idx, poll, now);
+            assert_eq!(legacy.generation(), fleet.generation(idx));
+            assert_eq!(legacy.peer_count(), fleet.peer_count(idx));
+            assert_eq!(legacy.next_wakeup(), fleet.next_wakeup(idx));
+
+            // Run a few wake rounds and compare the due streams.
+            for _ in 0..4 {
+                let Some(t) = legacy.next_wakeup() else { break };
+                assert_eq!(fleet.next_wakeup(idx), Some(t));
+                now = t;
+                let dl = legacy.due_probes(now);
+                let df = fleet.due_probes(idx, now);
+                assert_eq!(dl, df, "due stream diverged at {now:?}");
+                for d in &dl {
+                    let outcome = if d.entry_index % 3 == 0 {
+                        ProbeOutcome::Timeout
+                    } else {
+                        ProbeOutcome::Success {
+                            rtt: SimDuration::from_micros(300),
+                        }
+                    };
+                    let dst = (d.entry_index % 4 != 1).then_some(ServerId(1));
+                    legacy.record_outcome(d, dst, outcome, now);
+                    fleet.record_outcome(idx, d, dst, outcome, now);
+                }
+                legacy.recycle_due(dl);
+                fleet.recycle_due(df);
+            }
+            assert_eq!(legacy.probes_observed(), fleet.probes_observed(idx));
+            assert_eq!(legacy.unresolved_probes(), fleet.unresolved_probes(idx));
+            assert_eq!(legacy.buffered_records(), fleet.buffered_records(idx));
+            assert_eq!(legacy.counters(), fleet.counters(idx));
+        }
+
+        // Upload path parity.
+        assert_eq!(
+            legacy.upload_due(now + SimDuration::from_secs(3600)),
+            fleet.upload_due(idx, now + SimDuration::from_secs(3600))
+        );
+        let bl = legacy.begin_upload();
+        let bf = fleet.begin_upload(idx);
+        assert_eq!(bl, bf);
+        if let (Some(bl), Some(bf)) = (bl, bf) {
+            assert_eq!(
+                legacy.on_upload_result(false),
+                fleet.on_upload_result(idx, false)
+            );
+            assert_eq!(
+                legacy.on_upload_result(true),
+                fleet.on_upload_result(idx, true)
+            );
+            legacy.recycle_batch(bl);
+            fleet.recycle_batch(idx, bf);
+        }
+        assert_eq!(legacy.has_pending_upload(), fleet.has_pending_upload(idx));
+        assert_eq!(legacy.discarded_total(), fleet.discarded_total(idx));
+        assert_eq!(legacy.collect_counters(), fleet.collect_counters(idx));
+    }
+
+    #[test]
+    fn guard_transitions_clear_schedule() {
+        let mut fleet = AgentFleet::new(topo(), AgentConfig::default());
+        let idx = fleet.push_server(ServerId(0));
+        fleet.on_controller_poll(
+            idx,
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 1, 3)),
+            SimTime::ZERO,
+        );
+        assert_eq!(fleet.peer_count(idx), 3);
+        fleet.on_controller_poll(idx, ControllerPollOutcome::NoPinglist, SimTime(1));
+        assert!(fleet.is_stopped(idx));
+        assert_eq!(fleet.peer_count(idx), 0);
+        assert_eq!(fleet.next_wakeup(idx), None);
+        assert!(fleet.due_probes(idx, SimTime(100_000_000)).is_empty());
+        // Recovery reinstalls (new generation) and resumes.
+        fleet.on_controller_poll(
+            idx,
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 4, 2)),
+            SimTime(2),
+        );
+        assert!(!fleet.is_stopped(idx));
+        assert_eq!(fleet.peer_count(idx), 2);
+        assert!(fleet.next_wakeup(idx).is_some());
+    }
+
+    #[test]
+    fn segments_grow_and_reuse_without_cross_talk() {
+        let mut fleet = AgentFleet::new(topo(), AgentConfig::default());
+        let a = fleet.push_server(ServerId(0));
+        let b = fleet.push_server(ServerId(5));
+        fleet.on_controller_poll(
+            a,
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 1, 4)),
+            SimTime::ZERO,
+        );
+        fleet.on_controller_poll(
+            b,
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(5), 1, 2)),
+            SimTime::ZERO,
+        );
+        // Growing a's segment relocates it to the arena tail; b unaffected.
+        fleet.on_controller_poll(
+            a,
+            ControllerPollOutcome::Pinglist(pinglist(ServerId(0), 2, 9)),
+            SimTime(50),
+        );
+        assert_eq!(fleet.peer_count(a), 9);
+        assert_eq!(fleet.peer_count(b), 2);
+        let tb = fleet.next_wakeup(b).unwrap();
+        let due_b = fleet.due_probes(b, tb);
+        assert!(!due_b.is_empty());
+        assert!(due_b.iter().all(|d| d.entry_index < 2));
+    }
+}

@@ -9,6 +9,11 @@
 //!   pre-refactor collect-into-`Vec` resolver (reimplemented below,
 //!   verbatim), plus a counting-allocator proof that a resolve call
 //!   performs **zero** heap allocations.
+//! - **event_queue**: the engine's schedule/pop cost with metric deltas
+//!   flushed once per barrier vs published after every operation (the
+//!   pre-sharding behaviour), the accounting cost in isolation (atomic
+//!   inc + gauge store per op vs a deferred plain increment), and
+//!   `schedule_batch` vs repeated singles.
 //! - **pinglist**: `generate_all` servers/sec, serial vs parallel.
 //! - **aggregate**: `WindowAggregate` records/sec, serial vs parallel
 //!   (and a bit-equality check between the two results).
@@ -25,7 +30,9 @@
 //! `target/BENCH_hotpath.smoke.json` instead. `--check` exits non-zero
 //! if an acceptance gate fails (resolver not allocation-free; a 10-min
 //! tick copying records out of the store; in full mode also resolver
-//! speedup < 3x, pinglist speedup < 2x when ≥2 threads are available,
+//! speedup < 3x, deferred event-queue metric accounting < 2x cheaper
+//! than per-op atomics, pinglist speedup < 2x when ≥2 threads are
+//! available,
 //! or hourly merge < 5x faster than the rebuild-from-raw path).
 
 use pingmesh_bench::{header, small_dc_spec, two_dc_scenario};
@@ -278,6 +285,100 @@ fn main() {
         resolver_allocs as f64 / calls as f64
     );
 
+    // --- event queue: per-op metric publish (the engine before batching)
+    // vs deltas flushed once per barrier, and schedule_batch vs singles.
+    let eq_ops: u64 = if args.smoke { 200_000 } else { 2_000_000 };
+    let eq_times: Vec<SimTime> = (0..eq_ops)
+        .map(|i| SimTime(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % 1_000_000))
+        .collect();
+    use pingmesh_core::netsim::EventQueue;
+    // Warm both variants.
+    for _ in 0..2 {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for t in eq_times.iter().take(10_000) {
+            q.schedule(*t, 0);
+        }
+        while q.pop().is_some() {}
+        q.flush_metrics();
+    }
+    let (perop_ns, perop_sink) = time_ns(|| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut sink = 0u64;
+        for (i, t) in eq_times.iter().enumerate() {
+            q.schedule(*t, i as u32);
+            q.flush_metrics(); // publish per op, as before batching
+        }
+        while let Some(s) = q.pop() {
+            sink += u64::from(s.event);
+            q.flush_metrics();
+        }
+        sink
+    });
+    let (batched_ns, batched_sink) = time_ns(|| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut sink = 0u64;
+        for (i, t) in eq_times.iter().enumerate() {
+            q.schedule(*t, i as u32);
+        }
+        while let Some(s) = q.pop() {
+            sink += u64::from(s.event);
+        }
+        q.flush_metrics(); // one barrier flush for the whole epoch
+        sink
+    });
+    assert_eq!(perop_sink, batched_sink, "event streams diverged");
+    let eq_perop_ns_per_op = perop_ns / (2 * eq_ops) as f64;
+    let eq_batched_ns_per_op = batched_ns / (2 * eq_ops) as f64;
+    let eq_speedup = eq_perop_ns_per_op / eq_batched_ns_per_op;
+    // The accounting alone, isolated from the heap: what every op paid
+    // before batching (atomic counter inc + atomic gauge store) vs what
+    // it pays now (a plain integer bump, flushed at the barrier).
+    let acct_ctr = pingmesh_obs::registry().counter("pingmesh_bench_eq_acct");
+    let acct_gauge = pingmesh_obs::registry().gauge("pingmesh_bench_eq_acct_depth");
+    let (acct_atomic_ns, _) = time_ns(|| {
+        for i in 0..eq_ops {
+            acct_ctr.inc();
+            acct_gauge.set(i as f64);
+        }
+        eq_ops
+    });
+    let (acct_plain_ns, plain_sink) = time_ns(|| {
+        let mut pending = 0u64;
+        for i in 0..eq_ops {
+            pending += 1;
+            black_box(i);
+        }
+        black_box(pending);
+        acct_ctr.add(pending); // the barrier flush
+        pending
+    });
+    assert_eq!(plain_sink, eq_ops);
+    let acct_atomic_ns_per_op = acct_atomic_ns / eq_ops as f64;
+    let acct_plain_ns_per_op = acct_plain_ns / eq_ops as f64;
+    let acct_speedup = acct_atomic_ns_per_op / acct_plain_ns_per_op.max(1e-3);
+    // schedule_batch: one reservation for the whole round vs incremental
+    // heap growth from repeated singles.
+    let (singles_ns, _) = time_ns(|| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for (i, t) in eq_times.iter().enumerate() {
+            q.schedule(*t, i as u32);
+        }
+        q.len() as u64
+    });
+    let (batch_api_ns, _) = time_ns(|| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_batch(eq_times.iter().enumerate().map(|(i, t)| (*t, i as u32)));
+        q.len() as u64
+    });
+    let singles_ns_per_op = singles_ns / eq_ops as f64;
+    let batch_ns_per_op = batch_api_ns / eq_ops as f64;
+    println!(
+        "  event_queue    per-op flush {eq_perop_ns_per_op:>6.1} ns/op   batched {eq_batched_ns_per_op:>6.1} ns/op   speedup {eq_speedup:.2}x   schedule {singles_ns_per_op:.1} vs schedule_batch {batch_ns_per_op:.1} ns/op"
+    );
+    println!(
+        "  eq_accounting  atomic {acct_atomic_ns_per_op:>6.2} ns/op   deferred {acct_plain_ns_per_op:>6.2} ns/op   speedup {acct_speedup:.1}x"
+    );
+
     // --- pinglist generation: serial vs parallel over the same topology.
     let generator = PinglistGenerator::new(GeneratorConfig::default());
     let servers = topo.server_count() as u64;
@@ -488,7 +589,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"pingmesh-bench-hotpath/2\",\n",
+            "  \"schema\": \"pingmesh-bench-hotpath/3\",\n",
             "  \"smoke\": {smoke},\n",
             "  \"threads\": {threads},\n",
             "  \"resolver\": {{\n",
@@ -497,6 +598,17 @@ fn main() {
             "    \"ns_per_call\": {new:.1},\n",
             "    \"speedup\": {rspeed:.2},\n",
             "    \"allocs_per_call\": {allocs}\n",
+            "  }},\n",
+            "  \"event_queue\": {{\n",
+            "    \"ops\": {eqops},\n",
+            "    \"per_op_flush_ns_per_op\": {eqperop:.1},\n",
+            "    \"batched_flush_ns_per_op\": {eqbatched:.1},\n",
+            "    \"flush_batching_speedup\": {eqspeed:.2},\n",
+            "    \"accounting_atomic_ns_per_op\": {eqacct:.2},\n",
+            "    \"accounting_deferred_ns_per_op\": {eqacctd:.2},\n",
+            "    \"accounting_speedup\": {eqacctsp:.1},\n",
+            "    \"schedule_ns_per_op\": {eqsched:.1},\n",
+            "    \"schedule_batch_ns_per_op\": {eqschedb:.1}\n",
             "  }},\n",
             "  \"pinglist\": {{\n",
             "    \"servers\": {servers},\n",
@@ -536,6 +648,15 @@ fn main() {
         new = ns_per_call,
         rspeed = resolver_speedup,
         allocs = resolver_allocs as f64 / calls as f64,
+        eqops = eq_ops,
+        eqperop = eq_perop_ns_per_op,
+        eqbatched = eq_batched_ns_per_op,
+        eqspeed = eq_speedup,
+        eqacct = acct_atomic_ns_per_op,
+        eqacctd = acct_plain_ns_per_op,
+        eqacctsp = acct_speedup,
+        eqsched = singles_ns_per_op,
+        eqschedb = batch_ns_per_op,
         servers = servers,
         sgen = serial_srv_per_sec,
         pgen = par_srv_per_sec,
@@ -584,6 +705,14 @@ fn main() {
             // Timing gates only on the full run: smoke workloads are too
             // small for stable ratios.
             gate("resolver >= 3x faster than legacy", resolver_speedup >= 3.0);
+            gate(
+                "event-queue full path no slower with batched metrics",
+                eq_speedup >= 0.95,
+            );
+            gate(
+                "deferred metric accounting >= 2x cheaper than per-op atomics",
+                acct_speedup >= 2.0,
+            );
             if threads >= 2 {
                 gate("generate_all >= 2x faster with threads", gen_speedup >= 2.0);
             }

@@ -1,0 +1,271 @@
+//! Paper-scale simulation bench: servers vs wall-clock per sim-minute,
+//! serial engine vs sharded engine, recorded as JSON.
+//!
+//! The sharded engine partitions the event queue by podset and runs the
+//! shards with scoped threads between barriers; agent hot state lives in
+//! struct-of-arrays arenas so the wake scan is cache-linear. This binary
+//! drives full deployments at increasing fleet sizes — up to the paper's
+//! 100k-server regime sampled at 50k+ — and measures wall-clock per
+//! simulated minute on both engines. Every sharded run's observable
+//! state (store contents, SLA rows, outputs, fleet ledger) is digested
+//! and compared against the serial run: the two must match bit for bit,
+//! at any shard count.
+//!
+//! Probe cadence is turned down from the paper's 10s/30s defaults to
+//! 120s/600s so a 50k-server point holds ~20M probes rather than
+//! hundreds of millions; the per-probe work is identical, so the
+//! servers-vs-wall-clock shape is preserved.
+//!
+//! Usage: `cargo run --release -p pingmesh-bench --bin scale [--smoke]
+//! [--check] [--out PATH]`. The full run sweeps 5k→50k servers and
+//! writes `BENCH_scale.json` at the repo root; `--smoke` runs the 5k
+//! point only and writes `target/BENCH_scale.smoke.json`. `--check`
+//! exits non-zero if any sharded run diverges from its serial twin.
+
+use pingmesh_bench::header;
+use pingmesh_check::state_digest;
+use pingmesh_core::controller::GeneratorConfig;
+use pingmesh_core::netsim::DcProfile;
+use pingmesh_core::topology::{DcSpec, ServiceMap, Topology, TopologySpec};
+use pingmesh_core::types::{SimDuration, SimTime};
+use pingmesh_core::{Orchestrator, OrchestratorConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    check: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        check: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--check" => args.check = true,
+            "--out" => args.out = it.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One fleet size on the curve.
+struct Point {
+    podsets: u32,
+    pods_per_podset: u32,
+    servers_per_pod: u32,
+}
+
+impl Point {
+    fn servers(&self) -> u64 {
+        u64::from(self.podsets) * u64::from(self.pods_per_podset) * u64::from(self.servers_per_pod)
+    }
+}
+
+/// Builds one deployment of the given shape. The generator cadence and
+/// the seed are fixed across the whole curve so points differ only in
+/// fleet size (and engines only in shard count).
+fn build(p: &Point, shards: usize) -> Orchestrator {
+    let topo = Arc::new(
+        Topology::build(TopologySpec {
+            dcs: vec![DcSpec {
+                name: "DC1".to_string(),
+                podsets: p.podsets,
+                pods_per_podset: p.pods_per_podset,
+                servers_per_pod: p.servers_per_pod,
+                leaves_per_podset: 4,
+                spines: 8,
+                borders: 2,
+            }],
+        })
+        .expect("valid spec"),
+    );
+    let config = OrchestratorConfig {
+        generator: GeneratorConfig {
+            intra_pod_interval: SimDuration::from_secs(120),
+            intra_dc_interval: SimDuration::from_secs(600),
+            ..GeneratorConfig::default()
+        },
+        seed: 42,
+        shards,
+        ..OrchestratorConfig::default()
+    };
+    Orchestrator::new(topo, vec![DcProfile::us_west()], ServiceMap::new(), config)
+}
+
+struct Measured {
+    wall_ms: f64,
+    ms_per_sim_min: f64,
+    probes: u64,
+    records: u64,
+    digest: u64,
+    shards: usize,
+}
+
+fn run_point(p: &Point, shards: usize, sim_mins: u64) -> Measured {
+    let mut o = build(p, shards);
+    let start = Instant::now();
+    o.run_until(SimTime::ZERO + SimDuration::from_mins(sim_mins));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Measured {
+        wall_ms,
+        ms_per_sim_min: wall_ms / sim_mins as f64,
+        probes: o.outputs().probes_run,
+        records: o.pipeline().store.record_count(),
+        digest: state_digest(&o),
+        shards: o.shard_count(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = pingmesh_par::max_threads();
+    header(
+        "scale",
+        if args.smoke {
+            "sharded-engine scale curve (smoke)"
+        } else {
+            "sharded-engine scale curve"
+        },
+    );
+    println!("  threads available: {threads}");
+
+    // 5,120 / 12,800 / 25,600 / 51,200 servers. Shapes keep pods sized
+    // so per-server pinglists stay in the few-hundred-entry range the
+    // paper describes (every pod peer + one server per other ToR).
+    let curve: &[Point] = if args.smoke {
+        &[Point {
+            podsets: 8,
+            pods_per_podset: 8,
+            servers_per_pod: 80,
+        }]
+    } else {
+        &[
+            Point {
+                podsets: 8,
+                pods_per_podset: 8,
+                servers_per_pod: 80,
+            },
+            Point {
+                podsets: 8,
+                pods_per_podset: 10,
+                servers_per_pod: 160,
+            },
+            Point {
+                podsets: 16,
+                pods_per_podset: 10,
+                servers_per_pod: 160,
+            },
+            Point {
+                podsets: 16,
+                pods_per_podset: 16,
+                servers_per_pod: 200,
+            },
+        ]
+    };
+    let sim_mins: u64 = 3;
+
+    let mut rows = Vec::new();
+    let mut all_match = true;
+    for p in curve {
+        let serial = run_point(p, 1, sim_mins);
+        let sharded = run_point(p, p.podsets as usize, sim_mins);
+        let bit_identical = sharded.digest == serial.digest
+            && sharded.probes == serial.probes
+            && sharded.records == serial.records;
+        all_match &= bit_identical;
+        let speedup = serial.wall_ms / sharded.wall_ms.max(1e-6);
+        println!(
+            "  {:>6} servers   serial {:>8.0} ms ({:>7.0} ms/sim-min)   {}-shard {:>8.0} ms ({:>7.0} ms/sim-min)   speedup {:.2}x   {} probes   {}",
+            p.servers(),
+            serial.wall_ms,
+            serial.ms_per_sim_min,
+            sharded.shards,
+            sharded.wall_ms,
+            sharded.ms_per_sim_min,
+            speedup,
+            serial.probes,
+            if bit_identical { "bit-identical" } else { "DIVERGED" },
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"servers\": {},\n",
+                "      \"podsets\": {},\n",
+                "      \"sim_minutes\": {},\n",
+                "      \"probes\": {},\n",
+                "      \"records_stored\": {},\n",
+                "      \"serial_wall_ms\": {:.0},\n",
+                "      \"serial_ms_per_sim_min\": {:.0},\n",
+                "      \"shards\": {},\n",
+                "      \"sharded_wall_ms\": {:.0},\n",
+                "      \"sharded_ms_per_sim_min\": {:.0},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"state_digest\": \"{:#018x}\",\n",
+                "      \"bit_identical\": {}\n",
+                "    }}"
+            ),
+            p.servers(),
+            p.podsets,
+            sim_mins,
+            serial.probes,
+            serial.records,
+            serial.wall_ms,
+            serial.ms_per_sim_min,
+            sharded.shards,
+            sharded.wall_ms,
+            sharded.ms_per_sim_min,
+            speedup,
+            serial.digest,
+            bit_identical,
+        ));
+    }
+
+    let out_path = args.out.clone().unwrap_or_else(|| {
+        if args.smoke {
+            "target/BENCH_scale.smoke.json".to_string()
+        } else {
+            "BENCH_scale.json".to_string()
+        }
+    });
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"pingmesh-bench-scale/1\",\n",
+            "  \"smoke\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        args.smoke,
+        threads,
+        rows.join(",\n"),
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write scale curve");
+    println!("  curve written to {out_path}");
+
+    if args.check {
+        println!(
+            "  [{}] every sharded run bit-identical to its serial twin",
+            if all_match { "ok" } else { "FAIL" }
+        );
+        if !all_match {
+            std::process::exit(1);
+        }
+    }
+}

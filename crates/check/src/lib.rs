@@ -11,7 +11,9 @@
 //! 2. CRDT laws + shard-partition independence of window aggregates,
 //! 3. quantile monotonicity and histogram-vs-exact agreement,
 //! 4. SLA row consistency and scope-family count sums,
-//! 5. zero-copy scan equivalence.
+//! 5. zero-copy scan equivalence,
+//! 6. shard determinism (the scenario re-run on a sharded engine yields
+//!    a bit-identical store, SLA rows and outputs — [`digest`]).
 //!
 //! Failing seeds are [`shrink`]-able to a minimal spec and printed as a
 //! ready-to-paste regression test ([`regression_snippet`]); pin those
@@ -25,14 +27,16 @@
 //! same verdict — a failing seed from CI reproduces locally, bit for
 //! bit.
 
+pub mod digest;
 pub mod oracle;
 pub mod rng;
 pub mod run;
 pub mod scenario;
 pub mod shrink;
 
+pub use digest::state_digest;
 pub use oracle::Violation;
-pub use run::{run_scenario, RunReport};
+pub use run::{build_orchestrator, build_orchestrator_sharded, run_scenario, RunReport};
 pub use scenario::ScenarioSpec;
 pub use shrink::{regression_snippet, shrink};
 

@@ -52,8 +52,15 @@ fn minute(m: u32) -> SimTime {
 }
 
 /// Builds the orchestrator a spec describes, with every scheduled fault
-/// installed and ready to fire.
+/// installed and ready to fire. Runs on the serial engine (one shard).
 pub fn build_orchestrator(spec: &ScenarioSpec) -> Orchestrator {
+    build_orchestrator_sharded(spec, 1)
+}
+
+/// [`build_orchestrator`] on the sharded engine: the same deployment,
+/// partitioned into `shards` per-podset event queues. Any shard count
+/// must reproduce the serial run bit for bit — that is the sixth oracle.
+pub fn build_orchestrator_sharded(spec: &ScenarioSpec, shards: usize) -> Orchestrator {
     let dcs = (0..spec.dcs)
         .map(|i| DcSpec {
             name: format!("d{i}"),
@@ -100,6 +107,7 @@ pub fn build_orchestrator(spec: &ScenarioSpec) -> Orchestrator {
         controller_replicas: 2,
         seed: spec.seed,
         auto_repair: spec.auto_repair,
+        shards,
         ..OrchestratorConfig::default()
     };
     let mut orch = Orchestrator::new(topo.clone(), profiles, services.clone(), config);
@@ -194,6 +202,32 @@ pub fn run_scenario(spec: &ScenarioSpec) -> RunReport {
     violations.extend(oracle::check_scan_equivalence(&orch));
     violations.extend(oracle::check_quality(&orch, spec));
 
+    // Sixth family: shard determinism. Re-run the whole scenario on the
+    // sharded engine (shard count varies with the seed so campaigns
+    // cover 2/4/8) and demand a bit-identical observable state.
+    let shard_choices = [2usize, 4, 8];
+    let shards = shard_choices[spec.seed as usize % shard_choices.len()];
+    let serial_digest = crate::digest::state_digest(&orch);
+    let mut sharded = build_orchestrator_sharded(spec, shards);
+    sharded.run_until(minute(spec.sim_minutes));
+    let sharded_digest = crate::digest::state_digest(&sharded);
+    if sharded_digest != serial_digest {
+        violations.push(Violation {
+            oracle: "shard_determinism".into(),
+            detail: format!(
+                "{shards}-shard run diverged from serial: state digest \
+                 {sharded_digest:#018x} != {serial_digest:#018x} \
+                 (probes {} vs {}, records {} vs {}, sla rows {} vs {})",
+                sharded.outputs().probes_run,
+                orch.outputs().probes_run,
+                sharded.pipeline().store.record_count(),
+                orch.pipeline().store.record_count(),
+                sharded.pipeline().db.len(),
+                orch.pipeline().db.len(),
+            ),
+        });
+    }
+
     let reg = pingmesh_obs::registry();
     reg.counter("pingmesh_check_scenarios_total").inc();
     if !violations.is_empty() {
@@ -219,6 +253,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> RunReport {
         orch.outputs().incidents.len() as u64,
         orch.outputs().escalations.len() as u64,
         discarded,
+        serial_digest,
         violations.len() as u64,
     ] {
         fnv1a(&mut digest, v);

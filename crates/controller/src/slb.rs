@@ -184,6 +184,49 @@ impl ControllerCluster {
             "replicas" => n as u64);
         Err(last_err.expect("at least one replica"))
     }
+
+    /// Cursor-free variant of [`ControllerCluster::fetch`] for concurrent
+    /// callers (the sharded engine's agent polls): the starting replica is
+    /// keyed on the requesting server instead of the shared round-robin
+    /// cursor, so the outcome never depends on fleet-wide poll order. All
+    /// replicas serve identical files and every one is tried on failover,
+    /// hence the result matches [`ControllerCluster::fetch`] whenever any
+    /// replica is up.
+    pub fn fetch_keyed(
+        &self,
+        server: ServerId,
+        t: SimTime,
+    ) -> Result<Option<Pinglist>, PingmeshError> {
+        let n = self.replicas.len();
+        let start = server.index() % n;
+        let registry = pingmesh_obs::registry();
+        registry
+            .counter("pingmesh_controller_slb_fetches_total")
+            .inc();
+        let mut last_err = None;
+        for k in 0..n {
+            let idx = (start + k) % n;
+            match self.replicas[idx].fetch(server, t) {
+                Ok(r) => {
+                    if k > 0 {
+                        registry
+                            .counter("pingmesh_controller_slb_failovers_total")
+                            .inc();
+                        pingmesh_obs::emit_sim!(t; Debug, "controller.slb", "failover",
+                            "replica" => idx as u64, "skipped" => k as u64);
+                    }
+                    return Ok(r);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        registry
+            .counter("pingmesh_controller_slb_all_down_total")
+            .inc();
+        pingmesh_obs::emit_sim!(t; Warn, "controller.slb", "all_replicas_down",
+            "replicas" => n as u64);
+        Err(last_err.expect("at least one replica"))
+    }
 }
 
 #[cfg(test)]

@@ -1,29 +1,48 @@
-//! The end-to-end orchestrator.
+//! The end-to-end orchestrator: a sharded discrete-event engine.
 //!
 //! Builds a full Pingmesh deployment over a simulated network and drives
-//! it on one discrete-event queue:
+//! it at paper scale. The fleet is partitioned by **podset** into shards,
+//! each owning its own event queue and [`AgentFleet`] (struct-of-arrays
+//! hot state); shards advance sim-time in parallel between **tick
+//! barriers**:
 //!
 //! * every server's **agent** polls the controller VIP, launches probes
-//!   at its scheduled times, buffers results and uploads them to the
-//!   store with retry-then-discard semantics;
-//! * the **controller cluster** regenerates pinglists on demand and can
-//!   suffer replica outages;
-//! * the **PA pipeline** sweeps agent counters every 5 minutes;
-//! * the **job manager** fires the 10-min / 1-h / 1-day DSA jobs, whose
-//!   findings feed the **repair loop**: black-holed ToRs are reloaded
-//!   (≤ 20/day), and silent-drop incidents trigger a traceroute campaign
-//!   that isolates the guilty switch — reproducing the full §5
-//!   detect-localize-mitigate story.
+//!   at its scheduled times, buffers results and uploads them with
+//!   retry-then-discard semantics — all inside its shard;
+//! * at each barrier the shards' side effects are merged in canonical
+//!   order: deferred store uploads sorted by `(time, server)`, switch-
+//!   counter deltas summed (commutative), probe/metric counts flushed;
+//! * the **PA pipeline** (5-minute counter sweep), the **job manager**
+//!   (10-min / 1-h / 1-day DSA jobs) and the **repair loop** (reloads,
+//!   traceroute campaigns, isolations — the §5 detect-localize-mitigate
+//!   story) run barrier-sequentially with full access to the world.
+//!
+//! ## Why runs are bit-identical at any shard count
+//!
+//! Agents never exchange events: a probe resolves instantaneously
+//! against the network state, which is immutable during an epoch. The
+//! only per-probe randomness comes from [`NetState::probe_keyed`]'s
+//! counter-based RNG — a pure function of (run seed, five-tuple, launch
+//! time) — so a probe's outcome is independent of execution order. Every
+//! remaining cross-shard effect (uploads, counter deltas, probe counts)
+//! is either merged in a canonical sort order or commutative. Epoch
+//! boundaries line up with the global events (PA, jobs) plus a
+//! `barrier_interval` heartbeat, none of which depend on the shard
+//! layout. `shards = 1` *is* the serial engine — same code path, no
+//! thread spawn.
 
 use crate::repair::RepairService;
-use pingmesh_agent::{Agent, AgentConfig, ControllerPollOutcome};
+use pingmesh_agent::{AgentConfig, AgentFleet, AgentView, ControllerPollOutcome};
 use pingmesh_controller::{ControllerCluster, GeneratorConfig, PinglistGenerator};
 use pingmesh_dsa::jobs::{JobManager, Pipeline};
 use pingmesh_dsa::store::{CosmosStore, StreamName};
 use pingmesh_dsa::{ExpectedPairs, LatencyPattern, PerfCounterAggregator, SilentDropFinding};
-use pingmesh_netsim::{tcp_traceroute, DcProfile, EventQueue, SimNet, TracerouteReport};
+use pingmesh_netsim::net::CounterDelta;
+use pingmesh_netsim::{tcp_traceroute, DcProfile, EventQueue, NetState, SimNet, TracerouteReport};
 use pingmesh_topology::{ServiceMap, Topology};
-use pingmesh_types::{DcId, PingTarget, ServerId, SimDuration, SimTime, SwitchId};
+use pingmesh_types::{
+    DcId, PingTarget, ProbeOutcome, ProbeRecord, ServerId, SimDuration, SimTime, SwitchId,
+};
 use std::sync::Arc;
 
 /// Orchestrator configuration.
@@ -42,6 +61,15 @@ pub struct OrchestratorConfig {
     /// Whether detection findings drive automatic repair (reloads /
     /// isolations). Disable to observe incidents without mitigation.
     pub auto_repair: bool,
+    /// Event-queue shards. Podsets are distributed round-robin over
+    /// shards; `1` (the default) runs the serial engine inline. Output is
+    /// bit-identical at any value.
+    pub shards: usize,
+    /// Maximum sim-time an epoch may span between barriers. Barriers also
+    /// land on every global event (PA sweep, job tick), so this only
+    /// bounds how long shards run unsynchronized; it does not affect
+    /// results.
+    pub barrier_interval: SimDuration,
 }
 
 impl Default for OrchestratorConfig {
@@ -53,6 +81,8 @@ impl Default for OrchestratorConfig {
             pa_interval: SimDuration::from_mins(5),
             seed: 0xC0FFEE,
             auto_repair: true,
+            shards: 1,
+            barrier_interval: SimDuration::from_mins(1),
         }
     }
 }
@@ -76,33 +106,197 @@ pub struct SimOutputs {
     pub probes_run: u64,
 }
 
+/// Shard-local events carry the agent's fleet index (dense per shard),
+/// not the global server id — the hot loop never hashes or searches.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    AgentPoll(ServerId),
-    AgentWake(ServerId),
-    PaCollect,
-    JobWake,
+    Poll(u32),
+    Wake(u32),
+}
+
+/// A deferred store upload: decided (and agent-side accounted) at wake
+/// time inside a shard, applied to the store at the barrier in canonical
+/// `(time, server)` order.
+struct DeferredUpload {
+    time: SimTime,
+    server: ServerId,
+    fleet_idx: u32,
+    dc: DcId,
+    batch: Vec<ProbeRecord>,
+}
+
+/// Everything a shard may read during an epoch. All `&self`, shared by
+/// every worker thread.
+struct EpochCtx<'a> {
+    net: &'a NetState,
+    seed: u64,
+    cluster: &'a ControllerCluster,
+    store: &'a CosmosStore,
+    topo: &'a Topology,
+    poll_interval: SimDuration,
+    obs_enabled: bool,
+}
+
+/// One podset shard: its event queue, its agents, and the epoch's
+/// buffered side effects (merged and drained at each barrier).
+struct Shard {
+    queue: EventQueue<Ev>,
+    fleet: AgentFleet,
+    uploads: Vec<DeferredUpload>,
+    counter_delta: CounterDelta,
+    probes_run: u64,
+    timeouts: u64,
+    rtts: Vec<SimDuration>,
+}
+
+impl Shard {
+    fn new(topo: Arc<Topology>, agent_config: AgentConfig) -> Self {
+        Self {
+            queue: EventQueue::new(),
+            fleet: AgentFleet::new(topo, agent_config),
+            uploads: Vec::new(),
+            counter_delta: CounterDelta::new(),
+            probes_run: 0,
+            timeouts: 0,
+            rtts: Vec::new(),
+        }
+    }
+
+    /// Runs every shard event with `time ≤ t_end`; returns the number of
+    /// events processed.
+    fn run_epoch(&mut self, t_end: SimTime, ctx: &EpochCtx<'_>) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            match ev.event {
+                Ev::Poll(i) => self.handle_poll(ev.time, i, ctx),
+                Ev::Wake(i) => self.handle_wake(ev.time, i, ctx),
+            }
+            processed += 1;
+        }
+        processed
+    }
+
+    fn handle_poll(&mut self, now: SimTime, i: u32, ctx: &EpochCtx<'_>) {
+        self.queue.schedule(now + ctx.poll_interval, Ev::Poll(i));
+        let idx = i as usize;
+        let s = self.fleet.server(idx);
+        if !ctx.net.server_is_up(s, now) {
+            return; // the server has no power; it will poll when back
+        }
+        let had_schedule = self.fleet.next_wakeup(idx).is_some();
+        let outcome = match ctx.cluster.fetch_keyed(s, now) {
+            Ok(Some(pl)) => ControllerPollOutcome::Pinglist(pl),
+            Ok(None) => ControllerPollOutcome::NoPinglist,
+            Err(_) => ControllerPollOutcome::Unreachable,
+        };
+        self.fleet.on_controller_poll(idx, outcome, now);
+        // Start a wake chain when a schedule (re)appeared.
+        if let Some(t) = self.fleet.next_wakeup(idx) {
+            if !had_schedule || t <= now {
+                self.queue.schedule(t.max(now), Ev::Wake(i));
+            }
+        }
+    }
+
+    fn handle_wake(&mut self, now: SimTime, i: u32, ctx: &EpochCtx<'_>) {
+        let idx = i as usize;
+        let s = self.fleet.server(idx);
+        if !ctx.net.server_is_up(s, now) {
+            // Powered off: drop this chain; the poll handler will restart
+            // probing after power returns (next poll re-fetches the list).
+            self.fleet
+                .on_controller_poll(idx, ControllerPollOutcome::NoPinglist, now);
+            return;
+        }
+        let due = self.fleet.due_probes(idx, now);
+        for probe in &due {
+            let target_ip = match probe.entry.target {
+                PingTarget::Server { ip, .. } | PingTarget::Vip { ip, .. } => ip,
+            };
+            let attempt = ctx.net.probe_keyed(
+                ctx.seed,
+                &mut self.counter_delta,
+                s,
+                target_ip,
+                probe.src_port,
+                probe.entry.port,
+                probe.entry.kind,
+                probe.entry.qos,
+                now,
+            );
+            self.probes_run += 1;
+            match attempt.outcome {
+                ProbeOutcome::Success { rtt } => {
+                    if ctx.obs_enabled {
+                        self.rtts.push(rtt);
+                    }
+                }
+                ProbeOutcome::Timeout => self.timeouts += 1,
+                ProbeOutcome::Refused => {}
+            }
+            self.fleet
+                .record_outcome(idx, probe, attempt.dst, attempt.outcome, now);
+        }
+        self.fleet.recycle_due(due);
+        // Upload path: batch triggers + retry-then-discard. Store liveness
+        // is a pure function of `now`, so success is decided here (the
+        // retry loop can't change a verdict frozen in sim-time); the store
+        // mutation itself is deferred to the barrier.
+        if self.fleet.upload_due(idx, now) {
+            let dc = ctx.topo.server(s).dc;
+            if let Some(batch) = self.fleet.begin_upload(idx) {
+                pingmesh_obs::trace::on_upload_batch(&batch, Some(now));
+                if ctx.store.is_up(now) {
+                    let bytes: u64 = batch.iter().map(|r| r.wire_size() as u64).sum();
+                    self.fleet.note_uploaded(idx, bytes);
+                    self.fleet.on_upload_result(idx, true);
+                    self.uploads.push(DeferredUpload {
+                        time: now,
+                        server: s,
+                        fleet_idx: i,
+                        dc,
+                        batch,
+                    });
+                } else {
+                    // Every synchronous retry hits the same downed store:
+                    // spin the bookkeeping until retries exhaust.
+                    while self.fleet.on_upload_result(idx, false) {}
+                    self.fleet.recycle_batch(idx, batch);
+                }
+            }
+        }
+        if let Some(t) = self.fleet.next_wakeup(idx) {
+            self.queue.schedule(t.max(now), Ev::Wake(i));
+        }
+    }
 }
 
 /// The orchestrator.
 pub struct Orchestrator {
     net: SimNet,
-    agents: Vec<Agent>,
+    shards: Vec<Shard>,
+    /// `server.index()` → (shard, fleet index within the shard).
+    shard_of: Vec<(u32, u32)>,
     cluster: ControllerCluster,
     pipeline: Pipeline,
     pa: PerfCounterAggregator,
     jobman: JobManager,
     repair: RepairService,
-    queue: EventQueue<Ev>,
     config: OrchestratorConfig,
     outputs: SimOutputs,
     generation: u64,
+    now: SimTime,
+    next_pa: SimTime,
 }
 
 impl Orchestrator {
     /// Builds a deployment: network, controller cluster with generated
-    /// pinglists, one agent per server, DSA pipeline, and the initial
-    /// event population.
+    /// pinglists, one agent per server (sharded by podset), DSA pipeline,
+    /// and the initial event population.
     pub fn new(
         topo: Arc<Topology>,
         profiles: Vec<DcProfile>,
@@ -122,38 +316,49 @@ impl Orchestrator {
         let expected = Arc::new(ExpectedPairs::from_pinglists(&topo, &set.lists));
         cluster.set_pinglists(set);
 
-        let agents: Vec<Agent> = topo
-            .servers()
-            .map(|s| Agent::new(s, topo.clone(), config.agent.clone()))
+        // Partition by podset, podsets round-robin over shards. The
+        // assignment is pure topology, so the per-shard server order (and
+        // with it every fleet index) is independent of anything else.
+        let nshards = config.shards.clamp(1, topo.podset_count().max(1));
+        let mut shards: Vec<Shard> = (0..nshards)
+            .map(|_| Shard::new(topo.clone(), config.agent.clone()))
             .collect();
+        let mut shard_of = vec![(0u32, 0u32); topo.server_count()];
+        // Stagger the initial controller polls over the first minute by
+        // *global* server index so the fleet does not stampede the VIP —
+        // and so the stagger is identical at any shard count.
+        let n = topo.server_count().max(1) as u64;
+        let mut initial_polls: Vec<Vec<(SimTime, Ev)>> = vec![Vec::new(); nshards];
+        for (i, s) in topo.servers().enumerate() {
+            let sh = topo.server(s).podset.index() % nshards;
+            let idx = shards[sh].fleet.push_server(s) as u32;
+            shard_of[s.index()] = (sh as u32, idx);
+            let offset = (i as u64 * 60_000_000) / n;
+            initial_polls[sh].push((SimTime(offset), Ev::Poll(idx)));
+        }
+        for (sh, polls) in shards.iter_mut().zip(initial_polls) {
+            sh.queue.schedule_batch(polls);
+        }
 
         let mut pipeline = Pipeline::new(topo.clone(), services, CosmosStore::with_defaults());
         pipeline.set_expected_pairs(expected);
         let jobman = JobManager::new();
-
-        let mut queue = EventQueue::new();
-        // Stagger the initial controller polls over the first minute so
-        // the fleet does not stampede the VIP.
-        let n = agents.len().max(1) as u64;
-        for (i, a) in agents.iter().enumerate() {
-            let offset = (i as u64 * 60_000_000) / n;
-            queue.schedule(SimTime(offset), Ev::AgentPoll(a.server()));
-        }
-        queue.schedule(SimTime::ZERO + config.pa_interval, Ev::PaCollect);
-        queue.schedule(jobman.next_wakeup(), Ev::JobWake);
+        let next_pa = SimTime::ZERO + config.pa_interval;
 
         Self {
             net,
-            agents,
+            shards,
+            shard_of,
             cluster,
             pipeline,
             pa: PerfCounterAggregator::new(),
             jobman,
             repair: RepairService::new(),
-            queue,
             config,
             outputs: SimOutputs::default(),
             generation,
+            now: SimTime::ZERO,
+            next_pa,
         }
     }
 
@@ -203,14 +408,20 @@ impl Orchestrator {
         &self.repair
     }
 
-    /// One agent, by server id (diagnostics).
-    pub fn agent(&self, s: ServerId) -> &Agent {
-        &self.agents[s.index()]
+    /// One agent, by server id (diagnostics / invariant checks).
+    pub fn agent(&self, s: ServerId) -> AgentView<'_> {
+        let (sh, idx) = self.shard_of[s.index()];
+        self.shards[sh as usize].fleet.view(idx as usize)
+    }
+
+    /// Number of event-queue shards actually in use.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.now
     }
 
     /// The §4.3 troubleshooting drill-down over a stored window, scoped
@@ -236,7 +447,7 @@ impl Orchestrator {
         self.config.generator = generator_config.clone();
         let generator = PinglistGenerator::new(generator_config);
         let set = generator.generate_all(self.net.topology(), self.generation);
-        pingmesh_obs::trace::arm_from_pinglists(&set.lists, Some(self.queue.now()));
+        pingmesh_obs::trace::arm_from_pinglists(&set.lists, Some(self.now));
         self.pipeline
             .set_expected_pairs(Arc::new(ExpectedPairs::from_pinglists(
                 self.net.topology(),
@@ -246,26 +457,51 @@ impl Orchestrator {
     }
 
     /// Runs the simulation until virtual time `end` (inclusive of events
-    /// at `end`).
+    /// at `end`): epochs of parallel shard execution separated by
+    /// barriers, with global events (PA, jobs) on barrier boundaries.
     pub fn run_until(&mut self, end: SimTime) {
-        let virtual_start = self.queue.now();
+        let virtual_start = self.now;
         let wall_start = std::time::Instant::now();
         let mut processed: u64 = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t > end {
-                break;
+        while self.now < end {
+            let t_epoch = end
+                .min(self.next_pa)
+                .min(self.jobman.next_wakeup())
+                .min(self.now + self.config.barrier_interval);
+            let ctx = EpochCtx {
+                net: self.net.state(),
+                seed: self.net.run_seed(),
+                cluster: &self.cluster,
+                store: &self.pipeline.store,
+                topo: self.net.topology(),
+                poll_interval: self.config.agent.controller_poll_interval,
+                obs_enabled: pingmesh_obs::enabled(),
+            };
+            let counts = if self.shards.len() == 1 {
+                vec![self.shards[0].run_epoch(t_epoch, &ctx)]
+            } else {
+                let threads = pingmesh_par::max_threads().min(self.shards.len());
+                pingmesh_par::par_map_mut_threads(threads, &mut self.shards, |_, sh| {
+                    sh.run_epoch(t_epoch, &ctx)
+                })
+            };
+            processed += counts.iter().sum::<u64>();
+            self.barrier_merge();
+            self.now = t_epoch;
+            if self.now == self.next_pa {
+                self.handle_pa(self.now);
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.handle(ev.time, ev.event);
-            processed += 1;
+            if self.jobman.next_wakeup() <= self.now {
+                self.handle_jobs(self.now);
+                processed += 1;
+            }
         }
-        let now = self.queue.now();
         pingmesh_obs::registry()
             .counter("pingmesh_core_events_total")
             .add(processed);
         if pingmesh_obs::enabled() && processed > 0 {
             let wall_s = wall_start.elapsed().as_secs_f64();
-            let virtual_s = now.since(virtual_start).as_secs_f64();
+            let virtual_s = self.now.since(virtual_start).as_secs_f64();
             let ratio = if wall_s > 0.0 {
                 virtual_s / wall_s
             } else {
@@ -282,106 +518,68 @@ impl Orchestrator {
             pingmesh_obs::registry()
                 .gauge("pingmesh_core_virtual_wall_ratio")
                 .set(ratio);
-            pingmesh_obs::emit_sim!(now; Info, "core.orchestrator", "run_until",
+            pingmesh_obs::emit_sim!(self.now; Info, "core.orchestrator", "run_until",
                 "events" => processed,
                 "events_per_sec" => eps,
                 "virtual_wall_ratio" => ratio,
-                "queue_depth" => self.queue.len() as u64,
+                "queue_depth" => self.shards.iter().map(|s| s.queue.len() as u64).sum::<u64>(),
+                "shards" => self.shards.len() as u64,
             );
         }
     }
 
-    fn handle(&mut self, now: SimTime, ev: Ev) {
-        match ev {
-            Ev::AgentPoll(s) => self.handle_poll(now, s),
-            Ev::AgentWake(s) => self.handle_wake(now, s),
-            Ev::PaCollect => self.handle_pa(now),
-            Ev::JobWake => self.handle_jobs(now),
+    /// Merges every shard's buffered epoch side effects in canonical
+    /// order, making the world state identical to what a serial run would
+    /// have produced.
+    fn barrier_merge(&mut self) {
+        // Deferred uploads, globally sorted by (time, server). The key is
+        // unique — an agent produces at most one upload per wake instant —
+        // so the order is independent of shard layout.
+        let mut uploads: Vec<DeferredUpload> = Vec::new();
+        for sh in &mut self.shards {
+            uploads.append(&mut sh.uploads);
         }
-    }
-
-    fn handle_poll(&mut self, now: SimTime, s: ServerId) {
-        let poll_interval = self.config.agent.controller_poll_interval;
-        self.queue.schedule(now + poll_interval, Ev::AgentPoll(s));
-        if !self.net.server_is_up(s, now) {
-            return; // the server has no power; it will poll when back
+        uploads.sort_by_key(|u| (u.time, u.server));
+        for u in uploads {
+            let ok = self
+                .pipeline
+                .store
+                .append(StreamName { dc: u.dc }, &u.batch, u.time);
+            debug_assert!(ok, "store liveness was decided at wake time");
+            let (sh, _) = self.shard_of[u.server.index()];
+            self.shards[sh as usize]
+                .fleet
+                .recycle_batch(u.fleet_idx as usize, u.batch);
         }
-        let agent = &mut self.agents[s.index()];
-        let had_schedule = agent.next_wakeup().is_some();
-        let outcome = match self.cluster.fetch(s, now) {
-            Ok(Some(pl)) => ControllerPollOutcome::Pinglist(pl),
-            Ok(None) => ControllerPollOutcome::NoPinglist,
-            Err(_) => ControllerPollOutcome::Unreachable,
-        };
-        agent.on_controller_poll(outcome, now);
-        // Start a wake chain when a schedule (re)appeared.
-        if let Some(t) = agent.next_wakeup() {
-            if !had_schedule || t <= now {
-                self.queue.schedule(t.max(now), Ev::AgentWake(s));
-            }
+        // Switch counters: per-shard deltas, summed (commutative).
+        for sh in &mut self.shards {
+            self.net.merge_counters(&sh.counter_delta);
+            sh.counter_delta.clear();
         }
-    }
-
-    fn handle_wake(&mut self, now: SimTime, s: ServerId) {
-        if !self.net.server_is_up(s, now) {
-            // Powered off: drop this chain; the poll handler will restart
-            // probing after power returns (next poll re-fetches the list).
-            self.agents[s.index()].on_controller_poll(ControllerPollOutcome::NoPinglist, now);
-            return;
-        }
-        let due = self.agents[s.index()].due_probes(now);
-        for probe in &due {
-            let target_ip = match probe.entry.target {
-                PingTarget::Server { ip, .. } | PingTarget::Vip { ip, .. } => ip,
-            };
-            let attempt = self.net.probe_qos(
-                s,
-                target_ip,
-                probe.src_port,
-                probe.entry.port,
-                probe.entry.kind,
-                probe.entry.qos,
-                now,
-            );
-            self.outputs.probes_run += 1;
-            self.agents[s.index()].record_outcome(probe, attempt.dst, attempt.outcome, now);
-        }
-        self.agents[s.index()].recycle_due(due);
-        // Upload path: batch triggers + synchronous retry-then-discard.
-        // The agent owns the batch bookkeeping; we own the batch itself
-        // and hand its capacity back afterwards.
-        if self.agents[s.index()].upload_due(now) {
-            let dc = self.net.topology().server(s).dc;
-            if let Some(batch) = self.agents[s.index()].begin_upload() {
-                pingmesh_obs::trace::on_upload_batch(&batch, Some(now));
-                loop {
-                    let ok = self.pipeline.store.append(StreamName { dc }, &batch, now);
-                    if ok {
-                        let bytes: u64 = batch.iter().map(|r| r.wire_size() as u64).sum();
-                        self.agents[s.index()].note_uploaded(bytes);
-                        self.agents[s.index()].on_upload_result(true);
-                        break;
-                    }
-                    if !self.agents[s.index()].on_upload_result(false) {
-                        break; // retries exhausted: discarded
-                    }
-                }
-                self.agents[s.index()].recycle_batch(batch);
-            }
-        }
-        if let Some(t) = self.agents[s.index()].next_wakeup() {
-            self.queue.schedule(t.max(now), Ev::AgentWake(s));
+        // Probe + queue metrics: one flush per shard per barrier.
+        for sh in &mut self.shards {
+            self.outputs.probes_run += sh.probes_run;
+            self.net
+                .flush_probe_metrics(sh.probes_run, sh.timeouts, &sh.rtts);
+            sh.probes_run = 0;
+            sh.timeouts = 0;
+            sh.rtts.clear();
+            sh.queue.flush_metrics();
         }
     }
 
     fn handle_pa(&mut self, now: SimTime) {
-        self.queue
-            .schedule(now + self.config.pa_interval, Ev::PaCollect);
+        self.next_pa = now + self.config.pa_interval;
         let topo = self.net.topology().clone();
         for dc in topo.dcs() {
             let snaps: Vec<_> = topo
                 .servers_in_dc(dc)
-                .map(|s| self.agents[s.index()].collect_counters())
+                .map(|s| {
+                    let (sh, idx) = self.shard_of[s.index()];
+                    self.shards[sh as usize]
+                        .fleet
+                        .collect_counters(idx as usize)
+                })
                 .collect();
             self.pa.collect(dc, now, snaps);
         }
@@ -389,7 +587,6 @@ impl Orchestrator {
 
     fn handle_jobs(&mut self, now: SimTime) {
         let ticks = self.jobman.due(now);
-        self.queue.schedule(self.jobman.next_wakeup(), Ev::JobWake);
         if !ticks.is_empty() {
             // Refresh the completeness denominator from the conservation
             // ledger: every observed probe that resolved and has left the
@@ -397,9 +594,17 @@ impl Orchestrator {
             // records are the shortfall. (Still-buffered records are lag,
             // not loss; they are excluded rather than counted against.)
             let scheduled: u64 = self
-                .agents
+                .shards
                 .iter()
-                .map(|a| a.probes_observed() - a.unresolved_probes() - a.buffered_records())
+                .map(|sh| {
+                    (0..sh.fleet.len())
+                        .map(|i| {
+                            sh.fleet.probes_observed(i)
+                                - sh.fleet.unresolved_probes(i)
+                                - sh.fleet.buffered_records(i)
+                        })
+                        .sum::<u64>()
+                })
                 .sum();
             self.pipeline.set_scheduled_probes(scheduled);
         }
@@ -469,7 +674,7 @@ mod tests {
     use super::*;
     use pingmesh_topology::{DcSpec, TopologySpec};
 
-    fn small_orchestrator() -> Orchestrator {
+    fn small_orchestrator_sharded(shards: usize) -> Orchestrator {
         let topo = Arc::new(
             Topology::build(TopologySpec {
                 dcs: vec![DcSpec::tiny("t")],
@@ -480,8 +685,15 @@ mod tests {
             topo,
             vec![DcProfile::ideal()],
             ServiceMap::new(),
-            OrchestratorConfig::default(),
+            OrchestratorConfig {
+                shards,
+                ..OrchestratorConfig::default()
+            },
         )
+    }
+
+    fn small_orchestrator() -> Orchestrator {
+        small_orchestrator_sharded(1)
     }
 
     #[test]
@@ -542,6 +754,7 @@ mod tests {
     #[test]
     fn controller_outage_fail_closes_then_recovers() {
         let mut o = small_orchestrator();
+        let servers: Vec<ServerId> = o.net().topology().servers().collect();
         // Both replicas down from minute 5 to minute 60.
         let from = SimTime::ZERO + SimDuration::from_mins(5);
         let until = SimTime::ZERO + SimDuration::from_mins(60);
@@ -552,17 +765,16 @@ mod tests {
         }
         // After 3 failed polls (10-min interval), agents stop probing.
         o.run_until(SimTime::ZERO + SimDuration::from_mins(45));
-        let stopped = (0..o.agents.len())
-            .filter(|&i| o.agents[i].is_stopped())
-            .count();
-        assert_eq!(stopped, o.agents.len(), "all agents fail-closed");
+        let stopped = servers.iter().filter(|&&s| o.agent(s).is_stopped()).count();
+        assert_eq!(stopped, servers.len(), "all agents fail-closed");
         let probes_when_stopped = o.outputs().probes_run;
         // Recovery after the outage ends.
         o.run_until(SimTime::ZERO + SimDuration::from_mins(90));
-        let resumed = (0..o.agents.len())
-            .filter(|&i| !o.agents[i].is_stopped())
+        let resumed = servers
+            .iter()
+            .filter(|&&s| !o.agent(s).is_stopped())
             .count();
-        assert_eq!(resumed, o.agents.len(), "all agents resumed");
+        assert_eq!(resumed, servers.len(), "all agents resumed");
         assert!(o.outputs().probes_run > probes_when_stopped);
     }
 
@@ -576,6 +788,27 @@ mod tests {
         });
         o.run_until(SimTime::ZERO + SimDuration::from_mins(30));
         // All agents picked up generation 2.
-        assert!(o.agents.iter().all(|a| a.generation() == 2));
+        let topo = o.net().topology().clone();
+        assert!(topo.servers().all(|s| o.agent(s).generation() == 2));
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_bit_for_bit() {
+        let end = SimTime::ZERO + SimDuration::from_mins(22);
+        let run = |shards: usize| {
+            let mut o = small_orchestrator_sharded(shards);
+            o.run_until(end);
+            (
+                o.outputs().probes_run,
+                o.pipeline().store.record_count(),
+                o.pipeline().store.logical_bytes(),
+                o.pipeline().db.len(),
+            )
+        };
+        let serial = run(1);
+        assert!(serial.0 > 100 && serial.1 > 0);
+        for shards in [2, 4] {
+            assert_eq!(run(shards), serial, "shards={shards} diverged");
+        }
     }
 }

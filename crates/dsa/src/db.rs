@@ -77,6 +77,12 @@ impl ResultsDb {
         self.rows.get(&(scope, window_start))
     }
 
+    /// All rows in key order (scope, then window start) — a deterministic
+    /// iteration order, so digests over it are reproducible.
+    pub fn rows(&self) -> impl Iterator<Item = &SlaRow> {
+        self.rows.values()
+    }
+
     /// Time series of a scope, oldest first.
     pub fn series(&self, scope: ScopeKey) -> impl Iterator<Item = &SlaRow> {
         self.rows

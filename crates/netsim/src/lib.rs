@@ -39,5 +39,5 @@ pub mod traceroute;
 pub use engine::EventQueue;
 pub use faults::{ActiveFault, FaultKind, Faults, Verdict};
 pub use latency::{DcProfile, LoadSchedule, TierDrops};
-pub use net::{ProbeAttempt, SimNet, SwitchCounters};
+pub use net::{CounterDelta, NetState, ProbeAttempt, SimNet, SwitchCounters};
 pub use traceroute::{tcp_traceroute, TracerouteReport};

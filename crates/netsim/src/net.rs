@@ -16,6 +16,22 @@
 //!
 //! The outcome is exactly what a Pingmesh agent would observe: an RTT
 //! (possibly ≈3 s / ≈9 s) or a timeout.
+//!
+//! ## Shared state vs. run state
+//!
+//! The probe logic itself lives on [`NetState`] — topology, profiles,
+//! VIPs and faults — and is pure given an RNG and a counter sink. The
+//! sharded engine borrows one `NetState` immutably from every shard
+//! thread and executes probes through [`NetState::probe_keyed`], which
+//! derives a counter-based RNG from `(run seed, five-tuple, time)` so a
+//! probe's outcome depends only on *what* was probed and *when* — never
+//! on how many probes other shards ran first. Per-shard switch-counter
+//! deltas merge back into the [`SimNet`] at tick barriers
+//! ([`SimNet::merge_counters`]); the sums are commutative, so the merged
+//! state is bit-identical at any shard count.
+//!
+//! [`SimNet::probe_qos`] keeps the original sequential-stream RNG for
+//! direct (single-threaded) use: unit tests, traceroutes, experiments.
 
 use crate::faults::{Faults, Verdict};
 use crate::latency::{DcProfile, InterDcMatrix};
@@ -52,6 +68,16 @@ pub struct SwitchCounters {
     pub silent_discards_ground_truth: u64,
 }
 
+impl SwitchCounters {
+    /// Folds another counter set in (all fields are sums, so merging
+    /// per-shard deltas in any order yields the same totals).
+    pub fn merge(&mut self, other: &SwitchCounters) {
+        self.forwarded += other.forwarded;
+        self.visible_discards += other.visible_discards;
+        self.silent_discards_ground_truth += other.silent_discards_ground_truth;
+    }
+}
+
 /// Result of one probe execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbeAttempt {
@@ -62,46 +88,29 @@ pub struct ProbeAttempt {
     pub outcome: ProbeOutcome,
 }
 
-/// The simulated data-center network.
-pub struct SimNet {
+/// Per-switch counter deltas accumulated by one shard during one epoch.
+pub type CounterDelta = HashMap<SwitchId, SwitchCounters>;
+
+/// The immutable-during-an-epoch part of the network: topology, latency
+/// profiles, VIPs and the fault timeline. Shard threads borrow this
+/// concurrently; everything mutable per probe (RNG, counters) is passed
+/// in explicitly.
+pub struct NetState {
     topo: Arc<Topology>,
     profiles: Vec<DcProfile>,
     interdc: InterDcMatrix,
     vips: VipTable,
     faults: Faults,
-    counters: HashMap<SwitchId, SwitchCounters>,
-    rng: SmallRng,
-    // Cached metric handles: probe_qos is the hot path, so per-probe
-    // observability cost must stay at a couple of atomic adds.
-    probes_ctr: Arc<pingmesh_obs::Counter>,
-    timeouts_ctr: Arc<pingmesh_obs::Counter>,
-    rtt_hist: Arc<pingmesh_obs::Histogram>,
 }
 
-impl SimNet {
-    /// Creates a network over `topo` with one profile per DC (the profile
-    /// list is cycled if shorter than the DC count).
-    pub fn new(topo: Arc<Topology>, profiles: Vec<DcProfile>, seed: u64) -> Self {
-        assert!(!profiles.is_empty(), "need at least one DC profile");
-        let n = topo.dc_count();
-        let profiles: Vec<DcProfile> = (0..n)
-            .map(|i| profiles[i % profiles.len()].clone())
-            .collect();
-        let interdc = InterDcMatrix::uniform(n, SimDuration::from_millis(30));
-        Self {
-            topo,
-            profiles,
-            interdc,
-            vips: VipTable::new(),
-            faults: Faults::new(),
-            counters: HashMap::new(),
-            rng: SmallRng::seed_from_u64(seed),
-            probes_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probes_total"),
-            timeouts_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probe_timeouts_total"),
-            rtt_hist: pingmesh_obs::registry().histogram("pingmesh_netsim_probe_rtt_us"),
-        }
-    }
+fn mix64(mut z: u64) -> u64 {
+    // splitmix64 finalizer: full-avalanche, cheap, and stable.
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
+impl NetState {
     /// The topology.
     pub fn topology(&self) -> &Arc<Topology> {
         &self.topo
@@ -112,39 +121,14 @@ impl SimNet {
         &self.profiles[dc.index()]
     }
 
-    /// Mutable profile of a DC (for scenario tweaks).
-    pub fn profile_mut(&mut self, dc: DcId) -> &mut DcProfile {
-        &mut self.profiles[dc.index()]
-    }
-
-    /// Inter-DC delay matrix.
-    pub fn interdc_mut(&mut self) -> &mut InterDcMatrix {
-        &mut self.interdc
-    }
-
-    /// VIP table (read).
-    pub fn vips(&self) -> &VipTable {
-        &self.vips
-    }
-
-    /// VIP table (mutate).
-    pub fn vips_mut(&mut self) -> &mut VipTable {
-        &mut self.vips
-    }
-
     /// Fault state (read).
     pub fn faults(&self) -> &Faults {
         &self.faults
     }
 
-    /// Fault state (mutate).
-    pub fn faults_mut(&mut self) -> &mut Faults {
-        &mut self.faults
-    }
-
-    /// Counters of a switch (zeroed view if never touched).
-    pub fn switch_counters(&self, sw: SwitchId) -> SwitchCounters {
-        self.counters.get(&sw).copied().unwrap_or_default()
+    /// VIP table (read).
+    pub fn vips(&self) -> &VipTable {
+        &self.vips
     }
 
     /// Whether a server is powered and its agent able to probe/respond.
@@ -167,12 +151,31 @@ impl SimNet {
         router.resolve_excluding(src, dst, tuple, &|sw| faults.is_isolated(sw))
     }
 
+    /// The smallest latency any cross-podset probe can observe under the
+    /// installed profiles: the fixed forwarding cost of the minimum
+    /// intra-DC switch path (ToR → leaf → spine → leaf → ToR forward and
+    /// back, 10 traversals; the lognormal host and queue terms can get
+    /// arbitrarily close to zero, so only the fixed part is a true bound).
+    /// This is the conservative-time lookahead of the sharded engine: no
+    /// probe launched after a barrier can be observed by another podset
+    /// sooner than this.
+    pub fn min_cross_podset_latency(&self) -> SimDuration {
+        let us = self
+            .profiles
+            .iter()
+            .map(|p| 10.0 * p.switch_base_us)
+            .fold(f64::INFINITY, f64::min);
+        SimDuration::from_micros(us.max(1.0) as u64)
+    }
+
     /// Sends one packet with five-tuple `tuple` along `path`; returns
     /// `true` if it survives every hop. Updates switch counters: visible
     /// discards for attributable drops, the ground-truth silent counter
     /// for silent ones.
     fn packet_survives_tuple(
-        &mut self,
+        &self,
+        rng: &mut SmallRng,
+        counters: &mut CounterDelta,
         path: &Path,
         tuple: &FiveTuple,
         payload_bytes: u32,
@@ -181,35 +184,31 @@ impl SimNet {
         let (src_dc, dst_dc) = self.path_endpoints_dcs(path);
         let p_host_src = self.profiles[src_dc.index()].drops.host;
         let p_host_dst = self.profiles[dst_dc.index()].drops.host;
-        if chance(&mut self.rng, p_host_src) || chance(&mut self.rng, p_host_dst) {
+        if chance(rng, p_host_src) || chance(rng, p_host_dst) {
             return false;
         }
         for sw in path.switches() {
             if let Some(v) = self.faults.deterministic_verdict(sw, tuple, t) {
                 match v {
-                    Verdict::DropVisible => self.bump(sw, |c| c.visible_discards += 1),
-                    _ => self.bump(sw, |c| c.silent_discards_ground_truth += 1),
+                    Verdict::DropVisible => counters.entry(sw).or_default().visible_discards += 1,
+                    _ => counters.entry(sw).or_default().silent_discards_ground_truth += 1,
                 }
                 return false;
             }
             let dc = self.topo.dc_of_switch(sw).expect("switch has a DC");
             let base = self.profiles[dc.index()].drops.for_tier(sw.tier);
             let (silent, visible) = self.faults.random_drop_probs(sw, payload_bytes, t);
-            if chance(&mut self.rng, base + silent) {
-                self.bump(sw, |c| c.silent_discards_ground_truth += 1);
+            if chance(rng, base + silent) {
+                counters.entry(sw).or_default().silent_discards_ground_truth += 1;
                 return false;
             }
-            if chance(&mut self.rng, visible) {
-                self.bump(sw, |c| c.visible_discards += 1);
+            if chance(rng, visible) {
+                counters.entry(sw).or_default().visible_discards += 1;
                 return false;
             }
-            self.bump(sw, |c| c.forwarded += 1);
+            counters.entry(sw).or_default().forwarded += 1;
         }
         true
-    }
-
-    fn bump(&mut self, sw: SwitchId, f: impl FnOnce(&mut SwitchCounters)) {
-        f(self.counters.entry(sw).or_default())
     }
 
     fn path_endpoints_dcs(&self, path: &Path) -> (DcId, DcId) {
@@ -225,21 +224,26 @@ impl SimNet {
     /// Samples one round-trip path latency (no payload): host cost in each
     /// direction, switch traversals of both paths, inter-DC propagation,
     /// and host hiccups.
-    fn sample_rtt(&mut self, fwd: &Path, rev: &Path, t: SimTime, qos: QosClass) -> f64 {
+    fn sample_rtt(
+        &self,
+        rng: &mut SmallRng,
+        fwd: &Path,
+        rev: &Path,
+        t: SimTime,
+        qos: QosClass,
+    ) -> f64 {
         let (src_dc, dst_dc) = self.path_endpoints_dcs(fwd);
         let mut us = 0.0;
         // Host cost per direction, attributed to the sending DC's profile
         // (the pair sender-stack + receiver-stack).
-        // Borrow profiles by value to appease the borrow checker.
-        let src_profile = self.profiles[src_dc.index()].clone();
-        let dst_profile = self.profiles[dst_dc.index()].clone();
-        us += src_profile.sample_host_us(&mut self.rng);
-        us += dst_profile.sample_host_us(&mut self.rng);
+        let src_profile = &self.profiles[src_dc.index()];
+        let dst_profile = &self.profiles[dst_dc.index()];
+        us += src_profile.sample_host_us(rng);
+        us += dst_profile.sample_host_us(rng);
         for path in [fwd, rev] {
             for sw in path.switches() {
                 let dc = self.topo.dc_of_switch(sw).expect("switch has a DC");
-                let p = self.profiles[dc.index()].clone();
-                us += p.sample_switch_us_qos(&mut self.rng, t, qos);
+                us += self.profiles[dc.index()].sample_switch_us_qos(rng, t, qos);
             }
         }
         if src_dc != dst_dc {
@@ -250,8 +254,302 @@ impl SimNet {
                     .as_micros() as f64;
         }
         // One hiccup draw per probe, on the busier (source) host profile.
-        us += src_profile.sample_hiccup_us(&mut self.rng);
+        us += src_profile.sample_hiccup_us(rng);
         us
+    }
+
+    /// A counter-based RNG keyed on `(seed, five-tuple, launch time)`.
+    /// Every draw a probe makes comes from this stream, so its outcome is
+    /// a pure function of what was probed and when — independent of probe
+    /// ordering, shard assignment, and shard count.
+    pub fn keyed_rng(seed: u64, tuple: &FiveTuple, t: SimTime) -> SmallRng {
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        h = mix64(h ^ u64::from(u32::from(tuple.src_ip)));
+        h = mix64(h ^ u64::from(u32::from(tuple.dst_ip)));
+        h = mix64(h ^ (u64::from(tuple.src_port) << 16 | u64::from(tuple.dst_port)));
+        h = mix64(h ^ t.0);
+        SmallRng::seed_from_u64(h)
+    }
+
+    /// Executes one probe with a per-probe keyed RNG (see
+    /// [`NetState::keyed_rng`]), recording switch-counter deltas into
+    /// `counters`. This is the probe path of the sharded engine: `&self`,
+    /// so any number of shard threads can run probes concurrently against
+    /// the same network state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_keyed(
+        &self,
+        seed: u64,
+        counters: &mut CounterDelta,
+        src: ServerId,
+        target_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        kind: ProbeKind,
+        qos: QosClass,
+        t: SimTime,
+    ) -> ProbeAttempt {
+        let tuple = FiveTuple::tcp(self.topo.ip_of(src), src_port, target_ip, dst_port);
+        let mut rng = Self::keyed_rng(seed, &tuple, t);
+        self.probe_with(
+            &mut rng, counters, src, target_ip, src_port, dst_port, kind, qos, t,
+        )
+    }
+
+    /// Executes one probe drawing from the caller's RNG. The probe logic
+    /// shared by the sequential stream path ([`SimNet::probe_qos`]) and
+    /// the keyed shard path ([`NetState::probe_keyed`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with(
+        &self,
+        rng: &mut SmallRng,
+        counters: &mut CounterDelta,
+        src: ServerId,
+        target_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        kind: ProbeKind,
+        qos: QosClass,
+        t: SimTime,
+    ) -> ProbeAttempt {
+        let tuple = FiveTuple::tcp(self.topo.ip_of(src), src_port, target_ip, dst_port);
+        let Some(dst) = self.resolve_target(target_ip, &tuple) else {
+            return ProbeAttempt {
+                dst: None,
+                outcome: ProbeOutcome::Timeout,
+            };
+        };
+        if src == dst {
+            // Self-probe: loopback, host stack only.
+            let dc = self.topo.server(src).dc;
+            let rtt = self.profiles[dc.index()].sample_host_us(rng);
+            return ProbeAttempt {
+                dst: Some(dst),
+                outcome: ProbeOutcome::Success {
+                    rtt: SimDuration::from_micros(rtt as u64),
+                },
+            };
+        }
+
+        let fwd = self.resolve_path(src, dst, &tuple);
+        let rev = self.resolve_path(dst, src, &tuple.reversed());
+        let dst_up = self.server_is_up(dst, t);
+
+        // --- TCP connect: SYN attempts with 3s / 6s timeouts. ---
+        let mut wait = SimDuration::ZERO;
+        let mut timeout = TCP_SYN_TIMEOUT;
+        let mut connected = false;
+        let mut prev_attempt_randomly_dropped = false;
+        let burst_corr = {
+            let dc = self.topo.server(src).dc;
+            self.profiles[dc.index()].burst_correlation
+        };
+        for _attempt in 0..=TCP_SYN_RETRIES {
+            // Burst correlation: after a random loss, the retry is more
+            // likely to be lost too (paper §4.2's justification for
+            // counting a 9 s connect as one drop).
+            let burst_kill = prev_attempt_randomly_dropped && chance(rng, burst_corr);
+            let syn_ok = !burst_kill
+                && dst_up
+                && self.packet_survives_tuple(rng, counters, &fwd, &tuple, 0, t + wait);
+            let synack_ok = syn_ok
+                && self.packet_survives_tuple(rng, counters, &rev, &tuple.reversed(), 0, t + wait);
+            if syn_ok && synack_ok {
+                connected = true;
+                break;
+            }
+            prev_attempt_randomly_dropped = true;
+            wait += timeout;
+            timeout = SimDuration::from_micros(timeout.as_micros() * 2);
+        }
+        if !connected {
+            return ProbeAttempt {
+                dst: Some(dst),
+                outcome: ProbeOutcome::Timeout,
+            };
+        }
+
+        let mut rtt_us = self.sample_rtt(rng, &fwd, &rev, t, qos) + wait.as_micros() as f64;
+
+        // --- Optional payload exchange. ---
+        let payload = kind.payload_bytes();
+        if payload > 0 {
+            let (src_dc, dst_dc) = (self.topo.server(src).dc, self.topo.server(dst).dc);
+            // Serialization cost per traversed link, both directions.
+            let hops = (fwd.link_count() + rev.link_count()) as f64;
+            let per_hop = self.profiles[src_dc.index()].tx_delay_us(payload);
+            rtt_us += hops * per_hop;
+            // Peer user-space echo processing.
+            rtt_us += self.profiles[dst_dc.index()].sample_echo_us(rng);
+            // Data / echo packets can be lost; TCP retransmits with RTO.
+            let mut rto = DATA_RTO;
+            let mut delivered = false;
+            for _ in 0..=DATA_RETRIES {
+                let data_ok = self.packet_survives_tuple(rng, counters, &fwd, &tuple, payload, t);
+                let echo_ok = data_ok
+                    && self.packet_survives_tuple(
+                        rng,
+                        counters,
+                        &rev,
+                        &tuple.reversed(),
+                        payload,
+                        t,
+                    );
+                if data_ok && echo_ok {
+                    delivered = true;
+                    break;
+                }
+                rtt_us += rto.as_micros() as f64;
+                rto = SimDuration::from_micros(rto.as_micros() * 2);
+            }
+            if !delivered {
+                return ProbeAttempt {
+                    dst: Some(dst),
+                    outcome: ProbeOutcome::Timeout,
+                };
+            }
+        }
+
+        ProbeAttempt {
+            dst: Some(dst),
+            outcome: ProbeOutcome::Success {
+                rtt: SimDuration::from_micros(rtt_us.max(1.0) as u64),
+            },
+        }
+    }
+}
+
+/// The simulated data-center network.
+pub struct SimNet {
+    state: NetState,
+    counters: CounterDelta,
+    rng: SmallRng,
+    seed: u64,
+    // Cached metric handles: probe_qos is the hot path, so per-probe
+    // observability cost must stay at a couple of atomic adds.
+    probes_ctr: Arc<pingmesh_obs::Counter>,
+    timeouts_ctr: Arc<pingmesh_obs::Counter>,
+    rtt_hist: Arc<pingmesh_obs::Histogram>,
+}
+
+impl SimNet {
+    /// Creates a network over `topo` with one profile per DC (the profile
+    /// list is cycled if shorter than the DC count).
+    pub fn new(topo: Arc<Topology>, profiles: Vec<DcProfile>, seed: u64) -> Self {
+        assert!(!profiles.is_empty(), "need at least one DC profile");
+        let n = topo.dc_count();
+        let profiles: Vec<DcProfile> = (0..n)
+            .map(|i| profiles[i % profiles.len()].clone())
+            .collect();
+        let interdc = InterDcMatrix::uniform(n, SimDuration::from_millis(30));
+        Self {
+            state: NetState {
+                topo,
+                profiles,
+                interdc,
+                vips: VipTable::new(),
+                faults: Faults::new(),
+            },
+            counters: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+            probes_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probes_total"),
+            timeouts_ctr: pingmesh_obs::registry().counter("pingmesh_netsim_probe_timeouts_total"),
+            rtt_hist: pingmesh_obs::registry().histogram("pingmesh_netsim_probe_rtt_us"),
+        }
+    }
+
+    /// The shared network state (what shard threads borrow to run probes).
+    pub fn state(&self) -> &NetState {
+        &self.state
+    }
+
+    /// The seed this network was created with — the key half of
+    /// [`NetState::keyed_rng`].
+    pub fn run_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.state.topo
+    }
+
+    /// Profile of a DC.
+    pub fn profile(&self, dc: DcId) -> &DcProfile {
+        self.state.profile(dc)
+    }
+
+    /// Mutable profile of a DC (for scenario tweaks).
+    pub fn profile_mut(&mut self, dc: DcId) -> &mut DcProfile {
+        &mut self.state.profiles[dc.index()]
+    }
+
+    /// Inter-DC delay matrix.
+    pub fn interdc_mut(&mut self) -> &mut InterDcMatrix {
+        &mut self.state.interdc
+    }
+
+    /// VIP table (read).
+    pub fn vips(&self) -> &VipTable {
+        &self.state.vips
+    }
+
+    /// VIP table (mutate).
+    pub fn vips_mut(&mut self) -> &mut VipTable {
+        &mut self.state.vips
+    }
+
+    /// Fault state (read).
+    pub fn faults(&self) -> &Faults {
+        &self.state.faults
+    }
+
+    /// Fault state (mutate).
+    pub fn faults_mut(&mut self) -> &mut Faults {
+        &mut self.state.faults
+    }
+
+    /// Counters of a switch (zeroed view if never touched).
+    pub fn switch_counters(&self, sw: SwitchId) -> SwitchCounters {
+        self.counters.get(&sw).copied().unwrap_or_default()
+    }
+
+    /// Folds a shard's per-epoch counter deltas into the authoritative
+    /// counters. Addition commutes, so merge order (and hence shard
+    /// count) never changes the totals.
+    pub fn merge_counters(&mut self, delta: &CounterDelta) {
+        for (sw, c) in delta {
+            self.counters.entry(*sw).or_default().merge(c);
+        }
+    }
+
+    /// Publishes probe metrics accumulated off-thread (shard epochs batch
+    /// them instead of paying per-probe atomics): probe/timeout counts
+    /// and, when observability is on, the successful RTT samples.
+    pub fn flush_probe_metrics(&self, probes: u64, timeouts: u64, rtts: &[SimDuration]) {
+        if probes > 0 {
+            self.probes_ctr.add(probes);
+        }
+        if timeouts > 0 {
+            self.timeouts_ctr.add(timeouts);
+        }
+        if pingmesh_obs::enabled() {
+            for &rtt in rtts {
+                self.rtt_hist.record(rtt);
+            }
+        }
+    }
+
+    /// Whether a server is powered and its agent able to probe/respond.
+    pub fn server_is_up(&self, s: ServerId, t: SimTime) -> bool {
+        self.state.server_is_up(s, t)
+    }
+
+    /// Resolves a destination address to a physical server: direct server
+    /// IP, or VIP dispatched to a DIP by five-tuple hash.
+    pub fn resolve_target(&self, ip: Ipv4Addr, tuple: &FiveTuple) -> Option<ServerId> {
+        self.state.resolve_target(ip, tuple)
     }
 
     /// Executes one probe at virtual time `t`.
@@ -284,7 +582,17 @@ impl SimNet {
         t: SimTime,
     ) -> ProbeAttempt {
         self.probes_ctr.inc();
-        let attempt = self.probe_qos_inner(src, target_ip, src_port, dst_port, kind, qos, t);
+        let attempt = self.state.probe_with(
+            &mut self.rng,
+            &mut self.counters,
+            src,
+            target_ip,
+            src_port,
+            dst_port,
+            kind,
+            qos,
+            t,
+        );
         if matches!(attempt.outcome, ProbeOutcome::Timeout) {
             self.timeouts_ctr.inc();
         }
@@ -298,121 +606,10 @@ impl SimNet {
         attempt
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn probe_qos_inner(
-        &mut self,
-        src: ServerId,
-        target_ip: Ipv4Addr,
-        src_port: u16,
-        dst_port: u16,
-        kind: ProbeKind,
-        qos: QosClass,
-        t: SimTime,
-    ) -> ProbeAttempt {
-        let tuple = FiveTuple::tcp(self.topo.ip_of(src), src_port, target_ip, dst_port);
-        let Some(dst) = self.resolve_target(target_ip, &tuple) else {
-            return ProbeAttempt {
-                dst: None,
-                outcome: ProbeOutcome::Timeout,
-            };
-        };
-        if src == dst {
-            // Self-probe: loopback, host stack only.
-            let dc = self.topo.server(src).dc;
-            let p = self.profiles[dc.index()].clone();
-            let rtt = p.sample_host_us(&mut self.rng);
-            return ProbeAttempt {
-                dst: Some(dst),
-                outcome: ProbeOutcome::Success {
-                    rtt: SimDuration::from_micros(rtt as u64),
-                },
-            };
-        }
-
-        let fwd = self.resolve_path(src, dst, &tuple);
-        let rev = self.resolve_path(dst, src, &tuple.reversed());
-        let dst_up = self.server_is_up(dst, t);
-
-        // --- TCP connect: SYN attempts with 3s / 6s timeouts. ---
-        let mut wait = SimDuration::ZERO;
-        let mut timeout = TCP_SYN_TIMEOUT;
-        let mut connected = false;
-        let mut prev_attempt_randomly_dropped = false;
-        let burst_corr = {
-            let dc = self.topo.server(src).dc;
-            self.profiles[dc.index()].burst_correlation
-        };
-        for _attempt in 0..=TCP_SYN_RETRIES {
-            // Burst correlation: after a random loss, the retry is more
-            // likely to be lost too (paper §4.2's justification for
-            // counting a 9 s connect as one drop).
-            let burst_kill = prev_attempt_randomly_dropped && chance(&mut self.rng, burst_corr);
-            let syn_ok =
-                !burst_kill && dst_up && self.packet_survives_tuple(&fwd, &tuple, 0, t + wait);
-            let synack_ok =
-                syn_ok && self.packet_survives_tuple(&rev, &tuple.reversed(), 0, t + wait);
-            if syn_ok && synack_ok {
-                connected = true;
-                break;
-            }
-            prev_attempt_randomly_dropped = true;
-            wait += timeout;
-            timeout = SimDuration::from_micros(timeout.as_micros() * 2);
-        }
-        if !connected {
-            return ProbeAttempt {
-                dst: Some(dst),
-                outcome: ProbeOutcome::Timeout,
-            };
-        }
-
-        let mut rtt_us = self.sample_rtt(&fwd, &rev, t, qos) + wait.as_micros() as f64;
-
-        // --- Optional payload exchange. ---
-        let payload = kind.payload_bytes();
-        if payload > 0 {
-            let (src_dc, dst_dc) = (self.topo.server(src).dc, self.topo.server(dst).dc);
-            // Serialization cost per traversed link, both directions.
-            let hops = (fwd.link_count() + rev.link_count()) as f64;
-            let per_hop = self.profiles[src_dc.index()].tx_delay_us(payload);
-            rtt_us += hops * per_hop;
-            // Peer user-space echo processing.
-            let dst_profile = self.profiles[dst_dc.index()].clone();
-            rtt_us += dst_profile.sample_echo_us(&mut self.rng);
-            // Data / echo packets can be lost; TCP retransmits with RTO.
-            let mut rto = DATA_RTO;
-            let mut delivered = false;
-            for _ in 0..=DATA_RETRIES {
-                let data_ok = self.packet_survives_tuple(&fwd, &tuple, payload, t);
-                let echo_ok =
-                    data_ok && self.packet_survives_tuple(&rev, &tuple.reversed(), payload, t);
-                if data_ok && echo_ok {
-                    delivered = true;
-                    break;
-                }
-                rtt_us += rto.as_micros() as f64;
-                rto = SimDuration::from_micros(rto.as_micros() * 2);
-            }
-            if !delivered {
-                return ProbeAttempt {
-                    dst: Some(dst),
-                    outcome: ProbeOutcome::Timeout,
-                };
-            }
-        }
-
-        ProbeAttempt {
-            dst: Some(dst),
-            outcome: ProbeOutcome::Success {
-                rtt: SimDuration::from_micros(rtt_us.max(1.0) as u64),
-            },
-        }
-    }
-
     /// Resolves the forward path a five-tuple takes from `src` to `dst`,
     /// honoring isolations. Public for the traceroute tool.
     pub fn path_of(&self, src: ServerId, dst: ServerId, tuple: &FiveTuple) -> Path {
-        self.resolve_path(src, dst, tuple)
+        self.state.resolve_path(src, dst, tuple)
     }
 
     /// One switch-traversal survival check for the given packet — the
@@ -426,22 +623,30 @@ impl SimNet {
         payload_bytes: u32,
         t: SimTime,
     ) -> bool {
-        if let Some(v) = self.faults.deterministic_verdict(sw, tuple, t) {
+        if let Some(v) = self.state.faults.deterministic_verdict(sw, tuple, t) {
             match v {
-                Verdict::DropVisible => self.bump(sw, |c| c.visible_discards += 1),
-                _ => self.bump(sw, |c| c.silent_discards_ground_truth += 1),
+                Verdict::DropVisible => self.counters.entry(sw).or_default().visible_discards += 1,
+                _ => {
+                    self.counters
+                        .entry(sw)
+                        .or_default()
+                        .silent_discards_ground_truth += 1
+                }
             }
             return false;
         }
-        let dc = self.topo.dc_of_switch(sw).expect("switch has a DC");
-        let base = self.profiles[dc.index()].drops.for_tier(sw.tier);
-        let (silent, visible) = self.faults.random_drop_probs(sw, payload_bytes, t);
+        let dc = self.state.topo.dc_of_switch(sw).expect("switch has a DC");
+        let base = self.state.profiles[dc.index()].drops.for_tier(sw.tier);
+        let (silent, visible) = self.state.faults.random_drop_probs(sw, payload_bytes, t);
         if chance(&mut self.rng, base + silent) {
-            self.bump(sw, |c| c.silent_discards_ground_truth += 1);
+            self.counters
+                .entry(sw)
+                .or_default()
+                .silent_discards_ground_truth += 1;
             return false;
         }
         if chance(&mut self.rng, visible) {
-            self.bump(sw, |c| c.visible_discards += 1);
+            self.counters.entry(sw).or_default().visible_discards += 1;
             return false;
         }
         true
@@ -814,5 +1019,56 @@ mod tests {
         n.probe(a, ip, 40_000, 8_100, ProbeKind::TcpSyn, SimTime(0));
         let tor_a = n.topology().tor_of_pod(n.topology().server(a).pod);
         assert!(n.switch_counters(tor_a).forwarded > 0);
+    }
+
+    #[test]
+    fn keyed_probes_are_order_and_batch_independent() {
+        let n = net(DcProfile::us_central());
+        let (a, b) = pair_cross_podset(&n);
+        let ip = n.topology().ip_of(b);
+        let state = n.state();
+        // Run the same 32 probes in two different interleavings with
+        // differently-grouped counter sinks; outcomes and merged counter
+        // totals must be identical.
+        let run = |order: &[u16], groups: usize| {
+            let mut outcomes = std::collections::HashMap::new();
+            let mut merged: CounterDelta = HashMap::new();
+            for (g, chunk) in order.chunks(order.len() / groups).enumerate() {
+                let _ = g;
+                let mut local: CounterDelta = HashMap::new();
+                for &port in chunk {
+                    let r = state.probe_keyed(
+                        7,
+                        &mut local,
+                        a,
+                        ip,
+                        40_000 + port,
+                        8_100,
+                        ProbeKind::TcpSyn,
+                        QosClass::High,
+                        SimTime(1_000_000),
+                    );
+                    outcomes.insert(port, r);
+                }
+                for (sw, c) in &local {
+                    merged.entry(*sw).or_default().merge(c);
+                }
+            }
+            (outcomes, merged)
+        };
+        let fwd_order: Vec<u16> = (0..32).collect();
+        let rev_order: Vec<u16> = (0..32).rev().collect();
+        let (o1, c1) = run(&fwd_order, 1);
+        let (o2, c2) = run(&rev_order, 4);
+        assert_eq!(o1, o2, "probe outcomes must not depend on order/batching");
+        assert_eq!(c1, c2, "counter totals must merge identically");
+    }
+
+    #[test]
+    fn min_cross_podset_latency_is_positive_and_small() {
+        let n = net(DcProfile::ideal());
+        let la = n.state().min_cross_podset_latency();
+        assert!(la > SimDuration::ZERO);
+        assert!(la < SimDuration::from_secs(1));
     }
 }

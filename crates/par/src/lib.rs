@@ -135,6 +135,61 @@ where
     })
 }
 
+/// Runs `f` over every element of `items` **by mutable reference** on up
+/// to `threads` scoped threads, returning per-element results in input
+/// order. This is the fan-out the sharded simulation engine uses: each
+/// shard owns disjoint mutable state (its event queue, its agents, its
+/// outboxes), advances independently for one epoch, and the results come
+/// back in shard order so the barrier merge is deterministic.
+///
+/// `f` receives the element's index alongside the element so workers can
+/// key derived state (e.g. a shard id) without interior mutability.
+///
+/// `threads <= 1` (or a single-item input) runs inline on the caller's
+/// thread with no spawning at all — a 1-shard run is exactly a serial run.
+pub fn par_map_mut_threads<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let ranges = chunk_ranges(items.len(), threads);
+    let f = &f;
+    // Split the slice into disjoint mutable chunks matching `ranges`
+    // (chunk i starts at ranges[i].start), then spawn one worker per
+    // chunk. Disjointness is what makes the mutable fan-out safe.
+    let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut offset = 0usize;
+        for r in &ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let base = offset;
+            offset += r.len();
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, t)| f(base + i, t))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map_mut worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(chunk_results.iter().map(Vec::len).sum());
+    for chunk in chunk_results {
+        out.extend(chunk);
+    }
+    out
+}
+
 /// Splits `items` into at most `threads` contiguous groups of near-equal
 /// total `weight`, covering the whole input in order. Groups are cut
 /// greedily at the points where the cumulative weight crosses the next
@@ -338,6 +393,31 @@ mod tests {
         let one = [vec![1u32, 2]];
         let out = par_weighted_groups_threads(8, &one, |v| v.len() as u64, |g| g.len());
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_orders_results() {
+        let expect_state: Vec<u64> = (0..100u64).map(|x| x + 1).collect();
+        let expect_out: Vec<u64> = (0..100u64).map(|x| x * 2).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..100).collect();
+            let out = par_map_mut_threads(threads, &mut items, |i, x| {
+                assert_eq!(*x, i as u64, "index matches element position");
+                let r = *x * 2;
+                *x += 1;
+                r
+            });
+            assert_eq!(items, expect_state, "threads={threads}");
+            assert_eq!(out, expect_out, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_mut_degenerate_inputs() {
+        let mut empty: Vec<u32> = vec![];
+        assert!(par_map_mut_threads(8, &mut empty, |_, x| *x).is_empty());
+        let mut one = [7u32];
+        assert_eq!(par_map_mut_threads(8, &mut one, |_, x| *x + 1), vec![8]);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn classify_rtt(rtt: SimDuration) -> RttClass {
 
 /// Live counters maintained by one agent. `snapshot` produces the
 /// immutable [`CounterSnapshot`] the Perfcounter Aggregator collects.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AgentCounters {
     /// Probes launched.
     pub probes_sent: u64,

@@ -12,7 +12,10 @@
 # oracle (probe conservation, CRDT laws, quantiles, SLA rows, zero-copy
 # scans, data-quality SLOs) must pass and the pipeline must be run-to-run
 # deterministic. The full campaign (`pingmesh-fuzz --seeds 500`) is for
-# bug hunts, not the gate. Pass --obs-smoke to also run the
+# bug hunts, not the gate. Pass --scale-smoke to also run the sharded
+# simulation scale bench at a 5k-server point: it writes
+# target/BENCH_scale.smoke.json and fails unless the sharded engine
+# reproduces the serial engine bit for bit. Pass --obs-smoke to also run the
 # self-monitoring drill: a sampled trace rides every pipeline stage,
 # /metrics parses with all `_total` counters monotone across scrapes,
 # /healthz reports every stage, and /events drop accounting is exact.
@@ -23,12 +26,14 @@ BENCH_SMOKE=0
 CHAOS_SMOKE=0
 FUZZ_SMOKE=0
 OBS_SMOKE=0
+SCALE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     --fuzz-smoke) FUZZ_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
+    --scale-smoke) SCALE_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -56,6 +61,11 @@ if [ "$FUZZ_SMOKE" = 1 ]; then
   step "fuzz smoke (50 seeded scenarios, all oracles, 60 s cap)"
   timeout 60 cargo run --release -q -p pingmesh --bin pingmesh-fuzz -- \
     --seeds 50 --smoke --out target/telemetry/fuzz.json
+fi
+
+if [ "$SCALE_SMOKE" = 1 ]; then
+  step "scale bench smoke (5k+ servers, sharded == serial bit-for-bit)"
+  cargo run --release -q -p pingmesh-bench --bin scale -- --smoke --check
 fi
 
 if [ "$OBS_SMOKE" = 1 ]; then
