@@ -606,6 +606,160 @@ pub fn check_quality(orch: &Orchestrator, spec: &ScenarioSpec) -> Vec<Violation>
     out
 }
 
+/// Oracle 7: serve-tier cache coherence.
+///
+/// The query tier's contract is that a cached frozen-window response is
+/// byte-identical to a from-scratch rebuild over the same store — the
+/// cache may only change *when* a body is built, never *what* it
+/// contains. Checked end to end on a fresh store seeded with the run's
+/// records (the run itself is never mutated):
+///
+/// * miss vs hit: the first and second responses to every standard
+///   dashboard query carry identical bytes;
+/// * cached vs oracle: those bytes equal the pure
+///   [`ApiQuery::build`] over the same store, and over the *run's*
+///   store (the serving layer inherits shard-partition independence);
+/// * conditional GET: replaying the response's `ETag` yields a 304;
+/// * invalidation: a late service-map refold must flip the conditional
+///   GET back to a fresh 200 whose bytes again equal a pure rebuild —
+///   a stale 304 here is the cache serving the past as the present.
+pub fn check_serve_coherence(orch: &Orchestrator) -> Vec<Violation> {
+    use pingmesh_httpx::Request;
+    use pingmesh_serve::views::{ApiQuery, HeatmapLevel};
+    use pingmesh_serve::QueryTier;
+
+    let mut out = Vec::new();
+    let end = aligned_end(orch);
+    let store = &orch.pipeline().store;
+    let services = orch.pipeline().services();
+    let records = store.collect_window_records(SimTime::ZERO, end);
+    if records.is_empty() {
+        return out;
+    }
+
+    // A private store so the oracle can refold without touching the run.
+    let mut fresh = CosmosStore::with_defaults();
+    fresh.set_service_map(Arc::new(services.clone()));
+    let dcs: Vec<DcId> = orch.net().topology().dcs().collect();
+    for dc in &dcs {
+        let for_dc: Vec<ProbeRecord> = records
+            .iter()
+            .filter(|r| r.src_dc == *dc)
+            .copied()
+            .collect();
+        if !for_dc.is_empty() {
+            fresh.append(StreamName { dc: *dc }, &for_dc, SimTime::ZERO);
+        }
+    }
+    let shared = Arc::new(parking_lot::Mutex::new(fresh));
+    let tier = QueryTier::new(Arc::clone(&shared));
+
+    let w = PARTIAL_WINDOW.as_micros();
+    let mut queries: Vec<ApiQuery> = Vec::new();
+    for k in 0..end.0 / w {
+        let (from, to) = (SimTime(k * w), SimTime((k + 1) * w));
+        queries.push(ApiQuery::Sla { from, to });
+        queries.push(ApiQuery::Heatmap {
+            level: HeatmapLevel::Pod,
+            from,
+            to,
+        });
+        queries.push(ApiQuery::Heatmap {
+            level: HeatmapLevel::Podset,
+            from,
+            to,
+        });
+        for &dc in &dcs {
+            queries.push(ApiQuery::Cdf {
+                dc,
+                scope: pingmesh_dsa::agg::LatencyScope::InterPod,
+                from,
+                to,
+            });
+        }
+    }
+
+    for q in &queries {
+        let key = q.cache_key();
+        let path = format!("/api/{key}");
+        let miss = tier.respond(&Request::get(&path));
+        let hit = tier.respond(&Request::get(&path));
+        if miss.status != 200 || hit.status != 200 {
+            out.push(violation(
+                "serve",
+                format!("{key}: status {} then {}", miss.status, hit.status),
+            ));
+            continue;
+        }
+        if miss.body != hit.body {
+            out.push(violation(
+                "serve",
+                format!("{key}: cache hit bytes differ from the miss that built them"),
+            ));
+        }
+        let oracle_body = q.build(&shared.lock());
+        if miss.body != oracle_body {
+            out.push(violation(
+                "serve",
+                format!(
+                    "{key}: served {} bytes != {} from a from-scratch rebuild",
+                    miss.body.len(),
+                    oracle_body.len()
+                ),
+            ));
+        }
+        let run_body = q.build(store);
+        if miss.body != run_body {
+            out.push(violation(
+                "serve",
+                format!("{key}: serving from a re-sharded store changed the bytes"),
+            ));
+        }
+        let etag = miss.header("etag").unwrap_or_default().to_string();
+        let mut conditional = Request::get(&path);
+        conditional
+            .headers
+            .push(("if-none-match".into(), etag.clone()));
+        if tier.respond(&conditional).status != 304 {
+            out.push(violation(
+                "serve",
+                format!("{key}: matching If-None-Match did not 304"),
+            ));
+        }
+    }
+
+    // Late refold: register one more service and demand every stale
+    // validator misses and the rebuilt bytes match a pure rebuild.
+    let mut refolded = services.clone();
+    let _ = refolded.register("svc-serve-oracle", [pingmesh_types::ServerId(0)]);
+    shared.lock().set_service_map(Arc::new(refolded));
+    for q in queries.iter().take(3) {
+        let key = q.cache_key();
+        let path = format!("/api/{key}");
+        let before = tier.respond(&Request::get(&path));
+        let mut conditional = Request::get(&path);
+        conditional.headers.push((
+            "if-none-match".into(),
+            before.header("etag").unwrap_or_default().to_string(),
+        ));
+        // `before` itself rebuilt post-refold, so its etag must validate…
+        if tier.respond(&conditional).status != 304 {
+            out.push(violation(
+                "serve",
+                format!("{key}: post-refold etag did not validate"),
+            ));
+        }
+        // …and the body must equal a pure rebuild over the refolded store.
+        if before.body != q.build(&shared.lock()) {
+            out.push(violation(
+                "serve",
+                format!("{key}: post-refold cached bytes diverge from rebuild"),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

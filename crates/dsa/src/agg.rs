@@ -132,6 +132,10 @@ pub struct WindowAggregate {
     pub podset_matrix: HashMap<(PodsetId, PodsetId), LatencyHistogram>,
     /// Outcome stats per (src podset, dst podset), intra-DC only.
     pub podset_pairs: HashMap<(PodsetId, PodsetId), PairStats>,
+    /// Outcome stats per (src pod, dst pod), intra-DC only — the
+    /// pod-granularity heatmap the serving tier renders. Cardinality is
+    /// bounded by the server-pair map above (pods ≤ servers).
+    pub pod_pairs: HashMap<(PodId, PodId), PairStats>,
 }
 
 impl WindowAggregate {
@@ -309,6 +313,8 @@ impl WindowAggregate {
                 .entry((r.src_podset, r.dst_podset))
                 .or_default();
             fold_pair_outcome(ps, r.outcome);
+            let pp = self.pod_pairs.entry((r.src_pod, r.dst_pod)).or_default();
+            fold_pair_outcome(pp, r.outcome);
         }
     }
 
@@ -362,6 +368,9 @@ impl WindowAggregate {
         }
         for (k, p) in &other.podset_pairs {
             self.podset_pairs.entry(*k).or_default().merge(p);
+        }
+        for (k, p) in &other.pod_pairs {
+            self.pod_pairs.entry(*k).or_default().merge(p);
         }
     }
 
@@ -502,6 +511,24 @@ mod tests {
         let agg = WindowAggregate::build(&records);
         assert_eq!(agg.podset_matrix.len(), 1);
         assert!(agg.podset_matrix.contains_key(&(PodsetId(0), PodsetId(1))));
+    }
+
+    #[test]
+    fn pod_pairs_fold_intra_dc_only_and_merge() {
+        let records = vec![
+            rec(0, 2, 0, 1, 0, 1, 0, ok(260)),
+            rec(0, 2, 0, 1, 0, 1, 0, ProbeOutcome::Timeout),
+            rec(0, 3, 0, 9, 0, 3, 1, ok(60_000)), // inter-DC: excluded
+        ];
+        let agg = WindowAggregate::build(&records);
+        assert_eq!(agg.pod_pairs.len(), 1);
+        let p = agg.pod_pairs[&(PodId(0), PodId(1))];
+        assert_eq!(p.ok, 1);
+        assert_eq!(p.failed, 1);
+        // Merge accumulates the same key.
+        let mut merged = agg.clone();
+        merged.merge(&agg);
+        assert_eq!(merged.pod_pairs[&(PodId(0), PodId(1))].ok, 2);
     }
 
     #[test]

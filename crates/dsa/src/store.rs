@@ -64,6 +64,22 @@ pub struct CosmosStore {
     /// Ingest-time partial aggregates, keyed by (stream, window start).
     /// Window starts are aligned to [`PARTIAL_WINDOW`].
     partials: BTreeMap<(StreamName, SimTime), WindowAggregate>,
+    /// Monotone fold sequence: bumped once per mutation that touches
+    /// partials (append batch, refold). `partial_versions` records the
+    /// fold_seq that last touched each partial, so a query tier can
+    /// fingerprint a window range cheaply ([`CosmosStore::window_version`]).
+    fold_seq: u64,
+    /// fold_seq that last touched each partial, same keying as `partials`.
+    partial_versions: BTreeMap<(StreamName, SimTime), u64>,
+    /// Bumped whenever the service map changes (late `set_service_map`
+    /// refolds *every* partial, silently changing frozen windows — the
+    /// generation folds into every window version so caches notice).
+    service_generation: u64,
+    /// Store mutation epoch, bumped on every mutation (append, refold,
+    /// retire). Shared out via [`CosmosStore::epoch_handle`] so read
+    /// replicas can validate cache entries with one atomic load instead
+    /// of taking the store lock.
+    epoch: Arc<AtomicU64>,
     /// Service map used to fold per-service scopes at ingest. Installed
     /// by the pipeline; partials folded before installation are refolded.
     services: Option<Arc<ServiceMap>>,
@@ -86,6 +102,10 @@ impl CosmosStore {
             replication: replication.max(1),
             streams: BTreeMap::new(),
             partials: BTreeMap::new(),
+            fold_seq: 0,
+            partial_versions: BTreeMap::new(),
+            service_generation: 0,
+            epoch: Arc::new(AtomicU64::new(0)),
             services: None,
             down_windows: Vec::new(),
             total_records: 0,
@@ -107,9 +127,11 @@ impl CosmosStore {
     /// per-service scopes are complete.
     pub fn set_service_map(&mut self, services: Arc<ServiceMap>) {
         self.services = Some(services);
+        self.service_generation += 1;
         if self.total_records > 0 {
             self.refold_partials();
         }
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Declares an outage window (uploads fail during it).
@@ -177,6 +199,7 @@ impl CosmosStore {
             self.total_bytes += rec.wire_size() as u64;
         }
         self.fold_into_partials(stream, batch);
+        self.epoch.fetch_add(1, Ordering::Release);
         true
     }
 
@@ -189,6 +212,7 @@ impl CosmosStore {
         }
         let services = self.services.clone();
         let svc = services.as_deref();
+        self.fold_seq += 1;
         let mut i = 0;
         while i < batch.len() {
             let ws = batch[i].ts.window_start(PARTIAL_WINDOW);
@@ -203,6 +227,7 @@ impl CosmosStore {
                     None => agg.fold(r),
                 }
             }
+            self.partial_versions.insert((stream, ws), self.fold_seq);
             i = j;
         }
         pingmesh_obs::registry()
@@ -214,19 +239,21 @@ impl CosmosStore {
     /// service map arrives after records did).
     fn refold_partials(&mut self) {
         self.partials.clear();
+        self.partial_versions.clear();
+        self.fold_seq += 1;
+        let seq = self.fold_seq;
         let services = self.services.clone();
         let svc = services.as_deref();
         for (stream, extents) in &self.streams {
             for e in extents {
                 for r in &e.records {
-                    let agg = self
-                        .partials
-                        .entry((*stream, r.ts.window_start(PARTIAL_WINDOW)))
-                        .or_default();
+                    let ws = r.ts.window_start(PARTIAL_WINDOW);
+                    let agg = self.partials.entry((*stream, ws)).or_default();
                     match svc {
                         Some(s) => agg.fold_with_services(r, s),
                         None => agg.fold(r),
                     }
+                    self.partial_versions.insert((*stream, ws), seq);
                 }
             }
         }
@@ -269,6 +296,72 @@ impl CosmosStore {
     /// Number of live ingest-time partials (across all streams).
     pub fn partial_count(&self) -> usize {
         self.partials.len()
+    }
+
+    /// Shared handle to the store's mutation epoch. The counter is bumped
+    /// on every mutation (append, service-map install/refold, retire), so
+    /// a reader that saw epoch `e` when it built a result can later prove
+    /// the result still fresh with one `Acquire` load — no store lock.
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// Current mutation epoch (see [`CosmosStore::epoch_handle`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Deterministic fingerprint of everything that can influence a query
+    /// over `[from, to)`: the service-map generation plus, for each
+    /// in-range partial, its (stream, window, last-fold-seq) triple. Two
+    /// calls return the same value iff no fold, refold, or retire touched
+    /// the range in between — the result-cache validity token. O(windows
+    /// in range), never touches records. Bounds must be aligned to
+    /// [`PARTIAL_WINDOW`], like [`CosmosStore::merged_window_aggregate`].
+    pub fn window_version(&self, from: SimTime, to: SimTime) -> u64 {
+        debug_assert_eq!(
+            from.window_start(PARTIAL_WINDOW),
+            from,
+            "window start must be 10-min aligned"
+        );
+        debug_assert_eq!(
+            to.window_start(PARTIAL_WINDOW),
+            to,
+            "window end must be 10-min aligned"
+        );
+        // FNV-1a over the little-endian encodings; BTreeMap range order
+        // makes the byte stream — and therefore the hash — deterministic.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.service_generation);
+        if from >= to {
+            return h;
+        }
+        for &stream in self.streams.keys() {
+            for (&(_, ws), &seq) in self.partial_versions.range((stream, from)..(stream, to)) {
+                mix(stream.dc.0 as u64);
+                mix(ws.as_micros());
+                mix(seq);
+            }
+        }
+        h
+    }
+
+    /// The freeze horizon: partial windows starting strictly before this
+    /// are "frozen" — expected immutable, hence perfectly cacheable. The
+    /// window containing the newest record is still filling. This is a
+    /// cacheability *heuristic*; correctness against stragglers (a late
+    /// upload into an old window) and late service-map refolds comes from
+    /// [`CosmosStore::window_version`] changing.
+    pub fn frozen_before(&self) -> Option<SimTime> {
+        self.newest_ts().map(|t| t.window_start(PARTIAL_WINDOW))
     }
 
     /// Scans all records of a stream, in append order.
@@ -475,6 +568,11 @@ impl CosmosStore {
             .collect()
     }
 
+    /// DCs that have a stream (sorted; the serving tier's warm axis).
+    pub fn stream_dcs(&self) -> Vec<DcId> {
+        self.streams.keys().map(|s| s.dc).collect()
+    }
+
     /// Number of extents in a stream.
     pub fn extent_count(&self, stream: StreamName) -> usize {
         self.streams.get(&stream).map_or(0, |v| v.len())
@@ -507,6 +605,9 @@ impl CosmosStore {
         }
         self.partials
             .retain(|&(_, ws), _| ws + PARTIAL_WINDOW > horizon);
+        self.partial_versions
+            .retain(|&(_, ws), _| ws + PARTIAL_WINDOW > horizon);
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -836,5 +937,80 @@ mod tests {
         assert_eq!(store.newest_ts(), None);
         store.append(S, &[rec(5), rec(3), rec(9), rec(1)], SimTime(0));
         assert_eq!(store.newest_ts(), Some(SimTime(9)));
+    }
+
+    #[test]
+    fn window_version_is_stable_at_quiescence_and_range_scoped() {
+        let mut store = CosmosStore::new(10, 1);
+        // Records in windows 0 and 2.
+        store.append(S, &[rec(1), rec(2 * W + 1)], SimTime(0));
+        let v0 = store.window_version(SimTime(0), SimTime(W));
+        assert_eq!(v0, store.window_version(SimTime(0), SimTime(W)), "stable");
+        // Appending into window 2 leaves window 0's version untouched...
+        store.append(S, &[rec(2 * W + 5)], SimTime(0));
+        assert_eq!(v0, store.window_version(SimTime(0), SimTime(W)));
+        // ...but changes the version of any range covering window 2.
+        let v2a = store.window_version(SimTime(2 * W), SimTime(3 * W));
+        store.append(S, &[rec(2 * W + 9)], SimTime(0));
+        assert_ne!(v2a, store.window_version(SimTime(2 * W), SimTime(3 * W)));
+        // A straggler landing in frozen window 0 invalidates it too.
+        store.append(S, &[rec(7)], SimTime(0));
+        assert_ne!(v0, store.window_version(SimTime(0), SimTime(W)));
+    }
+
+    #[test]
+    fn window_version_changes_on_service_refold_and_retire() {
+        let mut store = CosmosStore::new(10, 1);
+        store.append(S, &[rec(1), rec(2)], SimTime(0));
+        let v0 = store.window_version(SimTime(0), SimTime(W));
+        // Late service-map install refolds everything: every range's
+        // version must move even though record contents didn't.
+        let mut services = ServiceMap::new();
+        services.register("web", [ServerId(0)]).unwrap();
+        store.set_service_map(Arc::new(services));
+        let v1 = store.window_version(SimTime(0), SimTime(W));
+        assert_ne!(v0, v1, "refold must invalidate");
+        // Retiring the window changes it again (partial disappears).
+        store.retire_before(SimTime(W));
+        let v2 = store.window_version(SimTime(0), SimTime(W));
+        assert_ne!(v1, v2, "retire must invalidate");
+        // Empty range over an empty store: still deterministic.
+        assert_eq!(
+            store.window_version(SimTime(3 * W), SimTime(3 * W)),
+            store.window_version(SimTime(3 * W), SimTime(3 * W)),
+        );
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation_kind() {
+        let mut store = CosmosStore::new(10, 1);
+        let handle = store.epoch_handle();
+        let e0 = handle.load(Ordering::Acquire);
+        store.append(S, &[rec(1)], SimTime(0));
+        let e1 = handle.load(Ordering::Acquire);
+        assert!(e1 > e0, "append bumps");
+        let mut services = ServiceMap::new();
+        services.register("web", [ServerId(0)]).unwrap();
+        store.set_service_map(Arc::new(services));
+        let e2 = handle.load(Ordering::Acquire);
+        assert!(e2 > e1, "service install bumps");
+        store.retire_before(SimTime(W));
+        let e3 = handle.load(Ordering::Acquire);
+        assert!(e3 > e2, "retire bumps");
+        // Rejected append (store down) is not a mutation.
+        store.add_down_window(SimTime(100), Some(SimTime(200)));
+        assert!(!store.append(S, &[rec(1)], SimTime(150)));
+        assert_eq!(handle.load(Ordering::Acquire), e3);
+        assert_eq!(store.epoch(), e3);
+    }
+
+    #[test]
+    fn frozen_before_is_the_newest_records_window_start() {
+        let mut store = CosmosStore::new(10, 1);
+        assert_eq!(store.frozen_before(), None);
+        store.append(S, &[rec(2 * W + 123)], SimTime(0));
+        assert_eq!(store.frozen_before(), Some(SimTime(2 * W)));
+        store.append(S, &[rec(5 * W + 9)], SimTime(0));
+        assert_eq!(store.frozen_before(), Some(SimTime(5 * W)));
     }
 }

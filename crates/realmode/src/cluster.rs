@@ -21,6 +21,7 @@ use crate::directory::{PeerDirectory, PeerEndpoints};
 use pingmesh_agent::real::{serve_echo, serve_http};
 use pingmesh_controller::{serve, GeneratorConfig, PinglistGenerator, WebState};
 use pingmesh_dsa::ExpectedPairs;
+use pingmesh_serve::{serve_query, QueryTier};
 use pingmesh_topology::{Topology, TopologySpec};
 use pingmesh_types::ServerId;
 use std::net::SocketAddr;
@@ -32,6 +33,13 @@ use tokio::net::TcpListener;
 pub struct ClusterOptions {
     /// Controller web-service replicas behind the (client-side) VIP.
     pub controller_replicas: usize,
+    /// Query-tier replicas over the collector's store (0 = no serve
+    /// tier). Each replica owns its result cache; clients spread load
+    /// across them with the same [`RoundRobin`] rotation as the
+    /// controller VIP.
+    ///
+    /// [`RoundRobin`]: crate::vip::RoundRobin
+    pub serve_replicas: usize,
     /// Put every controller replica and the collector behind a
     /// [`ChaosProxy`] so faults can be injected at runtime.
     pub chaos: bool,
@@ -43,6 +51,7 @@ impl Default for ClusterOptions {
     fn default() -> Self {
         Self {
             controller_replicas: 1,
+            serve_replicas: 0,
             chaos: false,
             seed: 0,
         }
@@ -59,6 +68,8 @@ pub struct LocalCluster {
     collector_addr: SocketAddr,
     collector: Collector,
     collector_proxy: Option<ChaosProxy>,
+    serve_addrs: Vec<SocketAddr>,
+    serve_tiers: Vec<QueryTier>,
     directory: PeerDirectory,
 }
 
@@ -121,6 +132,20 @@ impl LocalCluster {
             (upstream, None)
         };
 
+        // Query-tier replicas: each shares the collector's store but
+        // owns a private result cache — the paper's "visualization
+        // web service" front-end, scaled out behind the same
+        // round-robin rotation as the controller VIP.
+        let mut serve_addrs = Vec::new();
+        let mut serve_tiers = Vec::new();
+        for _ in 0..options.serve_replicas {
+            let tier = QueryTier::new(Arc::clone(collector.store()));
+            let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+            serve_addrs.push(listener.local_addr().expect("addr"));
+            tokio::spawn(serve_query(listener, tier.clone()));
+            serve_tiers.push(tier);
+        }
+
         // Responders for every server.
         let directory = PeerDirectory::new();
         for server in topo.servers() {
@@ -148,6 +173,8 @@ impl LocalCluster {
             collector_addr,
             collector,
             collector_proxy,
+            serve_addrs,
+            serve_tiers,
             directory,
         }
     }
@@ -198,6 +225,17 @@ impl LocalCluster {
             .as_ref()
             .expect("cluster started without chaos")
             .handle()
+    }
+
+    /// Addresses of every query-tier replica (empty unless
+    /// [`ClusterOptions::serve_replicas`] > 0).
+    pub fn serve_addrs(&self) -> &[SocketAddr] {
+        &self.serve_addrs
+    }
+
+    /// Query-tier replica `i`'s handle (cache/stats inspection).
+    pub fn serve_tier(&self, i: usize) -> &QueryTier {
+        &self.serve_tiers[i]
     }
 
     /// The shared peer directory.
@@ -273,6 +311,45 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn serve_replicas_answer_queries_over_the_collected_store() {
+        let cluster = LocalCluster::start_with(
+            TopologySpec::single_tiny(),
+            GeneratorConfig::default(),
+            ClusterOptions {
+                serve_replicas: 2,
+                ..ClusterOptions::default()
+            },
+        )
+        .await;
+        assert_eq!(cluster.serve_addrs().len(), 2);
+        // Probe and upload so the store has content.
+        let mut a = cluster.agent(ServerId(0));
+        a.poll_controller().await;
+        assert!(a.probe_round_once().await > 0);
+        a.flush(true).await;
+        // Every replica answers the live-status query over real sockets,
+        // spreading connections with the shared round-robin rotation.
+        let mut rr = crate::vip::RoundRobin::new(cluster.serve_addrs().len());
+        for _ in 0..4 {
+            let addr = cluster.serve_addrs()[rr.pick()];
+            let mut stream = tokio::net::TcpStream::connect(addr).await.unwrap();
+            pingmesh_httpx::write_request(
+                &mut stream,
+                &pingmesh_httpx::Request::get("/api/windows"),
+            )
+            .await
+            .unwrap();
+            let resp = pingmesh_httpx::read_response(&mut stream).await.unwrap();
+            assert_eq!(resp.status, 200);
+            let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+            assert_eq!(v["empty"], serde_json::Value::Bool(false));
+        }
+        // Both replicas saw traffic and can be inspected via their tiers.
+        assert!(cluster.serve_tier(0).cache().is_empty());
+        assert!(cluster.serve_tier(1).cache().is_empty());
+    }
+
+    #[tokio::test]
     async fn replicated_chaos_cluster_serves_through_proxies() {
         let cluster = LocalCluster::start_with(
             TopologySpec::single_tiny(),
@@ -281,6 +358,7 @@ mod tests {
                 controller_replicas: 2,
                 chaos: true,
                 seed: 11,
+                ..ClusterOptions::default()
             },
         )
         .await;

@@ -25,7 +25,7 @@
 use parking_lot::Mutex;
 use pingmesh_dsa::store::{CosmosStore, StreamName};
 use pingmesh_dsa::{ExpectedPairs, QualityConfig};
-use pingmesh_httpx::{read_request, write_response, Request, Response};
+use pingmesh_httpx::{Conn, Request, Response};
 use pingmesh_obs::slo::{self, SloKind, SloStatus};
 use pingmesh_obs::SampleValue;
 use pingmesh_types::{PingmeshError, ProbeRecord, SimTime};
@@ -400,10 +400,41 @@ impl Collector {
     }
 }
 
-async fn handle_conn(collector: Collector, mut stream: TcpStream) {
-    if let Ok(req) = read_request(&mut stream).await {
-        let resp = collector.respond(&req);
-        let _ = write_response(&mut stream, &resp).await;
+/// Responses above this size flush in deadline-bounded chunks, so one
+/// huge `/events` dump to a slow-draining scraper can neither blow a
+/// single write deadline nor wedge the connection task (satisfying the
+/// same bounded-I/O discipline as every other collector write).
+const CHUNKED_FLUSH_THRESHOLD: usize = 64 * 1024;
+
+async fn handle_conn(collector: Collector, stream: TcpStream) {
+    let mut conn = Conn::new(stream);
+    loop {
+        let req = match conn.read_request().await {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        let keep = req.keep_alive();
+        let mut resp = collector.respond(&req);
+        if keep {
+            resp.set_keep_alive();
+        }
+        conn.queue_response(&resp);
+        // Serve a pipelined burst before flushing; large bodies go out
+        // in deadline-bounded chunks rather than one unbounded write.
+        if !(keep && conn.buffered_request_ready()) {
+            let flushed = if conn.queued_bytes() > CHUNKED_FLUSH_THRESHOLD {
+                conn.flush_chunked_with(CHUNKED_FLUSH_THRESHOLD, pingmesh_httpx::DEFAULT_IO_TIMEOUT)
+                    .await
+            } else {
+                conn.flush().await
+            };
+            if flushed.is_err() {
+                break;
+            }
+        }
+        if !keep {
+            break;
+        }
     }
 }
 
@@ -695,6 +726,86 @@ mod tests {
                 .count(),
             100
         );
+    }
+
+    #[tokio::test]
+    async fn keep_alive_connection_serves_many_requests() {
+        let c = Collector::new();
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(serve_collector(listener, c.clone()));
+
+        let stream = TcpStream::connect(addr).await.unwrap();
+        let mut conn = Conn::new(stream);
+        let deadline = std::time::Duration::from_secs(10);
+        // Upload, stats, and healthz all ride one connection.
+        let batch = vec![rec(1), rec(2), rec(3)];
+        let mut up = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+        up.set_keep_alive();
+        conn.queue_request(&up);
+        conn.flush_with(deadline).await.unwrap();
+        assert_eq!(conn.read_response_with(deadline).await.unwrap().status, 200);
+        for path in ["/stats", "/healthz", "/stats"] {
+            let mut req = Request::get(path);
+            req.set_keep_alive();
+            conn.queue_request(&req);
+            conn.flush_with(deadline).await.unwrap();
+            let resp = conn.read_response_with(deadline).await.unwrap();
+            assert_eq!(resp.status, 200, "{path}");
+        }
+        let stats: CollectorStats = {
+            let mut req = Request::get("/stats");
+            req.set_keep_alive();
+            conn.queue_request(&req);
+            conn.flush_with(deadline).await.unwrap();
+            serde_json::from_slice(&conn.read_response_with(deadline).await.unwrap().body).unwrap()
+        };
+        assert_eq!(stats.records, 3);
+    }
+
+    #[tokio::test]
+    async fn large_events_response_survives_chunked_flush() {
+        pingmesh_obs::set_enabled(true);
+        let c = Collector::new();
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(serve_collector(listener, c.clone()));
+
+        // Fill the ring far enough that the JSON-lines dump exceeds the
+        // chunked-flush threshold, then fetch it in one conditional-free
+        // GET over a keep-alive connection and verify it arrives whole.
+        let since = pingmesh_obs::events().last_seq();
+        for i in 0..4000u64 {
+            pingmesh_obs::emit!(Info, "realmode.test", "bulk_event_payload_padding_padding",
+                "i" => i, "j" => i * 31, "k" => i * 977);
+        }
+        let stream = TcpStream::connect(addr).await.unwrap();
+        let mut conn = Conn::new(stream);
+        let deadline = std::time::Duration::from_secs(10);
+        let mut req = Request::get(&format!("/events?since={since}"));
+        req.set_keep_alive();
+        conn.queue_request(&req);
+        conn.flush_with(deadline).await.unwrap();
+        let resp = conn.read_response_with(deadline).await.unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.body.len() > CHUNKED_FLUSH_THRESHOLD,
+            "dump must exercise the chunked path ({} bytes)",
+            resp.body.len()
+        );
+        let text = String::from_utf8(resp.body).unwrap();
+        // Content-length framing plus chunked flushing must deliver every
+        // line intact: each non-empty line parses as one JSON event.
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            let v: serde_json::Value = serde_json::from_str(line).expect("intact JSONL line");
+            assert!(v.get("seq").is_some(), "line: {line}");
+        }
+        // The connection is still usable after the big dump.
+        let mut req = Request::get("/stats");
+        req.set_keep_alive();
+        conn.queue_request(&req);
+        conn.flush_with(deadline).await.unwrap();
+        assert_eq!(conn.read_response_with(deadline).await.unwrap().status, 200);
     }
 
     #[tokio::test]

@@ -18,21 +18,60 @@ use pingmesh_types::{Pinglist, PingmeshError, ServerId};
 use std::net::SocketAddr;
 use std::time::Duration;
 
+/// The VIP's spreading policy, factored out of [`ControllerVip`] so any
+/// replicated endpoint (controller replicas, the serve tier's query
+/// replicas) shares one rotation: each call starts one slot after the
+/// last and walks every replica once, so load spreads evenly and a
+/// caller that fails over always has a full failover order.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    len: usize,
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A rotation over `len` replicas (at least one required).
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "a VIP needs at least one replica");
+        Self { len, cursor: 0 }
+    }
+
+    /// Number of replicas in rotation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: an empty rotation cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Advances the cursor and returns this call's visit order: the
+    /// picked replica first, then every other replica as failovers.
+    pub fn order(&mut self) -> impl Iterator<Item = usize> {
+        let (n, start) = (self.len, self.cursor);
+        self.cursor = (self.cursor + 1) % n;
+        (0..n).map(move |k| (start + k) % n)
+    }
+
+    /// Advances the cursor and returns just the picked replica.
+    pub fn pick(&mut self) -> usize {
+        self.order().next().expect("rotation is never empty")
+    }
+}
+
 /// A set of controller replica addresses behind one logical VIP.
 #[derive(Debug, Clone)]
 pub struct ControllerVip {
     replicas: Vec<SocketAddr>,
-    cursor: usize,
+    rotation: RoundRobin,
 }
 
 impl ControllerVip {
     /// A VIP over `replicas` (at least one address required).
     pub fn new(replicas: Vec<SocketAddr>) -> Self {
-        assert!(!replicas.is_empty(), "a VIP needs at least one replica");
-        Self {
-            replicas,
-            cursor: 0,
-        }
+        let rotation = RoundRobin::new(replicas.len());
+        Self { replicas, rotation }
     }
 
     /// The single-replica (unreplicated) case.
@@ -56,12 +95,10 @@ impl ControllerVip {
         deadline: Duration,
     ) -> Result<Option<Pinglist>, PingmeshError> {
         let n = self.replicas.len();
-        let start = self.cursor;
-        self.cursor = (self.cursor + 1) % n;
         let registry = pingmesh_obs::registry();
         let mut last_err = None;
-        for k in 0..n {
-            let addr = self.replicas[(start + k) % n];
+        for (k, slot) in self.rotation.order().enumerate() {
+            let addr = self.replicas[slot];
             match pingmesh_controller::fetch_pinglist_with(addr, server, deadline).await {
                 Ok(r) => {
                     if k > 0 {
@@ -114,6 +151,20 @@ mod tests {
         let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         l.local_addr().unwrap()
         // listener dropped: nothing accepts here
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly_and_covers_all_on_failover() {
+        let mut rr = RoundRobin::new(3);
+        // Successive picks rotate through every slot.
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        // A failover walk visits every replica exactly once, starting at
+        // the rotated cursor.
+        let order: Vec<usize> = rr.order().collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        let order: Vec<usize> = rr.order().collect();
+        assert_eq!(order, vec![1, 2, 0]);
     }
 
     #[tokio::test]

@@ -229,6 +229,7 @@ mod tests {
                 controller_replicas: 1,
                 chaos: true,
                 seed: 3,
+                ..ClusterOptions::default()
             },
         )
         .await;

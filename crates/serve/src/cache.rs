@@ -1,0 +1,136 @@
+//! The per-window immutable result cache.
+//!
+//! Keyed by canonical query string, sharded across mutexes so replicas
+//! serving 100k+ req/s don't serialize on one lock. Every entry carries
+//! two validity tokens:
+//!
+//! * `valid_at_epoch` — the store mutation epoch when the entry was last
+//!   known fresh. If the store epoch hasn't moved, the entry is provably
+//!   fresh with a single atomic load and **no store lock at all** — the
+//!   steady-state historical-query path.
+//! * `version` — the store's [`window_version`] fingerprint of the
+//!   query's range at build time. When the epoch has moved (some window
+//!   somewhere changed), one O(windows-in-range) fingerprint under the
+//!   store lock proves whether *this* range changed; if not, the entry
+//!   revalidates without rebuilding. Frozen windows revalidate forever;
+//!   a late straggler or service-map refold changes the fingerprint and
+//!   forces a rebuild — that is the invalidation rule.
+//!
+//! [`window_version`]: pingmesh_dsa::store::CosmosStore::window_version
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const SHARDS: usize = 16;
+
+/// One cached query result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// `window_version` fingerprint of the query range at build time.
+    pub version: u64,
+    /// Store epoch at which the entry was last proven fresh.
+    pub valid_at_epoch: u64,
+    /// Strong ETag of `body` (content hash).
+    pub etag: String,
+    /// Whether the query range was entirely frozen at build time
+    /// (metrics kind; frozen entries are the ≥99%-hit population).
+    pub frozen: bool,
+    /// The response body. Shared, never mutated.
+    pub body: Arc<Vec<u8>>,
+}
+
+/// Sharded query-result cache.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    shards: [Mutex<HashMap<String, CacheEntry>>; SHARDS],
+}
+
+fn shard_of(key: &str) -> usize {
+    // FNV-1a; only the shard index needs to be stable, not portable.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+impl ResultCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up an entry (clone; bodies are `Arc`-shared).
+    pub fn get(&self, key: &str) -> Option<CacheEntry> {
+        self.shards[shard_of(key)].lock().get(key).cloned()
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&self, key: String, entry: CacheEntry) {
+        self.shards[shard_of(&key)].lock().insert(key, entry);
+    }
+
+    /// Marks an entry fresh at `epoch` (after a successful fingerprint
+    /// revalidation), so subsequent lookups take the lock-free path.
+    pub fn revalidate(&self, key: &str, epoch: u64) {
+        if let Some(e) = self.shards[shard_of(key)].lock().get_mut(key) {
+            e.valid_at_epoch = e.valid_at_epoch.max(epoch);
+        }
+    }
+
+    /// Number of live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(version: u64, epoch: u64) -> CacheEntry {
+        CacheEntry {
+            version,
+            valid_at_epoch: epoch,
+            etag: format!("\"{version:x}\""),
+            frozen: true,
+            body: Arc::new(b"payload".to_vec()),
+        }
+    }
+
+    #[test]
+    fn insert_get_revalidate_roundtrip() {
+        let cache = ResultCache::new();
+        assert!(cache.is_empty());
+        cache.insert("k1".into(), entry(7, 1));
+        let got = cache.get("k1").expect("present");
+        assert_eq!(got.version, 7);
+        assert_eq!(got.valid_at_epoch, 1);
+        cache.revalidate("k1", 9);
+        assert_eq!(cache.get("k1").unwrap().valid_at_epoch, 9);
+        // Revalidate never moves the epoch backwards.
+        cache.revalidate("k1", 3);
+        assert_eq!(cache.get("k1").unwrap().valid_at_epoch, 9);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("k2").is_none());
+    }
+
+    #[test]
+    fn keys_spread_across_shards_without_collisions() {
+        let cache = ResultCache::new();
+        for i in 0..500 {
+            cache.insert(format!("key-{i}"), entry(i, 0));
+        }
+        assert_eq!(cache.len(), 500);
+        for i in 0..500 {
+            assert_eq!(cache.get(&format!("key-{i}")).unwrap().version, i);
+        }
+    }
+}

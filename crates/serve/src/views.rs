@@ -1,0 +1,565 @@
+//! Query-shaped views over the frozen window aggregates.
+//!
+//! Each dashboard query parses into an [`ApiQuery`], and each query
+//! builds its response body **deterministically**: every row collection
+//! is an explicitly sorted `Vec` (never a map serialization), so the same
+//! store state always yields the same bytes. That byte-stability is what
+//! makes the per-window result cache provable — a cached body must equal
+//! a from-scratch rebuild bit for bit, and the check-harness oracle
+//! asserts exactly that.
+
+use pingmesh_dsa::agg::{LatencyScope, ScopeStats, WindowAggregate};
+use pingmesh_dsa::store::{CosmosStore, PARTIAL_WINDOW};
+use pingmesh_types::{DcId, PairStats, SimTime};
+use serde::Serialize;
+
+/// Granularity of the drop-rate heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatmapLevel {
+    /// pod × pod cells (intra-DC).
+    Pod,
+    /// podset × podset cells (intra-DC), with p99 from the podset matrix.
+    Podset,
+}
+
+impl HeatmapLevel {
+    fn label(self) -> &'static str {
+        match self {
+            HeatmapLevel::Pod => "pod",
+            HeatmapLevel::Podset => "podset",
+        }
+    }
+}
+
+/// A parsed dashboard query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiQuery {
+    /// `GET /api/windows` — hot store status (never cached).
+    Windows,
+    /// `GET /api/cdf?dc=&scope=&from=&to=` — per-scope latency CDF.
+    Cdf {
+        /// Source data center.
+        dc: DcId,
+        /// Latency scope (intrapod / interpod / interdc).
+        scope: LatencyScope,
+        /// Window start (µs, 10-min aligned).
+        from: SimTime,
+        /// Window end (µs, 10-min aligned, exclusive).
+        to: SimTime,
+    },
+    /// `GET /api/heatmap?level=&from=&to=` — drop-rate heatmap cells.
+    Heatmap {
+        /// Cell granularity.
+        level: HeatmapLevel,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        to: SimTime,
+    },
+    /// `GET /api/sla?from=&to=` — SLA rollups per DC / DC-pair / podset
+    /// / service.
+    Sla {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        to: SimTime,
+    },
+}
+
+/// Why a request failed to parse into an [`ApiQuery`].
+#[derive(Debug)]
+pub enum QueryError {
+    /// Path is not an API route (404).
+    NotFound,
+    /// Path is an API route but the parameters are unusable (400).
+    Bad(&'static str),
+}
+
+fn param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?
+        .split('&')
+        .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('='))
+}
+
+fn parse_window(query: Option<&str>) -> Result<(SimTime, SimTime), QueryError> {
+    let from: u64 = param(query, "from")
+        .ok_or(QueryError::Bad("missing from="))?
+        .parse()
+        .map_err(|_| QueryError::Bad("bad from= value"))?;
+    let to: u64 = param(query, "to")
+        .ok_or(QueryError::Bad("missing to="))?
+        .parse()
+        .map_err(|_| QueryError::Bad("bad to= value"))?;
+    let (from, to) = (SimTime(from), SimTime(to));
+    // The partial-aggregate store only answers 10-min-aligned ranges;
+    // reject the rest here rather than tripping its alignment asserts.
+    if from.window_start(PARTIAL_WINDOW) != from || to.window_start(PARTIAL_WINDOW) != to {
+        return Err(QueryError::Bad("from=/to= must be 10-min aligned (µs)"));
+    }
+    if from > to {
+        return Err(QueryError::Bad("from= must not exceed to="));
+    }
+    Ok((from, to))
+}
+
+impl ApiQuery {
+    /// Parses a request path (with query string) into a query.
+    pub fn parse(path: &str, query: Option<&str>) -> Result<Self, QueryError> {
+        match path {
+            "/api/windows" => Ok(ApiQuery::Windows),
+            "/api/cdf" => {
+                let dc: u32 = param(query, "dc")
+                    .ok_or(QueryError::Bad("missing dc="))?
+                    .parse()
+                    .map_err(|_| QueryError::Bad("bad dc= value"))?;
+                let scope = match param(query, "scope") {
+                    Some("intrapod") => LatencyScope::IntraPod,
+                    Some("interpod") => LatencyScope::InterPod,
+                    Some("interdc") => LatencyScope::InterDc,
+                    Some(_) => return Err(QueryError::Bad("bad scope= value")),
+                    None => return Err(QueryError::Bad("missing scope=")),
+                };
+                let (from, to) = parse_window(query)?;
+                Ok(ApiQuery::Cdf {
+                    dc: DcId(dc),
+                    scope,
+                    from,
+                    to,
+                })
+            }
+            "/api/heatmap" => {
+                let level = match param(query, "level") {
+                    Some("pod") => HeatmapLevel::Pod,
+                    Some("podset") => HeatmapLevel::Podset,
+                    Some(_) => return Err(QueryError::Bad("bad level= value")),
+                    None => return Err(QueryError::Bad("missing level=")),
+                };
+                let (from, to) = parse_window(query)?;
+                Ok(ApiQuery::Heatmap { level, from, to })
+            }
+            "/api/sla" => {
+                let (from, to) = parse_window(query)?;
+                Ok(ApiQuery::Sla { from, to })
+            }
+            _ => Err(QueryError::NotFound),
+        }
+    }
+
+    /// Canonical cache key: rebuilt from the parsed fields in fixed
+    /// order, so `?to=X&from=Y` and `?from=Y&to=X` share an entry.
+    pub fn cache_key(&self) -> String {
+        match self {
+            ApiQuery::Windows => "windows".into(),
+            ApiQuery::Cdf {
+                dc,
+                scope,
+                from,
+                to,
+            } => format!(
+                "cdf?dc={}&scope={}&from={}&to={}",
+                dc.0,
+                scope_label(*scope),
+                from.as_micros(),
+                to.as_micros()
+            ),
+            ApiQuery::Heatmap { level, from, to } => format!(
+                "heatmap?level={}&from={}&to={}",
+                level.label(),
+                from.as_micros(),
+                to.as_micros()
+            ),
+            ApiQuery::Sla { from, to } => {
+                format!("sla?from={}&to={}", from.as_micros(), to.as_micros())
+            }
+        }
+    }
+
+    /// The aggregate window this query reads, if it reads one
+    /// ([`ApiQuery::Windows`] reads live store state instead).
+    pub fn range(&self) -> Option<(SimTime, SimTime)> {
+        match *self {
+            ApiQuery::Windows => None,
+            ApiQuery::Cdf { from, to, .. }
+            | ApiQuery::Heatmap { from, to, .. }
+            | ApiQuery::Sla { from, to } => Some((from, to)),
+        }
+    }
+
+    /// Route label for bounded-cardinality metrics.
+    pub fn route(&self) -> &'static str {
+        match self {
+            ApiQuery::Windows => "windows",
+            ApiQuery::Cdf { .. } => "cdf",
+            ApiQuery::Heatmap { .. } => "heatmap",
+            ApiQuery::Sla { .. } => "sla",
+        }
+    }
+
+    /// Builds the response body from the store — the **only** body
+    /// constructor, shared by cache misses, the warm path, and the
+    /// coherence oracle's from-scratch rebuild. Deterministic: sorted
+    /// rows, fixed field order.
+    pub fn build(&self, store: &CosmosStore) -> Vec<u8> {
+        match *self {
+            ApiQuery::Windows => build_windows(store),
+            ApiQuery::Cdf {
+                dc,
+                scope,
+                from,
+                to,
+            } => {
+                let agg = store.merged_window_aggregate(from, to);
+                build_cdf(&agg, dc, scope, from, to)
+            }
+            ApiQuery::Heatmap { level, from, to } => {
+                let agg = store.merged_window_aggregate(from, to);
+                build_heatmap(&agg, level, from, to)
+            }
+            ApiQuery::Sla { from, to } => {
+                let agg = store.merged_window_aggregate(from, to);
+                build_sla(&agg, from, to)
+            }
+        }
+    }
+}
+
+fn scope_label(scope: LatencyScope) -> &'static str {
+    match scope {
+        LatencyScope::IntraPod => "intrapod",
+        LatencyScope::InterPod => "interpod",
+        LatencyScope::InterDc => "interdc",
+    }
+}
+
+#[derive(Serialize)]
+struct WindowsPayload {
+    newest_us: u64,
+    frozen_before_us: u64,
+    partial_count: u64,
+    record_count: u64,
+    empty: bool,
+}
+
+fn build_windows(store: &CosmosStore) -> Vec<u8> {
+    let newest = store.newest_ts();
+    serde_json::to_vec(&WindowsPayload {
+        newest_us: newest.map_or(0, |t| t.as_micros()),
+        frozen_before_us: store.frozen_before().map_or(0, |t| t.as_micros()),
+        partial_count: store.partial_count() as u64,
+        record_count: store.record_count(),
+        empty: newest.is_none(),
+    })
+    .expect("windows serialize")
+}
+
+#[derive(Serialize)]
+struct CdfPoint {
+    rtt_us: u64,
+    cum: f64,
+}
+
+#[derive(Serialize)]
+struct CdfPayload {
+    dc: u32,
+    scope: &'static str,
+    from_us: u64,
+    to_us: u64,
+    count: u64,
+    p50_us: u64,
+    p99_us: u64,
+    points: Vec<CdfPoint>,
+}
+
+fn build_cdf(
+    agg: &WindowAggregate,
+    dc: DcId,
+    scope: LatencyScope,
+    from: SimTime,
+    to: SimTime,
+) -> Vec<u8> {
+    let hist = agg.syn_hist(dc, scope);
+    let points = hist.map_or(Vec::new(), |h| {
+        h.cdf_points()
+            .into_iter()
+            .map(|(rtt, cum)| CdfPoint {
+                rtt_us: rtt.as_micros(),
+                cum,
+            })
+            .collect()
+    });
+    serde_json::to_vec(&CdfPayload {
+        dc: dc.0,
+        scope: scope_label(scope),
+        from_us: from.as_micros(),
+        to_us: to.as_micros(),
+        count: hist.map_or(0, |h| h.count()),
+        p50_us: hist.and_then(|h| h.p50()).map_or(0, |d| d.as_micros()),
+        p99_us: hist.and_then(|h| h.p99()).map_or(0, |d| d.as_micros()),
+        points,
+    })
+    .expect("cdf serialize")
+}
+
+#[derive(Serialize)]
+struct HeatCell {
+    src: u32,
+    dst: u32,
+    probes: u64,
+    drop_rate: f64,
+    p99_us: u64,
+}
+
+#[derive(Serialize)]
+struct HeatmapPayload {
+    level: &'static str,
+    from_us: u64,
+    to_us: u64,
+    cells: Vec<HeatCell>,
+}
+
+fn build_heatmap(
+    agg: &WindowAggregate,
+    level: HeatmapLevel,
+    from: SimTime,
+    to: SimTime,
+) -> Vec<u8> {
+    let mut cells: Vec<HeatCell> = match level {
+        HeatmapLevel::Pod => agg
+            .pod_pairs
+            .iter()
+            .map(|(&(src, dst), stats)| heat_cell(src.0, dst.0, stats, 0))
+            .collect(),
+        HeatmapLevel::Podset => agg
+            .podset_pairs
+            .iter()
+            .map(|(&(src, dst), stats)| {
+                let p99 = agg
+                    .podset_matrix
+                    .get(&(src, dst))
+                    .and_then(|h| h.p99())
+                    .map_or(0, |d| d.as_micros());
+                heat_cell(src.0, dst.0, stats, p99)
+            })
+            .collect(),
+    };
+    cells.sort_unstable_by_key(|c| (c.src, c.dst));
+    serde_json::to_vec(&HeatmapPayload {
+        level: level.label(),
+        from_us: from.as_micros(),
+        to_us: to.as_micros(),
+        cells,
+    })
+    .expect("heatmap serialize")
+}
+
+fn heat_cell(src: u32, dst: u32, stats: &PairStats, p99_us: u64) -> HeatCell {
+    HeatCell {
+        src,
+        dst,
+        probes: stats.total(),
+        drop_rate: stats.drop_rate(),
+        p99_us,
+    }
+}
+
+#[derive(Serialize)]
+struct SlaRow {
+    id: u32,
+    probes: u64,
+    drop_rate: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+#[derive(Serialize)]
+struct SlaPairRow {
+    src: u32,
+    dst: u32,
+    probes: u64,
+    drop_rate: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+#[derive(Serialize)]
+struct SlaPayload {
+    from_us: u64,
+    to_us: u64,
+    dcs: Vec<SlaRow>,
+    dc_pairs: Vec<SlaPairRow>,
+    podsets: Vec<SlaRow>,
+    services: Vec<SlaRow>,
+}
+
+fn sla_row(id: u32, s: &ScopeStats) -> SlaRow {
+    SlaRow {
+        id,
+        probes: s.stats.total(),
+        drop_rate: s.drop_rate(),
+        p50_us: s.p50().map_or(0, |d| d.as_micros()),
+        p99_us: s.p99().map_or(0, |d| d.as_micros()),
+    }
+}
+
+fn build_sla(agg: &WindowAggregate, from: SimTime, to: SimTime) -> Vec<u8> {
+    let mut dcs: Vec<SlaRow> = agg.per_dc.iter().map(|(dc, s)| sla_row(dc.0, s)).collect();
+    dcs.sort_unstable_by_key(|r| r.id);
+    let mut dc_pairs: Vec<SlaPairRow> = agg
+        .per_dc_pair
+        .iter()
+        .map(|(&(src, dst), s)| SlaPairRow {
+            src: src.0,
+            dst: dst.0,
+            probes: s.stats.total(),
+            drop_rate: s.drop_rate(),
+            p50_us: s.p50().map_or(0, |d| d.as_micros()),
+            p99_us: s.p99().map_or(0, |d| d.as_micros()),
+        })
+        .collect();
+    dc_pairs.sort_unstable_by_key(|r| (r.src, r.dst));
+    let mut podsets: Vec<SlaRow> = agg
+        .per_podset
+        .iter()
+        .map(|(ps, s)| sla_row(ps.0, s))
+        .collect();
+    podsets.sort_unstable_by_key(|r| r.id);
+    let mut services: Vec<SlaRow> = agg
+        .per_service
+        .iter()
+        .map(|(svc, s)| sla_row(svc.0, s))
+        .collect();
+    services.sort_unstable_by_key(|r| r.id);
+    serde_json::to_vec(&SlaPayload {
+        from_us: from.as_micros(),
+        to_us: to.as_micros(),
+        dcs,
+        dc_pairs,
+        podsets,
+        services,
+    })
+    .expect("sla serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = 600_000_000;
+
+    #[test]
+    fn parse_accepts_canonical_queries_any_param_order() {
+        let q = ApiQuery::parse(
+            "/api/cdf",
+            Some(&format!("to={W}&dc=2&scope=interpod&from=0")),
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            ApiQuery::Cdf {
+                dc: DcId(2),
+                scope: LatencyScope::InterPod,
+                from: SimTime(0),
+                to: SimTime(W),
+            }
+        );
+        assert_eq!(
+            q.cache_key(),
+            format!("cdf?dc=2&scope=interpod&from=0&to={W}")
+        );
+        let h =
+            ApiQuery::parse("/api/heatmap", Some(&format!("level=podset&from=0&to={W}"))).unwrap();
+        assert_eq!(h.route(), "heatmap");
+        assert_eq!(h.range(), Some((SimTime(0), SimTime(W))));
+        assert!(matches!(
+            ApiQuery::parse("/api/windows", None).unwrap(),
+            ApiQuery::Windows
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_misaligned_or_malformed_windows() {
+        for (path, query) in [
+            ("/api/sla", "from=1&to=600000000"),    // misaligned from
+            ("/api/sla", "from=0&to=600000001"),    // misaligned to
+            ("/api/sla", "from=600000000&to=0"),    // inverted
+            ("/api/sla", "from=0"),                 // missing to
+            ("/api/sla", "from=zero&to=600000000"), // non-numeric
+            ("/api/cdf", "dc=0&scope=warp&from=0&to=600000000"), // bad scope
+            ("/api/heatmap", "level=rack&from=0&to=600000000"), // bad level
+        ] {
+            assert!(
+                matches!(ApiQuery::parse(path, Some(query)), Err(QueryError::Bad(_))),
+                "{path}?{query} must be a 400"
+            );
+        }
+        assert!(matches!(
+            ApiQuery::parse("/api/nope", None),
+            Err(QueryError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn bodies_are_deterministic_across_rebuilds() {
+        use pingmesh_types::{
+            PodId, PodsetId, ProbeKind, ProbeOutcome, QosClass, ServerId, SimDuration,
+        };
+        let mut store = CosmosStore::new(64, 1);
+        let recs: Vec<pingmesh_types::ProbeRecord> = (0..500u64)
+            .map(|i| pingmesh_types::ProbeRecord {
+                ts: SimTime(i * 1_000_000),
+                src: ServerId((i % 8) as u32),
+                dst: ServerId(((i + 1) % 8) as u32),
+                src_pod: PodId((i % 4) as u32),
+                dst_pod: PodId(((i + 1) % 4) as u32),
+                src_podset: PodsetId((i % 2) as u32),
+                dst_podset: PodsetId(((i + 1) % 2) as u32),
+                src_dc: DcId(0),
+                dst_dc: DcId(0),
+                kind: ProbeKind::TcpSyn,
+                qos: QosClass::High,
+                src_port: 40_000,
+                dst_port: 8_100,
+                outcome: if i % 11 == 0 {
+                    ProbeOutcome::Timeout
+                } else {
+                    ProbeOutcome::Success {
+                        rtt: SimDuration::from_micros(150 + i % 400),
+                    }
+                },
+            })
+            .collect();
+        store.append(
+            pingmesh_dsa::store::StreamName { dc: DcId(0) },
+            &recs,
+            SimTime(0),
+        );
+        for q in [
+            ApiQuery::Windows,
+            ApiQuery::Cdf {
+                dc: DcId(0),
+                scope: LatencyScope::InterPod,
+                from: SimTime(0),
+                to: SimTime(W),
+            },
+            ApiQuery::Heatmap {
+                level: HeatmapLevel::Pod,
+                from: SimTime(0),
+                to: SimTime(W),
+            },
+            ApiQuery::Heatmap {
+                level: HeatmapLevel::Podset,
+                from: SimTime(0),
+                to: SimTime(W),
+            },
+            ApiQuery::Sla {
+                from: SimTime(0),
+                to: SimTime(W),
+            },
+        ] {
+            let a = q.build(&store);
+            let b = q.build(&store);
+            assert_eq!(a, b, "{} must be byte-stable", q.cache_key());
+            assert!(!a.is_empty());
+        }
+    }
+}

@@ -44,6 +44,7 @@ async fn main() {
             controller_replicas: 2,
             chaos: true,
             seed: 42,
+            ..ClusterOptions::default()
         },
     )
     .await;

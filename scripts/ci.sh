@@ -19,6 +19,13 @@
 # self-monitoring drill: a sampled trace rides every pipeline stage,
 # /metrics parses with all `_total` counters monotone across scrapes,
 # /healthz reports every stage, and /events drop accounting is exact.
+# Pass --serve-smoke to also run the query-tier load generator in smoke
+# mode: small replica/connection points against a seeded store, gating on
+# cached frozen responses being byte-identical to fresh rebuilds, a ≥99%
+# frozen-window cache hit rate under a live hot-window appender, zero
+# transport errors, and the smoke throughput/latency floor. The full
+# 100k+ req/s run (`loadgen --check`) records BENCH_serve.json and is for
+# benchmarking boxes, not the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +34,7 @@ CHAOS_SMOKE=0
 FUZZ_SMOKE=0
 OBS_SMOKE=0
 SCALE_SMOKE=0
+SERVE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -34,6 +42,7 @@ for arg in "$@"; do
     --fuzz-smoke) FUZZ_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --scale-smoke) SCALE_SMOKE=1 ;;
+    --serve-smoke) SERVE_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -66,6 +75,11 @@ fi
 if [ "$SCALE_SMOKE" = 1 ]; then
   step "scale bench smoke (5k+ servers, sharded == serial bit-for-bit)"
   cargo run --release -q -p pingmesh-bench --bin scale -- --smoke --check
+fi
+
+if [ "$SERVE_SMOKE" = 1 ]; then
+  step "serve smoke (byte-identical cache, ≥99% frozen hit rate, p99 gate)"
+  timeout 180 cargo run --release -q -p pingmesh-bench --bin loadgen -- --smoke --check
 fi
 
 if [ "$OBS_SMOKE" = 1 ]; then

@@ -117,8 +117,88 @@ fn fmt_us(us: f64) -> String {
     }
 }
 
-/// Renders one dashboard frame from a parsed scrape.
-fn render(samples: &[Sample], target: &str) -> String {
+/// Sums a counter family across all of its label sets.
+fn sum_of(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+/// Renders the query/serving-tier panel: live QPS (needs the previous
+/// frame for the counter delta), cache hit ratio split by entry kind,
+/// conditional-GET (304) ratio, and per-route latency. Rendered only
+/// when the scraped process actually runs a serve tier.
+fn render_serve(samples: &[Sample], prev: Option<(&[Sample], f64)>, out: &mut String) {
+    let reqs = sum_of(samples, "pingmesh_serve_requests_total");
+    if reqs == 0.0 {
+        return;
+    }
+    let qps = prev
+        .filter(|(_, dt)| *dt > 0.0)
+        .map(|(p, dt)| (reqs - sum_of(p, "pingmesh_serve_requests_total")).max(0.0) / dt);
+    let hits = sum_of(samples, "pingmesh_serve_cache_hits_total");
+    let misses = sum_of(samples, "pingmesh_serve_cache_misses_total");
+    let hit_ratio = if hits + misses > 0.0 {
+        format!("{:.2}%", 100.0 * hits / (hits + misses))
+    } else {
+        "-".into()
+    };
+    let frozen_hits = find(
+        samples,
+        "pingmesh_serve_cache_hits_total",
+        Some(("kind", "frozen")),
+    )
+    .map_or(0.0, |s| s.value);
+    let frozen_misses = find(
+        samples,
+        "pingmesh_serve_cache_misses_total",
+        Some(("kind", "frozen")),
+    )
+    .map_or(0.0, |s| s.value);
+    let frozen_ratio = if frozen_hits + frozen_misses > 0.0 {
+        format!(
+            "{:.2}%",
+            100.0 * frozen_hits / (frozen_hits + frozen_misses)
+        )
+    } else {
+        "-".into()
+    };
+    let notmod = sum_of(samples, "pingmesh_serve_not_modified_total");
+    let inval = sum_of(samples, "pingmesh_serve_cache_invalidations_total");
+    let _ = writeln!(
+        out,
+        "\n  serve tier   qps {}   requests {reqs:.0}",
+        qps.map_or("-".into(), |q| format!("{q:.0}")),
+    );
+    let _ = writeln!(
+        out,
+        "  cache hit {hit_ratio} (frozen {frozen_ratio})   304 ratio {:.1}%   invalidations {inval:.0}",
+        if reqs > 0.0 { 100.0 * notmod / reqs } else { 0.0 },
+    );
+    let _ = writeln!(out, "  route      reqs       p50        p99");
+    for route in ["windows", "cdf", "heatmap", "sla", "metrics", "other"] {
+        let sel = Some(("route", route));
+        let n = find(samples, "pingmesh_serve_requests_total", sel).map_or(0.0, |s| s.value);
+        if n == 0.0 {
+            continue;
+        }
+        let p50 = find(samples, "pingmesh_serve_request_us_p50_us", sel).map(|s| s.value);
+        let p99 = find(samples, "pingmesh_serve_request_us_p99_us", sel).map(|s| s.value);
+        let _ = writeln!(
+            out,
+            "  {route:<10} {n:<10.0} {:<10} {}",
+            p50.map_or("-".into(), fmt_us),
+            p99.map_or("-".into(), fmt_us),
+        );
+    }
+}
+
+/// Renders one dashboard frame from a parsed scrape. `prev` is the
+/// previous frame's samples and its age in seconds, for counter-delta
+/// rates (serve QPS); the first frame passes `None`.
+fn render(samples: &[Sample], target: &str, prev: Option<(&[Sample], f64)>) -> String {
     let mut out = String::new();
 
     let uptime = find(samples, "pingmesh_uptime_seconds", None).map_or(0.0, |s| s.value);
@@ -198,6 +278,8 @@ fn render(samples: &[Sample], target: &str) -> String {
             let _ = writeln!(out, "  {name:<44} {v:.0}");
         }
     }
+
+    render_serve(samples, prev, &mut out);
     out
 }
 
@@ -249,9 +331,21 @@ fn main() {
         .build()
         .expect("runtime");
     rt.block_on(async {
+        let mut prev: Option<(Vec<Sample>, std::time::Instant)> = None;
         loop {
             let frame = match scrape(&target).await {
-                Ok(text) => render(&parse_prometheus(&text), &target),
+                Ok(text) => {
+                    let samples = parse_prometheus(&text);
+                    let now = std::time::Instant::now();
+                    let frame = render(
+                        &samples,
+                        &target,
+                        prev.as_ref()
+                            .map(|(p, t)| (p.as_slice(), now.duration_since(*t).as_secs_f64())),
+                    );
+                    prev = Some((samples, now));
+                    frame
+                }
                 Err(e) if once => {
                     eprintln!("{e}");
                     std::process::exit(1);
@@ -319,7 +413,7 @@ bogus line that is not a sample
 
     #[test]
     fn render_shows_slos_stages_and_counter_sums() {
-        let frame = render(&parse_prometheus(EXPO), "test:1");
+        let frame = render(&parse_prometheus(EXPO), "test:1", None);
         assert!(
             frame.contains("up 12s") || frame.contains("up 13s"),
             "{frame}"
@@ -335,5 +429,58 @@ bogus line that is not a sample
         // Per-dc records summed across label sets.
         assert!(frame.contains("pingmesh_realmode_records_total"), "{frame}");
         assert!(frame.contains("1500"), "{frame}");
+        // No serve samples scraped — the serve panel stays hidden.
+        assert!(!frame.contains("serve tier"), "{frame}");
+    }
+
+    const SERVE_EXPO: &str = r#"pingmesh_uptime_seconds 30
+pingmesh_serve_requests_total{route="sla"} 800
+pingmesh_serve_requests_total{route="cdf"} 200
+pingmesh_serve_request_us_p50_us{route="sla"} 900
+pingmesh_serve_request_us_p99_us{route="sla"} 4200
+pingmesh_serve_cache_hits_total{kind="frozen"} 950
+pingmesh_serve_cache_hits_total{kind="hot"} 30
+pingmesh_serve_cache_misses_total{kind="frozen"} 10
+pingmesh_serve_cache_misses_total{kind="hot"} 10
+pingmesh_serve_cache_invalidations_total 3
+pingmesh_serve_not_modified_total 700
+"#;
+
+    #[test]
+    fn serve_panel_reports_cache_ratios_and_qps_from_counter_deltas() {
+        let samples = parse_prometheus(SERVE_EXPO);
+
+        // First frame: ratios render, QPS has no delta yet.
+        let first = render(&samples, "test:1", None);
+        assert!(first.contains("serve tier   qps -"), "{first}");
+        assert!(first.contains("requests 1000"), "{first}");
+        // 980 hits / 1000 lookups overall; 950/960 on the frozen shard.
+        assert!(
+            first.contains("cache hit 98.00% (frozen 98.96%)"),
+            "{first}"
+        );
+        assert!(first.contains("304 ratio 70.0%"), "{first}");
+        assert!(first.contains("invalidations 3"), "{first}");
+        // Per-route table: sla has latency samples, cdf has none.
+        assert!(
+            first.contains("sla        800        900us      4.2ms"),
+            "{first}"
+        );
+        assert!(
+            first.contains("cdf        200        -          -"),
+            "{first}"
+        );
+        assert!(
+            !first.contains("heatmap"),
+            "zero-count routes hidden: {first}"
+        );
+
+        // Second frame, 2s later, 1000 more requests: qps = 500.
+        let later = parse_prometheus(&SERVE_EXPO.replace(
+            r#"pingmesh_serve_requests_total{route="sla"} 800"#,
+            r#"pingmesh_serve_requests_total{route="sla"} 1800"#,
+        ));
+        let second = render(&later, "test:1", Some((samples.as_slice(), 2.0)));
+        assert!(second.contains("serve tier   qps 500"), "{second}");
     }
 }

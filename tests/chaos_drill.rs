@@ -125,6 +125,7 @@ async fn chaos_drill_kill_stall_restore() {
             controller_replicas: 2,
             chaos: true,
             seed: 42,
+            ..ClusterOptions::default()
         },
     )
     .await;
