@@ -27,6 +27,12 @@
 //!    completeness ratios equal ground truth derived independently: the
 //!    copying scan for observed pod pairs, and the probe-conservation
 //!    ledger (`stored + discarded`) for the completeness denominator.
+//! 7. **Crash recovery** — the run's records re-ingested into a durable
+//!    store, checkpointed at a seed-derived point and crashed with a
+//!    torn WAL tail, recover to a store observably identical to an
+//!    in-memory re-ingest of the same batches: counts, bit-equal merged
+//!    aggregates, scans, and every windowed API body. No acknowledged
+//!    record is ever lost; the unacknowledged torn tail never surfaces.
 
 use crate::rng::XorShift;
 use crate::scenario::ScenarioSpec;
@@ -756,6 +762,179 @@ pub fn check_serve_coherence(orch: &Orchestrator) -> Vec<Violation> {
                 format!("{key}: post-refold cached bytes diverge from rebuild"),
             ));
         }
+    }
+    out
+}
+
+/// Oracle 8: crash recovery (durability).
+///
+/// Re-ingests the run's stored records into a *durable* store (WAL +
+/// segment files in a scratch directory), checkpoints after a
+/// seed-derived batch so the history spans both segments and live WAL,
+/// crashes with a torn never-acknowledged frame at the WAL tail, then
+/// recovers from the files alone and demands the recovered store is
+/// observably identical to an in-memory re-ingest of the same batches:
+///
+/// * record counts and per-stream scan contents match exactly (zero
+///   acknowledged-record loss, and the torn tail never surfaces);
+/// * merged window aggregates are bit-equal (recovery refolds partials
+///   from raw through the same order-independent CRDT fold);
+/// * chunked scans over the recovered store equal its sequential scans
+///   (segment-backed extents obey the same scan contract);
+/// * every windowed API body built from the recovered store equals the
+///   in-memory reference's bytes;
+/// * the recovered store still accepts appends (it came back writable).
+pub fn check_crash_recovery(orch: &Orchestrator, spec: &ScenarioSpec) -> Vec<Violation> {
+    use pingmesh_serve::views::{ApiQuery, HeatmapLevel};
+
+    let mut out = Vec::new();
+    let end = aligned_end(orch);
+    let store = &orch.pipeline().store;
+    let services = orch.pipeline().services();
+    let records = store.collect_window_records(SimTime::ZERO, end);
+    if records.is_empty() {
+        return out;
+    }
+
+    let dir = pingmesh_dsa::unique_dir("check-crash");
+    let _guard = pingmesh_dsa::DirGuard::new(dir.clone());
+    let mut rng = XorShift::new(spec.seed ^ 0xC4A5_4DEA_D001_5EAF);
+    let alt_cap = (spec.extent_cap as usize % 89) + 3;
+    let mut durable = match CosmosStore::durable(&dir, alt_cap, 1) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(violation("crash", format!("durable open failed: {e}")));
+            return out;
+        }
+    };
+    durable.set_service_map(Arc::new(services.clone()));
+    let mut reference = CosmosStore::new(alt_cap, 1);
+    reference.set_service_map(Arc::new(services.clone()));
+
+    let dcs: Vec<DcId> = orch.net().topology().dcs().collect();
+    let batches = (spec.reingest_batches.max(1) as usize).min(records.len());
+    let chunk = records.len().div_ceil(batches);
+    let checkpoint_after = (rng.next_u64() as usize) % batches;
+    for (i, batch) in records.chunks(chunk).enumerate() {
+        let dc = dcs[(rng.next_u64() as usize) % dcs.len()];
+        let t = batch.iter().map(|r| r.ts).max().unwrap_or(SimTime::ZERO);
+        if !durable.append(StreamName { dc }, batch, t) {
+            out.push(violation(
+                "crash",
+                format!("durable store refused acked batch {i}"),
+            ));
+        }
+        reference.append(StreamName { dc }, batch, t);
+        if i == checkpoint_after {
+            if let Err(e) = durable.checkpoint() {
+                out.push(violation("crash", format!("checkpoint failed: {e}")));
+            }
+        }
+    }
+
+    // Crash with a torn, never-acknowledged frame at the WAL tail; then
+    // the process is gone and only the files remain.
+    let torn: Vec<ProbeRecord> = records.iter().take(5).copied().collect();
+    if let Err(e) = durable.simulate_torn_append(StreamName { dc: dcs[0] }, &torn) {
+        out.push(violation("crash", format!("torn-append hook failed: {e}")));
+    }
+    drop(durable);
+    let mut recovered = match CosmosStore::durable(&dir, alt_cap, 1) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(violation("crash", format!("recovery failed: {e}")));
+            return out;
+        }
+    };
+    recovered.set_service_map(Arc::new(services.clone()));
+
+    if recovered.record_count() != reference.record_count() {
+        out.push(violation(
+            "crash",
+            format!(
+                "recovered {} records, reference has {} (acked loss or torn resurrection)",
+                recovered.record_count(),
+                reference.record_count()
+            ),
+        ));
+    }
+    if recovered.merged_window_aggregate(SimTime::ZERO, end)
+        != reference.merged_window_aggregate(SimTime::ZERO, end)
+    {
+        out.push(violation(
+            "crash",
+            "recovered merged aggregate is not bit-equal to the reference".into(),
+        ));
+    }
+    for &dc in &dcs {
+        let s = StreamName { dc };
+        let rec_seq: Vec<ProbeRecord> = recovered
+            .scan_window(s, SimTime::ZERO, end)
+            .copied()
+            .collect();
+        let ref_seq: Vec<ProbeRecord> = reference
+            .scan_window(s, SimTime::ZERO, end)
+            .copied()
+            .collect();
+        if rec_seq != ref_seq {
+            out.push(violation(
+                "crash",
+                format!(
+                    "stream dc{}: recovered scan yields {} records, reference {} \
+                     (or differing order/content)",
+                    dc.0,
+                    rec_seq.len(),
+                    ref_seq.len()
+                ),
+            ));
+        }
+        let rec_chunked: Vec<ProbeRecord> = recovered
+            .scan_window_chunks(s, SimTime::ZERO, end)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        if rec_chunked != rec_seq {
+            out.push(violation(
+                "crash",
+                format!(
+                    "stream dc{}: recovered chunked scan diverges from sequential",
+                    dc.0
+                ),
+            ));
+        }
+    }
+
+    let w = PARTIAL_WINDOW.as_micros();
+    let mut queries: Vec<ApiQuery> = Vec::new();
+    for k in 0..end.0 / w {
+        let (from, to) = (SimTime(k * w), SimTime((k + 1) * w));
+        queries.push(ApiQuery::Sla { from, to });
+        queries.push(ApiQuery::Heatmap {
+            level: HeatmapLevel::Pod,
+            from,
+            to,
+        });
+    }
+    for q in &queries {
+        if q.build(&recovered) != q.build(&reference) {
+            out.push(violation(
+                "crash",
+                format!(
+                    "{}: recovered API body differs from reference",
+                    q.cache_key()
+                ),
+            ));
+        }
+    }
+
+    // The recovered store must come back writable.
+    let extra = records[0];
+    if !recovered.append(StreamName { dc: dcs[0] }, &[extra], end) {
+        out.push(violation(
+            "crash",
+            "recovered store refused a fresh append".into(),
+        ));
     }
     out
 }

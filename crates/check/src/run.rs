@@ -202,6 +202,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> RunReport {
     violations.extend(oracle::check_scan_equivalence(&orch));
     violations.extend(oracle::check_quality(&orch, spec));
     violations.extend(oracle::check_serve_coherence(&orch));
+    violations.extend(oracle::check_crash_recovery(&orch, spec));
 
     // Sixth family: shard determinism. Re-run the whole scenario on the
     // sharded engine (shard count varies with the seed so campaigns

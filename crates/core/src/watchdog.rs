@@ -46,6 +46,14 @@ pub enum WatchdogFinding {
         /// Error-budget burn rate ×1000 (1000 = exactly at target).
         burn_permille: u64,
     },
+    /// The durable store's WAL hit IO errors; if it failed closed, the
+    /// collector is refusing uploads until a checkpoint heals the log.
+    StoreIoErrors {
+        /// WAL write errors observed so far.
+        errors: u64,
+        /// Whether the WAL has failed closed (appends refused).
+        failed_closed: bool,
+    },
 }
 
 impl WatchdogFinding {
@@ -65,7 +73,9 @@ impl WatchdogFinding {
                 SloKind::Coverage => "slo_coverage",
                 SloKind::Completeness => "slo_completeness",
                 SloKind::Freshness => "slo_freshness",
+                SloKind::WalFlushLag => "slo_wal_flush_lag",
             },
+            WatchdogFinding::StoreIoErrors { .. } => "store_io",
         }
     }
 }
@@ -105,6 +115,18 @@ impl fmt::Display for WatchdogFinding {
                 kind.as_str(),
                 burn_permille / 1000,
                 burn_permille % 1000,
+            ),
+            WatchdogFinding::StoreIoErrors {
+                errors,
+                failed_closed,
+            } => write!(
+                f,
+                "durable store hit {errors} WAL IO errors{}",
+                if *failed_closed {
+                    " and failed closed (uploads refused)"
+                } else {
+                    " (retries absorbed them)"
+                }
             ),
         }
     }
@@ -306,6 +328,18 @@ mod tests {
             WatchdogFinding::SloDegraded {
                 kind: SloKind::Freshness,
                 burn_permille: 4_000,
+            },
+            WatchdogFinding::SloDegraded {
+                kind: SloKind::WalFlushLag,
+                burn_permille: 1_500,
+            },
+            WatchdogFinding::StoreIoErrors {
+                errors: 5,
+                failed_closed: false,
+            },
+            WatchdogFinding::StoreIoErrors {
+                errors: 9,
+                failed_closed: true,
             },
         ];
         let rendered: std::collections::HashSet<String> =

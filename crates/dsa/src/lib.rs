@@ -9,6 +9,9 @@
 //! * [`store`] — append-only extent store (the Cosmos stand-in) that
 //!   also folds every accepted batch into per-(stream, 10-min-window)
 //!   partial aggregates at ingest and serves zero-copy chunked scans,
+//! * [`durable`] — the persistence engine under the store: write-ahead
+//!   log, immutable segment files, checkpoint/compaction with tombstone
+//!   GC, and deterministic crash recovery,
 //! * [`agg`] — the mergeable window aggregation every job consumes
 //!   (built once per record at ingest; coarser windows merge partials),
 //! * [`jobs`] — the job manager with 10-min / 1-h / 1-day cadences,
@@ -31,6 +34,7 @@ pub mod agg;
 pub mod alert;
 pub mod db;
 pub mod detect;
+pub mod durable;
 pub mod investigate;
 pub mod jobs;
 pub mod pa;
@@ -46,6 +50,7 @@ pub use db::{ResultsDb, ScopeKey, SlaRow};
 pub use detect::blackhole::{BlackholeDetector, BlackholeFinding};
 pub use detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
 pub use detect::silent::{SilentDropDetector, SilentDropFinding};
+pub use durable::{unique_dir, DirGuard, DurabilityStats, SegmentReader};
 pub use investigate::{investigate, investigate_chunks, Investigation, SuspectFlow};
 pub use jobs::{JobKind, JobManager, JobTick, Pipeline, TickOutput};
 pub use pa::PerfCounterAggregator;

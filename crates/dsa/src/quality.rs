@@ -35,6 +35,9 @@ pub struct QualityConfig {
     pub freshness_target: SimDuration,
     /// Look-back window for coverage (defaults to one partial window).
     pub coverage_horizon: SimDuration,
+    /// Maximum tolerated age of acknowledged-but-unsynced WAL bytes in a
+    /// durable store (crash-exposure bound; ignored for in-memory runs).
+    pub wal_flush_lag_target: SimDuration,
 }
 
 impl Default for QualityConfig {
@@ -45,6 +48,9 @@ impl Default for QualityConfig {
             // One missed 10-min window is tolerable; two is degraded.
             freshness_target: SimDuration::from_mins(20),
             coverage_horizon: PARTIAL_WINDOW,
+            // Group commit may defer fsync briefly; two seconds of acked
+            // page-cache data is the most a crash may expose.
+            wal_flush_lag_target: SimDuration::from_secs(2),
         }
     }
 }

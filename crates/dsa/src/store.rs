@@ -17,11 +17,21 @@
 //! zero-copy chunked scans, which yield borrowed extent sub-slices.
 
 use crate::agg::WindowAggregate;
+use crate::durable::{CheckpointPlan, DurabilityStats, DurableLog, WalOp};
 use pingmesh_topology::ServiceMap;
 use pingmesh_types::{DcId, ProbeRecord, SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// WAL growth past the last checkpoint at which
+/// [`CosmosStore::maybe_checkpoint`] triggers the next one (segments
+/// written, WAL truncated to the live tail). Recovery replay is bounded
+/// by this plus the rewritten tail; at measured replay rates (>1M
+/// records/sec) that keeps recovery well under a second.
+pub const WAL_CHECKPOINT_BYTES: u64 = 16 << 20;
 
 /// Width of the ingest-time partial-aggregate windows. This matches the
 /// paper's 10-minute near-real-time job cadence; coarser windows (hourly,
@@ -47,6 +57,9 @@ struct Extent {
     /// Whether `records` is non-decreasing in `ts` (tracked at append).
     /// Sorted extents admit binary search for window boundaries.
     sorted: bool,
+    /// Id of the on-disk segment persisting this extent, once sealed and
+    /// checkpointed (`None` for in-memory-only extents).
+    seg: Option<u64>,
 }
 
 impl Extent {
@@ -91,6 +104,12 @@ pub struct CosmosStore {
     extents_scanned: AtomicU64,
     extents_skipped: AtomicU64,
     record_copies: AtomicU64,
+    /// Persistence engine; `None` for a purely in-memory store.
+    durable: Option<DurableLog>,
+    /// Recovery generation: 0 on first boot, +1 per recovery. Folded into
+    /// every [`CosmosStore::window_version`] so caches built before a
+    /// crash can never falsely revalidate against the recovered store.
+    boot_id: u64,
 }
 
 impl CosmosStore {
@@ -113,12 +132,117 @@ impl CosmosStore {
             extents_scanned: AtomicU64::new(0),
             extents_skipped: AtomicU64::new(0),
             record_copies: AtomicU64::new(0),
+            durable: None,
+            boot_id: 0,
         }
     }
 
     /// A store with production-ish defaults.
     pub fn with_defaults() -> Self {
         Self::new(250_000, 3)
+    }
+
+    /// Records per extent before sealing (recovery reuses it).
+    pub fn extent_cap(&self) -> usize {
+        self.extent_cap
+    }
+
+    /// Replication factor counted into physical bytes.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// Opens (or recovers) a durable store rooted at `dir`. Every
+    /// acknowledged append is written to the WAL before it is applied in
+    /// memory; sealed extents are compacted into immutable segment files
+    /// at checkpoints. Equivalent to `recover_with(dir, .., None)`.
+    pub fn durable(dir: &Path, extent_cap: usize, replication: u32) -> io::Result<Self> {
+        Self::recover_with(dir, extent_cap, replication, None)
+    }
+
+    /// Opens (or recovers) a durable store, optionally *adopting* an
+    /// existing epoch handle so read tiers holding it keep observing the
+    /// same atomic across the restart. Recovery:
+    ///
+    /// 1. loads the manifest's segments as sealed extents,
+    /// 2. replays the WAL in order (appends rebuild tail extents through
+    ///    the normal extent-building path; retires re-drop expired ones),
+    /// 3. refolds the per-(stream, window) partials from surviving raw
+    ///    records — bit-identical to the pre-crash fold because the
+    ///    aggregates are order-independent CRDTs — and drops windows
+    ///    closed before the persisted retention horizon,
+    /// 4. raises the epoch above every acknowledged pre-crash value and
+    ///    bumps the boot id (salting every window fingerprint), then
+    /// 5. commits a fresh checkpoint, truncating the replayed WAL and
+    ///    garbage-collecting orphans from any crashed compaction.
+    pub fn recover_with(
+        dir: &Path,
+        extent_cap: usize,
+        replication: u32,
+        adopt_epoch: Option<Arc<AtomicU64>>,
+    ) -> io::Result<Self> {
+        let (log, recovered) = DurableLog::open(dir)?;
+        let mut store = Self::new(extent_cap, replication);
+        if let Some(handle) = adopt_epoch {
+            store.epoch = handle;
+        }
+        store.boot_id = log.boot_id();
+        store.durable = Some(log);
+
+        // 1. Segments become sealed extents, in manifest (stream-major,
+        // append) order.
+        for (meta, records) in recovered.segments {
+            let stream = StreamName { dc: DcId(meta.dc) };
+            store.total_records += records.len() as u64;
+            store.total_bytes += records.iter().map(|r| r.wire_size() as u64).sum::<u64>();
+            store.streams.entry(stream).or_default().push(Extent {
+                records,
+                sealed: true,
+                min_ts: SimTime(meta.min_ts),
+                max_ts: SimTime(meta.max_ts),
+                sorted: meta.sorted,
+                seg: Some(meta.id),
+            });
+        }
+
+        // 2. Replay WAL ops in order, raw only (partials come in step 3).
+        for op in recovered.ops {
+            match op {
+                WalOp::Append { dc, records, .. } => {
+                    store.append_raw(StreamName { dc }, &records);
+                }
+                WalOp::Retire { horizon, .. } => {
+                    store.retire_extents(horizon);
+                }
+            }
+        }
+
+        // 3. Partials: refold from surviving raw, then drop windows the
+        // retention horizon already closed.
+        if store.total_records > 0 {
+            store.refold_partials();
+        }
+        let hwm = SimTime(recovered.retire_hwm);
+        store
+            .partials
+            .retain(|&(_, ws), _| ws + PARTIAL_WINDOW > hwm);
+        store
+            .partial_versions
+            .retain(|&(_, ws), _| ws + PARTIAL_WINDOW > hwm);
+
+        // 4. The epoch must rise above everything any pre-crash reader
+        // (or the adopted handle) could have observed.
+        let floor = store
+            .epoch
+            .load(Ordering::Acquire)
+            .max(recovered.epoch_hwm)
+            .max(recovered.max_epoch);
+        store.epoch.store(floor + 1, Ordering::Release);
+
+        // 5. A fresh commit point: replayed WAL truncated to the live
+        // tail, orphans from crashed compactions removed, boot id saved.
+        store.checkpoint()?;
+        Ok(store)
     }
 
     /// Installs the service map used for per-service scopes in the
@@ -158,6 +282,18 @@ impl CosmosStore {
                 .inc();
             return false;
         }
+        // Durability first: the batch is acknowledged only once its WAL
+        // frame is written. A failed-closed WAL refuses the append rather
+        // than acknowledging data that would not survive a crash.
+        if let Some(log) = self.durable.as_mut() {
+            let epoch_after = self.epoch.load(Ordering::Acquire) + 1;
+            if !log.log_append(stream.dc, batch, t, epoch_after) {
+                pingmesh_obs::registry()
+                    .counter("pingmesh_dsa_store_rejected_batches_total")
+                    .inc();
+                return false;
+            }
+        }
         pingmesh_obs::registry()
             .counter("pingmesh_dsa_store_appended_records_total")
             .add(batch.len() as u64);
@@ -170,6 +306,17 @@ impl CosmosStore {
         span.set_sim_end(t);
         // Provenance: sampled records park here until their window ticks.
         pingmesh_obs::trace::on_append_batch(batch, t, PARTIAL_WINDOW.as_micros());
+        self.append_raw(stream, batch);
+        self.fold_into_partials(stream, batch);
+        self.epoch.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// The extent-building half of an append: raw records only, no WAL,
+    /// no partial fold, no epoch bump. Shared by the live append path and
+    /// WAL replay (which re-runs the same path so recovered extent
+    /// boundaries are identical to the pre-crash ones).
+    fn append_raw(&mut self, stream: StreamName, batch: &[ProbeRecord]) {
         let extents = self.streams.entry(stream).or_default();
         for &rec in batch {
             let need_new = match extents.last() {
@@ -186,6 +333,7 @@ impl CosmosStore {
                     min_ts: rec.ts,
                     max_ts: rec.ts,
                     sorted: true,
+                    seg: None,
                 });
             }
             let e = extents.last_mut().expect("just ensured");
@@ -198,9 +346,6 @@ impl CosmosStore {
             self.total_records += 1;
             self.total_bytes += rec.wire_size() as u64;
         }
-        self.fold_into_partials(stream, batch);
-        self.epoch.fetch_add(1, Ordering::Release);
-        true
     }
 
     /// Folds a just-accepted batch into its window partials. Consecutive
@@ -341,6 +486,11 @@ impl CosmosStore {
             }
         };
         mix(self.service_generation);
+        // Boot-id salt: after a crash+recovery every fingerprint moves,
+        // so ETags minted against the pre-crash store can never falsely
+        // revalidate a stale cached body (fold sequence numbers restart
+        // at recovery and could otherwise collide).
+        mix(self.boot_id);
         if from >= to {
             return h;
         }
@@ -600,20 +750,203 @@ impl CosmosStore {
     /// bound rather than rescanning records. Partials whose window closed
     /// before the horizon are retired with them.
     pub fn retire_before(&mut self, horizon: SimTime) {
-        for extents in self.streams.values_mut() {
-            extents.retain(|e| e.max_ts >= horizon);
+        if let Some(log) = self.durable.as_mut() {
+            let epoch_after = self.epoch.load(Ordering::Acquire) + 1;
+            // A failed retire log marks the WAL failed-closed (further
+            // appends are refused until a checkpoint heals it) but the
+            // in-memory retire still proceeds: a retire that replays
+            // short can only *keep* extra data, never lose acked records.
+            let _ = log.log_retire(horizon, epoch_after);
         }
+        self.retire_extents(horizon);
         self.partials
             .retain(|&(_, ws), _| ws + PARTIAL_WINDOW > horizon);
         self.partial_versions
             .retain(|&(_, ws), _| ws + PARTIAL_WINDOW > horizon);
         self.epoch.fetch_add(1, Ordering::Release);
     }
+
+    /// Extent-retention half of a retire, shared with WAL replay: drops
+    /// whole extents whose newest record predates the horizon and
+    /// tombstones their persisted segments for GC at the next checkpoint.
+    fn retire_extents(&mut self, horizon: SimTime) {
+        let mut dropped = Vec::new();
+        for extents in self.streams.values_mut() {
+            extents.retain(|e| {
+                if e.max_ts >= horizon {
+                    true
+                } else {
+                    if let Some(id) = e.seg {
+                        dropped.push(id);
+                    }
+                    false
+                }
+            });
+        }
+        if let Some(log) = self.durable.as_mut() {
+            for id in dropped {
+                log.tombstone(id);
+            }
+        }
+    }
+
+    /// Commits a checkpoint: persists every sealed-but-unsegmented extent
+    /// as an immutable segment file, rewrites the WAL to hold only the
+    /// unsealed tail extents, atomically commits the manifest, and
+    /// garbage-collects the old WAL, tombstoned segments, and orphans.
+    /// A no-op for in-memory stores.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let epoch_now = self.epoch.load(Ordering::Acquire);
+        let mut plan = CheckpointPlan::default();
+        for (stream, extents) in &self.streams {
+            for e in extents {
+                if !e.sealed {
+                    plan.tails.push((stream.dc.0, &e.records[..]));
+                } else if let Some(id) = e.seg {
+                    plan.keep.push(crate::durable::SegmentMeta {
+                        id,
+                        dc: stream.dc.0,
+                        count: e.records.len() as u32,
+                        sorted: e.sorted,
+                        min_ts: e.min_ts.as_micros(),
+                        max_ts: e.max_ts.as_micros(),
+                    });
+                } else {
+                    plan.fresh.push((
+                        stream.dc.0,
+                        e.sorted,
+                        e.min_ts.as_micros(),
+                        e.max_ts.as_micros(),
+                        &e.records[..],
+                    ));
+                }
+            }
+        }
+        let log = self.durable.as_mut().expect("checked above");
+        let assigned = log.commit_checkpoint(&plan, epoch_now)?;
+        drop(plan);
+        // Stamp the new segment ids back onto the extents, in the same
+        // traversal order the plan was built in.
+        let mut ids = assigned.into_iter();
+        for extents in self.streams.values_mut() {
+            for e in extents.iter_mut() {
+                if e.sealed && e.seg.is_none() {
+                    e.seg = ids.next();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoints when the WAL has grown [`WAL_CHECKPOINT_BYTES`] past
+    /// the last checkpoint's rewritten tail (see
+    /// [`crate::durable::DurableLog::checkpoint_due`] for the doubling
+    /// policy), or when the WAL is failed-closed and a checkpoint would
+    /// heal it — the background-compaction entry point. Returns whether
+    /// a checkpoint ran.
+    pub fn maybe_checkpoint(&mut self) -> io::Result<bool> {
+        let due = self
+            .durable
+            .as_ref()
+            .is_some_and(|log| log.checkpoint_due(WAL_CHECKPOINT_BYTES));
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(due)
+    }
+
+    /// Forces the WAL to stable storage, zeroing the flush lag. A no-op
+    /// for in-memory stores.
+    pub fn sync_wal(&mut self) -> io::Result<()> {
+        match self.durable.as_mut() {
+            Some(log) => log.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Recovery generation: 0 on first boot, +1 per recovery (and always
+    /// 0 for in-memory stores).
+    pub fn boot_id(&self) -> u64 {
+        self.boot_id
+    }
+
+    /// The durable directory, if this store persists.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|log| log.dir())
+    }
+
+    /// Whether the WAL has failed closed (appends refused; a successful
+    /// checkpoint heals it). Always `false` for in-memory stores.
+    pub fn io_failed(&self) -> bool {
+        self.durable.as_ref().is_some_and(|log| log.is_failed())
+    }
+
+    /// Point-in-time durability stats, `None` for in-memory stores.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durable.as_ref().map(|log| log.stats())
+    }
+
+    /// Chaos hook: injects `n` artificial IO errors into upcoming WAL
+    /// writes (no-op for in-memory stores).
+    pub fn inject_wal_io_errors(&mut self, n: u32) {
+        if let Some(log) = self.durable.as_mut() {
+            log.inject_io_errors(n);
+        }
+    }
+
+    /// Chaos hook: writes a torn (half-written, never-acknowledged) WAL
+    /// frame *without* applying the batch in memory — the on-disk state
+    /// of a crash mid-append. Recovery must truncate it and lose nothing
+    /// acknowledged.
+    pub fn simulate_torn_append(
+        &mut self,
+        stream: StreamName,
+        batch: &[ProbeRecord],
+    ) -> io::Result<()> {
+        match self.durable.as_mut() {
+            Some(log) => log.write_torn_entry(stream.dc, batch),
+            None => Ok(()),
+        }
+    }
+
+    /// Chaos hook: runs the file-writing half of a checkpoint (new
+    /// segments + new tail WAL) but crashes before the manifest commit,
+    /// leaving both old and new files on disk. The old manifest still
+    /// rules; recovery must come up consistent and GC the orphans.
+    pub fn simulate_compaction_crash(&mut self) -> io::Result<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let epoch_now = self.epoch.load(Ordering::Acquire);
+        let mut plan = CheckpointPlan::default();
+        for (stream, extents) in &self.streams {
+            for e in extents {
+                if !e.sealed {
+                    plan.tails.push((stream.dc.0, &e.records[..]));
+                } else if e.seg.is_none() {
+                    plan.fresh.push((
+                        stream.dc.0,
+                        e.sorted,
+                        e.min_ts.as_micros(),
+                        e.max_ts.as_micros(),
+                        &e.records[..],
+                    ));
+                }
+            }
+        }
+        let log = self.durable.as_mut().expect("checked above");
+        log.prepare_checkpoint(&plan, epoch_now)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durable;
     use pingmesh_types::{
         PodId, PodsetId, ProbeKind, ProbeOutcome, QosClass, ServerId, SimDuration,
     };
@@ -1002,6 +1335,247 @@ mod tests {
         assert!(!store.append(S, &[rec(1)], SimTime(150)));
         assert_eq!(handle.load(Ordering::Acquire), e3);
         assert_eq!(store.epoch(), e3);
+    }
+
+    fn recovered_equals(a: &CosmosStore, b: &CosmosStore, windows: u64) {
+        assert_eq!(a.record_count(), b.record_count(), "record counts");
+        assert_eq!(a.logical_bytes(), b.logical_bytes(), "logical bytes");
+        assert_eq!(a.partial_count(), b.partial_count(), "partial counts");
+        let (from, to) = (SimTime(0), SimTime(windows * W));
+        assert_eq!(
+            a.merged_window_aggregate(from, to),
+            b.merged_window_aggregate(from, to),
+            "merged aggregates must be bit-identical"
+        );
+        let flat = |s: &CosmosStore| -> Vec<ProbeRecord> {
+            s.scan_all_window_chunks(from, to)
+                .iter()
+                .flat_map(|c| c.iter())
+                .copied()
+                .collect()
+        };
+        assert_eq!(flat(a), flat(b), "chunked scans must agree");
+    }
+
+    #[test]
+    fn durable_store_recovers_scans_and_aggregates_bit_identical() {
+        let dir = durable::unique_dir("store-roundtrip");
+        let _guard = durable::DirGuard::new(dir.clone());
+        let batches: Vec<Vec<ProbeRecord>> = (0..6)
+            .map(|b| {
+                (0..40)
+                    .map(|i| rec(b * 40_000_000 + i * 1_000_000))
+                    .collect()
+            })
+            .collect();
+        let mut reference = CosmosStore::new(25, 1);
+        let pre_epoch;
+        {
+            let mut store = CosmosStore::durable(&dir, 25, 1).unwrap();
+            assert_eq!(store.boot_id(), 0);
+            for b in &batches {
+                assert!(store.append(S, b, SimTime(0)));
+                assert!(reference.append(S, b, SimTime(0)));
+            }
+            // Checkpoint mid-history so recovery exercises segments + WAL.
+            store.checkpoint().unwrap();
+            assert!(store.append(S, &batches[0], SimTime(0)));
+            assert!(reference.append(S, &batches[0], SimTime(0)));
+            pre_epoch = store.epoch();
+        } // crash (drop without checkpoint)
+        let store = CosmosStore::durable(&dir, 25, 1).unwrap();
+        assert_eq!(store.boot_id(), 1, "recovery bumps the boot id");
+        assert!(store.epoch() > pre_epoch, "epoch rises past every ack");
+        recovered_equals(&store, &reference, 2);
+        assert_eq!(
+            store.extent_count(S),
+            reference.extent_count(S),
+            "replay reproduces extent boundaries"
+        );
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_nothing_acknowledged() {
+        let dir = durable::unique_dir("store-torn");
+        let _guard = durable::DirGuard::new(dir.clone());
+        let acked: Vec<ProbeRecord> = (0..30).map(|i| rec(i * 1_000_000)).collect();
+        let unacked: Vec<ProbeRecord> = (0..10).map(|i| rec(500_000_000 + i)).collect();
+        {
+            let mut store = CosmosStore::durable(&dir, 8, 1).unwrap();
+            assert!(store.append(S, &acked, SimTime(0)));
+            // Crash mid-append: frame half-written, never acknowledged.
+            store.simulate_torn_append(S, &unacked).unwrap();
+        }
+        let store = CosmosStore::durable(&dir, 8, 1).unwrap();
+        assert_eq!(store.record_count(), 30, "all acked records survive");
+        assert_eq!(
+            store.scan(S).count(),
+            30,
+            "the torn batch must not partially appear"
+        );
+        let stats = store.durability_stats().unwrap();
+        assert_eq!(stats.truncated_entries, 1, "torn tail detected");
+        assert_eq!(stats.corrupt_entries, 0);
+    }
+
+    #[test]
+    fn crash_mid_compaction_recovers_and_collects_orphans() {
+        let dir = durable::unique_dir("store-compact");
+        let _guard = durable::DirGuard::new(dir.clone());
+        let batch: Vec<ProbeRecord> = (0..50).map(|i| rec(i * 1_000_000)).collect();
+        let mut reference = CosmosStore::new(10, 1);
+        {
+            let mut store = CosmosStore::durable(&dir, 10, 1).unwrap();
+            assert!(store.append(S, &batch, SimTime(0)));
+            assert!(reference.append(S, &batch, SimTime(0)));
+            // Crash between compaction's file writes and the manifest
+            // commit: old and new segments + two WALs now coexist.
+            store.simulate_compaction_crash().unwrap();
+        }
+        let files_before = std::fs::read_dir(&dir).unwrap().count();
+        let store = CosmosStore::durable(&dir, 10, 1).unwrap();
+        recovered_equals(&store, &reference, 1);
+        // Recovery's fresh checkpoint garbage-collected the orphans: one
+        // manifest, one WAL, and only the live segments remain.
+        let mut wals = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            assert!(!name.ends_with(".tmp"), "no tmp files after recovery");
+            if name.starts_with("wal-") {
+                wals += 1;
+            }
+        }
+        assert_eq!(wals, 1, "exactly one live WAL after recovery");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() < files_before,
+            "orphans from the crashed compaction were removed"
+        );
+    }
+
+    #[test]
+    fn empty_wal_cold_start_is_a_clean_empty_store() {
+        let dir = durable::unique_dir("store-cold");
+        let _guard = durable::DirGuard::new(dir.clone());
+        {
+            let store = CosmosStore::durable(&dir, 10, 1).unwrap();
+            assert_eq!(store.record_count(), 0);
+            assert_eq!(store.boot_id(), 0);
+        }
+        // Reopen with nothing ever appended: still empty, still sane.
+        let mut store = CosmosStore::durable(&dir, 10, 1).unwrap();
+        assert_eq!(store.record_count(), 0);
+        assert_eq!(store.partial_count(), 0);
+        assert!(store.epoch() > 0, "recovery still advances the epoch");
+        assert!(store.append(S, &[rec(1)], SimTime(0)), "and appends work");
+    }
+
+    #[test]
+    fn retire_tombstones_segments_and_survives_recovery() {
+        let dir = durable::unique_dir("store-retire");
+        let _guard = durable::DirGuard::new(dir.clone());
+        {
+            let mut store = CosmosStore::durable(&dir, 10, 1).unwrap();
+            // Three full windows, one record per minute, extent-aligned
+            // with the windows (cap 10 = one extent per window).
+            let batch: Vec<ProbeRecord> = (0..30).map(|i| rec(i * 60_000_000)).collect();
+            assert!(store.append(S, &batch, SimTime(0)));
+            store.checkpoint().unwrap();
+            let segs = store.durability_stats().unwrap().segments;
+            assert!(segs >= 2, "sealed extents became segments");
+            // Window-aligned horizon: first window fully expired.
+            store.retire_before(SimTime(W));
+            assert!(
+                store.durability_stats().unwrap().tombstones > 0,
+                "retired segments are tombstoned"
+            );
+            store.checkpoint().unwrap();
+            assert_eq!(store.durability_stats().unwrap().tombstones, 0, "GC ran");
+        }
+        let store = CosmosStore::durable(&dir, 10, 1).unwrap();
+        assert_eq!(store.scan(S).count(), 20, "retired records stay gone");
+        assert_eq!(store.partial_count(), 2, "retired window stays retired");
+        assert_eq!(
+            store
+                .merged_window_aggregate(SimTime(0), SimTime(W))
+                .record_count,
+            0
+        );
+        assert_eq!(
+            store
+                .merged_window_aggregate(SimTime(W), SimTime(3 * W))
+                .record_count,
+            20
+        );
+    }
+
+    #[test]
+    fn wal_io_failure_fails_closed_and_checkpoint_heals() {
+        let dir = durable::unique_dir("store-iofail");
+        let _guard = durable::DirGuard::new(dir.clone());
+        let mut store = CosmosStore::durable(&dir, 10, 1).unwrap();
+        assert!(store.append(S, &[rec(1)], SimTime(0)));
+        let count_before = store.record_count();
+        let epoch_before = store.epoch();
+        // A fault burst covering every attempt (1 + 4 retries): the
+        // append is refused and nothing — not the extents, not the
+        // partials, not the epoch — moves. Fail-closed, not fail-silent.
+        store.inject_wal_io_errors(5);
+        assert!(!store.append(S, &[rec(2)], SimTime(0)));
+        assert!(store.io_failed());
+        assert_eq!(store.record_count(), count_before);
+        assert_eq!(store.epoch(), epoch_before);
+        assert!(!store.append(S, &[rec(3)], SimTime(0)), "stays closed");
+        // A checkpoint rewrites the log from in-memory state and heals.
+        store.checkpoint().unwrap();
+        assert!(!store.io_failed());
+        assert!(store.append(S, &[rec(4)], SimTime(0)), "healed");
+        let stats = store.durability_stats().unwrap();
+        assert!(stats.io_errors > 0, "errors were counted");
+    }
+
+    #[test]
+    fn recovery_adopts_epoch_handle_and_salts_window_version() {
+        let dir = durable::unique_dir("store-epoch");
+        let _guard = durable::DirGuard::new(dir.clone());
+        let handle;
+        let v_before;
+        {
+            let mut store = CosmosStore::durable(&dir, 10, 1).unwrap();
+            assert!(store.append(S, &[rec(1), rec(2)], SimTime(0)));
+            handle = store.epoch_handle();
+            v_before = store.window_version(SimTime(0), SimTime(W));
+        }
+        let seen_by_reader = handle.load(Ordering::Acquire);
+        let store = CosmosStore::recover_with(&dir, 10, 1, Some(Arc::clone(&handle))).unwrap();
+        // The adopted handle is the same atomic the old readers hold...
+        assert!(Arc::ptr_eq(&handle, &store.epoch_handle()));
+        // ...and its value moved past everything they could have seen.
+        assert!(handle.load(Ordering::Acquire) > seen_by_reader);
+        // Same records, same partials — but the fingerprint moved, so no
+        // pre-crash ETag can revalidate against the recovered store.
+        assert_ne!(
+            v_before,
+            store.window_version(SimTime(0), SimTime(W)),
+            "boot-id salt must move every window fingerprint"
+        );
+    }
+
+    #[test]
+    fn maybe_checkpoint_triggers_on_wal_growth() {
+        let dir = durable::unique_dir("store-auto-ckpt");
+        let _guard = durable::DirGuard::new(dir.clone());
+        let mut store = CosmosStore::durable(&dir, 50_000, 1).unwrap();
+        assert!(!store.maybe_checkpoint().unwrap(), "small WAL: no-op");
+        // ~17 MiB of WAL (280k records × 64 B) crosses the threshold.
+        let batch: Vec<ProbeRecord> = (0..8_000).map(rec).collect();
+        for _ in 0..35 {
+            assert!(store.append(S, &batch, SimTime(0)));
+        }
+        assert!(store.maybe_checkpoint().unwrap(), "big WAL: checkpoint");
+        let stats = store.durability_stats().unwrap();
+        assert!(stats.wal_bytes < WAL_CHECKPOINT_BYTES, "WAL truncated");
+        assert!(stats.segments > 0, "sealed extents persisted");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-/// The three data-quality SLO dimensions.
+/// The data-quality SLO dimensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SloKind {
     /// Observed (src-pod, dst-pod) pairs ÷ expected pairs, per window.
@@ -22,6 +22,10 @@ pub enum SloKind {
     Completeness,
     /// Age of the newest stored record: `now − newest_ts`, microseconds.
     Freshness,
+    /// Age of acknowledged-but-not-fsynced WAL bytes in the durable
+    /// store, microseconds. Measures crash exposure: how much acked data
+    /// sits only in the OS page cache between checkpoints/syncs.
+    WalFlushLag,
 }
 
 impl SloKind {
@@ -31,17 +35,24 @@ impl SloKind {
             SloKind::Coverage => "coverage",
             SloKind::Completeness => "completeness",
             SloKind::Freshness => "freshness",
+            SloKind::WalFlushLag => "wal_flush_lag",
         }
     }
 
-    /// Ratio SLOs degrade downward; freshness degrades upward (age).
+    /// Ratio SLOs degrade downward; the age-valued kinds (freshness, WAL
+    /// flush lag) degrade upward.
     pub fn higher_is_better(self) -> bool {
-        !matches!(self, SloKind::Freshness)
+        !matches!(self, SloKind::Freshness | SloKind::WalFlushLag)
     }
 
     /// All kinds, in display order.
-    pub fn all() -> [SloKind; 3] {
-        [SloKind::Coverage, SloKind::Completeness, SloKind::Freshness]
+    pub fn all() -> [SloKind; 4] {
+        [
+            SloKind::Coverage,
+            SloKind::Completeness,
+            SloKind::Freshness,
+            SloKind::WalFlushLag,
+        ]
     }
 }
 
@@ -89,7 +100,7 @@ pub fn evaluate(kind: SloKind, value: f64, target: f64) -> SloStatus {
 #[derive(Debug)]
 pub struct SloTracker {
     window: usize,
-    burns: [VecDeque<f64>; 3],
+    burns: [VecDeque<f64>; 4],
 }
 
 impl Default for SloTracker {
@@ -103,16 +114,21 @@ impl SloTracker {
     pub fn new(window: usize) -> SloTracker {
         SloTracker {
             window: window.max(1),
-            burns: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            burns: std::array::from_fn(|_| VecDeque::new()),
+        }
+    }
+
+    fn index(kind: SloKind) -> usize {
+        match kind {
+            SloKind::Coverage => 0,
+            SloKind::Completeness => 1,
+            SloKind::Freshness => 2,
+            SloKind::WalFlushLag => 3,
         }
     }
 
     fn slot(&mut self, kind: SloKind) -> &mut VecDeque<f64> {
-        &mut self.burns[match kind {
-            SloKind::Coverage => 0,
-            SloKind::Completeness => 1,
-            SloKind::Freshness => 2,
-        }]
+        &mut self.burns[Self::index(kind)]
     }
 
     /// Records one evaluation and returns the windowed mean burn rate.
@@ -128,11 +144,7 @@ impl SloTracker {
 
     /// The current windowed mean burn rate for a kind (0 if unobserved).
     pub fn windowed_burn(&self, kind: SloKind) -> f64 {
-        let q = &self.burns[match kind {
-            SloKind::Coverage => 0,
-            SloKind::Completeness => 1,
-            SloKind::Freshness => 2,
-        }];
+        let q = &self.burns[Self::index(kind)];
         if q.is_empty() {
             0.0
         } else {
@@ -194,6 +206,24 @@ mod tests {
         assert_eq!(t.windowed_burn(SloKind::Completeness), 0.0);
         // Other kinds unaffected.
         assert_eq!(t.windowed_burn(SloKind::Coverage), 0.0);
+    }
+
+    #[test]
+    fn wal_flush_lag_is_age_valued_and_tracked() {
+        // Lower is better, like freshness: 0 µs lag is perfect health.
+        assert!(!SloKind::WalFlushLag.higher_is_better());
+        let ok = evaluate(SloKind::WalFlushLag, 0.0, 2_000_000.0);
+        assert!(ok.healthy);
+        assert_eq!(ok.burn_rate, 0.0);
+        let bad = evaluate(SloKind::WalFlushLag, 6_000_000.0, 2_000_000.0);
+        assert!(!bad.healthy);
+        assert!((bad.burn_rate - 3.0).abs() < 1e-9);
+        // The tracker has a slot for it, independent of the other kinds.
+        let mut t = SloTracker::new(2);
+        t.observe(&bad);
+        assert!(t.windowed_burn(SloKind::WalFlushLag) > 1.0);
+        assert_eq!(t.windowed_burn(SloKind::Freshness), 0.0);
+        assert_eq!(SloKind::all().len(), 4);
     }
 
     #[test]

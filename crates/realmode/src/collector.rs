@@ -19,23 +19,42 @@
 //!   `x-pingmesh-events-last-seq` headers, so a scraper can tell loss
 //!   from quiet.
 //! * `GET /healthz` — machine-readable pipeline health: per-stage
-//!   provenance span counts/latencies plus data-quality SLO status.
+//!   provenance span counts/latencies plus data-quality SLO status and
+//!   (for durable stores) WAL/segment durability statistics.
 //! * `GET /slo` — just the SLO evaluations, as a JSON array.
+//!
+//! The collector's store is **durable by default**: [`Collector::new`]
+//! roots a WAL + segment directory in a fresh scratch path (removed when
+//! the last clone drops) so every acknowledged upload survives a crash.
+//! [`Collector::in_memory`] opts out; [`Collector::durable_at`] pins the
+//! data directory for an externally managed lifetime. The
+//! `crash_and_recover*` chaos hooks rebuild the store from disk alone,
+//! exactly as a restarted process would.
 
 use parking_lot::Mutex;
 use pingmesh_dsa::store::{CosmosStore, StreamName};
-use pingmesh_dsa::{ExpectedPairs, QualityConfig};
+use pingmesh_dsa::{unique_dir, DirGuard, DurabilityStats, ExpectedPairs, QualityConfig};
 use pingmesh_httpx::{Conn, Request, Response};
 use pingmesh_obs::slo::{self, SloKind, SloStatus};
 use pingmesh_obs::SampleValue;
 use pingmesh_types::{PingmeshError, ProbeRecord, SimTime};
 use serde::Serialize;
 use std::collections::BTreeSet;
+use std::io;
 use std::net::SocketAddr;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tokio::net::{TcpListener, TcpStream};
+
+/// Group commit: fsync the WAL once this many acknowledged bytes sit
+/// unsynced, so upload throughput amortizes the sync cost.
+const GROUP_COMMIT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Group commit: fsync the WAL once the oldest unsynced byte is this
+/// old (µs), bounding crash exposure under trickle traffic.
+const GROUP_COMMIT_LAG_US: u64 = 500_000;
 
 /// Collector statistics, served on `GET /stats`.
 #[derive(Debug, Clone, Copy, Serialize, serde::Deserialize)]
@@ -51,7 +70,8 @@ pub struct CollectorStats {
 /// One SLO evaluation in the `/healthz` and `/slo` JSON surfaces.
 #[derive(Debug, Clone, Serialize, serde::Deserialize)]
 pub struct SloJson {
-    /// SLO kind: `coverage`, `completeness`, or `freshness`.
+    /// SLO kind: `coverage`, `completeness`, `freshness`, or
+    /// `wal_flush_lag`.
     pub slo: String,
     /// Measured value (ratio, or age in µs for freshness).
     pub value: f64,
@@ -85,6 +105,8 @@ pub struct HealthReport {
     pub stages: Vec<StageHealth>,
     /// The data-quality SLO evaluations.
     pub slos: Vec<SloJson>,
+    /// Durable-store statistics (`None` when running in-memory).
+    pub durability: Option<DurabilityStats>,
 }
 
 /// Mutable SLO inputs shared between the watchdog (which installs
@@ -108,6 +130,10 @@ pub struct Collector {
     /// pick freshness targets with a margin for it.
     epoch: Instant,
     slo: Arc<Mutex<SloState>>,
+    /// Keeps the default scratch data directory alive across clones;
+    /// removed from disk when the last clone drops. `None` when the
+    /// store is in-memory or the caller owns the directory.
+    data_dir: Option<Arc<DirGuard>>,
 }
 
 impl Default for Collector {
@@ -117,10 +143,45 @@ impl Default for Collector {
 }
 
 impl Collector {
-    /// A collector over a fresh store.
+    /// A collector over a durable store rooted in a fresh scratch
+    /// directory (removed when the last clone drops). Acknowledged
+    /// uploads are WAL-logged before they land in memory, so a crashed
+    /// collector recovers them. Falls back to a purely in-memory store
+    /// (counting `pingmesh_realmode_collector_durable_fallback_total`)
+    /// if the scratch directory cannot be initialised.
     pub fn new() -> Self {
+        let dir = unique_dir("collector");
+        match CosmosStore::durable(&dir, 250_000, 3) {
+            Ok(store) => Self::from_store(store, Some(Arc::new(DirGuard::new(dir)))),
+            Err(_) => {
+                pingmesh_obs::registry()
+                    .counter("pingmesh_realmode_collector_durable_fallback_total")
+                    .inc();
+                Self::in_memory()
+            }
+        }
+    }
+
+    /// A collector over a purely in-memory store: no WAL, no segments,
+    /// nothing survives a crash. For benchmarks and tests that measure
+    /// the store itself rather than its durability.
+    pub fn in_memory() -> Self {
+        Self::from_store(CosmosStore::with_defaults(), None)
+    }
+
+    /// A collector over a durable store rooted at `dir`, which the
+    /// caller owns (nothing is removed on drop). Opening an existing
+    /// directory runs crash recovery first.
+    pub fn durable_at(dir: &Path) -> io::Result<Self> {
+        Ok(Self::from_store(
+            CosmosStore::durable(dir, 250_000, 3)?,
+            None,
+        ))
+    }
+
+    fn from_store(store: CosmosStore, data_dir: Option<Arc<DirGuard>>) -> Self {
         Self {
-            store: Arc::new(Mutex::new(CosmosStore::with_defaults())),
+            store: Arc::new(Mutex::new(store)),
             accepting: Arc::new(AtomicBool::new(true)),
             epoch: Instant::now(),
             slo: Arc::new(Mutex::new(SloState {
@@ -128,7 +189,66 @@ impl Collector {
                 expected: None,
                 completeness: None,
             })),
+            data_dir,
         }
+    }
+
+    /// The scratch data directory this collector owns (`None` when
+    /// in-memory, or when the caller rooted it via
+    /// [`Collector::durable_at`]).
+    pub fn scratch_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref().map(DirGuard::path)
+    }
+
+    /// Chaos hook: simulates a process crash right now. All in-memory
+    /// state is discarded and the store is rebuilt from disk alone
+    /// (manifest + segments + WAL replay), exactly as a restarted
+    /// collector would. Every holder of the shared store handle observes
+    /// the recovered state, and the mutation-epoch handle is adopted so
+    /// read tiers revalidate instead of serving dangling fingerprints.
+    /// Returns `Ok(false)` (doing nothing) for in-memory collectors.
+    pub fn crash_and_recover(&self) -> io::Result<bool> {
+        let mut store = self.store.lock();
+        let Some(dir) = store.durable_dir().map(Path::to_path_buf) else {
+            return Ok(false);
+        };
+        let (cap, repl) = (store.extent_cap(), store.replication());
+        let epoch = store.epoch_handle();
+        *store = CosmosStore::recover_with(&dir, cap, repl, Some(epoch))?;
+        Ok(true)
+    }
+
+    /// Chaos hook: crash mid-append — leaves a torn, never-acknowledged
+    /// WAL frame for `records` at the log tail, then recovers. The torn
+    /// tail must be truncated away: it was never acknowledged to any
+    /// agent, so losing it loses nothing.
+    pub fn crash_and_recover_mid_append(&self, records: &[ProbeRecord]) -> io::Result<bool> {
+        if !records.is_empty() {
+            let mut store = self.store.lock();
+            if store.durable_dir().is_none() {
+                return Ok(false);
+            }
+            let stream = StreamName {
+                dc: records[0].src_dc,
+            };
+            store.simulate_torn_append(stream, records)?;
+        }
+        self.crash_and_recover()
+    }
+
+    /// Chaos hook: crash mid-compaction — the next generation's segment
+    /// files and WAL are on disk but the manifest still names the old
+    /// generation, then recovers. Recovery must follow the manifest and
+    /// garbage-collect the orphaned new-generation files.
+    pub fn crash_and_recover_mid_compaction(&self) -> io::Result<bool> {
+        {
+            let mut store = self.store.lock();
+            if store.durable_dir().is_none() {
+                return Ok(false);
+            }
+            store.simulate_compaction_crash()?;
+        }
+        self.crash_and_recover()
     }
 
     /// Replaces the data-quality targets used by `/healthz` and `/slo`.
@@ -156,7 +276,7 @@ impl Collector {
         let now = SimTime(self.epoch.elapsed().as_micros() as u64);
         let state = self.slo.lock();
         let store = self.store.lock();
-        let mut out = Vec::with_capacity(3);
+        let mut out = Vec::with_capacity(4);
         if let Some(expected) = &state.expected {
             let horizon = state.cfg.coverage_horizon.as_micros();
             let from = SimTime(now.as_micros().saturating_sub(horizon));
@@ -212,6 +332,16 @@ impl Collector {
             worst_age as f64,
             state.cfg.freshness_target.as_micros() as f64,
         ));
+        if let Some(d) = store.durability_stats() {
+            // Crash exposure: how old the oldest acknowledged-but-
+            // unsynced WAL byte is. In-memory stores skip the SLO —
+            // everything is crash-exposed there by design.
+            out.push(slo::evaluate(
+                SloKind::WalFlushLag,
+                d.flush_lag_us as f64,
+                state.cfg.wal_flush_lag_target.as_micros() as f64,
+            ));
+        }
         slo::publish(&out);
         out
     }
@@ -257,10 +387,12 @@ impl Collector {
             })
             .collect();
         let healthy = slos.iter().all(|s| s.healthy);
+        let durability = self.store.lock().durability_stats();
         HealthReport {
             healthy,
             stages,
             slos,
+            durability,
         }
     }
 
@@ -328,10 +460,32 @@ impl Collector {
                 // The upload timestamp is the newest record's; the real
                 // store cares only about content timestamps.
                 let t = records.iter().map(|r| r.ts).max().unwrap_or(SimTime::ZERO);
+                if !store.append(stream, &records, t) {
+                    // The WAL failed closed (or the store is down): the
+                    // batch was NOT acknowledged and the agent's
+                    // retry-then-discard path takes over. Never claim
+                    // "stored" for data that would not survive a crash.
+                    registry
+                        .counter("pingmesh_realmode_uploads_rejected_total")
+                        .inc();
+                    return Response::unavailable();
+                }
                 registry
                     .counter("pingmesh_realmode_uploaded_records_total")
                     .add(records.len() as u64);
-                store.append(stream, &records, t);
+                // Group commit: fsync once the unsynced tail is big or
+                // old enough, and compact the WAL into segments when it
+                // crosses the checkpoint threshold. Failures surface via
+                // the store's IO counters and fail-closed flag, which
+                // the next upload then observes.
+                if let Some(d) = store.durability_stats() {
+                    if d.unsynced_bytes >= GROUP_COMMIT_BYTES
+                        || d.flush_lag_us >= GROUP_COMMIT_LAG_US
+                    {
+                        let _ = store.sync_wal();
+                    }
+                    let _ = store.maybe_checkpoint();
+                }
                 Response::ok(b"stored".to_vec())
             }
             ("GET", "/stats") => {
@@ -831,6 +985,78 @@ mod tests {
             t0.elapsed()
         );
         holder.abort();
+    }
+
+    #[test]
+    fn collector_is_durable_by_default_and_recovers_acked_uploads() {
+        let c = Collector::new();
+        assert!(c.store().lock().durable_dir().is_some(), "durable default");
+        let batch = vec![rec(1), rec(2), rec(3)];
+        let req = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+        assert_eq!(c.respond(&req).status, 200);
+        assert!(c.crash_and_recover().unwrap());
+        assert_eq!(c.stats().records, 3, "every acknowledged record survives");
+        // The recovered store keeps serving uploads and scans.
+        let more = vec![rec(10)];
+        let req = Request::post("/upload", serde_json::to_vec(&more).unwrap());
+        assert_eq!(c.respond(&req).status, 200);
+        assert_eq!(c.stats().records, 4);
+        assert_eq!(
+            c.store()
+                .lock()
+                .scan_all_window(SimTime(0), SimTime(1_000))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn crash_mid_append_loses_only_the_unacked_tail() {
+        let c = Collector::new();
+        let acked = vec![rec(1), rec(2)];
+        let req = Request::post("/upload", serde_json::to_vec(&acked).unwrap());
+        assert_eq!(c.respond(&req).status, 200);
+        // The torn frame was never acknowledged to any agent, so
+        // truncating it away loses nothing the system promised to keep.
+        let torn = vec![rec(50), rec(51)];
+        assert!(c.crash_and_recover_mid_append(&torn).unwrap());
+        assert_eq!(c.stats().records, 2);
+        let stats = c.store().lock().durability_stats().unwrap();
+        assert!(stats.truncated_entries > 0, "torn tail was truncated");
+    }
+
+    #[test]
+    fn crash_mid_compaction_recovers_from_the_old_manifest() {
+        let c = Collector::new();
+        let batch: Vec<ProbeRecord> = (0..500u64).map(rec).collect();
+        let req = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+        assert_eq!(c.respond(&req).status, 200);
+        assert!(c.crash_and_recover_mid_compaction().unwrap());
+        assert_eq!(c.stats().records, 500, "orphaned generation is ignored");
+        let req = Request::post("/upload", serde_json::to_vec(&vec![rec(9_999)]).unwrap());
+        assert_eq!(c.respond(&req).status, 200, "store accepts after recovery");
+    }
+
+    #[test]
+    fn in_memory_collector_skips_durability_surfaces() {
+        let c = Collector::in_memory();
+        assert!(!c.crash_and_recover().unwrap(), "nothing to recover");
+        let resp = c.respond(&Request::get("/healthz"));
+        let report: HealthReport = serde_json::from_slice(&resp.body).unwrap();
+        assert!(report.durability.is_none());
+        assert!(!report.slos.iter().any(|s| s.slo == "wal_flush_lag"));
+    }
+
+    #[test]
+    fn healthz_reports_wal_durability_and_flush_lag_slo() {
+        let c = Collector::new();
+        let req = Request::post("/upload", serde_json::to_vec(&vec![rec(1)]).unwrap());
+        assert_eq!(c.respond(&req).status, 200);
+        let resp = c.respond(&Request::get("/healthz"));
+        let report: HealthReport = serde_json::from_slice(&resp.body).unwrap();
+        let d = report.durability.expect("durable by default");
+        assert_eq!(d.wal_entries, 1);
+        assert!(report.slos.iter().any(|s| s.slo == "wal_flush_lag"));
     }
 
     #[tokio::test]

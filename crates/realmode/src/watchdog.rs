@@ -21,7 +21,9 @@
 //! * data-quality SLOs: the watchdog feeds the collector the windowed
 //!   completeness ledger (stored vs produced-minus-buffered since the
 //!   previous check) and re-evaluates every installed SLO →
-//!   [`SloDegraded`] for each one out of target.
+//!   [`SloDegraded`] for each one out of target;
+//! * durable-store IO health: WAL write errors since the previous check
+//!   and the fail-closed flag → [`StoreIoErrors`].
 //!
 //! Every finding increments
 //! `pingmesh_realmode_watchdog_findings_total{class}`.
@@ -33,6 +35,7 @@
 //! [`AgentsStopped`]: WatchdogFinding::AgentsStopped
 //! [`RecordsDiscarded`]: WatchdogFinding::RecordsDiscarded
 //! [`StaleStore`]: WatchdogFinding::StaleStore
+//! [`StoreIoErrors`]: WatchdogFinding::StoreIoErrors
 
 use crate::agent_loop::RealAgent;
 use crate::cluster::LocalCluster;
@@ -54,6 +57,7 @@ pub struct RealWatchdog {
     last_discarded: u64,
     last_stored: u64,
     last_deliverable: u64,
+    last_io_errors: u64,
 }
 
 impl RealWatchdog {
@@ -68,6 +72,7 @@ impl RealWatchdog {
             last_discarded: 0,
             last_stored: 0,
             last_deliverable: 0,
+            last_io_errors: 0,
         }
     }
 
@@ -186,6 +191,24 @@ impl RealWatchdog {
             }
         }
 
+        // Durable-store IO health: errors since the previous check, plus
+        // the fail-closed flag (a failed-closed WAL refuses every upload
+        // until a checkpoint rewrites it). Recovery resets the counters,
+        // so the delta saturates to zero across a restart.
+        let (io_errors, failed_closed) = match cluster.collector().store().lock().durability_stats()
+        {
+            Some(d) => (d.io_errors, d.failed),
+            None => (0, false),
+        };
+        let io_delta = io_errors.saturating_sub(self.last_io_errors);
+        if io_delta > 0 || failed_closed {
+            findings.push(WatchdogFinding::StoreIoErrors {
+                errors: io_delta,
+                failed_closed,
+            });
+        }
+        self.last_io_errors = io_errors;
+
         let registry = pingmesh_obs::registry();
         for f in &findings {
             registry
@@ -261,6 +284,55 @@ mod tests {
         assert!(!agent.is_stopped());
         let findings = wd.check(&cluster, &[&agent]).await;
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[tokio::test]
+    async fn wal_io_errors_surface_as_store_io_findings() {
+        use pingmesh_dsa::store::StreamName;
+        use pingmesh_types::{
+            DcId, PodId, PodsetId, ProbeKind, ProbeOutcome, ProbeRecord, QosClass, SimTime,
+        };
+        let cluster =
+            LocalCluster::start(TopologySpec::single_tiny(), GeneratorConfig::default()).await;
+        let agent = cluster.agent(ServerId(0));
+        let mut wd = RealWatchdog::new(Duration::from_secs(60));
+        wd.check(&cluster, &[&agent]).await; // baseline, no findings carried
+                                             // Exhaust the WAL retry budget: the next append fails closed.
+        cluster.collector().store().lock().inject_wal_io_errors(5);
+        let rec = ProbeRecord {
+            ts: SimTime(1),
+            src: ServerId(0),
+            dst: ServerId(1),
+            src_pod: PodId(0),
+            dst_pod: PodId(0),
+            src_podset: PodsetId(0),
+            dst_podset: PodsetId(0),
+            src_dc: DcId(0),
+            dst_dc: DcId(0),
+            kind: ProbeKind::TcpSyn,
+            qos: QosClass::High,
+            src_port: 40_000,
+            dst_port: 8_100,
+            outcome: ProbeOutcome::Timeout,
+        };
+        {
+            let mut store = cluster.collector().store().lock();
+            assert!(
+                !store.append(StreamName { dc: DcId(0) }, &[rec], SimTime(1)),
+                "append must fail closed after exhausting retries"
+            );
+        }
+        let findings = wd.check(&cluster, &[&agent]).await;
+        assert!(
+            findings.iter().any(|f| matches!(
+                f,
+                WatchdogFinding::StoreIoErrors {
+                    failed_closed: true,
+                    ..
+                }
+            )),
+            "{findings:?}"
+        );
     }
 
     #[tokio::test]

@@ -518,6 +518,85 @@ mod tests {
     }
 
     #[test]
+    fn restart_coherence_recovered_store_forces_revalidation() {
+        // A tier must never trust pre-crash cache entries against a
+        // recovered store. Recovery raises the shared epoch handle and
+        // salts every window fingerprint with the boot id, so both
+        // freshness-ladder shortcuts (epoch unchanged; fingerprint
+        // unchanged) miss and the entry rebuilds from recovered state.
+        let dir = pingmesh_dsa::unique_dir("serve-restart");
+        let _guard = pingmesh_dsa::DirGuard::new(dir.clone());
+        fn install_services(store: &mut CosmosStore) {
+            let mut services = ServiceMap::new();
+            services
+                .register("search", (0..8).map(ServerId).collect::<Vec<_>>())
+                .unwrap();
+            store.set_service_map(Arc::new(services));
+        }
+        let mut durable = CosmosStore::durable(&dir, 512, 1).unwrap();
+        install_services(&mut durable);
+        for batch in corpus(3, 64).chunks(50) {
+            let t = batch.iter().map(|r| r.ts).max().unwrap();
+            durable.append(StreamName { dc: DcId(0) }, batch, t);
+        }
+        let store = Arc::new(Mutex::new(durable));
+        let tier = QueryTier::new(Arc::clone(&store));
+        let first = tier.respond(&sla_req(0, W));
+        assert_eq!(first.status, 200);
+        let etag = first.header("etag").unwrap().to_string();
+        let version_before = store.lock().window_version(SimTime(0), SimTime(W));
+
+        // Crash: rebuild the store from disk alone, adopting the epoch
+        // handle the tier already holds — exactly what a restarted
+        // collector does for a long-lived read tier.
+        {
+            let mut guard = store.lock();
+            let epoch = guard.epoch_handle();
+            *guard = CosmosStore::recover_with(&dir, 512, 1, Some(epoch)).unwrap();
+            // The service map is config, not data; a restarted process
+            // reinstalls it from its own startup path.
+            install_services(&mut guard);
+        }
+        let version_after = store.lock().window_version(SimTime(0), SimTime(W));
+        assert_ne!(
+            version_before, version_after,
+            "boot id must salt every fingerprint across a restart"
+        );
+
+        // A stale validator must be revalidated against the recovered
+        // store, never answered from the pre-crash cache entry.
+        let mut conditional = sla_req(0, W);
+        conditional
+            .headers
+            .push(("if-none-match".into(), etag.clone()));
+        let resp = tier.respond(&conditional);
+        assert!(
+            tier.stats().invalidations.load(Ordering::Relaxed) >= 1,
+            "pre-crash entry must be rebuilt, not trusted"
+        );
+        // WAL-first ingest makes the recovered window bit-identical, so
+        // the rebuilt body hashes to the same validator: this 304 is
+        // proven fresh against recovered bytes, not assumed.
+        assert_eq!(resp.status, 304);
+        let fresh = ApiQuery::Sla {
+            from: SimTime(0),
+            to: SimTime(W),
+        }
+        .build(&store.lock());
+        let rebuilt = tier.respond(&sla_req(0, W));
+        assert_eq!(rebuilt.status, 200);
+        assert_eq!(
+            rebuilt.body, fresh,
+            "served bytes equal a pure rebuild of the recovered store"
+        );
+        assert_eq!(
+            etag_of(&fresh),
+            etag,
+            "identical bytes, identical validator"
+        );
+    }
+
+    #[test]
     fn hot_window_queries_bypass_the_cache() {
         let store = seeded_store(2);
         let tier = QueryTier::new(Arc::clone(&store));

@@ -1,0 +1,221 @@
+//! Capped exponential backoff with deterministic, seeded jitter.
+//!
+//! Every retry loop in the workspace — realmode's pinglist polls and
+//! record uploads, the durable store's WAL writes — spaces its attempts
+//! with this policy instead of retrying back-to-back. The
+//! jitter matters at fleet scale: when a collector or controller comes
+//! back after an outage, thousands of agents would otherwise retry in the
+//! same millisecond and knock it over again (the classic thundering
+//! herd). Each agent derives its seed from its server id, so the fleet
+//! decorrelates while any single agent's behaviour stays exactly
+//! reproducible — a requirement for the deterministic chaos drill.
+//!
+//! Implemented on `std` only (one xorshift64* generator), per the
+//! workspace's no-crates.io constraint.
+
+use std::time::Duration;
+
+/// Folds an arbitrary seed into a valid xorshift64* state (never zero).
+pub fn seed_state(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Advances an xorshift64* state, returning the next pseudo-random u64.
+pub fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Backoff policy: delays grow `base * 2^attempt`, capped at `cap`, and
+/// each delay is "full-jittered" — drawn uniformly from
+/// `[delay/2, delay]` — so retries spread out instead of synchronizing.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// Smallest delay [`Backoff::next_delay`] will ever return. Backoff
+    /// exists to shed load off a struggling endpoint; anything under a
+    /// millisecond is indistinguishable from not backing off at all.
+    pub const MIN_DELAY: Duration = Duration::from_millis(1);
+
+    /// A policy starting at `base`, never exceeding `cap`, jittered by a
+    /// generator seeded with `seed` (same seed ⇒ same delay sequence).
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            rng: seed_state(seed),
+        }
+    }
+
+    /// Default control-plane policy: 50 ms base, 2 s cap.
+    pub fn control_plane(seed: u64) -> Self {
+        Self::new(Duration::from_millis(50), Duration::from_secs(2), seed)
+    }
+
+    /// Number of delays handed out since creation or the last
+    /// [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay to sleep before retrying: exponential in the number
+    /// of attempts so far, capped, jittered into `[delay/2, delay]`, and
+    /// floored at [`Backoff::MIN_DELAY`]. The floor is what makes a
+    /// mis-configured zero (or sub-millisecond) base safe: without it a
+    /// zero base returned `Duration::ZERO` forever and the retry loop
+    /// degenerated into a busy spin against the very endpoint it was
+    /// backing off from.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 * base saturates any cap we use
+        self.attempt = self.attempt.saturating_add(1);
+        let uncapped = self
+            .base
+            .checked_mul(1u32 << exp)
+            .unwrap_or(Duration::MAX)
+            .min(self.cap);
+        // Ceiling first (never above the cap), floor second (never below
+        // 1 ms). The cap itself is floored so the two bounds can't cross
+        // on a degenerate `cap < MIN_DELAY` policy.
+        let floor_us = Self::MIN_DELAY.as_micros() as u64;
+        let micros = (uncapped.as_micros() as u64).max(floor_us);
+        let half = micros / 2;
+        let jittered = half + next_u64(&mut self.rng) % (micros - half + 1);
+        Duration::from_micros(jittered.max(floor_us))
+    }
+
+    /// Re-arms the policy after a success: the next failure starts back
+    /// at the base delay.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Backoff::control_plane(42);
+        let mut b = Backoff::control_plane(42);
+        let sa: Vec<_> = (0..16).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..16).map(|_| b.next_delay()).collect();
+        assert_eq!(sa, sb, "fixed seed must reproduce the exact delays");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = Backoff::control_plane(1);
+        let mut b = Backoff::control_plane(2);
+        let sa: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+        assert_ne!(sa, sb, "different agents must not retry in lockstep");
+    }
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500), 7);
+        let mut prev_ceiling = Duration::ZERO;
+        for attempt in 0..12 {
+            let d = b.next_delay();
+            let ceiling = Duration::from_millis(10)
+                .checked_mul(1 << attempt.min(20))
+                .unwrap_or(Duration::MAX)
+                .min(Duration::from_millis(500));
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            assert!(
+                d >= ceiling / 2,
+                "attempt {attempt}: {d:?} below jitter floor {:?}",
+                ceiling / 2
+            );
+            assert!(ceiling >= prev_ceiling, "ceiling must be monotone");
+            prev_ceiling = ceiling;
+        }
+        // Deep into the sequence the cap is in force.
+        assert!(b.next_delay() <= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn reset_rearms_the_base_delay() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(10), 3);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempts(), 6);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        // First post-reset delay is back in the base bracket.
+        assert!(b.next_delay() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_base_never_yields_zero_delay() {
+        // Regression: a zero base made `next_delay` return
+        // `Duration::ZERO` on every call — the retry loop busy-spun
+        // against the endpoint it was supposed to back off from.
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_secs(2), 9);
+        for i in 0..32 {
+            let d = b.next_delay();
+            assert!(d >= Backoff::MIN_DELAY, "attempt {i}: {d:?} below floor");
+            assert!(d <= Duration::from_secs(2), "attempt {i}: {d:?} over cap");
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_base_floors_at_min_delay() {
+        // Regression: a 100 µs base produced 50–100 µs jittered delays —
+        // sub-millisecond sleeps that round to "no backoff" on every
+        // timer wheel we'd run on. The floor must hold from attempt 0.
+        let mut b = Backoff::new(Duration::from_micros(100), Duration::from_secs(2), 11);
+        let d = b.next_delay();
+        assert!(d >= Backoff::MIN_DELAY, "first delay {d:?} below 1 ms");
+    }
+
+    #[test]
+    fn cap_holds_long_after_attempt_saturates() {
+        // The exponent pins at 2^20 and `attempt` saturates; the cap must
+        // keep holding arbitrarily deep into the sequence.
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(Duration::from_millis(50), cap, 13);
+        for _ in 0..10_000 {
+            let d = b.next_delay();
+            assert!(d <= cap, "{d:?} exceeds the cap");
+            assert!(d >= Backoff::MIN_DELAY);
+        }
+        assert_eq!(b.attempts(), 10_000);
+    }
+
+    #[test]
+    fn adjacent_seeds_do_not_lockstep() {
+        // Thundering-herd protection: agents seed from their server id,
+        // so *adjacent* seeds are the common case. Each neighbouring pair
+        // must disagree somewhere in its first delays.
+        for seed in 0..32u64 {
+            let mut a = Backoff::control_plane(seed);
+            let mut b = Backoff::control_plane(seed + 1);
+            let sa: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+            let sb: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+            assert_ne!(sa, sb, "seeds {seed} and {} lockstep", seed + 1);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut b = Backoff::control_plane(0);
+        // Must not get stuck at zero or panic.
+        let d1 = b.next_delay();
+        let d2 = b.next_delay();
+        assert!(d1 > Duration::ZERO && d2 > Duration::ZERO);
+    }
+}

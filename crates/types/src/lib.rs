@@ -16,6 +16,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod constants;
 pub mod counters;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod quantile;
 pub mod telemetry;
 pub mod time;
 
+pub use backoff::Backoff;
 pub use counters::{AgentCounters, CounterSnapshot};
 pub use error::{PingmeshError, Result};
 pub use hist::LatencyHistogram;

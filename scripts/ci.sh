@@ -25,12 +25,17 @@
 # frozen-window cache hit rate under a live hot-window appender, zero
 # transport errors, and the smoke throughput/latency floor. The full
 # 100k+ req/s run (`loadgen --check`) records BENCH_serve.json and is for
-# benchmarking boxes, not the gate.
+# benchmarking boxes, not the gate. Pass --crash-smoke to also run the
+# end-to-end crash drill: the durable collector is killed mid-append
+# (torn WAL tail) and mid-compaction (orphaned checkpoint generation)
+# and must recover with zero acknowledged-record loss, bit-identical
+# window aggregates, and byte-identical dashboard responses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
+CRASH_SMOKE=0
 FUZZ_SMOKE=0
 OBS_SMOKE=0
 SCALE_SMOKE=0
@@ -39,6 +44,7 @@ for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
+    --crash-smoke) CRASH_SMOKE=1 ;;
     --fuzz-smoke) FUZZ_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --scale-smoke) SCALE_SMOKE=1 ;;
@@ -85,6 +91,11 @@ fi
 if [ "$OBS_SMOKE" = 1 ]; then
   step "obs smoke (trace lifecycle, scrape monotonicity, drop accounting)"
   timeout 120 cargo test --release -q --test obs_smoke
+fi
+
+if [ "$CRASH_SMOKE" = 1 ]; then
+  step "crash drill smoke (kill mid-append + mid-compaction, zero acked loss)"
+  timeout 120 cargo test --release -q --test crash_drill
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then

@@ -126,6 +126,58 @@ fn sum_of(samples: &[Sample], name: &str) -> f64 {
         .sum()
 }
 
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Renders the durable-store panel: WAL volume and write rate (counter
+/// delta against the previous frame), checkpoint/segment churn, IO
+/// error and fail-closed counts, and recovery history. Rendered only
+/// when the scraped process runs a durable store (WAL counters moved).
+fn render_durability(samples: &[Sample], prev: Option<(&[Sample], f64)>, out: &mut String) {
+    let wal_bytes = sum_of(samples, "pingmesh_store_wal_bytes_total");
+    let appends = sum_of(samples, "pingmesh_store_wal_appends_total");
+    if wal_bytes == 0.0 && appends == 0.0 {
+        return;
+    }
+    let wal_records = sum_of(samples, "pingmesh_store_wal_records_total");
+    let rate = prev
+        .filter(|(_, dt)| *dt > 0.0)
+        .map(|(p, dt)| (wal_bytes - sum_of(p, "pingmesh_store_wal_bytes_total")).max(0.0) / dt);
+    let _ = writeln!(
+        out,
+        "\n  durability   wal {} in {appends:.0} appends ({wal_records:.0} records)   write {}",
+        fmt_bytes(wal_bytes),
+        rate.map_or("-".into(), |r| format!("{}/s", fmt_bytes(r))),
+    );
+    let ckpts = sum_of(samples, "pingmesh_store_checkpoints_total");
+    let seg_w = sum_of(samples, "pingmesh_store_segments_written_total");
+    let seg_d = sum_of(samples, "pingmesh_store_segments_deleted_total");
+    let recoveries = sum_of(samples, "pingmesh_store_recoveries_total");
+    let replayed = sum_of(samples, "pingmesh_store_recovered_records_total");
+    let _ = writeln!(
+        out,
+        "  checkpoints {ckpts:.0}   segments +{seg_w:.0}/-{seg_d:.0}   recoveries {recoveries:.0} ({replayed:.0} records replayed)",
+    );
+    let io_err = sum_of(samples, "pingmesh_store_io_errors_total");
+    let io_retry = sum_of(samples, "pingmesh_store_io_retries_total");
+    let failed = sum_of(samples, "pingmesh_store_wal_failed_closed_total");
+    let truncated = sum_of(samples, "pingmesh_store_wal_truncated_total");
+    let corrupt = sum_of(samples, "pingmesh_store_wal_corrupt_entries_total");
+    let _ = writeln!(
+        out,
+        "  io errors {io_err:.0} (retries {io_retry:.0}, failed-closed {failed:.0})   wal frames truncated {truncated:.0}, corrupt {corrupt:.0}",
+    );
+}
+
 /// Renders the query/serving-tier panel: live QPS (needs the previous
 /// frame for the counter delta), cache hit ratio split by entry kind,
 /// conditional-GET (304) ratio, and per-route latency. Rendered only
@@ -222,7 +274,8 @@ fn render(samples: &[Sample], target: &str, prev: Option<(&[Sample], f64)>) -> S
             .is_some_and(|h| h.value > 0.0);
         let burn =
             find(samples, "pingmesh_slo_burn_rate", Some(("slo", slo))).map_or(0.0, |b| b.value);
-        let value = if slo == "freshness" {
+        // Age-valued SLOs (µs, lower is better) vs ratio-valued ones.
+        let value = if slo == "freshness" || slo == "wal_flush_lag" {
             fmt_us(s.value)
         } else {
             format!("{:.1}%", s.value * 100.0)
@@ -279,6 +332,7 @@ fn render(samples: &[Sample], target: &str, prev: Option<(&[Sample], f64)>) -> S
         }
     }
 
+    render_durability(samples, prev, &mut out);
     render_serve(samples, prev, &mut out);
     out
 }
@@ -429,8 +483,62 @@ bogus line that is not a sample
         // Per-dc records summed across label sets.
         assert!(frame.contains("pingmesh_realmode_records_total"), "{frame}");
         assert!(frame.contains("1500"), "{frame}");
-        // No serve samples scraped — the serve panel stays hidden.
+        // No serve or durable-store samples scraped — both panels hidden.
         assert!(!frame.contains("serve tier"), "{frame}");
+        assert!(!frame.contains("durability"), "{frame}");
+    }
+
+    const DURABLE_EXPO: &str = r#"pingmesh_uptime_seconds 60
+pingmesh_slo_value{slo="wal_flush_lag"} 250000
+pingmesh_slo_healthy{slo="wal_flush_lag"} 1
+pingmesh_slo_burn_rate{slo="wal_flush_lag"} 0.12
+pingmesh_store_wal_bytes_total 2097152
+pingmesh_store_wal_appends_total 40
+pingmesh_store_wal_records_total 400000
+pingmesh_store_checkpoints_total 7
+pingmesh_store_segments_written_total 12
+pingmesh_store_segments_deleted_total 3
+pingmesh_store_recoveries_total 1
+pingmesh_store_recovered_records_total 250000
+pingmesh_store_io_errors_total 5
+pingmesh_store_io_retries_total 4
+pingmesh_store_wal_failed_closed_total 1
+pingmesh_store_wal_truncated_total 1
+pingmesh_store_wal_corrupt_entries_total 0
+"#;
+
+    #[test]
+    fn durability_panel_reports_wal_churn_and_recovery_history() {
+        let samples = parse_prometheus(DURABLE_EXPO);
+
+        // First frame: volumes and counts render, write rate has no delta.
+        let first = render(&samples, "test:1", None);
+        assert!(
+            first.contains("durability   wal 2.0 MiB in 40 appends (400000 records)   write -"),
+            "{first}"
+        );
+        assert!(
+            first.contains(
+                "checkpoints 7   segments +12/-3   recoveries 1 (250000 records replayed)"
+            ),
+            "{first}"
+        );
+        assert!(
+            first.contains(
+                "io errors 5 (retries 4, failed-closed 1)   wal frames truncated 1, corrupt 0"
+            ),
+            "{first}"
+        );
+        // The flush-lag SLO is age-valued: µs formatting, not a percent.
+        assert!(first.contains("wal_flush_lag 250.0ms"), "{first}");
+
+        // Second frame, 2s later, 1 MiB more WAL: 512 KiB/s write rate.
+        let later = parse_prometheus(&DURABLE_EXPO.replace(
+            "pingmesh_store_wal_bytes_total 2097152",
+            "pingmesh_store_wal_bytes_total 3145728",
+        ));
+        let second = render(&later, "test:1", Some((samples.as_slice(), 2.0)));
+        assert!(second.contains("write 512.0 KiB/s"), "{second}");
     }
 
     const SERVE_EXPO: &str = r#"pingmesh_uptime_seconds 30
