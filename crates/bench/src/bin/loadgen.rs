@@ -412,7 +412,7 @@ async fn byte_identity_check(
             .expect("read check");
         let (p, q) = path.split_once('?').expect("cacheable paths have queries");
         let query = ApiQuery::parse(p, Some(q)).expect("workload paths parse");
-        let oracle = query.build(&store.lock());
+        let oracle = query.build(&store.lock()).expect("oracle rebuild");
         checked += 1;
         if resp.status != 200 || resp.body != oracle {
             mismatches += 1;

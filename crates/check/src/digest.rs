@@ -116,9 +116,41 @@ pub fn sla_digest(orch: &Orchestrator) -> u64 {
     h
 }
 
+fn fnv_str(h: &mut u64, s: &str) {
+    for &b in s.as_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Sequential digest of the mitigation engine's transition log plus the
+/// podsets currently excluded from pinglist generation. The log is
+/// appended only under the barrier-sequential job path, so its order is
+/// deterministic and any shard-dependent mitigation decision flips this.
+pub fn mitigation_digest(orch: &Orchestrator) -> u64 {
+    use pingmesh_core::MitDevice;
+    let mut h = FNV_OFFSET;
+    for t in orch.mitigation().transitions() {
+        let dev = match t.device {
+            MitDevice::Switch(s) => {
+                (1u64 << 48) | (u64::from(s.tier as u8) << 32) | u64::from(s.index)
+            }
+            MitDevice::Podset(p) => (2u64 << 48) | u64::from(p.0),
+        };
+        fnv1a(&mut h, t.at.0);
+        fnv1a(&mut h, dev);
+        fnv_str(&mut h, t.to.label());
+        fnv_str(&mut h, t.reason);
+    }
+    for ps in orch.excluded_podsets() {
+        fnv1a(&mut h, u64::from(ps.0));
+    }
+    h
+}
+
 /// The full observable-state digest the shard-determinism gate compares:
-/// store contents, SLA rows, probe count, detection outputs, and the
-/// fleet's conservation ledger.
+/// store contents, SLA rows, probe count, detection outputs, the
+/// mitigation transition log, and the fleet's conservation ledger.
 pub fn state_digest(orch: &Orchestrator) -> u64 {
     let topo = orch.net().topology();
     let mut observed = 0u64;
@@ -142,6 +174,7 @@ pub fn state_digest(orch: &Orchestrator) -> u64 {
         orch.outputs().escalations.len() as u64,
         orch.outputs().blackhole_candidates.len() as u64,
         orch.outputs().traceroutes.len() as u64,
+        mitigation_digest(orch),
         observed,
         unresolved,
         buffered,

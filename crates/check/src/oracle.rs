@@ -33,6 +33,12 @@
 //!    in-memory re-ingest of the same batches: counts, bit-equal merged
 //!    aggregates, scans, and every windowed API body. No acknowledged
 //!    record is ever lost; the unacknowledged torn tail never surfaces.
+//! 8. **Mitigation safety** — a replay of the mitigation engine's
+//!    transition log never exceeds any tier's drain budget, never
+//!    re-drains a device inside its cooldown, and at quiescence the
+//!    engine's state mirrors the fabric: drained switches are out of
+//!    ECMP, drained podsets are out of pinglist generation, and nothing
+//!    is excluded that the engine does not own.
 
 use crate::rng::XorShift;
 use crate::scenario::ScenarioSpec;
@@ -703,7 +709,7 @@ pub fn check_serve_coherence(orch: &Orchestrator) -> Vec<Violation> {
                 format!("{key}: cache hit bytes differ from the miss that built them"),
             ));
         }
-        let oracle_body = q.build(&shared.lock());
+        let oracle_body = q.build(&shared.lock()).unwrap_or_default();
         if miss.body != oracle_body {
             out.push(violation(
                 "serve",
@@ -714,7 +720,7 @@ pub fn check_serve_coherence(orch: &Orchestrator) -> Vec<Violation> {
                 ),
             ));
         }
-        let run_body = q.build(store);
+        let run_body = q.build(store).unwrap_or_default();
         if miss.body != run_body {
             out.push(violation(
                 "serve",
@@ -756,7 +762,7 @@ pub fn check_serve_coherence(orch: &Orchestrator) -> Vec<Violation> {
             ));
         }
         // …and the body must equal a pure rebuild over the refolded store.
-        if before.body != q.build(&shared.lock()) {
+        if before.body != q.build(&shared.lock()).unwrap_or_default() {
             out.push(violation(
                 "serve",
                 format!("{key}: post-refold cached bytes diverge from rebuild"),
@@ -935,6 +941,172 @@ pub fn check_crash_recovery(orch: &Orchestrator, spec: &ScenarioSpec) -> Vec<Vio
             "crash",
             "recovered store refused a fresh append".into(),
         ));
+    }
+    out
+}
+
+/// Oracle 9: mitigation safety.
+///
+/// Replays the mitigation engine's transition log and cross-checks it
+/// against the fabric's actuated state:
+///
+/// * **drain budget** — at every instant of the replay, the set of
+///   devices holding a drain in any tier stays within the tier's budget
+///   (`floor(max_drain_fraction × tier_size)`), and the engine's own
+///   per-tier count agrees with the replay at quiescence;
+/// * **no flapping** — once a device is verified healthy and un-drained,
+///   the engine accepts no new finding for it before the cooldown
+///   elapses;
+/// * **actuation sync** — a switch holding a drain is excluded from ECMP
+///   and an un-drained one is back in; a podset holding a drain is cut
+///   out of pinglist generation and an un-drained one re-included; and
+///   (when the engine alone drives isolation) every exclusion the fabric
+///   carries is owned by the engine.
+///
+/// Probe conservation across drain / un-drain is not re-proved here —
+/// oracle 1 already runs on every scenario, including the mitigation
+/// drills this oracle exists for.
+pub fn check_mitigation(orch: &Orchestrator, spec: &ScenarioSpec) -> Vec<Violation> {
+    use pingmesh_controller::MitigationState as St;
+    use pingmesh_core::mitigation as mit;
+    use pingmesh_core::MitDevice;
+    use std::collections::HashMap;
+
+    let mut out = Vec::new();
+    let eng = orch.mitigation();
+    let topo = orch.net().topology().clone();
+    let tier_of = |d: MitDevice| -> (u32, usize) {
+        match d {
+            MitDevice::Switch(s) => (
+                mit::switch_tier_key(&topo, s),
+                mit::switch_tier_size(&topo, s),
+            ),
+            MitDevice::Podset(p) => (
+                mit::podset_tier_key(&topo, p),
+                mit::podset_tier_size(&topo, p),
+            ),
+        }
+    };
+
+    let mut held: HashMap<u32, BTreeSet<MitDevice>> = HashMap::new();
+    let mut last_undrain: HashMap<MitDevice, SimTime> = HashMap::new();
+    let mut last_state: HashMap<MitDevice, St> = HashMap::new();
+    let cooldown = eng.config().cooldown;
+    for t in eng.transitions() {
+        let (tier, size) = tier_of(t.device);
+        match t.to {
+            St::Pending => {
+                if let Some(&u) = last_undrain.get(&t.device) {
+                    if t.at < u + cooldown {
+                        out.push(violation(
+                            "mitigation",
+                            format!(
+                                "{}: re-drained at {} inside the cooldown (un-drained {})",
+                                t.device, t.at.0, u.0
+                            ),
+                        ));
+                    }
+                }
+            }
+            St::Drained | St::Escalated => {
+                let tier_held = held.entry(tier).or_default();
+                tier_held.insert(t.device);
+                let budget = eng.tier_budget(size);
+                if tier_held.len() > budget {
+                    out.push(violation(
+                        "mitigation",
+                        format!(
+                            "tier {tier}: {} devices drained at {} exceeds budget {budget} \
+                             (tier size {size})",
+                            tier_held.len(),
+                            t.at.0
+                        ),
+                    ));
+                }
+            }
+            St::Undrained => {
+                held.entry(tier).or_default().remove(&t.device);
+                last_undrain.insert(t.device, t.at);
+            }
+            St::Verifying => {}
+        }
+        last_state.insert(t.device, t.to);
+    }
+    for (&tier, devices) in &held {
+        if eng.drained_in_tier(tier) != devices.len() {
+            out.push(violation(
+                "mitigation",
+                format!(
+                    "tier {tier}: engine counts {} drained, transition replay holds {}",
+                    eng.drained_in_tier(tier),
+                    devices.len()
+                ),
+            ));
+        }
+    }
+
+    // Actuation must mirror the engine's final state.
+    let excluded = orch.excluded_podsets();
+    for (&dev, &state) in &last_state {
+        let holds = matches!(
+            state,
+            St::Pending | St::Drained | St::Verifying | St::Escalated
+        );
+        match dev {
+            MitDevice::Switch(sw) => {
+                if orch.net().faults().is_isolated(sw) != holds {
+                    out.push(violation(
+                        "mitigation",
+                        format!(
+                            "{dev}: engine state {state:?} but ECMP isolation is {}",
+                            orch.net().faults().is_isolated(sw)
+                        ),
+                    ));
+                }
+            }
+            MitDevice::Podset(ps) => {
+                if excluded.contains(&ps) != holds {
+                    out.push(violation(
+                        "mitigation",
+                        format!(
+                            "{dev}: engine state {state:?} but pinglist exclusion is {}",
+                            excluded.contains(&ps)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for &ps in excluded {
+        if !matches!(
+            last_state.get(&MitDevice::Podset(ps)),
+            Some(St::Pending | St::Drained | St::Verifying | St::Escalated)
+        ) {
+            out.push(violation(
+                "mitigation",
+                format!(
+                    "podset {} excluded from pinglists but the engine never drained it",
+                    ps.0
+                ),
+            ));
+        }
+    }
+    // With the engine alone driving isolation (no legacy auto-repair RMA
+    // path), every ECMP exclusion must be engine-owned.
+    if spec.auto_mitigate.unwrap_or(spec.auto_repair) {
+        for sw in topo.switches() {
+            if orch.net().faults().is_isolated(sw)
+                && !matches!(
+                    last_state.get(&MitDevice::Switch(sw)),
+                    Some(St::Pending | St::Drained | St::Verifying | St::Escalated)
+                )
+            {
+                out.push(violation(
+                    "mitigation",
+                    format!("{sw} is isolated but the engine never drained it"),
+                ));
+            }
+        }
     }
     out
 }

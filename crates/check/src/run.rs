@@ -107,6 +107,7 @@ pub fn build_orchestrator_sharded(spec: &ScenarioSpec, shards: usize) -> Orchest
         controller_replicas: 2,
         seed: spec.seed,
         auto_repair: spec.auto_repair,
+        auto_mitigate: spec.auto_mitigate.unwrap_or(spec.auto_repair),
         shards,
         ..OrchestratorConfig::default()
     };
@@ -159,6 +160,37 @@ pub fn build_orchestrator_sharded(spec: &ScenarioSpec, shards: usize) -> Orchest
             },
         );
     }
+    if let Some(d) = &spec.mitigation_drill {
+        let switches: Vec<SwitchId> = match d.tier {
+            TIER_TOR => topo
+                .dcs()
+                .flat_map(|dc| topo.pods_in_dc(dc).collect::<Vec<_>>())
+                .map(|p| topo.tor_of_pod(p))
+                .collect(),
+            TIER_LEAF => topo
+                .dcs()
+                .flat_map(|dc| topo.podsets_in_dc(dc).collect::<Vec<_>>())
+                .flat_map(|ps| topo.leaf_slice_of_podset(ps).to_vec())
+                .collect(),
+            _ => topo
+                .dcs()
+                .flat_map(|dc| topo.spine_slice_of_dc(dc).to_vec())
+                .collect(),
+        };
+        if !switches.is_empty() {
+            let sw = switches[d.pick as usize % switches.len()];
+            orch.net_mut().faults_mut().add_switch_fault(
+                sw,
+                ActiveFault {
+                    kind: FaultKind::SilentRandomDrop {
+                        prob: f64::from(d.prob_permille) / 1_000.0,
+                    },
+                    from: minute(d.from_min),
+                    until: None,
+                },
+            );
+        }
+    }
     for pd in &spec.podset_downs {
         let podsets: Vec<_> = topo
             .dcs()
@@ -203,6 +235,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> RunReport {
     violations.extend(oracle::check_quality(&orch, spec));
     violations.extend(oracle::check_serve_coherence(&orch));
     violations.extend(oracle::check_crash_recovery(&orch, spec));
+    violations.extend(oracle::check_mitigation(&orch, spec));
 
     // Sixth family: shard determinism. Re-run the whole scenario on the
     // sharded engine (shard count varies with the seed so campaigns

@@ -48,6 +48,23 @@ pub struct PodsetDownPlan {
     pub until_min: u32,
 }
 
+/// A mitigation-eligible fault: a long-lived silent packet-drop on one
+/// switch, open-ended, so the detect → drain → verify loop has something
+/// real to chew on. Scheduled by ~a quarter of generated scenarios (which
+/// also run long enough for the 10-minute detection cadence to land and a
+/// drain + soak to elapse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationDrillPlan {
+    /// Switch tier: 0 = ToR, 1 = leaf, 2 = spine.
+    pub tier: u8,
+    /// Index into the tier's switches (mod length).
+    pub pick: u32,
+    /// Silent-drop probability in permille.
+    pub prob_permille: u32,
+    /// Activation minute (the fault never deactivates).
+    pub from_min: u32,
+}
+
 /// A store (upload front-end) outage window, in minutes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutagePlan {
@@ -109,6 +126,12 @@ pub struct ScenarioSpec {
     pub qos_low: bool,
     /// Let detection findings drive automatic repair.
     pub auto_repair: bool,
+    /// Let findings drive the closed-loop mitigation engine. `None`
+    /// mirrors `auto_repair` — and keeps specs pinned before the engine
+    /// existed byte-compatible (`Option` tolerates the missing key).
+    pub auto_mitigate: Option<bool>,
+    /// Open-ended switch fault that makes the run mitigation-eligible.
+    pub mitigation_drill: Option<MitigationDrillPlan>,
     /// Scheduled switch faults.
     pub switch_faults: Vec<FaultPlan>,
     /// Podset power-down windows.
@@ -160,6 +183,8 @@ impl ScenarioSpec {
             payload_probes: r.chance(300),
             qos_low: r.chance(300),
             auto_repair: r.chance(700),
+            auto_mitigate: None,
+            mitigation_drill: None,
             switch_faults: Vec::new(),
             podset_downs: Vec::new(),
             store_outages: Vec::new(),
@@ -198,6 +223,22 @@ impl ScenarioSpec {
                 replica: r.range(0, 1) as u32,
                 from_min,
                 until_min: from_min + r.range(2, 10) as u32,
+            });
+        }
+        // A quarter of scenarios become mitigation drills: the run is
+        // stretched so detection, the drain, and at least one soak +
+        // verification land inside it, and one switch silently drops
+        // packets with no end. The fault starts *after* the first 10-min
+        // window, so the detector's baseline is clean and the jump both
+        // fires and clears the engine's confidence gate.
+        if r.chance(250) {
+            spec.sim_minutes = spec.sim_minutes.max(if smoke { 42 } else { 52 });
+            spec.auto_mitigate = Some(true);
+            spec.mitigation_drill = Some(MitigationDrillPlan {
+                tier: r.range(0, 2) as u8,
+                pick: r.next_u64() as u32,
+                prob_permille: r.range(60, 220) as u32,
+                from_min: r.range(11, 14) as u32,
             });
         }
         spec

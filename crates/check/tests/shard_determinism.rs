@@ -33,6 +33,8 @@ fn four_podset_spec() -> ScenarioSpec {
         payload_probes: true,
         qos_low: true,
         auto_repair: true,
+        auto_mitigate: Some(true),
+        mitigation_drill: None,
         switch_faults: vec![FaultPlan {
             tier: TIER_LEAF,
             pick: 3,

@@ -20,11 +20,16 @@
 #![forbid(unsafe_code)]
 
 pub mod genalgo;
+pub mod mitigate;
 pub mod slb;
 pub mod web;
 pub mod xml;
 
 pub use genalgo::{GeneratorConfig, PinglistGenerator, PinglistSet};
+pub use mitigate::{
+    Decision, FindingKind, MitigationConfig, MitigationEngine, MitigationState, RejectReason,
+    TransitionRecord, VerifyOutcome,
+};
 pub use slb::{ControllerCluster, SimController};
 pub use web::{fetch_pinglist, fetch_pinglist_with, serve, WebState};
 pub use xml::{from_xml, to_xml};

@@ -1,0 +1,690 @@
+//! Closed-loop auto-mitigation: from detection to actuation (ROADMAP
+//! item 5; ACME in PAPERS.md).
+//!
+//! The paper stops at alerting humans. This module closes the loop: typed
+//! detector findings (black-hole, silent drop, podset power-down) drive a
+//! per-device state machine
+//!
+//! ```text
+//! Pending → Drained → Verifying → Undrained
+//!                │         │
+//!                └────►  Escalated (recurrence / verify exhausted / guard)
+//! ```
+//!
+//! guarded the way RIPE Atlas's operational writeup demands of actuation:
+//!
+//! * **tier drain budget** — never drain more than `max_drain_fraction`
+//!   of a tier (`floor`, never rounded up: a tier of two spines with a
+//!   25% budget drains nothing — over-draining ECMP degenerates to no
+//!   exclusion at all);
+//! * **per-device cooldown** — after a verified un-drain the device may
+//!   not be re-drained for `cooldown`, so mitigation can never flap;
+//! * **recurrence escalation** — a device whose fault returns after a
+//!   verified un-drain is drained again and *held* for humans (RMA),
+//!   because automatic recovery has already been proven wrong once;
+//! * **verification before trust** — a drained device must soak, then
+//!   pass targeted confirmation probes, before it is returned to ECMP.
+//!
+//! The engine is a *pure, deterministic* state machine: it owns no
+//! clocks, no RNG and no I/O, and is generic over the device id, so the
+//! simulation drives it with `SwitchId`s while the real-socket drill
+//! drives it with controller-replica indices. Callers (the orchestrator,
+//! the realmode watchdog) actuate the decisions — route-table exclusion,
+//! pinglist regeneration, paging — and report verification results back.
+//! Every transition is appended to an inspectable log and counted in the
+//! obs registry (`pingmesh_mitigation_*`).
+
+use pingmesh_types::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Engine tunables. Defaults are deliberately conservative: a device is
+/// verified no earlier than one detection window after draining, and a
+/// quarter of a tier is the most the engine will ever take out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationConfig {
+    /// Never drain more than this fraction of a tier (applied with
+    /// `floor`; a tier must be large enough that the budget rounds to at
+    /// least one device before anything in it can be drained).
+    pub max_drain_fraction: f64,
+    /// Minimum soak time between draining a device and the first
+    /// verification attempt — long enough for a detection window to
+    /// confirm the symptom is gone from live traffic.
+    pub min_soak: SimDuration,
+    /// After a verified un-drain, the device may not be re-drained for
+    /// this long (the no-flapping guarantee).
+    pub cooldown: SimDuration,
+    /// Failed verification attempts before the engine stops trying and
+    /// escalates to humans.
+    pub max_verify_attempts: u32,
+    /// A finding that re-names a device within this window of its
+    /// verified un-drain is a recurrence: drain again, page, hold.
+    pub recurrence_window: SimDuration,
+    /// Findings below this confidence are ignored.
+    pub min_confidence: f64,
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        Self {
+            max_drain_fraction: 0.25,
+            min_soak: SimDuration::from_mins(10),
+            cooldown: SimDuration::from_mins(30),
+            max_verify_attempts: 3,
+            recurrence_window: SimDuration::from_hours(2),
+            min_confidence: 0.5,
+        }
+    }
+}
+
+/// What kind of detector produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FindingKind {
+    /// Deterministic ECMP black-hole (type-1/type-2).
+    Blackhole,
+    /// Silent random packet drop.
+    SilentDrop,
+    /// A whole podset lost power (watchdog).
+    PodsetPowerDown,
+}
+
+impl FindingKind {
+    /// Short label used in transition records and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::Blackhole => "blackhole",
+            FindingKind::SilentDrop => "silent_drop",
+            FindingKind::PodsetPowerDown => "podset_power_down",
+        }
+    }
+}
+
+/// The per-device state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MitigationState {
+    /// Finding accepted; drain not yet applied by the actuator.
+    Pending,
+    /// Out of ECMP, soaking before verification.
+    Drained,
+    /// Confirmation probes are being run through the device.
+    Verifying,
+    /// Verified healthy and returned to service; cooldown running.
+    Undrained,
+    /// Held for humans: recurrence, exhausted verification, or a guard
+    /// said no. A device escalated while drained *stays* drained.
+    Escalated,
+}
+
+impl MitigationState {
+    /// Short label used in transition records and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            MitigationState::Pending => "pending",
+            MitigationState::Drained => "drained",
+            MitigationState::Verifying => "verifying",
+            MitigationState::Undrained => "undrained",
+            MitigationState::Escalated => "escalated",
+        }
+    }
+}
+
+/// Why a finding did not result in a drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The device was un-drained less than `cooldown` ago.
+    CooldownActive,
+    /// Draining would exceed the tier's drain budget.
+    TierBudgetExhausted,
+    /// The device is already drained / verifying / escalated.
+    AlreadyActive,
+    /// The finding's confidence is below `min_confidence`.
+    LowConfidence,
+}
+
+impl RejectReason {
+    /// Short label used in metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::CooldownActive => "cooldown",
+            RejectReason::TierBudgetExhausted => "tier_budget",
+            RejectReason::AlreadyActive => "already_active",
+            RejectReason::LowConfidence => "low_confidence",
+        }
+    }
+}
+
+/// The engine's answer to a reported finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Drain the device now (the caller applies the route-table
+    /// exclusion and regenerates pinglists).
+    Drain,
+    /// Recurrence after a verified un-drain: drain the device *and* page
+    /// — it will be held for humans, not auto-undrained.
+    DrainAndEscalate,
+    /// No action.
+    Rejected(RejectReason),
+}
+
+/// Outcome of reporting a verification result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Healthy: un-drain the device now (the caller removes the
+    /// exclusion and regenerates pinglists).
+    Undrain,
+    /// Still unhealthy; the engine will ask to verify again after
+    /// another soak.
+    KeepDrained,
+    /// Verification budget exhausted: page and hold drained.
+    Escalated,
+}
+
+/// One logged transition. The log is the engine's ground truth — the
+/// mitigation oracle replays it to prove the budget and cooldown
+/// invariants held at every step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionRecord<D> {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// The device.
+    pub device: D,
+    /// State before (`None` for the first transition of a device).
+    pub from: Option<MitigationState>,
+    /// State after.
+    pub to: MitigationState,
+    /// Why ("blackhole", "verified_healthy", "recurrence", ...).
+    pub reason: &'static str,
+}
+
+#[derive(Debug, Clone)]
+struct DeviceRecord {
+    state: MitigationState,
+    tier: u32,
+    drained_at: SimTime,
+    undrained_at: Option<SimTime>,
+    verify_attempts: u32,
+    kind: FindingKind,
+}
+
+/// The mitigation engine. `D` is the drainable device id: `SwitchId` in
+/// the simulation, a controller replica index in the real-socket drill.
+#[derive(Debug)]
+pub struct MitigationEngine<D> {
+    config: MitigationConfig,
+    /// `BTreeMap` so every iteration (verification scheduling, drained
+    /// sets) is in device order — the engine must behave identically
+    /// however the caller's shards are laid out.
+    devices: BTreeMap<D, DeviceRecord>,
+    transitions: Vec<TransitionRecord<D>>,
+    drains: u64,
+    undrains: u64,
+    escalations: u64,
+}
+
+impl<D> MitigationEngine<D>
+where
+    D: Copy + Ord + Hash + fmt::Debug,
+{
+    /// Creates an engine.
+    pub fn new(config: MitigationConfig) -> Self {
+        Self {
+            config,
+            devices: BTreeMap::new(),
+            transitions: Vec::new(),
+            drains: 0,
+            undrains: 0,
+            escalations: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MitigationConfig {
+        &self.config
+    }
+
+    fn transition(
+        &mut self,
+        device: D,
+        from: Option<MitigationState>,
+        to: MitigationState,
+        reason: &'static str,
+        at: SimTime,
+    ) {
+        self.transitions.push(TransitionRecord {
+            at,
+            device,
+            from,
+            to,
+            reason,
+        });
+        let registry = pingmesh_obs::registry();
+        registry
+            .counter_with(
+                "pingmesh_mitigation_transitions_total",
+                &[("to", to.label())],
+            )
+            .inc();
+    }
+
+    /// How many devices of `tier` are currently out of ECMP because of
+    /// this engine (drained, verifying, or escalated-while-drained).
+    pub fn drained_in_tier(&self, tier: u32) -> usize {
+        self.devices
+            .values()
+            .filter(|r| r.tier == tier && r.holds_drain())
+            .count()
+    }
+
+    /// The largest number of devices the budget allows out of a tier of
+    /// `tier_size` at once.
+    pub fn tier_budget(&self, tier_size: usize) -> usize {
+        (self.config.max_drain_fraction * tier_size as f64).floor() as usize
+    }
+
+    /// Reports a detector finding against `device` (which lives in a
+    /// tier of `tier_size` devices, keyed by `tier`). Returns what the
+    /// caller must actuate.
+    pub fn report(
+        &mut self,
+        device: D,
+        tier: u32,
+        tier_size: usize,
+        kind: FindingKind,
+        confidence: f64,
+        now: SimTime,
+    ) -> Decision {
+        let registry = pingmesh_obs::registry();
+        registry
+            .counter_with(
+                "pingmesh_mitigation_findings_total",
+                &[("kind", kind.label())],
+            )
+            .inc();
+        if confidence < self.config.min_confidence {
+            return self.reject(RejectReason::LowConfidence);
+        }
+        let mut recurrence = false;
+        if let Some(r) = self.devices.get(&device) {
+            match r.state {
+                MitigationState::Pending
+                | MitigationState::Drained
+                | MitigationState::Verifying
+                | MitigationState::Escalated => {
+                    return self.reject(RejectReason::AlreadyActive);
+                }
+                MitigationState::Undrained => {
+                    let undrained_at = r.undrained_at.expect("undrained has a timestamp");
+                    if now < undrained_at + self.config.cooldown {
+                        return self.reject(RejectReason::CooldownActive);
+                    }
+                    recurrence = now < undrained_at + self.config.recurrence_window;
+                }
+            }
+        }
+        if self.drained_in_tier(tier) + 1 > self.tier_budget(tier_size) {
+            // The guard page is itself an escalation: the engine wanted
+            // to act and could not, so humans must.
+            self.escalations += 1;
+            registry
+                .counter_with(
+                    "pingmesh_mitigation_blocked_total",
+                    &[("reason", RejectReason::TierBudgetExhausted.label())],
+                )
+                .inc();
+            registry
+                .counter("pingmesh_mitigation_escalations_total")
+                .inc();
+            return Decision::Rejected(RejectReason::TierBudgetExhausted);
+        }
+
+        let from = self.devices.get(&device).map(|r| r.state);
+        self.transition(device, from, MitigationState::Pending, kind.label(), now);
+        let to = if recurrence {
+            MitigationState::Escalated
+        } else {
+            MitigationState::Drained
+        };
+        self.transition(
+            device,
+            Some(MitigationState::Pending),
+            to,
+            if recurrence { "recurrence" } else { "drain" },
+            now,
+        );
+        self.devices.insert(
+            device,
+            DeviceRecord {
+                state: to,
+                tier,
+                drained_at: now,
+                undrained_at: None,
+                verify_attempts: 0,
+                kind,
+            },
+        );
+        self.drains += 1;
+        registry.counter("pingmesh_mitigation_drains_total").inc();
+        if recurrence {
+            self.escalations += 1;
+            registry
+                .counter("pingmesh_mitigation_escalations_total")
+                .inc();
+            Decision::DrainAndEscalate
+        } else {
+            Decision::Drain
+        }
+    }
+
+    fn reject(&mut self, reason: RejectReason) -> Decision {
+        pingmesh_obs::registry()
+            .counter_with(
+                "pingmesh_mitigation_blocked_total",
+                &[("reason", reason.label())],
+            )
+            .inc();
+        Decision::Rejected(reason)
+    }
+
+    /// Drained devices whose soak has elapsed: the caller must now run
+    /// confirmation probes through each and report the result. The
+    /// returned devices move to `Verifying`; order is device order.
+    pub fn due_verifications(&mut self, now: SimTime) -> Vec<D> {
+        let min_soak = self.config.min_soak;
+        let due: Vec<D> = self
+            .devices
+            .iter()
+            .filter(|(_, r)| r.state == MitigationState::Drained && now >= r.drained_at + min_soak)
+            .map(|(&d, _)| d)
+            .collect();
+        for &d in &due {
+            self.transition(
+                d,
+                Some(MitigationState::Drained),
+                MitigationState::Verifying,
+                "soak_elapsed",
+                now,
+            );
+            self.devices.get_mut(&d).expect("due device exists").state = MitigationState::Verifying;
+        }
+        due
+    }
+
+    /// Reports the result of a verification round for `device`.
+    pub fn record_verification(&mut self, device: D, healthy: bool, now: SimTime) -> VerifyOutcome {
+        let registry = pingmesh_obs::registry();
+        registry
+            .counter("pingmesh_mitigation_verify_attempts_total")
+            .inc();
+        let Some(r) = self.devices.get_mut(&device) else {
+            return VerifyOutcome::KeepDrained;
+        };
+        if r.state != MitigationState::Verifying {
+            return VerifyOutcome::KeepDrained;
+        }
+        r.verify_attempts += 1;
+        if healthy {
+            r.state = MitigationState::Undrained;
+            r.undrained_at = Some(now);
+            self.undrains += 1;
+            self.transition(
+                device,
+                Some(MitigationState::Verifying),
+                MitigationState::Undrained,
+                "verified_healthy",
+                now,
+            );
+            registry.counter("pingmesh_mitigation_undrains_total").inc();
+            VerifyOutcome::Undrain
+        } else if r.verify_attempts >= self.config.max_verify_attempts {
+            r.state = MitigationState::Escalated;
+            self.escalations += 1;
+            self.transition(
+                device,
+                Some(MitigationState::Verifying),
+                MitigationState::Escalated,
+                "verify_exhausted",
+                now,
+            );
+            registry
+                .counter("pingmesh_mitigation_escalations_total")
+                .inc();
+            VerifyOutcome::Escalated
+        } else {
+            // Back to soaking; another window before the next attempt.
+            r.state = MitigationState::Drained;
+            r.drained_at = now;
+            self.transition(
+                device,
+                Some(MitigationState::Verifying),
+                MitigationState::Drained,
+                "still_unhealthy",
+                now,
+            );
+            VerifyOutcome::KeepDrained
+        }
+    }
+
+    /// Devices currently held out of ECMP by the engine, in device
+    /// order. This is the set the actuator's exclusion state must match
+    /// exactly — the mitigation oracle cross-checks it.
+    pub fn drained_devices(&self) -> Vec<D> {
+        self.devices
+            .iter()
+            .filter(|(_, r)| r.holds_drain())
+            .map(|(&d, _)| d)
+            .collect()
+    }
+
+    /// Whether `device` is currently held out of ECMP by the engine.
+    pub fn is_drained(&self, device: D) -> bool {
+        self.devices.get(&device).is_some_and(|r| r.holds_drain())
+    }
+
+    /// The state of `device`, if the engine has ever acted on it.
+    pub fn state_of(&self, device: D) -> Option<MitigationState> {
+        self.devices.get(&device).map(|r| r.state)
+    }
+
+    /// The finding kind that put `device` into its current state.
+    pub fn kind_of(&self, device: D) -> Option<FindingKind> {
+        self.devices.get(&device).map(|r| r.kind)
+    }
+
+    /// Every transition so far, in order.
+    pub fn transitions(&self) -> &[TransitionRecord<D>] {
+        &self.transitions
+    }
+
+    /// Total drains performed.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Total verified un-drains performed.
+    pub fn undrains(&self) -> u64 {
+        self.undrains
+    }
+
+    /// Total escalations to humans (recurrence, exhausted verification,
+    /// or a tier-budget page).
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+}
+
+impl DeviceRecord {
+    /// Whether this record keeps its device out of ECMP. An `Escalated`
+    /// device stays drained — it is held for RMA, not returned to
+    /// service.
+    fn holds_drain(&self) -> bool {
+        matches!(
+            self.state,
+            MitigationState::Pending
+                | MitigationState::Drained
+                | MitigationState::Verifying
+                | MitigationState::Escalated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MitigationConfig {
+        MitigationConfig::default()
+    }
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(mins)
+    }
+
+    fn drain(e: &mut MitigationEngine<u32>, d: u32, at: SimTime) -> Decision {
+        e.report(d, 0, 8, FindingKind::Blackhole, 0.9, at)
+    }
+
+    #[test]
+    fn full_cycle_drain_verify_undrain() {
+        let mut e = MitigationEngine::new(cfg());
+        assert_eq!(drain(&mut e, 1, t(0)), Decision::Drain);
+        assert!(e.is_drained(1));
+        // Soak not elapsed: nothing due.
+        assert!(e.due_verifications(t(5)).is_empty());
+        assert_eq!(e.due_verifications(t(10)), vec![1]);
+        assert_eq!(e.state_of(1), Some(MitigationState::Verifying));
+        assert_eq!(
+            e.record_verification(1, true, t(10)),
+            VerifyOutcome::Undrain
+        );
+        assert!(!e.is_drained(1));
+        assert_eq!(e.state_of(1), Some(MitigationState::Undrained));
+        assert_eq!((e.drains(), e.undrains(), e.escalations()), (1, 1, 0));
+        // Transition log tells the whole story.
+        let tos: Vec<_> = e.transitions().iter().map(|r| r.to).collect();
+        assert_eq!(
+            tos,
+            vec![
+                MitigationState::Pending,
+                MitigationState::Drained,
+                MitigationState::Verifying,
+                MitigationState::Undrained,
+            ]
+        );
+    }
+
+    #[test]
+    fn tier_budget_is_floor_never_rounded_up() {
+        let mut e = MitigationEngine::new(cfg());
+        // Tier of 2 at 25%: floor(0.5) = 0 — nothing may be drained.
+        assert_eq!(
+            e.report(7, 1, 2, FindingKind::SilentDrop, 0.9, t(0)),
+            Decision::Rejected(RejectReason::TierBudgetExhausted)
+        );
+        assert_eq!(e.escalations(), 1, "a guard page is an escalation");
+        // Tier of 8 at 25%: two drains fit, the third is blocked.
+        assert_eq!(drain(&mut e, 1, t(0)), Decision::Drain);
+        assert_eq!(drain(&mut e, 2, t(1)), Decision::Drain);
+        assert_eq!(
+            drain(&mut e, 3, t(2)),
+            Decision::Rejected(RejectReason::TierBudgetExhausted)
+        );
+        assert_eq!(e.drained_in_tier(0), 2);
+        // An un-drain frees budget.
+        e.due_verifications(t(11));
+        assert_eq!(
+            e.record_verification(1, true, t(11)),
+            VerifyOutcome::Undrain
+        );
+        assert_eq!(drain(&mut e, 3, t(12)), Decision::Drain);
+    }
+
+    #[test]
+    fn cooldown_blocks_redrain_then_recurrence_escalates() {
+        let mut e = MitigationEngine::new(cfg());
+        drain(&mut e, 1, t(0));
+        e.due_verifications(t(10));
+        e.record_verification(1, true, t(10));
+        // Within the 30-min cooldown: rejected, no flap.
+        assert_eq!(
+            drain(&mut e, 1, t(20)),
+            Decision::Rejected(RejectReason::CooldownActive)
+        );
+        assert!(!e.is_drained(1));
+        // After cooldown but within the 2 h recurrence window: drain and
+        // hold for humans.
+        assert_eq!(drain(&mut e, 1, t(50)), Decision::DrainAndEscalate);
+        assert_eq!(e.state_of(1), Some(MitigationState::Escalated));
+        assert!(e.is_drained(1), "escalated devices stay drained");
+        // Escalated is terminal: further findings are no-ops.
+        assert_eq!(
+            drain(&mut e, 1, t(60)),
+            Decision::Rejected(RejectReason::AlreadyActive)
+        );
+        assert!(e.due_verifications(t(120)).is_empty());
+    }
+
+    #[test]
+    fn verify_failures_soak_again_then_escalate() {
+        let mut e = MitigationEngine::new(cfg());
+        drain(&mut e, 4, t(0));
+        assert_eq!(e.due_verifications(t(10)), vec![4]);
+        assert_eq!(
+            e.record_verification(4, false, t(10)),
+            VerifyOutcome::KeepDrained
+        );
+        // Soak restarts from the failed attempt.
+        assert!(e.due_verifications(t(15)).is_empty());
+        assert_eq!(e.due_verifications(t(20)), vec![4]);
+        assert_eq!(
+            e.record_verification(4, false, t(20)),
+            VerifyOutcome::KeepDrained
+        );
+        assert_eq!(e.due_verifications(t(30)), vec![4]);
+        assert_eq!(
+            e.record_verification(4, false, t(30)),
+            VerifyOutcome::Escalated
+        );
+        assert_eq!(e.state_of(4), Some(MitigationState::Escalated));
+        assert!(e.is_drained(4));
+        assert_eq!(e.escalations(), 1);
+    }
+
+    #[test]
+    fn low_confidence_and_separate_tiers() {
+        let mut e = MitigationEngine::new(cfg());
+        assert_eq!(
+            e.report(1, 0, 8, FindingKind::Blackhole, 0.2, t(0)),
+            Decision::Rejected(RejectReason::LowConfidence)
+        );
+        // Budgets are per tier: tier 0 full does not block tier 1.
+        drain(&mut e, 1, t(0));
+        drain(&mut e, 2, t(0));
+        assert_eq!(
+            drain(&mut e, 3, t(0)),
+            Decision::Rejected(RejectReason::TierBudgetExhausted)
+        );
+        assert_eq!(
+            e.report(100, 1, 8, FindingKind::SilentDrop, 0.9, t(0)),
+            Decision::Drain
+        );
+        assert_eq!(e.drained_in_tier(0), 2);
+        assert_eq!(e.drained_in_tier(1), 1);
+    }
+
+    #[test]
+    fn drained_devices_sorted_and_log_reasons() {
+        let mut e = MitigationEngine::new(cfg());
+        drain(&mut e, 9, t(0));
+        drain(&mut e, 3, t(0));
+        assert_eq!(e.drained_devices(), vec![3, 9]);
+        assert!(e
+            .transitions()
+            .iter()
+            .any(|r| r.reason == "blackhole" && r.to == MitigationState::Pending));
+        assert!(e
+            .transitions()
+            .iter()
+            .any(|r| r.reason == "drain" && r.to == MitigationState::Drained));
+    }
+}

@@ -31,18 +31,27 @@
 //! layout. `shards = 1` *is* the serial engine — same code path, no
 //! thread spawn.
 
+use crate::mitigation::{self, MitDevice, VERIFY_DST_PORT};
 use crate::repair::RepairService;
+use crate::watchdog::detect_podset_power_down;
 use pingmesh_agent::{AgentConfig, AgentFleet, AgentView, ControllerPollOutcome};
-use pingmesh_controller::{ControllerCluster, GeneratorConfig, PinglistGenerator};
-use pingmesh_dsa::jobs::{JobManager, Pipeline};
+use pingmesh_controller::{
+    ControllerCluster, Decision, FindingKind, GeneratorConfig, MitigationConfig, MitigationEngine,
+    PinglistGenerator, VerifyOutcome,
+};
+use pingmesh_dsa::jobs::{JobKind, JobManager, Pipeline};
 use pingmesh_dsa::store::{CosmosStore, StreamName};
-use pingmesh_dsa::{ExpectedPairs, LatencyPattern, PerfCounterAggregator, SilentDropFinding};
+use pingmesh_dsa::{
+    EscalationFinding, ExpectedPairs, LatencyPattern, PerfCounterAggregator, SilentDropFinding,
+};
 use pingmesh_netsim::net::CounterDelta;
 use pingmesh_netsim::{tcp_traceroute, DcProfile, EventQueue, NetState, SimNet, TracerouteReport};
 use pingmesh_topology::{ServiceMap, Topology};
 use pingmesh_types::{
-    DcId, PingTarget, ProbeOutcome, ProbeRecord, ServerId, SimDuration, SimTime, SwitchId,
+    DcId, FiveTuple, PingTarget, PodsetId, ProbeKind, ProbeOutcome, ProbeRecord, QosClass,
+    ServerId, SimDuration, SimTime, SwitchId, SwitchTier,
 };
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Orchestrator configuration.
@@ -61,6 +70,13 @@ pub struct OrchestratorConfig {
     /// Whether detection findings drive automatic repair (reloads /
     /// isolations). Disable to observe incidents without mitigation.
     pub auto_repair: bool,
+    /// Whether detection findings drive the closed-loop mitigation
+    /// engine (drain → verify → un-drain). Independent of `auto_repair`
+    /// so experiments can keep the §5.1 reload loop while watching
+    /// incidents go unmitigated, or vice versa.
+    pub auto_mitigate: bool,
+    /// Mitigation engine tunables (drain budget, soak, cooldown).
+    pub mitigation: MitigationConfig,
     /// Event-queue shards. Podsets are distributed round-robin over
     /// shards; `1` (the default) runs the serial engine inline. Output is
     /// bit-identical at any value.
@@ -81,6 +97,8 @@ impl Default for OrchestratorConfig {
             pa_interval: SimDuration::from_mins(5),
             seed: 0xC0FFEE,
             auto_repair: true,
+            auto_mitigate: true,
+            mitigation: MitigationConfig::default(),
             shards: 1,
             barrier_interval: SimDuration::from_mins(1),
         }
@@ -286,6 +304,10 @@ pub struct Orchestrator {
     pa: PerfCounterAggregator,
     jobman: JobManager,
     repair: RepairService,
+    mitigation: MitigationEngine<MitDevice>,
+    /// Podsets currently drained out of pinglist generation (power-down
+    /// mitigation). Ordered so regeneration filtering is deterministic.
+    excluded_podsets: BTreeSet<PodsetId>,
     config: OrchestratorConfig,
     outputs: SimOutputs,
     generation: u64,
@@ -345,6 +367,7 @@ impl Orchestrator {
         let jobman = JobManager::new();
         let next_pa = SimTime::ZERO + config.pa_interval;
 
+        let mitigation = MitigationEngine::new(config.mitigation);
         Self {
             net,
             shards,
@@ -354,6 +377,8 @@ impl Orchestrator {
             pa: PerfCounterAggregator::new(),
             jobman,
             repair: RepairService::new(),
+            mitigation,
+            excluded_podsets: BTreeSet::new(),
             config,
             outputs: SimOutputs::default(),
             generation,
@@ -408,6 +433,16 @@ impl Orchestrator {
         &self.repair
     }
 
+    /// The mitigation engine (drain states, transition log, counters).
+    pub fn mitigation(&self) -> &MitigationEngine<MitDevice> {
+        &self.mitigation
+    }
+
+    /// Podsets currently drained out of pinglist generation.
+    pub fn excluded_podsets(&self) -> &BTreeSet<PodsetId> {
+        &self.excluded_podsets
+    }
+
     /// One agent, by server id (diagnostics / invariant checks).
     pub fn agent(&self, s: ServerId) -> AgentView<'_> {
         let (sh, idx) = self.shard_of[s.index()];
@@ -446,7 +481,30 @@ impl Orchestrator {
         self.generation += 1;
         self.config.generator = generator_config.clone();
         let generator = PinglistGenerator::new(generator_config);
-        let set = generator.generate_all(self.net.topology(), self.generation);
+        let mut set = generator.generate_all(self.net.topology(), self.generation);
+        // Drained podsets (power-down mitigation) are cut out of the mesh:
+        // their servers get empty lists, and nobody else wastes probes on
+        // them — exactly the manual pinglist surgery the paper's operators
+        // did, automated. VIP entries stay (the VIP maps around the dark
+        // DIPs or reports the outage itself).
+        if !self.excluded_podsets.is_empty() {
+            let topo = self.net.topology();
+            for list in &mut set.lists {
+                if self
+                    .excluded_podsets
+                    .contains(&topo.server(list.server).podset)
+                {
+                    list.entries.clear();
+                    continue;
+                }
+                list.entries.retain(|e| match e.target {
+                    PingTarget::Server { id, .. } => {
+                        !self.excluded_podsets.contains(&topo.server(id).podset)
+                    }
+                    PingTarget::Vip { .. } => true,
+                });
+            }
+        }
         pingmesh_obs::trace::arm_from_pinglists(&set.lists, Some(self.now));
         self.pipeline
             .set_expected_pairs(Arc::new(ExpectedPairs::from_pinglists(
@@ -623,14 +681,203 @@ impl Orchestrator {
                         self.repair.request_reload(&mut self.net, c.tor, now);
                     }
                 }
-                for ps in bh.escalations {
-                    self.outputs.escalations.push((now, ps));
+                for esc in &bh.escalations {
+                    self.outputs.escalations.push((now, esc.podset));
+                    if self.config.auto_mitigate {
+                        self.mitigate_escalation(esc, now);
+                    }
                 }
             }
             for incident in out.incidents {
                 self.localize_and_mitigate(&incident, now);
                 self.outputs.incidents.push(incident);
             }
+            // Podset power-down check rides the 10-min cadence: the
+            // window the tick just closed is exactly the observation
+            // the Figure-8(b) signature needs.
+            if tick.kind == JobKind::TenMin && self.config.auto_mitigate {
+                let agg = self
+                    .pipeline
+                    .store
+                    .merged_window_aggregate(tick.window_start, tick.window_end);
+                let topo = self.net.topology().clone();
+                for (ps, conf) in detect_podset_power_down(&agg, &topo) {
+                    self.report_podset(ps, conf, now);
+                }
+            }
+        }
+        // Drained devices whose soak has elapsed get their confirmation
+        // probes here — barrier-sequential, so the probe set (and with it
+        // the whole run) is identical at any shard count.
+        if self.config.auto_mitigate {
+            self.run_due_verifications(now);
+        }
+    }
+
+    /// Routes a switch finding through the mitigation engine; on a Drain
+    /// decision the switch leaves ECMP via the route tables' exclusion
+    /// support (the same actuator the §5.2 RMA path uses).
+    fn report_switch(&mut self, sw: SwitchId, kind: FindingKind, confidence: f64, now: SimTime) {
+        let topo = self.net.topology().clone();
+        let tier = mitigation::switch_tier_key(&topo, sw);
+        let size = mitigation::switch_tier_size(&topo, sw);
+        match self
+            .mitigation
+            .report(MitDevice::Switch(sw), tier, size, kind, confidence, now)
+        {
+            Decision::Drain | Decision::DrainAndEscalate => {
+                self.repair.isolate_for_rma(&mut self.net, sw, now);
+            }
+            Decision::Rejected(_) => {}
+        }
+    }
+
+    /// Routes a podset power-down finding through the engine; on Drain
+    /// the podset is cut out of pinglist generation.
+    fn report_podset(&mut self, ps: PodsetId, confidence: f64, now: SimTime) {
+        let topo = self.net.topology().clone();
+        let tier = mitigation::podset_tier_key(&topo, ps);
+        let size = mitigation::podset_tier_size(&topo, ps);
+        match self.mitigation.report(
+            MitDevice::Podset(ps),
+            tier,
+            size,
+            FindingKind::PodsetPowerDown,
+            confidence,
+            now,
+        ) {
+            Decision::Drain | Decision::DrainAndEscalate => {
+                self.excluded_podsets.insert(ps);
+                self.regenerate_pinglists(self.config.generator.clone());
+            }
+            Decision::Rejected(_) => {}
+        }
+    }
+
+    /// A black-hole podset escalation: traceroute the blackholed pairs,
+    /// pin the loss on a Leaf/Spine device, and hand it to the engine.
+    fn mitigate_escalation(&mut self, esc: &EscalationFinding, now: SimTime) {
+        if esc.suspect_pairs.is_empty() {
+            return;
+        }
+        let mut merged = TracerouteReport::default();
+        for (i, pair) in esc.suspect_pairs.iter().take(8).enumerate() {
+            // Base ports 21_000+ keep the keyed RNG streams disjoint from
+            // the silent-drop campaigns at 20_000+.
+            let report = tcp_traceroute(
+                &mut self.net,
+                pair.src,
+                pair.dst,
+                64,
+                100,
+                21_000 + (i as u16) * 128,
+                now,
+            );
+            merged.merge(&report);
+        }
+        // A type-2 black hole drops its flows deterministically, so the
+        // guilty device's attributed loss is far above background noise.
+        let candidate = merged
+            .suspects(0.05, 100)
+            .into_iter()
+            .map(|(sw, _)| sw)
+            .find(|sw| matches!(sw.tier, SwitchTier::Leaf | SwitchTier::Spine));
+        if let Some(sw) = candidate {
+            self.report_switch(sw, FindingKind::Blackhole, esc.confidence, now);
+        }
+        self.outputs.traceroutes.push((now, merged));
+    }
+
+    /// Runs confirmation probes for every drained device whose soak
+    /// period has elapsed, and acts on the engine's verdicts.
+    fn run_due_verifications(&mut self, now: SimTime) {
+        for dev in self.mitigation.due_verifications(now) {
+            match dev {
+                MitDevice::Switch(sw) => self.verify_switch(sw, now),
+                MitDevice::Podset(ps) => self.verify_podset(ps, now),
+            }
+        }
+    }
+
+    /// Proves (or fails to prove) a drained switch healthy: lift the
+    /// exclusion, plan probes whose ECMP path traverses the device, fire
+    /// them against live network state, and re-drain unless ≥90% succeed.
+    fn verify_switch(&mut self, sw: SwitchId, now: SimTime) {
+        let topo = self.net.topology().clone();
+        // Lift the exclusion first: verification must exercise the paths
+        // traffic would take with the device back in service.
+        self.net.faults_mut().unisolate_switch(sw);
+        let plan = {
+            let net = &self.net;
+            mitigation::plan_switch_verification(&topo, sw, 12, 512, |src, dst, port| {
+                let tuple = FiveTuple::tcp(topo.ip_of(src), port, topo.ip_of(dst), VERIFY_DST_PORT);
+                net.path_of(src, dst, &tuple).switches().collect::<Vec<_>>()
+            })
+        };
+        let mut delta = CounterDelta::new();
+        let mut ok = 0usize;
+        for p in &plan {
+            let attempt = self.net.state().probe_keyed(
+                self.net.run_seed(),
+                &mut delta,
+                p.src,
+                topo.ip_of(p.dst),
+                p.src_port,
+                VERIFY_DST_PORT,
+                ProbeKind::TcpSyn,
+                QosClass::High,
+                now,
+            );
+            if matches!(attempt.outcome, ProbeOutcome::Success { .. }) {
+                ok += 1;
+            }
+        }
+        self.net.merge_counters(&delta);
+        // Healthy needs real evidence: enough probes actually traversed
+        // the device, and nearly all of them came back.
+        let healthy = plan.len() >= 4 && ok * 10 >= plan.len() * 9;
+        match self
+            .mitigation
+            .record_verification(MitDevice::Switch(sw), healthy, now)
+        {
+            VerifyOutcome::Undrain => {} // exclusion stays lifted
+            VerifyOutcome::KeepDrained | VerifyOutcome::Escalated => {
+                self.net.faults_mut().isolate_switch(sw);
+            }
+        }
+    }
+
+    /// Proves a powered-down podset live again by probing it from every
+    /// other podset in its DC; on Undrain it rejoins pinglist generation.
+    fn verify_podset(&mut self, ps: PodsetId, now: SimTime) {
+        let topo = self.net.topology().clone();
+        let plan = mitigation::plan_podset_verification(&topo, ps, 12);
+        let mut delta = CounterDelta::new();
+        let mut ok = 0usize;
+        for p in &plan {
+            let attempt = self.net.state().probe_keyed(
+                self.net.run_seed(),
+                &mut delta,
+                p.src,
+                topo.ip_of(p.dst),
+                p.src_port,
+                VERIFY_DST_PORT,
+                ProbeKind::TcpSyn,
+                QosClass::High,
+                now,
+            );
+            if matches!(attempt.outcome, ProbeOutcome::Success { .. }) {
+                ok += 1;
+            }
+        }
+        self.net.merge_counters(&delta);
+        let healthy = !plan.is_empty() && ok * 2 >= plan.len();
+        if let VerifyOutcome::Undrain =
+            self.mitigation
+                .record_verification(MitDevice::Podset(ps), healthy, now)
+        {
+            self.excluded_podsets.remove(&ps);
+            self.regenerate_pinglists(self.config.generator.clone());
         }
     }
 
@@ -660,7 +907,21 @@ impl Orchestrator {
         // 1e-5-class background.
         let min_rate = (incident.drop_rate * 0.5).max(5.0 * incident.baseline.max(1e-5));
         let suspects = merged.suspects(min_rate, 500);
-        if self.config.auto_repair {
+        if self.config.auto_mitigate {
+            if let Some(&(sw, rate)) = suspects.first() {
+                // The incident's own confidence only measures how far the
+                // DC-wide rate cleared the alarm bar — a diluted spine
+                // fault can be unambiguous yet barely double the bar.
+                // The localization is the stronger evidence: the
+                // suspect's *attributed* loss rate cleared `min_rate`,
+                // and the margin by which it did is how sure we are
+                // that this switch (and not background noise) drops the
+                // packets. Forward whichever signal is stronger.
+                let localization = (1.0 - min_rate / rate.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0);
+                let confidence = incident.confidence.max(localization);
+                self.report_switch(sw, FindingKind::SilentDrop, confidence, now);
+            }
+        } else if self.config.auto_repair {
             if let Some(&(sw, _rate)) = suspects.first() {
                 self.repair.isolate_for_rma(&mut self.net, sw, now);
             }

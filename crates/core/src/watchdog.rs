@@ -12,8 +12,11 @@
 //! returns none.
 
 use crate::orchestrator::Orchestrator;
+use pingmesh_dsa::WindowAggregate;
 use pingmesh_obs::slo::SloKind;
-use pingmesh_types::SimDuration;
+use pingmesh_topology::Topology;
+use pingmesh_types::{PodsetId, SimDuration};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// One watchdog finding.
@@ -54,6 +57,18 @@ pub enum WatchdogFinding {
         /// Whether the WAL has failed closed (appends refused).
         failed_closed: bool,
     },
+    /// A podset went dark in the last closed window: none of its servers
+    /// reported a probe while the rest of the fabric kept failing to
+    /// reach them — the Figure-8(b) podset power-down signature. This is
+    /// a mitigation trigger: the podset should be drained from pinglist
+    /// generation until power returns.
+    PodsetPowerDown {
+        /// The dark podset.
+        podset: PodsetId,
+        /// Fraction ×1000 of pairs towards the podset that failed
+        /// deterministically (1000 = every observer agrees it is dark).
+        confidence_permille: u64,
+    },
 }
 
 impl WatchdogFinding {
@@ -76,6 +91,7 @@ impl WatchdogFinding {
                 SloKind::WalFlushLag => "slo_wal_flush_lag",
             },
             WatchdogFinding::StoreIoErrors { .. } => "store_io",
+            WatchdogFinding::PodsetPowerDown { .. } => "podset_power_down",
         }
     }
 }
@@ -128,8 +144,52 @@ impl fmt::Display for WatchdogFinding {
                     " (retries absorbed them)"
                 }
             ),
+            WatchdogFinding::PodsetPowerDown {
+                podset,
+                confidence_permille,
+            } => write!(
+                f,
+                "{podset} went dark (power-down; {}.{:01}% of observers agree)",
+                confidence_permille / 10,
+                confidence_permille % 10,
+            ),
         }
     }
+}
+
+/// Detects podsets that lost power during a window: the podset has
+/// servers, *none* of them reported any probe (as a source), and the
+/// rest of the fabric has probe data towards it that fails
+/// deterministically — so the silence is the podset's, not the
+/// pinglist's. Returns `(podset, confidence)` pairs sorted by podset;
+/// confidence is the fraction of observing pairs that failed.
+pub fn detect_podset_power_down(agg: &WindowAggregate, topo: &Topology) -> Vec<(PodsetId, f64)> {
+    let mut sources_seen: HashSet<PodsetId> = HashSet::new();
+    // Per-destination-podset observation counts from *other* podsets.
+    let mut observed: HashMap<PodsetId, (u64, u64)> = HashMap::new(); // (failed, total)
+    for (k, v) in &agg.pairs {
+        if v.total() == 0 {
+            continue;
+        }
+        let src_ps = topo.server(k.src).podset;
+        let dst_ps = topo.server(k.dst).podset;
+        sources_seen.insert(src_ps);
+        if src_ps != dst_ps {
+            let e = observed.entry(dst_ps).or_default();
+            e.1 += 1;
+            if v.successful() == 0 && v.is_deterministic_failure() {
+                e.0 += 1;
+            }
+        }
+    }
+    let mut dark: Vec<(PodsetId, f64)> = observed
+        .into_iter()
+        .filter(|(ps, (_, total))| !sources_seen.contains(ps) && *total > 0)
+        .map(|(ps, (failed, total))| (ps, failed as f64 / total as f64))
+        .filter(|&(_, conf)| conf > 0.5)
+        .collect();
+    dark.sort_by_key(|a| a.0);
+    dark
 }
 
 /// Watchdog configuration.
@@ -213,6 +273,23 @@ impl Watchdog {
             && topo.dcs().all(|dc| o.pa().series(dc).is_empty())
         {
             findings.push(WatchdogFinding::PaSilent);
+        }
+
+        // Mitigation trigger: a whole podset gone dark (the Figure-8(b)
+        // power-down signature) over the last fully-ingested window.
+        let w = pingmesh_dsa::PARTIAL_WINDOW;
+        if now.as_micros() >= 3 * w.as_micros() {
+            let ws = now.window_start(w);
+            let agg = o
+                .pipeline()
+                .store
+                .merged_window_aggregate(ws - w - w, ws - w);
+            for (podset, conf) in detect_podset_power_down(&agg, &topo) {
+                findings.push(WatchdogFinding::PodsetPowerDown {
+                    podset,
+                    confidence_permille: (conf * 1000.0).round() as u64,
+                });
+            }
         }
 
         // Data-quality SLOs, straight off the latest 10-min quality job.
@@ -340,6 +417,10 @@ mod tests {
             WatchdogFinding::StoreIoErrors {
                 errors: 9,
                 failed_closed: true,
+            },
+            WatchdogFinding::PodsetPowerDown {
+                podset: pingmesh_types::PodsetId(2),
+                confidence_permille: 985,
             },
         ];
         let rendered: std::collections::HashSet<String> =

@@ -19,11 +19,16 @@
 //! (b) the unreachable peer is reachable from other servers (so the peer
 //! is not simply dead).
 
-use crate::agg::WindowAggregate;
+use crate::agg::{PairKey, WindowAggregate};
 use pingmesh_topology::Topology;
 use pingmesh_types::{PodsetId, ServerId, SwitchId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+
+/// Cap on the black-holed pairs attached to an escalation — they are
+/// traceroute targets, and a campaign beyond this size adds latency, not
+/// information.
+const MAX_ESCALATION_PAIRS: usize = 16;
 
 /// Detector configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,14 +63,32 @@ pub struct TorCandidate {
     pub score: f64,
 }
 
+/// A podset whose ToRs are *all* symptomatic — a Leaf/Spine problem. The
+/// finding is actionable: it names its confidence and the concrete
+/// black-holed pairs a traceroute campaign can localize the device from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscalationFinding {
+    /// The affected podset.
+    pub podset: PodsetId,
+    /// Mean black-hole score of the podset's ToRs — the fraction of
+    /// servers showing the symptom, which is how sure the detector is
+    /// that the problem sits above the ToR tier.
+    pub confidence: f64,
+    /// Black-holed pairs whose source lives in this podset and whose
+    /// destination is outside the source pod (so the path traverses the
+    /// suspect Leaf/Spine tier). Sorted, capped — traceroute targets.
+    pub suspect_pairs: Vec<PairKey>,
+}
+
 /// Result of one detection run.
 #[derive(Debug, Clone, Default)]
 pub struct BlackholeFinding {
-    /// ToRs to reload, most suspect first.
+    /// ToRs to reload, most suspect first. The score doubles as the
+    /// mitigation confidence.
     pub reload_candidates: Vec<TorCandidate>,
     /// Podsets where *every* ToR shows the symptom — a Leaf/Spine problem
-    /// to escalate to engineers, not a ToR reload.
-    pub escalations: Vec<PodsetId>,
+    /// to escalate, carrying the evidence needed to localize the device.
+    pub escalations: Vec<EscalationFinding>,
     /// Servers that exhibited the symptom (diagnostics).
     pub symptomatic_servers: Vec<ServerId>,
 }
@@ -103,6 +126,7 @@ impl BlackholeDetector {
             blackholed: u64,
         }
         let mut per_src: HashMap<ServerId, Acc> = HashMap::new();
+        let mut blackholed_pairs: Vec<PairKey> = Vec::new();
         for (k, v) in &agg.pairs {
             if v.total() < cfg.min_probes_per_pair {
                 continue;
@@ -113,6 +137,7 @@ impl BlackholeDetector {
                 a.reached += 1;
             } else if v.is_deterministic_failure() && dst_reachable.contains(&k.dst) {
                 a.blackholed += 1;
+                blackholed_pairs.push(*k);
             }
         }
 
@@ -159,13 +184,13 @@ impl BlackholeDetector {
         });
 
         // Podset rule: all-ToRs-symptomatic ⇒ escalate instead of reload.
-        let mut by_podset: HashMap<PodsetId, Vec<SwitchId>> = HashMap::new();
+        let mut by_podset: HashMap<PodsetId, Vec<(SwitchId, f64)>> = HashMap::new();
         for c in &candidates {
             let pod = topo.pod_of_tor(c.tor).expect("candidate tor maps to pod");
             by_podset
                 .entry(topo.pod(pod).podset)
                 .or_default()
-                .push(c.tor);
+                .push((c.tor, c.score));
         }
         let mut escalations = Vec::new();
         let mut escalated_tors: HashSet<SwitchId> = HashSet::new();
@@ -176,11 +201,28 @@ impl BlackholeDetector {
                 .filter(|p| pod_total.contains_key(&p.0))
                 .count();
             if pods_with_data > 1 && tors.len() >= pods_with_data {
-                escalations.push(*podset);
-                escalated_tors.extend(tors.iter().copied());
+                let confidence = tors.iter().map(|&(_, s)| s).sum::<f64>() / tors.len() as f64;
+                // The evidence: black-holed pairs leaving this podset's
+                // pods — their paths traverse the suspect tier.
+                let mut suspect_pairs: Vec<PairKey> = blackholed_pairs
+                    .iter()
+                    .filter(|k| {
+                        let src = topo.server(k.src);
+                        src.podset == *podset && topo.server(k.dst).pod != src.pod
+                    })
+                    .copied()
+                    .collect();
+                suspect_pairs.sort();
+                suspect_pairs.truncate(MAX_ESCALATION_PAIRS);
+                escalations.push(EscalationFinding {
+                    podset: *podset,
+                    confidence,
+                    suspect_pairs,
+                });
+                escalated_tors.extend(tors.iter().map(|&(t, _)| t));
             }
         }
-        escalations.sort();
+        escalations.sort_by_key(|e| e.podset);
         candidates.retain(|c| !escalated_tors.contains(&c.tor));
 
         BlackholeFinding {
@@ -303,10 +345,19 @@ mod tests {
         }
         let agg = synthetic_agg(&t, &dead);
         let f = BlackholeDetector::default().detect(&agg, &t);
-        assert_eq!(
-            f.escalations,
-            vec![t.server(t.servers_in_pod(PodId(0)).next().unwrap()).podset]
-        );
+        let podset = t.server(t.servers_in_pod(PodId(0)).next().unwrap()).podset;
+        assert_eq!(f.escalations.len(), 1);
+        let esc = &f.escalations[0];
+        assert_eq!(esc.podset, podset);
+        assert!(esc.confidence >= 0.5, "confidence {}", esc.confidence);
+        // The escalation carries localizable evidence: black-holed pairs
+        // leaving the podset's pods.
+        assert!(!esc.suspect_pairs.is_empty());
+        assert!(esc.suspect_pairs.len() <= 16);
+        for p in &esc.suspect_pairs {
+            assert_eq!(t.server(p.src).podset, podset);
+            assert_ne!(t.server(p.dst).pod, t.server(p.src).pod);
+        }
         // The four ToRs of podset 0 must not be reload candidates.
         for c in &f.reload_candidates {
             let pod = t.pod_of_tor(c.tor).unwrap();

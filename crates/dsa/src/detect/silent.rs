@@ -67,6 +67,11 @@ pub struct SilentDropFinding {
     pub pattern: LatencyPattern,
     /// Worst cross-podset pairs — the traceroute targets.
     pub suspect_pairs: Vec<PairKey>,
+    /// How far the observed rate sits above the firing bar, in `[0, 1)`:
+    /// a rate just past the threshold scores near zero, ten times the
+    /// bar scores 0.9. Downstream mitigation gates on this, so a
+    /// marginal jump is investigated but never drains a device.
+    pub confidence: f64,
 }
 
 /// Per-DC drop-rate tracker + incident detector.
@@ -155,6 +160,7 @@ impl SilentDropDetector {
         pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         pairs.truncate(cfg.max_pairs);
 
+        let bar = cfg.incident_threshold.max(baseline * cfg.jump_factor);
         Some(SilentDropFinding {
             dc,
             window_start,
@@ -162,6 +168,7 @@ impl SilentDropDetector {
             baseline,
             pattern,
             suspect_pairs: pairs.into_iter().map(|(k, _)| k).collect(),
+            confidence: (1.0 - bar / rate).clamp(0.0, 1.0),
         })
     }
 }
@@ -230,6 +237,11 @@ mod tests {
             .expect("incident must fire");
         assert!(finding.drop_rate > 1e-3);
         assert!(finding.baseline < 1e-4);
+        assert!(
+            (0.0..1.0).contains(&finding.confidence) && finding.confidence > 0.5,
+            "a 6× jump past the bar is high-confidence: {}",
+            finding.confidence
+        );
         assert!(!finding.suspect_pairs.is_empty());
         // Suspects must be cross-podset pairs.
         for p in &finding.suspect_pairs {

@@ -862,8 +862,10 @@ impl DurableLog {
         self.live_segments = self.live_segments.saturating_sub(1);
     }
 
-    /// Microseconds since the last fsync, while acknowledged bytes are
-    /// still only in the OS page cache; 0 when everything is synced.
+    /// Age of the oldest frame still only in the OS page cache; 0 when
+    /// everything is synced. The clock starts at the first unsynced
+    /// append after a sync, so an idle gap between sync and the next
+    /// append never counts as lag.
     pub fn flush_lag_us(&self) -> u64 {
         if self.unsynced_bytes == 0 {
             0
@@ -962,6 +964,13 @@ impl DurableLog {
         for attempt in 0..=WAL_WRITE_RETRIES {
             match self.try_write(start, frame) {
                 Ok(()) => {
+                    if self.unsynced_bytes == 0 {
+                        // The lag clock measures the age of the *oldest
+                        // unsynced* frame, so it starts when the first
+                        // byte lands after a sync — not at the (possibly
+                        // long-idle-ago) sync itself.
+                        self.last_sync = Instant::now();
+                    }
                     self.wal_bytes += frame.len() as u64;
                     self.wal_entries += 1;
                     self.unsynced_bytes += frame.len() as u64;
@@ -1490,5 +1499,16 @@ mod tests {
         assert!(log.flush_lag_us() > 0, "unsynced append ages the lag");
         log.sync().unwrap();
         assert_eq!(log.flush_lag_us(), 0, "sync zeroes the lag");
+
+        // An idle gap after a sync is not lag: the clock restarts at the
+        // next append, measuring the oldest *unsynced* frame, not the
+        // time since the last fsync.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(log.log_append(DcId(0), &[rec(2)], SimTime(2), 2));
+        assert!(
+            log.flush_lag_us() < 15_000,
+            "idle time before the append must not count as lag, got {}us",
+            log.flush_lag_us()
+        );
     }
 }

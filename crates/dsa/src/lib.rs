@@ -47,7 +47,7 @@ pub mod viz;
 pub use agg::{PairKey, ScopeStats, WindowAggregate};
 pub use alert::{Alert, AlertKind, Alerter};
 pub use db::{ResultsDb, ScopeKey, SlaRow};
-pub use detect::blackhole::{BlackholeDetector, BlackholeFinding};
+pub use detect::blackhole::{BlackholeDetector, BlackholeFinding, EscalationFinding, TorCandidate};
 pub use detect::pattern::{classify_pattern, HeatmapMatrix, LatencyPattern};
 pub use detect::silent::{SilentDropDetector, SilentDropFinding};
 pub use durable::{unique_dir, DirGuard, DurabilityStats, SegmentReader};

@@ -848,10 +848,17 @@ impl CosmosStore {
     /// heal it — the background-compaction entry point. Returns whether
     /// a checkpoint ran.
     pub fn maybe_checkpoint(&mut self) -> io::Result<bool> {
+        self.maybe_checkpoint_with(WAL_CHECKPOINT_BYTES)
+    }
+
+    /// [`CosmosStore::maybe_checkpoint`] with an explicit WAL-growth
+    /// threshold — the collector's background compactor passes its own
+    /// (tunable) threshold through here.
+    pub fn maybe_checkpoint_with(&mut self, threshold: u64) -> io::Result<bool> {
         let due = self
             .durable
             .as_ref()
-            .is_some_and(|log| log.checkpoint_due(WAL_CHECKPOINT_BYTES));
+            .is_some_and(|log| log.checkpoint_due(threshold));
         if due {
             self.checkpoint()?;
         }

@@ -186,6 +186,17 @@ impl Response {
         }
     }
 
+    /// 500 Internal Server Error with a reason body. The serving tiers
+    /// answer this instead of panicking when a response body cannot be
+    /// constructed — one bad request must never take the process down.
+    pub fn internal_error(reason: &str) -> Self {
+        Self {
+            status: 500,
+            headers: Vec::new(),
+            body: reason.as_bytes().to_vec(),
+        }
+    }
+
     /// 503 Service Unavailable.
     pub fn unavailable() -> Self {
         Self {
@@ -233,6 +244,7 @@ impl Response {
             304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
+            500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Status",
         };

@@ -138,11 +138,23 @@ impl NetState {
     }
 
     /// Resolves a destination address to a physical server: direct server
-    /// IP, or VIP dispatched to a DIP by five-tuple hash.
+    /// IP, or VIP dispatched to a DIP by five-tuple hash. A VIP whose DIP
+    /// set has been drained to nothing resolves to no target — the probe
+    /// times out like any unreachable destination — instead of panicking
+    /// the data plane; the condition is counted so operators can see it.
     pub fn resolve_target(&self, ip: Ipv4Addr, tuple: &FiveTuple) -> Option<ServerId> {
-        self.topo
-            .server_by_ip(ip)
-            .or_else(|| self.vips.dispatch(ip, tuple))
+        if let Some(s) = self.topo.server_by_ip(ip) {
+            return Some(s);
+        }
+        match self.vips.dispatch(ip, tuple) {
+            Ok(target) => target,
+            Err(pingmesh_topology::VipDispatchError::EmptyDipSet(_)) => {
+                pingmesh_obs::registry()
+                    .counter("pingmesh_netsim_vip_empty_dip_total")
+                    .inc();
+                None
+            }
+        }
     }
 
     fn resolve_path(&self, src: ServerId, dst: ServerId, tuple: &FiveTuple) -> Path {

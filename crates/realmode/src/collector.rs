@@ -43,9 +43,9 @@ use std::collections::BTreeSet;
 use std::io;
 use std::net::SocketAddr;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tokio::net::{TcpListener, TcpStream};
 
 /// Group commit: fsync the WAL once this many acknowledged bytes sit
@@ -55,6 +55,11 @@ const GROUP_COMMIT_BYTES: u64 = 4 * 1024 * 1024;
 /// Group commit: fsync the WAL once the oldest unsynced byte is this
 /// old (µs), bounding crash exposure under trickle traffic.
 const GROUP_COMMIT_LAG_US: u64 = 500_000;
+
+/// How often the background compactor wakes to check the WAL. Each
+/// check is one lock acquisition and a stat read — cheap against a
+/// 500 ms group-commit lag bound.
+const COMPACTOR_POLL: Duration = Duration::from_millis(20);
 
 /// Collector statistics, served on `GET /stats`.
 #[derive(Debug, Clone, Copy, Serialize, serde::Deserialize)]
@@ -134,6 +139,49 @@ pub struct Collector {
     /// removed from disk when the last clone drops. `None` when the
     /// store is in-memory or the caller owns the directory.
     data_dir: Option<Arc<DirGuard>>,
+    /// WAL-growth threshold (bytes) for background compaction.
+    compact_threshold: Arc<AtomicU64>,
+    /// The background compactor, shared across clones and joined when
+    /// the last clone drops. `None` for in-memory stores.
+    compactor: Option<Arc<Compactor>>,
+}
+
+/// Owns the background compaction thread: WAL group-commit syncs under
+/// trickle traffic and segment compaction both run here, off the upload
+/// request path, so an upload's latency never includes a WAL rewrite.
+/// The manifest commit inside a checkpoint stays synchronous with the
+/// store lock held — readers and uploads always see a consistent store —
+/// but no request thread ever performs it.
+struct Compactor {
+    stop: Arc<AtomicBool>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One compactor pass: lag-triggered group-commit fsync, then a
+/// checkpoint if the WAL has outgrown `threshold`. Failures surface via
+/// the store's IO counters and fail-closed flag — and a failed-closed
+/// WAL is always checkpoint-due, so the next pass retries the heal.
+fn compactor_pass(store: &Mutex<CosmosStore>, threshold: u64) {
+    let mut store = store.lock();
+    if let Some(d) = store.durability_stats() {
+        if d.unsynced_bytes > 0 && d.flush_lag_us >= GROUP_COMMIT_LAG_US {
+            let _ = store.sync_wal();
+        }
+    }
+    if matches!(store.maybe_checkpoint_with(threshold), Ok(true)) {
+        pingmesh_obs::registry()
+            .counter("pingmesh_realmode_background_checkpoints_total")
+            .inc();
+    }
 }
 
 impl Default for Collector {
@@ -180,8 +228,31 @@ impl Collector {
     }
 
     fn from_store(store: CosmosStore, data_dir: Option<Arc<DirGuard>>) -> Self {
+        let durable = store.durable_dir().is_some();
+        let store = Arc::new(Mutex::new(store));
+        let compact_threshold = Arc::new(AtomicU64::new(pingmesh_dsa::store::WAL_CHECKPOINT_BYTES));
+        let compactor = durable.then(|| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let thread = {
+                let (store, stop, threshold) = (
+                    Arc::clone(&store),
+                    Arc::clone(&stop),
+                    Arc::clone(&compact_threshold),
+                );
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        compactor_pass(&store, threshold.load(Ordering::SeqCst));
+                        std::thread::sleep(COMPACTOR_POLL);
+                    }
+                })
+            };
+            Arc::new(Compactor {
+                stop,
+                thread: Mutex::new(Some(thread)),
+            })
+        });
         Self {
-            store: Arc::new(Mutex::new(store)),
+            store,
             accepting: Arc::new(AtomicBool::new(true)),
             epoch: Instant::now(),
             slo: Arc::new(Mutex::new(SloState {
@@ -190,6 +261,28 @@ impl Collector {
                 completeness: None,
             })),
             data_dir,
+            compact_threshold,
+            compactor,
+        }
+    }
+
+    /// Lowers (or raises) the WAL-growth threshold that triggers
+    /// background compaction. Tests use a small value so a checkpoint
+    /// becomes due after a few uploads.
+    pub fn set_compaction_threshold(&self, bytes: u64) {
+        self.compact_threshold.store(bytes, Ordering::SeqCst);
+    }
+
+    /// Stops the background compactor (joining its thread). After this,
+    /// nothing compacts the store — the upload path never does — so the
+    /// WAL grows until the process restarts. An ops escape hatch, and
+    /// how the append-path regression test proves uploads don't compact.
+    pub fn stop_background_compaction(&self) {
+        if let Some(c) = &self.compactor {
+            c.stop.store(true, Ordering::SeqCst);
+            if let Some(t) = c.thread.lock().take() {
+                let _ = t.join();
+            }
         }
     }
 
@@ -473,23 +566,22 @@ impl Collector {
                 registry
                     .counter("pingmesh_realmode_uploaded_records_total")
                     .add(records.len() as u64);
-                // Group commit: fsync once the unsynced tail is big or
-                // old enough, and compact the WAL into segments when it
-                // crosses the checkpoint threshold. Failures surface via
-                // the store's IO counters and fail-closed flag, which
-                // the next upload then observes.
+                // Group commit: fsync once the unsynced tail is big
+                // enough that the sync amortizes across many acks. The
+                // lag-triggered sync and WAL compaction run on the
+                // background compactor thread, never here — an upload's
+                // latency must not include a WAL rewrite.
                 if let Some(d) = store.durability_stats() {
-                    if d.unsynced_bytes >= GROUP_COMMIT_BYTES
-                        || d.flush_lag_us >= GROUP_COMMIT_LAG_US
-                    {
+                    if d.unsynced_bytes >= GROUP_COMMIT_BYTES {
                         let _ = store.sync_wal();
                     }
-                    let _ = store.maybe_checkpoint();
                 }
                 Response::ok(b"stored".to_vec())
             }
             ("GET", "/stats") => {
-                let body = serde_json::to_vec(&self.stats()).expect("stats serialize");
+                let Ok(body) = serde_json::to_vec(&self.stats()) else {
+                    return Response::internal_error("stats serialize failed");
+                };
                 let mut resp = Response::ok(body);
                 resp.headers
                     .push(("content-type".into(), "application/json".into()));
@@ -536,14 +628,18 @@ impl Collector {
                 resp
             }
             ("GET", "/healthz") => {
-                let body = serde_json::to_vec(&self.health_report()).expect("healthz serialize");
+                let Ok(body) = serde_json::to_vec(&self.health_report()) else {
+                    return Response::internal_error("healthz serialize failed");
+                };
                 let mut resp = Response::ok(body);
                 resp.headers
                     .push(("content-type".into(), "application/json".into()));
                 resp
             }
             ("GET", "/slo") => {
-                let body = serde_json::to_vec(&self.health_report().slos).expect("slo serialize");
+                let Ok(body) = serde_json::to_vec(&self.health_report().slos) else {
+                    return Response::internal_error("slo serialize failed");
+                };
                 let mut resp = Response::ok(body);
                 resp.headers
                     .push(("content-type".into(), "application/json".into()));
@@ -731,6 +827,107 @@ mod tests {
             200
         );
         assert_eq!(c.stats().records, 0);
+    }
+
+    fn wal_checkpoints(c: &Collector) -> u64 {
+        c.store()
+            .lock()
+            .durability_stats()
+            .map_or(0, |d| d.checkpoints)
+    }
+
+    #[test]
+    fn append_path_never_compacts_inline() {
+        let c = Collector::new();
+        assert!(c.store().lock().durable_dir().is_some(), "durable store");
+        // With the compactor stopped, nothing else may checkpoint; set a
+        // threshold small enough that uploads alone would have forced
+        // several inline checkpoints under the old behaviour.
+        c.stop_background_compaction();
+        c.set_compaction_threshold(4 * 1024);
+        // Opening the store may commit a recovery checkpoint of its own;
+        // measure upload-time checkpoints against this baseline.
+        let base = wal_checkpoints(&c);
+        let mut uploaded = 0u64;
+        for i in 0..40u64 {
+            let batch: Vec<ProbeRecord> = (0..50).map(|j| rec(i * 50 + j)).collect();
+            let req = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+            assert_eq!(c.respond(&req).status, 200);
+            uploaded += 50;
+        }
+        let stats = c.store().lock().durability_stats().expect("durable");
+        assert!(
+            stats.wal_bytes > 4 * 1024,
+            "the WAL outgrew the threshold ({} bytes)",
+            stats.wal_bytes
+        );
+        assert_eq!(
+            stats.checkpoints, base,
+            "no upload may pay for a checkpoint — that is the background \
+             compactor's job"
+        );
+        assert_eq!(c.stats().records, uploaded);
+        // The work was deferred, not dropped: a direct compactor pass
+        // performs exactly the checkpoint the uploads never ran.
+        compactor_pass(c.store(), 4 * 1024);
+        assert_eq!(wal_checkpoints(&c), base + 1);
+        assert_eq!(c.stats().records, uploaded, "compaction loses nothing");
+    }
+
+    #[test]
+    fn background_compactor_checkpoints_without_any_request() {
+        let c = Collector::new();
+        c.set_compaction_threshold(4 * 1024);
+        let base = wal_checkpoints(&c);
+        for i in 0..20u64 {
+            let batch: Vec<ProbeRecord> = (0..50).map(|j| rec(i * 50 + j)).collect();
+            let req = Request::post("/upload", serde_json::to_vec(&batch).unwrap());
+            assert_eq!(c.respond(&req).status, 200);
+        }
+        // No further requests: the compactor thread must pick the
+        // checkpoint up on its own within a few poll intervals.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while wal_checkpoints(&c) <= base && Instant::now() < deadline {
+            std::thread::sleep(COMPACTOR_POLL);
+        }
+        assert!(
+            wal_checkpoints(&c) > base,
+            "background compactor never checkpointed"
+        );
+        assert_eq!(c.stats().records, 1000);
+    }
+
+    #[test]
+    fn adversarial_uploads_get_400_and_never_wedge_the_collector() {
+        let c = Collector::new();
+        let valid = serde_json::to_vec(&vec![rec(1), rec(2)]).unwrap();
+        // A valid batch truncated mid-record (simulates a connection cut
+        // after content-length was already honoured by a buggy client).
+        let truncated = valid[..valid.len() / 2].to_vec();
+        // Structurally valid JSON of the wrong shape.
+        let cases: Vec<Vec<u8>> = vec![
+            truncated,
+            b"{\"records\": 3}".to_vec(),
+            b"[{\"ts\": \"yesterday\"}]".to_vec(),
+            b"null".to_vec(),
+            b"[null]".to_vec(),
+            vec![0xff, 0xfe, 0x00, 0x80], // invalid UTF-8
+            vec![b'['; 4096],             // deeply nested open brackets
+        ];
+        for (i, body) in cases.into_iter().enumerate() {
+            assert_eq!(
+                c.respond(&Request::post("/upload", body)).status,
+                400,
+                "case {i} must be rejected, not panic"
+            );
+        }
+        assert_eq!(c.stats().records, 0, "nothing adversarial was stored");
+        // The collector still serves every route after the abuse.
+        assert_eq!(c.respond(&Request::post("/upload", valid)).status, 200);
+        assert_eq!(c.stats().records, 2);
+        for route in ["/stats", "/metrics", "/events", "/healthz", "/slo"] {
+            assert_eq!(c.respond(&Request::get(route)).status, 200, "{route}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod collector;
 pub mod directory;
+pub mod mitigate;
 pub mod vip;
 pub mod watchdog;
 
@@ -33,5 +34,6 @@ pub use collector::{
     serve_collector, upload_records, Collector, HealthReport, SloJson, StageHealth,
 };
 pub use directory::PeerDirectory;
+pub use mitigate::{LiveMitigator, ScanReport};
 pub use vip::ControllerVip;
 pub use watchdog::RealWatchdog;

@@ -297,7 +297,11 @@ mod tests {
         let agent = cluster.agent(ServerId(0));
         let mut wd = RealWatchdog::new(Duration::from_secs(60));
         wd.check(&cluster, &[&agent]).await; // baseline, no findings carried
-                                             // Exhaust the WAL retry budget: the next append fails closed.
+                                             // The background compactor would heal a failed-closed WAL
+                                             // (failed → always checkpoint-due) before the watchdog
+                                             // looks; stop it so the failure stays observable.
+        cluster.collector().stop_background_compaction();
+        // Exhaust the WAL retry budget: the next append fails closed.
         cluster.collector().store().lock().inject_wal_io_errors(5);
         let rec = ProbeRecord {
             ts: SimTime(1),

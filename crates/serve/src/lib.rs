@@ -200,12 +200,18 @@ impl QueryTier {
             let store = self.store.lock();
             let body = q.build(&store);
             drop(store);
-            let mut resp = Response::ok(body);
+            let mut resp = match body {
+                Ok(body) => Response::ok(body),
+                Err(msg) => return Response::internal_error(msg),
+            };
             resp.headers
                 .push(("content-type".into(), "application/json".into()));
             return resp;
         };
-        let entry = self.ensure(q, from, to);
+        let entry = match self.ensure(q, from, to) {
+            Ok(entry) => entry,
+            Err(msg) => return Response::internal_error(msg),
+        };
         if req.header("if-none-match") == Some(entry.etag.as_str()) {
             self.stats.not_modified.fetch_add(1, Ordering::Relaxed);
             self.metrics.not_modified.inc();
@@ -226,13 +232,13 @@ impl QueryTier {
     /// but the range fingerprint matches → revalidated hit, one O(windows)
     /// check under the lock; (3) fingerprint moved → rebuild (that is the
     /// invalidation on stragglers and late service-map refolds).
-    fn ensure(&self, q: &ApiQuery, from: SimTime, to: SimTime) -> CacheEntry {
+    fn ensure(&self, q: &ApiQuery, from: SimTime, to: SimTime) -> Result<CacheEntry, &'static str> {
         let key = q.cache_key();
         let epoch = self.epoch.load(Ordering::Acquire);
         if let Some(e) = self.cache.get(&key) {
             if e.valid_at_epoch >= epoch {
                 self.note_hit(e.frozen);
-                return e;
+                return Ok(e);
             }
         }
         let store = self.store.lock();
@@ -242,12 +248,12 @@ impl QueryTier {
                 drop(store);
                 self.cache.revalidate(&key, epoch);
                 self.note_hit(e.frozen);
-                return e;
+                return Ok(e);
             }
             self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
             self.metrics.invalidations.inc();
         }
-        let body = q.build(&store);
+        let body = q.build(&store)?;
         let frozen = store.frozen_before().is_some_and(|fb| to <= fb);
         drop(store);
         let entry = CacheEntry {
@@ -265,7 +271,7 @@ impl QueryTier {
             self.stats.misses_hot.fetch_add(1, Ordering::Relaxed);
             self.metrics.misses_hot.inc();
         }
-        entry
+        Ok(entry)
     }
 
     fn note_hit(&self, frozen: bool) {
@@ -317,8 +323,9 @@ impl QueryTier {
             });
             queries.push(ApiQuery::Sla { from: ws, to: we });
             for q in queries {
-                self.ensure(&q, ws, we);
-                ensured += 1;
+                if self.ensure(&q, ws, we).is_ok() {
+                    ensured += 1;
+                }
             }
             ws = we;
         }
@@ -468,12 +475,53 @@ mod tests {
             // golden reference the cache must match bit for bit.
             let (p, q) = path.split_once('?').unwrap();
             let query = ApiQuery::parse(p, Some(q)).unwrap();
-            let fresh = query.build(&store.lock());
+            let fresh = query.build(&store.lock()).expect("build");
             assert_eq!(first.body, fresh, "{path}: cached vs rebuilt");
         }
         let s = tier.stats();
         assert!(s.hits_frozen.load(Ordering::Relaxed) >= 4);
         assert_eq!(s.frozen_hit_rate(), 0.5); // 4 misses, 4 hits
+    }
+
+    #[test]
+    fn adversarial_queries_get_4xx_and_leave_the_tier_serving() {
+        let tier = QueryTier::new(seeded_store(2));
+        // Largest 10-min-aligned timestamp: a whole-history query must be
+        // bounded by store contents, not by the requested span.
+        let huge = (u64::MAX / W) * W;
+        let bad = [
+            format!("/api/cdf?dc=4294967296&scope=interpod&from=0&to={W}"),
+            format!("/api/cdf?dc=0&scope=rack&from=0&to={W}"),
+            format!("/api/cdf?scope=interpod&from=0&to={W}"),
+            format!("/api/heatmap?level=rack&from=0&to={W}"),
+            format!("/api/sla?from=999&to={W}"),
+            format!("/api/sla?from={W}&to=0"),
+            format!("/api/sla?from=-{W}&to={W}"),
+            format!("/api/sla?from=0x10&to={W}"),
+            "/api/sla?from=&to=".to_string(),
+            "/api/sla".to_string(),
+            format!("/api/sla?from=18446744073709551615&to={huge}"),
+        ];
+        for path in &bad {
+            let resp = tier.respond(&Request::get(path));
+            assert_eq!(resp.status, 400, "{path} must be a 400, not a panic");
+        }
+        assert_eq!(tier.respond(&Request::get("/api/zzz")).status, 404);
+        // Whole-history and empty ranges answer 200 from existing
+        // partials only (the aggregate walks a BTreeMap range, so a
+        // huge span cannot stall the tier).
+        for path in [
+            format!("/api/sla?from=0&to={huge}"),
+            "/api/sla?from=0&to=0".to_string(),
+            format!("/api/heatmap?level=pod&from=0&to={huge}"),
+        ] {
+            let resp = tier.respond(&Request::get(&path));
+            assert_eq!(resp.status, 200, "{path}");
+        }
+        // The tier still serves a normal dashboard query after the abuse.
+        let ok = tier.respond(&sla_req(0, W));
+        assert_eq!(ok.status, 200);
+        assert!(!ok.body.is_empty());
     }
 
     #[test]
@@ -513,7 +561,8 @@ mod tests {
             from: SimTime(0),
             to: SimTime(W),
         }
-        .build(&store.lock());
+        .build(&store.lock())
+        .expect("build");
         assert_eq!(third.body, fresh);
     }
 
@@ -582,7 +631,8 @@ mod tests {
             from: SimTime(0),
             to: SimTime(W),
         }
-        .build(&store.lock());
+        .build(&store.lock())
+        .expect("build");
         let rebuilt = tier.respond(&sla_req(0, W));
         assert_eq!(rebuilt.status, 200);
         assert_eq!(

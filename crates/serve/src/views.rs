@@ -198,8 +198,10 @@ impl ApiQuery {
     /// Builds the response body from the store — the **only** body
     /// constructor, shared by cache misses, the warm path, and the
     /// coherence oracle's from-scratch rebuild. Deterministic: sorted
-    /// rows, fixed field order.
-    pub fn build(&self, store: &CosmosStore) -> Vec<u8> {
+    /// rows, fixed field order. A serialization failure is a server
+    /// bug, but it surfaces as `Err` (the tier answers 500) rather
+    /// than a panic that would take every connection down with it.
+    pub fn build(&self, store: &CosmosStore) -> Result<Vec<u8>, &'static str> {
         match *self {
             ApiQuery::Windows => build_windows(store),
             ApiQuery::Cdf {
@@ -240,7 +242,7 @@ struct WindowsPayload {
     empty: bool,
 }
 
-fn build_windows(store: &CosmosStore) -> Vec<u8> {
+fn build_windows(store: &CosmosStore) -> Result<Vec<u8>, &'static str> {
     let newest = store.newest_ts();
     serde_json::to_vec(&WindowsPayload {
         newest_us: newest.map_or(0, |t| t.as_micros()),
@@ -249,7 +251,7 @@ fn build_windows(store: &CosmosStore) -> Vec<u8> {
         record_count: store.record_count(),
         empty: newest.is_none(),
     })
-    .expect("windows serialize")
+    .map_err(|_| "windows serialize failed")
 }
 
 #[derive(Serialize)]
@@ -276,7 +278,7 @@ fn build_cdf(
     scope: LatencyScope,
     from: SimTime,
     to: SimTime,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, &'static str> {
     let hist = agg.syn_hist(dc, scope);
     let points = hist.map_or(Vec::new(), |h| {
         h.cdf_points()
@@ -297,7 +299,7 @@ fn build_cdf(
         p99_us: hist.and_then(|h| h.p99()).map_or(0, |d| d.as_micros()),
         points,
     })
-    .expect("cdf serialize")
+    .map_err(|_| "cdf serialize failed")
 }
 
 #[derive(Serialize)]
@@ -322,7 +324,7 @@ fn build_heatmap(
     level: HeatmapLevel,
     from: SimTime,
     to: SimTime,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, &'static str> {
     let mut cells: Vec<HeatCell> = match level {
         HeatmapLevel::Pod => agg
             .pod_pairs
@@ -349,7 +351,7 @@ fn build_heatmap(
         to_us: to.as_micros(),
         cells,
     })
-    .expect("heatmap serialize")
+    .map_err(|_| "heatmap serialize failed")
 }
 
 fn heat_cell(src: u32, dst: u32, stats: &PairStats, p99_us: u64) -> HeatCell {
@@ -401,7 +403,7 @@ fn sla_row(id: u32, s: &ScopeStats) -> SlaRow {
     }
 }
 
-fn build_sla(agg: &WindowAggregate, from: SimTime, to: SimTime) -> Vec<u8> {
+fn build_sla(agg: &WindowAggregate, from: SimTime, to: SimTime) -> Result<Vec<u8>, &'static str> {
     let mut dcs: Vec<SlaRow> = agg.per_dc.iter().map(|(dc, s)| sla_row(dc.0, s)).collect();
     dcs.sort_unstable_by_key(|r| r.id);
     let mut dc_pairs: Vec<SlaPairRow> = agg
@@ -437,7 +439,7 @@ fn build_sla(agg: &WindowAggregate, from: SimTime, to: SimTime) -> Vec<u8> {
         podsets,
         services,
     })
-    .expect("sla serialize")
+    .map_err(|_| "sla serialize failed")
 }
 
 #[cfg(test)]
@@ -556,8 +558,8 @@ mod tests {
                 to: SimTime(W),
             },
         ] {
-            let a = q.build(&store);
-            let b = q.build(&store);
+            let a = q.build(&store).expect("build");
+            let b = q.build(&store).expect("build");
             assert_eq!(a, b, "{} must be byte-stable", q.cache_key());
             assert!(!a.is_empty());
         }

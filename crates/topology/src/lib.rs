@@ -33,4 +33,4 @@ pub use model::{RouteTables, Topology};
 pub use route::{Path, Router, MAX_HOPS};
 pub use service::ServiceMap;
 pub use spec::{DcSpec, TopologySpec};
-pub use vip::VipTable;
+pub use vip::{VipDispatchError, VipTable};

@@ -11,7 +11,37 @@
 use pingmesh_types::{FiveTuple, PingmeshError, ServerId, VipId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use std::net::Ipv4Addr;
+
+/// Data-plane dispatch failure. `register` rejects empty DIP sets, but a
+/// table deserialized from a control-plane document (the index is rebuilt
+/// with [`VipTable::reindex`]) can still carry a VIP whose backend set has
+/// been drained to nothing; dispatch must surface that instead of dividing
+/// by zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VipDispatchError {
+    /// The VIP exists but has no healthy DIPs behind it.
+    EmptyDipSet(VipId),
+}
+
+impl fmt::Display for VipDispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VipDispatchError::EmptyDipSet(id) => {
+                write!(f, "VIP {} has an empty DIP set", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VipDispatchError {}
+
+impl From<VipDispatchError> for PingmeshError {
+    fn from(e: VipDispatchError) -> Self {
+        PingmeshError::InvalidConfig(e.to_string())
+    }
+}
 
 /// One VIP with its backing DIP set.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,11 +106,23 @@ impl VipTable {
 
     /// Data-plane dispatch: which DIP serves a flow addressed to `vip`?
     /// Deterministic per five-tuple (connection affinity), balanced across
-    /// DIPs — the essential behaviour of the paper's SLB.
-    pub fn dispatch(&self, vip: Ipv4Addr, tuple: &FiveTuple) -> Option<ServerId> {
-        let e = self.by_address(vip)?;
+    /// DIPs — the essential behaviour of the paper's SLB. `Ok(None)` means
+    /// the address is not a registered VIP at all (the caller falls through
+    /// to physical resolution); an empty DIP set is a typed error so the
+    /// SLB/controller can degrade gracefully instead of panicking.
+    pub fn dispatch(
+        &self,
+        vip: Ipv4Addr,
+        tuple: &FiveTuple,
+    ) -> Result<Option<ServerId>, VipDispatchError> {
+        let Some(e) = self.by_address(vip) else {
+            return Ok(None);
+        };
+        if e.dips.is_empty() {
+            return Err(VipDispatchError::EmptyDipSet(e.id));
+        }
         let idx = (tuple.ecmp_hash() % e.dips.len() as u64) as usize;
-        Some(e.dips[idx])
+        Ok(Some(e.dips[idx]))
     }
 
     /// Rebuilds the by-address index (needed after deserialization, since
@@ -127,8 +169,8 @@ mod tests {
         let mut counts = vec![0u32; 4];
         for sp in 0..4_000u16 {
             let tu = tuple(sp, vip);
-            let d1 = t.dispatch(vip, &tu).unwrap();
-            let d2 = t.dispatch(vip, &tu).unwrap();
+            let d1 = t.dispatch(vip, &tu).unwrap().unwrap();
+            let d2 = t.dispatch(vip, &tu).unwrap().unwrap();
             assert_eq!(d1, d2, "connection affinity violated");
             counts[d1.index()] += 1;
         }
@@ -148,8 +190,28 @@ mod tests {
                 Ipv4Addr::new(172, 16, 0, 0),
                 &tuple(1, Ipv4Addr::new(172, 16, 0, 0))
             ),
-            None
+            Ok(None)
         );
+    }
+
+    /// Regression: a VIP entry with zero DIPs — unreachable through
+    /// `register`, but constructible from a serialized control-plane
+    /// document — used to divide by zero in `dispatch` and panic the data
+    /// plane. It must be a typed error instead.
+    #[test]
+    fn dispatch_with_empty_dip_set_is_typed_error_not_panic() {
+        let json = r#"{"entries":[{"id":0,"vip":"172.16.0.0","dips":[]}]}"#;
+        let mut t: VipTable = serde_json::from_str(json).expect("table parses");
+        t.reindex();
+        let vip = Ipv4Addr::new(172, 16, 0, 0);
+        assert_eq!(
+            t.dispatch(vip, &tuple(7, vip)),
+            Err(VipDispatchError::EmptyDipSet(VipId(0)))
+        );
+        // And the error converts into the crate-wide error type for
+        // controller/SLB callers that bubble it up.
+        let e: PingmeshError = VipDispatchError::EmptyDipSet(VipId(0)).into();
+        assert!(matches!(e, PingmeshError::InvalidConfig(_)));
     }
 
     #[test]

@@ -29,7 +29,14 @@
 # end-to-end crash drill: the durable collector is killed mid-append
 # (torn WAL tail) and mid-compaction (orphaned checkpoint generation)
 # and must recover with zero acknowledged-record loss, bit-identical
-# window aggregates, and byte-identical dashboard responses.
+# window aggregates, and byte-identical dashboard responses. Pass
+# --mitigation-smoke to also run the closed-loop auto-mitigation drills:
+# the simulated drill (injected type-2 black hole → detect → drain →
+# verified un-drain, with the tier-budget guard and recurrence
+# escalation exercised, transition counts asserted) plus the real-socket
+# drill (a Refuse toxic on a live controller replica is detected by
+# live probes, drained out of the VIP rotation, and only verified back
+# in by a live fetch once the toxic clears).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +44,7 @@ BENCH_SMOKE=0
 CHAOS_SMOKE=0
 CRASH_SMOKE=0
 FUZZ_SMOKE=0
+MITIGATION_SMOKE=0
 OBS_SMOKE=0
 SCALE_SMOKE=0
 SERVE_SMOKE=0
@@ -46,6 +54,7 @@ for arg in "$@"; do
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
     --fuzz-smoke) FUZZ_SMOKE=1 ;;
+    --mitigation-smoke) MITIGATION_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --scale-smoke) SCALE_SMOKE=1 ;;
     --serve-smoke) SERVE_SMOKE=1 ;;
@@ -96,6 +105,12 @@ fi
 if [ "$CRASH_SMOKE" = 1 ]; then
   step "crash drill smoke (kill mid-append + mid-compaction, zero acked loss)"
   timeout 120 cargo test --release -q --test crash_drill
+fi
+
+if [ "$MITIGATION_SMOKE" = 1 ]; then
+  step "mitigation drill smoke (detect → drain → verify → un-drain, sim + live)"
+  timeout 120 cargo test --release -q -p pingmesh-core --test mitigation_drill
+  timeout 120 cargo test --release -q -p pingmesh-realmode --lib mitigate::
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then

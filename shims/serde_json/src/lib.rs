@@ -125,9 +125,16 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
 
 // ------------------------------------------------------------------- parse
 
+/// Maximum container nesting depth, matching real serde_json's default
+/// recursion limit. Without it a request body of a few KB of `[` bytes
+/// overflows the parser's stack — an abort, not a catchable error — so
+/// every service that parses untrusted bytes inherits this bound.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -292,12 +299,22 @@ impl<'a> Parser<'a> {
         Ok(Value::Number(num))
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -309,6 +326,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -318,10 +336,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut obj = Object::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(obj));
         }
         loop {
@@ -338,6 +358,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(obj));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -351,6 +372,7 @@ pub fn parse_value(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.parse_value()?;
     p.skip_ws();
@@ -435,5 +457,20 @@ mod tests {
         assert!(parse_value("nul").is_err());
         assert!(parse_value("1 2").is_err());
         assert!(from_str::<u64>("\"no\"").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // One past the limit fails with a message…
+        let bomb = "[".repeat(MAX_DEPTH + 1);
+        let err = parse_value(&bomb).unwrap_err();
+        assert!(err.0.contains("recursion limit"), "{}", err.0);
+        // …and an absurd bomb (a few KB of brackets, the cheapest
+        // possible abuse of an upload endpoint) fails the same way.
+        assert!(parse_value(&"[".repeat(100_000)).is_err());
+        assert!(parse_value(&"{\"k\":".repeat(100_000)).is_err());
+        // At the limit itself a well-formed value still parses.
+        let deep = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse_value(&deep).is_ok());
     }
 }

@@ -247,6 +247,62 @@ fn render_serve(samples: &[Sample], prev: Option<(&[Sample], f64)>, out: &mut St
     }
 }
 
+/// Renders the auto-mitigation panel: lifecycle totals (drains,
+/// verified un-drains, escalations, verification attempts), the state
+/// machine's transition counts, findings by detector kind, and drains
+/// blocked by a guard. Rendered only when the scraped process has ever
+/// reported a finding to the mitigation engine.
+fn render_mitigation(samples: &[Sample], out: &mut String) {
+    let findings = sum_of(samples, "pingmesh_mitigation_findings_total");
+    let transitions = sum_of(samples, "pingmesh_mitigation_transitions_total");
+    if findings == 0.0 && transitions == 0.0 {
+        return;
+    }
+    let drains = sum_of(samples, "pingmesh_mitigation_drains_total");
+    let undrains = sum_of(samples, "pingmesh_mitigation_undrains_total");
+    let escalations = sum_of(samples, "pingmesh_mitigation_escalations_total");
+    let attempts = sum_of(samples, "pingmesh_mitigation_verify_attempts_total");
+    let _ = writeln!(
+        out,
+        "\n  mitigation   drains {drains:.0}   undrained {undrains:.0}   escalations {escalations:.0}   verify attempts {attempts:.0}",
+    );
+    // Transition counts in state-machine order; zero rows are skipped.
+    let mut line = String::from("  transitions ");
+    for to in ["pending", "drained", "verifying", "undrained", "escalated"] {
+        let n = find(
+            samples,
+            "pingmesh_mitigation_transitions_total",
+            Some(("to", to)),
+        )
+        .map_or(0.0, |s| s.value);
+        if n > 0.0 {
+            let _ = write!(line, " →{to} {n:.0} ");
+        }
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let mut line = String::from("  findings    ");
+    for s in samples
+        .iter()
+        .filter(|s| s.name == "pingmesh_mitigation_findings_total")
+    {
+        let kind = s.label("kind").unwrap_or("?");
+        let _ = write!(line, " {kind} {:.0} ", s.value);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let blocked = sum_of(samples, "pingmesh_mitigation_blocked_total");
+    if blocked > 0.0 {
+        let mut line = String::from("  blocked     ");
+        for s in samples
+            .iter()
+            .filter(|s| s.name == "pingmesh_mitigation_blocked_total")
+        {
+            let reason = s.label("reason").unwrap_or("?");
+            let _ = write!(line, " {reason} {:.0} ", s.value);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+}
+
 /// Renders one dashboard frame from a parsed scrape. `prev` is the
 /// previous frame's samples and its age in seconds, for counter-delta
 /// rates (serve QPS); the first frame passes `None`.
@@ -333,6 +389,7 @@ fn render(samples: &[Sample], target: &str, prev: Option<(&[Sample], f64)>) -> S
     }
 
     render_durability(samples, prev, &mut out);
+    render_mitigation(samples, &mut out);
     render_serve(samples, prev, &mut out);
     out
 }
@@ -483,9 +540,53 @@ bogus line that is not a sample
         // Per-dc records summed across label sets.
         assert!(frame.contains("pingmesh_realmode_records_total"), "{frame}");
         assert!(frame.contains("1500"), "{frame}");
-        // No serve or durable-store samples scraped — both panels hidden.
+        // No serve, durable-store, or mitigation samples scraped — all
+        // three panels hidden.
         assert!(!frame.contains("serve tier"), "{frame}");
         assert!(!frame.contains("durability"), "{frame}");
+        assert!(!frame.contains("mitigation"), "{frame}");
+    }
+
+    const MITIGATION_EXPO: &str = r#"pingmesh_uptime_seconds 300
+pingmesh_mitigation_findings_total{kind="blackhole"} 4
+pingmesh_mitigation_findings_total{kind="silent_drop"} 2
+pingmesh_mitigation_transitions_total{to="pending"} 3
+pingmesh_mitigation_transitions_total{to="drained"} 3
+pingmesh_mitigation_transitions_total{to="verifying"} 4
+pingmesh_mitigation_transitions_total{to="undrained"} 2
+pingmesh_mitigation_transitions_total{to="escalated"} 1
+pingmesh_mitigation_blocked_total{reason="cooldown"} 1
+pingmesh_mitigation_blocked_total{reason="tier_budget"} 1
+pingmesh_mitigation_drains_total 3
+pingmesh_mitigation_undrains_total 2
+pingmesh_mitigation_escalations_total 2
+pingmesh_mitigation_verify_attempts_total 4
+"#;
+
+    #[test]
+    fn mitigation_panel_reports_lifecycle_transitions_and_guards() {
+        let frame = render(&parse_prometheus(MITIGATION_EXPO), "test:1", None);
+        assert!(
+            frame.contains(
+                "mitigation   drains 3   undrained 2   escalations 2   verify attempts 4"
+            ),
+            "{frame}"
+        );
+        // Transitions render in state-machine order with counts.
+        assert!(
+            frame.contains(
+                "transitions  →pending 3  →drained 3  →verifying 4  →undrained 2  →escalated 1"
+            ),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("findings     blackhole 4  silent_drop 2"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("blocked      cooldown 1  tier_budget 1"),
+            "{frame}"
+        );
     }
 
     const DURABLE_EXPO: &str = r#"pingmesh_uptime_seconds 60

@@ -2,13 +2,13 @@
 //! simulated data center, exercising the controller → agent → network →
 //! store → analysis → repair loop end to end.
 
-use pingmesh::controller::GeneratorConfig;
+use pingmesh::controller::{GeneratorConfig, MitigationState};
 use pingmesh::dsa::agg::WindowAggregate;
 use pingmesh::dsa::{classify_pattern, HeatmapMatrix, LatencyPattern, ScopeKey};
 use pingmesh::netsim::{ActiveFault, DcProfile, FaultKind};
 use pingmesh::topology::{DcSpec, ServiceMap, Topology, TopologySpec};
 use pingmesh::types::{DcId, PodId, PodsetId, SimDuration, SimTime};
-use pingmesh::{Orchestrator, OrchestratorConfig};
+use pingmesh::{MitDevice, Orchestrator, OrchestratorConfig};
 use std::sync::Arc;
 
 fn small_topo() -> Arc<Topology> {
@@ -139,9 +139,38 @@ fn silent_spine_incident_is_detected_localized_isolated() {
     o.run_until(SimTime::ZERO + SimDuration::from_hours(4));
 
     assert!(!o.outputs().incidents.is_empty(), "incident not detected");
-    let isolations = &o.repair().isolation_log;
-    assert_eq!(isolations.len(), 1, "exactly one isolation expected");
-    assert_eq!(isolations[0].1, bad_spine, "wrong switch isolated");
+    // The mitigation engine (auto_mitigate, the default) drains the
+    // localized spine out of ECMP. A 0.5 % random drop is invisible to
+    // the small confirmation-probe set, so the first verification
+    // falsely passes and un-drains — the recurrence guard catches the
+    // incident's return in the next hourly window, re-drains, and
+    // escalates: the switch ends held for humans, out of ECMP.
+    assert!(o.mitigation().drains() >= 1, "spine never drained");
+    assert_eq!(
+        o.mitigation().state_of(MitDevice::Switch(bad_spine)),
+        Some(MitigationState::Escalated),
+        "a recurring silent drop must end escalated"
+    );
+    assert_eq!(
+        o.mitigation().drained_devices(),
+        vec![MitDevice::Switch(bad_spine)],
+        "wrong switch held drained"
+    );
+    assert!(o.net().faults().is_isolated(bad_spine), "drain actuated");
+    assert!(
+        o.mitigation()
+            .transitions()
+            .iter()
+            .any(|t| t.reason == "recurrence"),
+        "the re-drain must be flagged as a recurrence"
+    );
+    assert!(
+        o.repair()
+            .isolation_log
+            .iter()
+            .all(|&(_, sw)| sw == bad_spine),
+        "only the bad spine was ever isolated"
+    );
     // The drop-rate series recovered after isolation.
     let series = o.pipeline().silent.series(DcId(0));
     let last = series.last().unwrap().1;
